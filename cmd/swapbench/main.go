@@ -1,0 +1,179 @@
+// Command swapbench regenerates the paper's tables and figures against
+// the simulated substrates and prints the same rows/series the paper
+// reports. It is the artifact-evaluation entry point:
+//
+//	swapbench -exp all
+//	swapbench -exp fig5 -scale 2000
+//	swapbench -exp table1 -csv table1.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"swapservellm/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|all")
+		scale  = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
+		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations")
+		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV under this directory")
+	)
+	flag.Parse()
+
+	run := func(name string) bool {
+		return *exp == "all" || *exp == name
+	}
+	pick := func(def float64) float64 {
+		if *scale > 0 {
+			return *scale
+		}
+		return def
+	}
+	out := os.Stdout
+	any := false
+	writeCSV := func(name, header string, rows []string) {
+		if *csvDir == "" {
+			return
+		}
+		path := *csvDir + "/" + name + ".csv"
+		if err := experiments.WriteCSVFile(path, header, rows); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "swapbench: wrote", path)
+	}
+
+	if run("fig1") {
+		any = true
+		series := experiments.Figure1(*seed)
+		experiments.PrintFigure1(out, series)
+		h, rows := experiments.Figure1CSV(series)
+		writeCSV("fig1", h, rows)
+		fmt.Fprintln(out)
+	}
+	if run("fig2") {
+		any = true
+		rows, err := experiments.Figure2(pick(2000))
+		fail(err)
+		experiments.PrintFigure2(out, rows)
+		h, csv := experiments.Figure2CSV(rows)
+		writeCSV("fig2", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("fig3") {
+		any = true
+		res := experiments.Figure3(*seed)
+		experiments.PrintFigure3(out, res)
+		h, csv := experiments.Figure3CSV(res)
+		writeCSV("fig3", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("table1") {
+		any = true
+		rows, err := experiments.Table1(pick(2000))
+		fail(err)
+		experiments.PrintTable1(out, rows)
+		h, csv := experiments.Table1CSV(rows)
+		writeCSV("table1", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("fig5") {
+		any = true
+		rows, err := experiments.Figure5(pick(2000))
+		fail(err)
+		experiments.PrintFigure5(out, rows)
+		h, csv := experiments.Figure5CSV(rows)
+		writeCSV("fig5", h, csv)
+		fmt.Fprintln(out)
+	}
+	var fig6a []experiments.Fig6aRow
+	var fig6b []experiments.Fig6bRow
+	if run("fig6a") || run("headline") {
+		var err error
+		fig6a, err = experiments.Figure6a(pick(1000))
+		fail(err)
+	}
+	if run("fig6b") || run("headline") {
+		var err error
+		fig6b, err = experiments.Figure6b(pick(1000))
+		fail(err)
+	}
+	if run("fig6a") {
+		any = true
+		experiments.PrintFigure6a(out, fig6a)
+		h, csv := experiments.Figure6aCSV(fig6a)
+		writeCSV("fig6a", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("fig6b") {
+		any = true
+		experiments.PrintFigure6b(out, fig6b)
+		h, csv := experiments.Figure6bCSV(fig6b)
+		writeCSV("fig6b", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("headline") {
+		any = true
+		experiments.PrintHeadline(out, experiments.Headline(fig6a, fig6b))
+		fmt.Fprintln(out)
+	}
+	if run("ablation-policy") {
+		any = true
+		rows, err := experiments.AblationPreemptionPolicy(pick(1500), 48, *seed)
+		fail(err)
+		experiments.PrintPolicyAblation(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("ablation-sleep") {
+		any = true
+		rows, err := experiments.AblationSleepMode(pick(2000))
+		fail(err)
+		experiments.PrintSleepModeAblation(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("ablation-consolidation") {
+		any = true
+		experiments.PrintConsolidation(out, experiments.AblationConsolidation())
+		fmt.Fprintln(out)
+	}
+	if run("ablation-elasticity") {
+		any = true
+		rows, err := experiments.AblationElasticity(pick(2000), *seed)
+		fail(err)
+		experiments.PrintElasticity(out, rows)
+		h, csv := experiments.ElasticityCSV(rows)
+		writeCSV("ablation-elasticity", h, csv)
+		fmt.Fprintln(out)
+	}
+	if run("ablation-compile-cache") {
+		any = true
+		rows, err := experiments.AblationCompileCache(pick(2000))
+		fail(err)
+		experiments.PrintCompileCache(out, rows)
+		fmt.Fprintln(out)
+	}
+	if run("ablation-tiering") {
+		any = true
+		rows, err := experiments.AblationSnapshotTiering(pick(2000))
+		fail(err)
+		experiments.PrintSnapshotTiering(out, rows)
+		fmt.Fprintln(out)
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache"}, " "))
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "swapbench:", err)
+		os.Exit(1)
+	}
+}

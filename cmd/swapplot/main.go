@@ -1,0 +1,137 @@
+// Command swapplot renders swapbench CSV exports as terminal charts —
+// the repository's equivalent of the artifact's plotting scripts.
+//
+//	swapbench -exp all -csv out/
+//	swapplot -label display -values disk_s,memory_s,snapshot_s -unit s out/fig5.csv
+//	swapplot -series utilization out/fig3.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"swapservellm/internal/plot"
+)
+
+func main() {
+	var (
+		labelCol  = flag.String("label", "", "column to use as bar labels (bar mode)")
+		valueCols = flag.String("values", "", "comma-separated value columns (bar mode)")
+		seriesCol = flag.String("series", "", "value column to render as a sparkline (series mode)")
+		unit      = flag.String("unit", "", "unit suffix printed after values")
+		width     = flag.Int("width", 50, "bar width / sparkline buckets")
+		title     = flag.String("title", "", "chart title (default: file name)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: swapplot [flags] <csv-file>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	header, rows, err := readCSV(path)
+	if err != nil {
+		fatal(err)
+	}
+	name := *title
+	if name == "" {
+		name = path
+	}
+
+	switch {
+	case *seriesCol != "":
+		idx, ok := header[*seriesCol]
+		if !ok {
+			fatal(fmt.Errorf("column %q not in %s", *seriesCol, path))
+		}
+		var values []float64
+		for _, row := range rows {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				fatal(fmt.Errorf("non-numeric value %q in column %s", row[idx], *seriesCol))
+			}
+			values = append(values, v)
+		}
+		plot.Sparkline(os.Stdout, name, plot.Downsample(values, *width))
+	case *labelCol != "" && *valueCols != "":
+		lidx, ok := header[*labelCol]
+		if !ok {
+			fatal(fmt.Errorf("column %q not in %s", *labelCol, path))
+		}
+		var labels []string
+		for _, row := range rows {
+			labels = append(labels, row[lidx])
+		}
+		var series []plot.NamedSeries
+		for _, col := range strings.Split(*valueCols, ",") {
+			col = strings.TrimSpace(col)
+			cidx, ok := header[col]
+			if !ok {
+				fatal(fmt.Errorf("column %q not in %s", col, path))
+			}
+			s := plot.NamedSeries{Name: col}
+			for _, row := range rows {
+				v, err := strconv.ParseFloat(row[cidx], 64)
+				if err != nil {
+					fatal(fmt.Errorf("non-numeric value %q in column %s", row[cidx], col))
+				}
+				s.Values = append(s.Values, v)
+			}
+			series = append(series, s)
+		}
+		if len(series) == 1 {
+			var bars []plot.BarRow
+			for i, l := range labels {
+				bars = append(bars, plot.BarRow{Label: l, Value: series[0].Values[i]})
+			}
+			plot.Bars(os.Stdout, name, *unit, bars, *width)
+		} else {
+			plot.GroupedBars(os.Stdout, name, *unit, labels, series, *width)
+		}
+	default:
+		fatal(fmt.Errorf("specify either -label/-values (bars) or -series (sparkline)"))
+	}
+}
+
+// readCSV parses a simple comma-separated file (no quoting — swapbench
+// exports never contain commas in fields) into a header index and rows.
+func readCSV(path string) (map[string]int, [][]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	header := make(map[string]int)
+	var rows [][]string
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if first {
+			for i, h := range fields {
+				header[h] = i
+			}
+			first = false
+			continue
+		}
+		if len(fields) != len(header) {
+			return nil, nil, fmt.Errorf("%s: row has %d fields, header has %d", path, len(fields), len(header))
+		}
+		rows = append(rows, fields)
+	}
+	return header, rows, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swapplot:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,95 @@
+// Command swapserved runs the SwapServeLLM daemon: it loads a deployment
+// configuration, initializes every backend (container + engine cold
+// start + GPU snapshot), and serves the OpenAI-compatible router.
+//
+//	swapserved -config deploy.json
+//	swapserved -config deploy.json -scale 200 -metrics metrics.csv
+//
+// Without -config, a two-model demo deployment is used.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"swapservellm/internal/config"
+	"swapservellm/internal/core"
+	"swapservellm/internal/simclock"
+)
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "", "deployment configuration (JSON); empty = demo config")
+		listen  = flag.String("listen", "", "override the router listen address")
+		scale   = flag.Float64("scale", simclock.DefaultScale, "simulation clock scale (1 = real time)")
+		metrics = flag.String("metrics", "", "write metrics CSV to this path on shutdown")
+	)
+	flag.Parse()
+
+	cfg := demoConfig()
+	if *cfgPath != "" {
+		var err error
+		cfg, err = config.Load(*cfgPath)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *listen != "" {
+		cfg.Listen = *listen
+	}
+
+	s, err := core.New(cfg, core.Options{
+		Clock: simclock.NewScaled(time.Now(), *scale),
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("swapserved: initializing %d backend(s) on testbed %s...\n", len(cfg.Models), cfg.Testbed)
+	start := time.Now()
+	if err := s.Start(context.Background()); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("swapserved: backends snapshotted and paused in %v wall time\n", time.Since(start).Round(time.Millisecond))
+	fmt.Printf("swapserved: serving OpenAI-compatible API at http://%s\n", s.Addr())
+	for _, b := range s.Backends() {
+		st := b.Status()
+		fmt.Printf("  model %-28s engine %-8s state %-12s required %.1f GiB\n",
+			st.Name, st.Engine, st.State, st.RequiredGiB)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nswapserved: shutting down")
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err == nil {
+			s.Registry().WriteCSV(f)
+			f.Close()
+			fmt.Println("swapserved: metrics written to", *metrics)
+		}
+	}
+	s.Shutdown()
+}
+
+// demoConfig is a ready-to-run two-model deployment.
+func demoConfig() config.Config {
+	cfg := config.Default()
+	cfg.Listen = "127.0.0.1:8080"
+	cfg.Models = []config.Model{
+		{Name: "llama3.2:1b-fp16", Engine: "ollama"},
+		{Name: "deepseek-r1:7b-q4", Engine: "ollama"},
+	}
+	return cfg
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "swapserved:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,15 @@
+// Package swapservellm is the root of the SwapServeLLM reproduction: an
+// engine-agnostic model hot-swapping framework for cost-effective LLM
+// inference (Stoyanov et al., SC Workshops '25).
+//
+// The public entry points live in internal/core (the SwapServeLLM server,
+// router, scheduler, task manager, and preemption policy) layered over
+// simulated substrates: a GPU device model (internal/gpu), a transparent
+// GPU checkpoint driver (internal/cudackpt), a cgroup freezer
+// (internal/cgroup), a Podman-like container runtime (internal/container),
+// and four simulated inference engines (internal/engine/...).
+//
+// The root-level bench_test.go regenerates every table and figure from the
+// paper's evaluation; see DESIGN.md for the per-experiment index and
+// EXPERIMENTS.md for paper-vs-measured results.
+package swapservellm

@@ -1,0 +1,3 @@
+module swapservellm
+
+go 1.22

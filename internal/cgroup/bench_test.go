@@ -1,0 +1,39 @@
+package cgroup
+
+import (
+	"fmt"
+	"testing"
+)
+
+func BenchmarkFreezeThaw(b *testing.B) {
+	f := NewFreezer()
+	f.Create("/bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Freeze("/bench")
+		f.Thaw("/bench")
+	}
+}
+
+func BenchmarkEffectivelyFrozenDeep(b *testing.B) {
+	f := NewFreezer()
+	path := ""
+	for i := 0; i < 8; i++ {
+		path = fmt.Sprintf("%s/g%d", path, i)
+		f.Create(path)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.EffectivelyFrozen(path)
+	}
+}
+
+func BenchmarkCreateRemove(b *testing.B) {
+	f := NewFreezer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.Create("/churn")
+		f.Remove("/churn")
+	}
+}

@@ -1,0 +1,175 @@
+package cgroup
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestCreateAndList(t *testing.T) {
+	f := NewFreezer()
+	if err := f.Create("/machine.slice"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Create("/machine.slice/libpod-abc"); err != nil {
+		t.Fatal(err)
+	}
+	got := f.List()
+	want := []string{"/", "/machine.slice", "/machine.slice/libpod-abc"}
+	if len(got) != len(want) {
+		t.Fatalf("List = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("List[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCreateErrors(t *testing.T) {
+	f := NewFreezer()
+	if err := f.Create("relative"); err == nil {
+		t.Error("relative path accepted")
+	}
+	if err := f.Create("/a//b"); err == nil {
+		t.Error("empty segment accepted")
+	}
+	if err := f.Create("/orphan/child"); !errors.Is(err, ErrParentMissing) {
+		t.Errorf("missing parent: %v", err)
+	}
+	f.Create("/dup")
+	if err := f.Create("/dup"); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate: %v", err)
+	}
+	if err := f.Create("/trail/"); !errors.Is(err, ErrExists) {
+		// "/trail/" normalizes to "/trail": first create is fine.
+		t.Logf("trailing slash create: %v", err)
+	}
+}
+
+func TestFreezeThaw(t *testing.T) {
+	f := NewFreezer()
+	f.Create("/c1")
+	if err := f.Freeze("/c1"); err != nil {
+		t.Fatal(err)
+	}
+	if s, _ := f.SelfState("/c1"); s != Frozen {
+		t.Fatalf("self state = %v", s)
+	}
+	if frozen, _ := f.EffectivelyFrozen("/c1"); !frozen {
+		t.Fatal("frozen cgroup not effectively frozen")
+	}
+	if err := f.Thaw("/c1"); err != nil {
+		t.Fatal(err)
+	}
+	if frozen, _ := f.EffectivelyFrozen("/c1"); frozen {
+		t.Fatal("thawed cgroup still effectively frozen")
+	}
+}
+
+func TestNestedFreezeSemantics(t *testing.T) {
+	// Freezing a parent freezes descendants even if their self-state is
+	// THAWED; thawing the child alone does not unfreeze it.
+	f := NewFreezer()
+	f.Create("/pod")
+	f.Create("/pod/ctr")
+	f.Freeze("/pod")
+	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); !frozen {
+		t.Fatal("child of frozen parent not effectively frozen")
+	}
+	if s, _ := f.SelfState("/pod/ctr"); s != Thawed {
+		t.Fatal("child self-state should remain THAWED")
+	}
+	f.Thaw("/pod/ctr") // no-op for effective state
+	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); !frozen {
+		t.Fatal("child thaw escaped frozen ancestor")
+	}
+	f.Thaw("/pod")
+	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); frozen {
+		t.Fatal("child still frozen after ancestor thaw")
+	}
+}
+
+func TestFreezeUnknown(t *testing.T) {
+	f := NewFreezer()
+	if err := f.Freeze("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Freeze unknown: %v", err)
+	}
+	if _, err := f.SelfState("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("SelfState unknown: %v", err)
+	}
+	if _, err := f.EffectivelyFrozen("/nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("EffectivelyFrozen unknown: %v", err)
+	}
+}
+
+func TestRemove(t *testing.T) {
+	f := NewFreezer()
+	f.Create("/a")
+	f.Create("/a/b")
+	if err := f.Remove("/a"); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("Remove with children: %v", err)
+	}
+	if err := f.Remove("/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Remove("/a"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double remove: %v", err)
+	}
+	if err := f.Remove("/"); err == nil {
+		t.Fatal("root removal accepted")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Thawed.String() != "THAWED" || Frozen.String() != "FROZEN" {
+		t.Fatal("state strings wrong")
+	}
+}
+
+// Property: a cgroup is effectively frozen iff at least one of its path
+// prefixes (including itself) has been frozen more recently than thawed.
+func TestEffectiveFreezeProperty(t *testing.T) {
+	f := func(ops []struct {
+		Level  uint8
+		Freeze bool
+	}) bool {
+		fr := NewFreezer()
+		const depth = 4
+		paths := make([]string, depth)
+		p := ""
+		for i := 0; i < depth; i++ {
+			p = fmt.Sprintf("%s/g%d", p, i)
+			fr.Create(p)
+			paths[i] = p
+		}
+		frozen := make([]bool, depth) // shadow model of self-states
+		for _, op := range ops {
+			lvl := int(op.Level) % depth
+			if op.Freeze {
+				fr.Freeze(paths[lvl])
+				frozen[lvl] = true
+			} else {
+				fr.Thaw(paths[lvl])
+				frozen[lvl] = false
+			}
+		}
+		// Check the deepest cgroup's effective state against the model.
+		wantFrozen := false
+		for _, fz := range frozen {
+			if fz {
+				wantFrozen = true
+				break
+			}
+		}
+		got, err := fr.EffectivelyFrozen(paths[depth-1])
+		return err == nil && got == wantFrozen
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

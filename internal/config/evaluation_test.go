@@ -1,0 +1,37 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"swapservellm/internal/models"
+)
+
+// TestShippedEvaluationConfigsValid loads and validates every config in
+// evaluation/configs — a shipped config that fails validation is a
+// release bug.
+func TestShippedEvaluationConfigsValid(t *testing.T) {
+	dir := filepath.Join("..", "..", "evaluation", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("evaluation configs missing: %v", err)
+	}
+	if len(entries) < 5 {
+		t.Fatalf("only %d shipped configs", len(entries))
+	}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		cfg, err := Load(path)
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if err := cfg.Validate(models.Default()); err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+		}
+	}
+}

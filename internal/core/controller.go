@@ -1,0 +1,258 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swapservellm/internal/container"
+	"swapservellm/internal/engine"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/openai"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// Controller is the engine controller of §3.1: it executes swap-in and
+// swap-out operations against the container runtime and the GPU
+// checkpoint driver, applies engine-specific optimizations (vLLM sleep
+// mode), and implements the demand-aware preemption policy on behalf of
+// the task manager.
+type Controller struct {
+	clock   simclock.Clock
+	testbed perfmodel.Testbed
+	rt      *container.Runtime
+	tm      *TaskManager
+	policy  PreemptionPolicy
+	reg     *metrics.Registry
+
+	// backends enumerates swap candidates; installed by the server.
+	mu       sync.Mutex
+	backends map[string]*Backend
+
+	// evictSerial serializes evictions so concurrent reclaim loops do not
+	// stampede.
+	evictSerial sync.Mutex
+}
+
+// NewController builds a controller. The server registers backends as it
+// creates them.
+func NewController(clock simclock.Clock, tb perfmodel.Testbed, rt *container.Runtime,
+	tm *TaskManager, policy PreemptionPolicy, reg *metrics.Registry) *Controller {
+	if policy == nil {
+		policy = DemandAwarePolicy{}
+	}
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	return &Controller{
+		clock:    clock,
+		testbed:  tb,
+		rt:       rt,
+		tm:       tm,
+		policy:   policy,
+		reg:      reg,
+		backends: make(map[string]*Backend),
+	}
+}
+
+// RegisterBackend adds a backend to the controller's candidate set.
+func (ct *Controller) RegisterBackend(b *Backend) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.backends[b.name] = b
+}
+
+// Policy returns the active preemption policy.
+func (ct *Controller) Policy() PreemptionPolicy { return ct.policy }
+
+// SwapOut suspends a running backend (§4.2 Model Preemption): write-lock
+// it against new requests, drain in-flight ones, apply the sleep-mode
+// optimization when available, freeze the container's cgroup, and create
+// the in-memory GPU snapshot, freeing device capacity.
+func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
+	// The write lock stops workers from forwarding new requests (§3.5).
+	b.evictMu.Lock()
+	defer b.evictMu.Unlock()
+
+	if s := b.State(); s != BackendRunning {
+		return fmt.Errorf("core: swap-out of backend %s in state %v", b.name, s)
+	}
+	b.setState(BackendSwapping)
+
+	// Drain in-flight requests so the freeze does not strand live streams.
+	if err := ct.drain(ctx, b); err != nil {
+		b.setState(BackendRunning)
+		return err
+	}
+
+	// Record the running footprint: the memory a future swap-in must
+	// reserve (§4.2 "saves the amount of GPU memory in use").
+	eng := b.ctr.Engine()
+	running := eng.GPUBytes()
+	b.requiredBytes.Store(running)
+
+	// Engine-specific optimization: vLLM's sleep API offloads weights and
+	// discards the KV cache, shrinking the checkpoint (§4.2).
+	b.sleepUsed.Store(false)
+	if sleeper, ok := eng.(engine.Sleeper); ok && b.useSleepMode {
+		if err := sleeper.Sleep(ctx, 1); err == nil {
+			b.sleepUsed.Store(true)
+		}
+	}
+
+	// Freeze CPU execution, then checkpoint the GPU state.
+	if err := ct.rt.Pause(b.ctr); err != nil {
+		b.setState(BackendRunning)
+		return fmt.Errorf("core: pausing container: %w", err)
+	}
+	t0 := ct.clock.Now()
+	saved, err := ct.rt.Driver().Suspend(b.ctr.ID())
+	if err != nil {
+		ct.rt.Unpause(b.ctr)
+		if b.sleepUsed.Load() {
+			if sleeper, ok := eng.(engine.Sleeper); ok {
+				sleeper.Wake(ctx)
+			}
+			b.sleepUsed.Store(false)
+		}
+		b.setState(BackendRunning)
+		return fmt.Errorf("core: checkpointing GPU state: %w", err)
+	}
+	ct.reg.Histogram("swap_out_latency").Observe(ct.clock.Since(t0))
+	ct.reg.Counter("swap_outs").Inc()
+	ct.reg.Gauge("snapshot_bytes_" + b.name).Set(float64(saved))
+
+	b.setState(BackendSwappedOut)
+	b.swapOuts.Add(1)
+	// Wake any reservation waiting on the freed memory.
+	ct.tm.NotifyFreed()
+	return nil
+}
+
+// drain waits until the backend has no in-flight requests.
+func (ct *Controller) drain(ctx context.Context, b *Backend) error {
+	for b.active.Load() > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		ct.clock.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}
+
+// SwapIn resumes a swapped-out backend (§3.3 ⑨): restore the GPU state
+// from the host snapshot, thaw the cgroup, apply the engine wake-up, and
+// verify the engine API is live. The caller must hold a memory
+// reservation covering RequiredBytes.
+func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
+	if s := b.State(); s != BackendSwappedOut {
+		return fmt.Errorf("core: swap-in of backend %s in state %v", b.name, s)
+	}
+	b.setState(BackendSwapping)
+	t0 := ct.clock.Now()
+
+	// Restore device state and resume the CUDA process.
+	if err := ct.rt.Driver().Resume(b.ctr.ID()); err != nil {
+		b.setState(BackendSwappedOut)
+		return fmt.Errorf("core: restoring GPU state: %w", err)
+	}
+	// Thaw the container.
+	if err := ct.rt.Unpause(b.ctr); err != nil {
+		b.setState(BackendSwappedOut)
+		return fmt.Errorf("core: unpausing container: %w", err)
+	}
+	// Engine-specific wake-up after a sleep-mode swap-out.
+	if b.sleepUsed.Load() {
+		if sleeper, ok := b.ctr.Engine().(engine.Sleeper); ok {
+			if err := sleeper.Wake(ctx); err != nil {
+				b.setState(BackendSwappedOut)
+				return fmt.Errorf("core: waking engine: %w", err)
+			}
+		}
+		b.sleepUsed.Store(false)
+	}
+	// Engine resume overhead (API liveness verification, §3.3 ⑩).
+	ct.clock.Sleep(perfmodel.EngineResumeOverhead(b.engine))
+	if err := ct.verifyAPI(ctx, b); err != nil {
+		b.setState(BackendSwappedOut)
+		return fmt.Errorf("core: engine API not live after swap-in: %w", err)
+	}
+
+	ct.reg.Histogram("swap_in_latency").Observe(ct.clock.Since(t0))
+	ct.reg.Counter("swap_ins").Inc()
+	b.lastReady.Store(ct.clock.Now().UnixNano())
+	b.setState(BackendRunning)
+	b.swapIns.Add(1)
+	return nil
+}
+
+// verifyAPI polls the engine's health endpoint until it responds.
+func (ct *Controller) verifyAPI(ctx context.Context, b *Backend) error {
+	cli := openai.NewClient(b.ctr.BaseURL())
+	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	return cli.WaitHealthy(hctx, 2*time.Millisecond)
+}
+
+// EvictOne implements Evictor: pick the policy's best candidate among
+// running backends on the device and swap it out.
+func (ct *Controller) EvictOne(ctx context.Context, gpuID int, exclude map[string]bool) (int64, bool) {
+	ct.evictSerial.Lock()
+	defer ct.evictSerial.Unlock()
+
+	cand, ok := ct.selectCandidate(gpuID, exclude)
+	if !ok {
+		return 0, false
+	}
+	ct.mu.Lock()
+	b := ct.backends[cand.Name]
+	ct.mu.Unlock()
+	if b == nil {
+		return 0, false
+	}
+	if err := ct.SwapOut(ctx, b); err != nil {
+		return 0, false
+	}
+	return cand.FreeableBytes, true
+}
+
+// selectCandidate builds the candidate list for a device and applies the
+// policy.
+func (ct *Controller) selectCandidate(gpuID int, exclude map[string]bool) (Candidate, bool) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	var cands []Candidate
+	for name, b := range ct.backends {
+		if exclude[name] || b.State() != BackendRunning {
+			continue
+		}
+		if !backendOnGPU(b, gpuID) {
+			continue
+		}
+		cands = append(cands, Candidate{
+			Name: name,
+			// Queued plus dequeued/in-flight requests: all represent
+			// ongoing user interactions a preemption would disrupt (§3.5).
+			QueueLen:          b.QueueLen() + int(b.Pending()),
+			LastAccessedNanos: b.lastAccessed.Load(),
+			FreeableBytes:     b.ctr.Engine().GPUBytes(),
+		})
+	}
+	return ct.policy.Select(cands)
+}
+
+// backendOnGPU reports whether the backend occupies the given device.
+func backendOnGPU(b *Backend, gpuID int) bool {
+	for _, id := range b.gpus {
+		if id == gpuID {
+			return true
+		}
+	}
+	return false
+}
+
+// errBackendFailed marks permanently failed backends.
+var errBackendFailed = errors.New("core: backend failed to initialize")

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+)
+
+// Candidate summarizes one running backend for the preemption policy.
+type Candidate struct {
+	// Name identifies the backend.
+	Name string
+	// QueueLen is the backend's pending-request count: tier one of the
+	// demand-aware metric — backends with shorter queues are less likely
+	// to disrupt ongoing interactions (§3.5).
+	QueueLen int
+	// LastAccessedNanos is the most recent request arrival: tier two, the
+	// LRU tie-breaker.
+	LastAccessedNanos int64
+	// FreeableBytes is the GPU memory a swap-out would reclaim.
+	FreeableBytes int64
+}
+
+// PreemptionPolicy orders candidates for eviction.
+type PreemptionPolicy interface {
+	// Select returns the best eviction candidate, or false when the list
+	// is empty.
+	Select(cands []Candidate) (Candidate, bool)
+	// Name identifies the policy in metrics and ablation output.
+	Name() string
+}
+
+// DemandAwarePolicy is the paper's two-tier hybrid policy (§3.5): prefer
+// the backend with the shortest request queue; break ties by oldest
+// last-accessed time (LRU).
+type DemandAwarePolicy struct{}
+
+// Name implements PreemptionPolicy.
+func (DemandAwarePolicy) Name() string { return "demand-aware" }
+
+// Select implements PreemptionPolicy.
+func (DemandAwarePolicy) Select(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.QueueLen < best.QueueLen ||
+			(c.QueueLen == best.QueueLen && c.LastAccessedNanos < best.LastAccessedNanos) {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// LRUPolicy ignores demand and evicts the least recently used backend —
+// Ollama's scheduler behaviour (§2.3), used as an ablation baseline.
+type LRUPolicy struct{}
+
+// Name implements PreemptionPolicy.
+func (LRUPolicy) Name() string { return "lru" }
+
+// Select implements PreemptionPolicy.
+func (LRUPolicy) Select(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.LastAccessedNanos < best.LastAccessedNanos {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// LargestFirstPolicy evicts the backend holding the most GPU memory —
+// frees capacity fastest but ignores demand entirely; ablation baseline.
+type LargestFirstPolicy struct{}
+
+// Name implements PreemptionPolicy.
+func (LargestFirstPolicy) Name() string { return "largest-first" }
+
+// Select implements PreemptionPolicy.
+func (LargestFirstPolicy) Select(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.FreeableBytes > best.FreeableBytes {
+			best = c
+		}
+	}
+	return best, true
+}
+
+// RoundRobinPolicy evicts candidates in name order regardless of demand;
+// the naive baseline for the ablation study.
+type RoundRobinPolicy struct {
+	next int
+}
+
+// Name implements PreemptionPolicy.
+func (*RoundRobinPolicy) Name() string { return "round-robin" }
+
+// Select implements PreemptionPolicy.
+func (p *RoundRobinPolicy) Select(cands []Candidate) (Candidate, bool) {
+	if len(cands) == 0 {
+		return Candidate{}, false
+	}
+	sorted := append([]Candidate(nil), cands...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	c := sorted[p.next%len(sorted)]
+	p.next++
+	return c, true
+}
+
+// PolicyByName resolves a policy name for configuration and the ablation
+// harness.
+func PolicyByName(name string) (PreemptionPolicy, bool) {
+	switch name {
+	case "", "demand-aware":
+		return DemandAwarePolicy{}, true
+	case "lru":
+		return LRUPolicy{}, true
+	case "largest-first":
+		return LargestFirstPolicy{}, true
+	case "round-robin":
+		return &RoundRobinPolicy{}, true
+	}
+	return nil, false
+}

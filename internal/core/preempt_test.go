@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDemandAwareSelectsShortestQueue(t *testing.T) {
+	p := DemandAwarePolicy{}
+	cands := []Candidate{
+		{Name: "busy", QueueLen: 5, LastAccessedNanos: 100},
+		{Name: "idle", QueueLen: 0, LastAccessedNanos: 900},
+		{Name: "medium", QueueLen: 2, LastAccessedNanos: 50},
+	}
+	got, ok := p.Select(cands)
+	if !ok || got.Name != "idle" {
+		t.Fatalf("Select = %+v, %v; want idle", got, ok)
+	}
+}
+
+func TestDemandAwareLRUTieBreak(t *testing.T) {
+	p := DemandAwarePolicy{}
+	cands := []Candidate{
+		{Name: "recent", QueueLen: 1, LastAccessedNanos: 900},
+		{Name: "stale", QueueLen: 1, LastAccessedNanos: 100},
+		{Name: "mid", QueueLen: 1, LastAccessedNanos: 500},
+	}
+	got, ok := p.Select(cands)
+	if !ok || got.Name != "stale" {
+		t.Fatalf("Select = %+v; want stale (oldest last-accessed)", got)
+	}
+}
+
+func TestDemandAwareEmpty(t *testing.T) {
+	if _, ok := (DemandAwarePolicy{}).Select(nil); ok {
+		t.Fatal("Select on empty returned a candidate")
+	}
+}
+
+// Property: the demand-aware selection is minimal under the two-tier
+// ordering — no other candidate has a strictly shorter queue, and among
+// equal queues none is older.
+func TestDemandAwareMinimalProperty(t *testing.T) {
+	p := DemandAwarePolicy{}
+	f := func(queues []uint8, stamps []int64) bool {
+		n := len(queues)
+		if len(stamps) < n {
+			n = len(stamps)
+		}
+		if n == 0 {
+			return true
+		}
+		cands := make([]Candidate, n)
+		for i := 0; i < n; i++ {
+			cands[i] = Candidate{
+				Name:              string(rune('a' + i%26)),
+				QueueLen:          int(queues[i]),
+				LastAccessedNanos: stamps[i],
+			}
+		}
+		best, ok := p.Select(cands)
+		if !ok {
+			return false
+		}
+		for _, c := range cands {
+			if c.QueueLen < best.QueueLen {
+				return false
+			}
+			if c.QueueLen == best.QueueLen && c.LastAccessedNanos < best.LastAccessedNanos {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLRUPolicy(t *testing.T) {
+	p := LRUPolicy{}
+	cands := []Candidate{
+		{Name: "hot", QueueLen: 0, LastAccessedNanos: 900},
+		{Name: "cold", QueueLen: 9, LastAccessedNanos: 100},
+	}
+	// Pure LRU ignores queue length: picks "cold" even though it has the
+	// longer queue — exactly the behaviour the demand-aware policy fixes.
+	got, ok := p.Select(cands)
+	if !ok || got.Name != "cold" {
+		t.Fatalf("Select = %+v; want cold", got)
+	}
+	if _, ok := p.Select(nil); ok {
+		t.Fatal("empty select returned candidate")
+	}
+}
+
+func TestLargestFirstPolicy(t *testing.T) {
+	p := LargestFirstPolicy{}
+	cands := []Candidate{
+		{Name: "small", FreeableBytes: 4 * gib},
+		{Name: "large", FreeableBytes: 70 * gib},
+		{Name: "mid", FreeableBytes: 20 * gib},
+	}
+	got, ok := p.Select(cands)
+	if !ok || got.Name != "large" {
+		t.Fatalf("Select = %+v; want large", got)
+	}
+	if _, ok := p.Select(nil); ok {
+		t.Fatal("empty select returned candidate")
+	}
+}
+
+func TestRoundRobinPolicyCycles(t *testing.T) {
+	p := &RoundRobinPolicy{}
+	cands := []Candidate{{Name: "b"}, {Name: "a"}, {Name: "c"}}
+	var picks []string
+	for i := 0; i < 3; i++ {
+		got, ok := p.Select(cands)
+		if !ok {
+			t.Fatal("select failed")
+		}
+		picks = append(picks, got.Name)
+	}
+	if picks[0] != "a" || picks[1] != "b" || picks[2] != "c" {
+		t.Fatalf("round-robin order = %v", picks)
+	}
+	if _, ok := p.Select(nil); ok {
+		t.Fatal("empty select returned candidate")
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for _, name := range []string{"", "demand-aware", "lru", "largest-first", "round-robin"} {
+		p, ok := PolicyByName(name)
+		if !ok || p == nil {
+			t.Errorf("PolicyByName(%q) failed", name)
+		}
+	}
+	if _, ok := PolicyByName("random-forest"); ok {
+		t.Fatal("unknown policy resolved")
+	}
+}
+
+func TestBackendStateStrings(t *testing.T) {
+	for s, want := range map[BackendState]string{
+		BackendInitializing: "initializing",
+		BackendRunning:      "running",
+		BackendSwappedOut:   "swapped-out",
+		BackendSwapping:     "swapping",
+		BackendFailed:       "failed",
+	} {
+		if s.String() != want {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), want)
+		}
+	}
+}

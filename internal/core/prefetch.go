@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Prefetcher is the predictive half of the autoscaling pair (§2.1): the
+// reaper frees memory behind idle backends, and the prefetcher swaps
+// backends in ahead of predicted demand. It tracks an EWMA of each
+// backend's inter-arrival time and triggers a proactive swap-in when the
+// next request is expected within the backend's estimated swap-in
+// latency — hiding the restore cost off the critical path when traffic
+// is periodic.
+type prefetcher struct {
+	s        *Server
+	interval time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newPrefetcher builds a prefetcher sweeping every interval of simulated
+// time.
+func newPrefetcher(s *Server, interval time.Duration) *prefetcher {
+	return &prefetcher{
+		s:        s,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// run is the prefetch loop; terminate with halt.
+func (p *prefetcher) run() {
+	defer close(p.done)
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-p.s.clock.After(p.interval):
+		}
+		p.sweep()
+	}
+}
+
+// sweep triggers proactive swap-ins for backends predicted to receive a
+// request before a reactive swap-in could finish.
+func (p *prefetcher) sweep() {
+	now := p.s.clock.Now()
+	for _, b := range p.s.Backends() {
+		if b.State() != BackendSwappedOut {
+			continue
+		}
+		ewma := time.Duration(b.ewmaInterArrival.Load())
+		if ewma <= 0 {
+			continue // fewer than two observed arrivals
+		}
+		// Estimated restore cost for this backend's saved state.
+		est := p.s.testbed.CheckpointRestore(b.RequiredBytes(), b.model.WeightBytes(), b.engine)
+		predicted := b.LastAccessed().Add(ewma)
+		// Prefetch when the predicted arrival falls within the swap-in
+		// window (or is already overdue by less than one period — bursty
+		// traffic often returns shortly after the EWMA point).
+		if predicted.Sub(now) <= est && now.Sub(predicted) < ewma {
+			go func(b *Backend) {
+				if err := p.s.sched.EnsureRunning(context.Background(), b); err == nil {
+					p.s.reg.Counter("prefetch_swap_ins").Inc()
+				}
+			}(b)
+		}
+	}
+}
+
+// halt stops the prefetcher and waits for the loop to exit.
+func (p *prefetcher) halt() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	<-p.done
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// reaper is the keep-alive idle reclaimer: backends that have served no
+// request for the configured window are proactively swapped out, freeing
+// GPU memory before demand forces a preemption. This generalizes
+// Ollama's keep_alive behaviour (§2.3) to every engine.
+type reaper struct {
+	s         *Server
+	keepAlive time.Duration
+	interval  time.Duration
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newReaper builds a reaper that checks every interval of simulated time
+// and evicts backends idle for longer than keepAlive.
+func newReaper(s *Server, keepAlive, interval time.Duration) *reaper {
+	return &reaper{
+		s:         s,
+		keepAlive: keepAlive,
+		interval:  interval,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+// run is the reaper loop; terminate with halt.
+func (r *reaper) run() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-r.s.clock.After(r.interval):
+		}
+		r.sweep()
+	}
+}
+
+// sweep swaps out every running backend whose idle time exceeds the
+// keep-alive window and which has no queued or in-flight work.
+func (r *reaper) sweep() {
+	now := r.s.clock.Now()
+	for _, b := range r.s.Backends() {
+		if b.State() != BackendRunning || b.keepWarm {
+			continue
+		}
+		if b.QueueLen() > 0 || b.Pending() > 0 || b.Active() > 0 {
+			continue
+		}
+		// Idle time runs from the latest of: the last request arrival,
+		// the moment the backend last became servable, and the last
+		// completed request.
+		idleSince := b.LastAccessed()
+		for _, ns := range []int64{b.lastReady.Load(), b.lastFinished.Load()} {
+			if at := time.Unix(0, ns); at.After(idleSince) {
+				idleSince = at
+			}
+		}
+		if now.Sub(idleSince) < r.keepAlive {
+			continue
+		}
+		// Best effort: a losing race with an arriving request just means
+		// the swap-out fails its state check or the next request swaps
+		// the backend back in.
+		if err := r.s.ctrl.SwapOut(context.Background(), b); err == nil {
+			r.s.reg.Counter("idle_reaps").Inc()
+		}
+	}
+}
+
+// halt stops the reaper and waits for the loop to exit.
+func (r *reaper) halt() {
+	r.stopOnce.Do(func() { close(r.stop) })
+	<-r.done
+}

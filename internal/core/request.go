@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+// forwardResult carries the backend's response (or failure) to the router
+// goroutine holding the client connection.
+type forwardResult struct {
+	resp *http.Response
+	err  error
+}
+
+// queuedRequest is the unit the request handler enqueues (§3.1 ②): the
+// inference request, its response channel, and metadata.
+type queuedRequest struct {
+	// ctx is the client request context; cancellation abandons the work.
+	ctx context.Context
+	// path is the engine API path the request targets
+	// (/v1/chat/completions or /v1/completions).
+	path string
+	// body is the re-serialized OpenAI request forwarded to the engine.
+	body []byte
+	// arrivedAt is the arrival timestamp (simulated time).
+	arrivedAt time.Time
+	// result delivers exactly one forwardResult.
+	result chan forwardResult
+	// done is closed by the router when the response has been fully
+	// relayed to the client, ending the request's in-flight accounting.
+	done chan struct{}
+}
+
+// newQueuedRequest builds a queued request.
+func newQueuedRequest(ctx context.Context, path string, body []byte, now time.Time) *queuedRequest {
+	return &queuedRequest{
+		ctx:       ctx,
+		path:      path,
+		body:      body,
+		arrivedAt: now,
+		result:    make(chan forwardResult, 1),
+		done:      make(chan struct{}),
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"swapservellm/internal/openai"
+)
+
+// router is the OpenAI API router of §3.1 ①: a proxy multiplexing
+// inference requests across models and engines. It validates payloads,
+// resolves the backend, and enqueues requests for the model workers,
+// relaying responses (including SSE streams) back to clients.
+type router struct {
+	s *Server
+}
+
+// handler builds the router's http.Handler.
+func (rt *router) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", rt.auth(rt.proxy("/v1/chat/completions", validateChat)))
+	mux.HandleFunc("/v1/completions", rt.auth(rt.proxy("/v1/completions", validateCompletion)))
+	mux.HandleFunc("/v1/models", rt.auth(rt.listModels))
+	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/admin/status", rt.auth(rt.adminStatus))
+	mux.HandleFunc("/admin/swap-in", rt.auth(rt.adminSwap(true)))
+	mux.HandleFunc("/admin/swap-out", rt.auth(rt.adminSwap(false)))
+	mux.HandleFunc("/metrics", rt.auth(rt.metricsCSV))
+	return mux
+}
+
+// auth enforces the optional bearer token.
+func (rt *router) auth(next http.HandlerFunc) http.HandlerFunc {
+	token := rt.s.cfg.Global.AuthToken
+	if token == "" {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if got != token {
+			openai.WriteError(w, http.StatusUnauthorized, "invalid_api_key", "invalid or missing API key")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// maxBodyBytes bounds request payloads (1 MiB covers any chat request).
+const maxBodyBytes = 1 << 20
+
+// validateChat checks a chat-completions payload and extracts the model.
+func validateChat(body []byte) (string, error) {
+	var req openai.ChatCompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	return req.Model, nil
+}
+
+// validateCompletion checks a legacy completions payload and extracts the
+// model.
+func validateCompletion(body []byte) (string, error) {
+	var req openai.CompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	return req.Model, nil
+}
+
+// proxy accepts an inference request on path, queues it for the model's
+// worker, and relays the backend's response.
+func (rt *router) proxy(path string, validate func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.serveProxy(w, r, path, validate)
+	}
+}
+
+func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string, validate func([]byte) (string, error)) {
+	if r.Method != http.MethodPost {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "reading body: "+err.Error())
+		return
+	}
+	model, err := validate(body)
+	if err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+
+	b, ok := rt.s.Backend(model)
+	if !ok {
+		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
+			fmt.Sprintf("model %q is not configured", model))
+		return
+	}
+	if b.State() == BackendFailed {
+		openai.WriteError(w, http.StatusServiceUnavailable, "backend_failed",
+			fmt.Sprintf("backend for %q failed to initialize", model))
+		return
+	}
+
+	now := rt.s.clock.Now()
+	b.touch(now)
+	rt.s.reg.Counter("requests_total").Inc()
+	rt.s.reg.Counter("requests_" + b.name).Inc()
+
+	ctx := r.Context()
+	if timeout := rt.s.cfg.ResponseTimeout(); timeout > 0 {
+		// The response timeout is expressed in simulated seconds; convert
+		// to wall time via the clock scale for the context deadline.
+		wall := rt.s.toWall(timeout)
+		var cancel func()
+		ctx, cancel = contextWithTimeout(ctx, wall)
+		defer cancel()
+	}
+
+	item := newQueuedRequest(ctx, path, body, now)
+	defer close(item.done)
+
+	// Queue-capacity check (§3.3 ②).
+	select {
+	case b.queue <- item:
+	default:
+		rt.s.reg.Counter("rejected_queue_full").Inc()
+		openai.WriteError(w, http.StatusTooManyRequests, "queue_full",
+			fmt.Sprintf("request queue for %q is full", model))
+		return
+	}
+
+	select {
+	case <-ctx.Done():
+		openai.WriteError(w, http.StatusGatewayTimeout, "timeout", "request timed out or was cancelled")
+		return
+	case res := <-item.result:
+		if res.err != nil {
+			rt.s.reg.Counter("forward_errors").Inc()
+			openai.WriteError(w, http.StatusBadGateway, "backend_error", res.err.Error())
+			return
+		}
+		defer res.resp.Body.Close()
+		relayResponse(w, res.resp)
+		rt.s.reg.Histogram("request_latency").Observe(rt.s.clock.Since(now))
+	}
+}
+
+// relayResponse streams the backend response (headers, status, body) to
+// the client, flushing as data arrives so SSE streams stay real-time.
+func relayResponse(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// listModels reports every configured model.
+func (rt *router) listModels(w http.ResponseWriter, r *http.Request) {
+	list := openai.ModelList{Object: "list"}
+	for _, b := range rt.s.Backends() {
+		list.Data = append(list.Data, openai.ModelInfo{
+			ID:      b.name,
+			Object:  "model",
+			Created: rt.s.clock.Now().Unix(),
+			OwnedBy: string(b.engine),
+		})
+	}
+	openai.WriteJSON(w, http.StatusOK, list)
+}
+
+// adminStatus reports backend and GPU state.
+func (rt *router) adminStatus(w http.ResponseWriter, r *http.Request) {
+	type gpuStatus struct {
+		ID          int     `json:"id"`
+		UsedGiB     float64 `json:"used_gib"`
+		TotalGiB    float64 `json:"total_gib"`
+		Utilization float64 `json:"utilization"`
+	}
+	var out struct {
+		Backends []BackendStatus `json:"backends"`
+		GPUs     []gpuStatus     `json:"gpus"`
+	}
+	for _, b := range rt.s.Backends() {
+		out.Backends = append(out.Backends, b.Status())
+	}
+	for _, st := range rt.s.tm.Monitor().Sample() {
+		out.GPUs = append(out.GPUs, gpuStatus{
+			ID:          st.ID,
+			UsedGiB:     float64(st.UsedBytes) / (1 << 30),
+			TotalGiB:    float64(st.TotalBytes) / (1 << 30),
+			Utilization: st.Utilization,
+		})
+	}
+	openai.WriteJSON(w, http.StatusOK, out)
+}
+
+// adminSwap triggers an explicit swap-in or swap-out (§4.2: models swap
+// in "with either explicit API calls or incoming inference requests").
+func (rt *router) adminSwap(in bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+			return
+		}
+		name := r.URL.Query().Get("model")
+		b, ok := rt.s.Backend(name)
+		if !ok {
+			openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
+				fmt.Sprintf("model %q is not configured", name))
+			return
+		}
+		var err error
+		if in {
+			err = rt.s.sched.EnsureRunning(r.Context(), b)
+		} else {
+			err = rt.s.ctrl.SwapOut(r.Context(), b)
+		}
+		if err != nil {
+			openai.WriteError(w, http.StatusConflict, "swap_failed", err.Error())
+			return
+		}
+		openai.WriteJSON(w, http.StatusOK, b.Status())
+	}
+}
+
+// metricsCSV dumps the metrics registry.
+func (rt *router) metricsCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	rt.s.reg.WriteCSV(w)
+}

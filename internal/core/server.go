@@ -1,0 +1,426 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"swapservellm/internal/cgroup"
+	"swapservellm/internal/config"
+	"swapservellm/internal/container"
+	"swapservellm/internal/cudackpt"
+	"swapservellm/internal/engine"
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/models"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+	"swapservellm/internal/storage"
+)
+
+// Options carries optional overrides for Server construction; zero values
+// select defaults.
+type Options struct {
+	// Clock overrides the simulation clock (default: a Scaled clock at
+	// simclock.DefaultScale starting now).
+	Clock simclock.Clock
+	// Registry collects metrics (default: a fresh registry).
+	Registry *metrics.Registry
+	// Policy overrides the preemption policy (default: demand-aware).
+	Policy PreemptionPolicy
+	// GPUCount overrides the topology size (default: large enough for the
+	// highest configured GPU index, at least the testbed's count).
+	GPUCount int
+	// HostSnapshotCapBytes bounds host memory for checkpoint images
+	// (default: the config's snapshot_host_cap_gib; 0 = unlimited).
+	HostSnapshotCapBytes int64
+	// SpillToDisk spills LRU checkpoint images to disk under host-memory
+	// pressure (default: the config's snapshot_spill).
+	SpillToDisk bool
+}
+
+// Server is the assembled SwapServeLLM deployment: substrates, backends,
+// task manager, scheduler, controller, workers, and the API router.
+type Server struct {
+	cfg     config.Config
+	clock   simclock.Clock
+	testbed perfmodel.Testbed
+	reg     *metrics.Registry
+
+	topo    *gpu.Topology
+	freezer *cgroup.Freezer
+	driver  *cudackpt.Driver
+	rt      *container.Runtime
+	store   *storage.ModelStore
+
+	tm    *TaskManager
+	ctrl  *Controller
+	sched *Scheduler
+
+	mu        sync.Mutex
+	backends  map[string]*Backend // the model-name index of §3.2
+	workers   []*worker
+	reap      *reaper
+	prefetch  *prefetcher
+	gpumon    *gpuMonitorLoop
+	initCache *engine.InitCache
+
+	httpServer *http.Server
+	listener   net.Listener
+	started    bool
+}
+
+// New validates the configuration and assembles a server. Call Start to
+// initialize backends and begin serving.
+func New(cfg config.Config, opts Options) (*Server, error) {
+	if err := cfg.Validate(models.Default()); err != nil {
+		return nil, err
+	}
+	tb, _ := perfmodel.TestbedByName(cfg.Testbed)
+
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.NewScaled(time.Now(), simclock.DefaultScale)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+
+	gpuCount := opts.GPUCount
+	for _, m := range cfg.Models {
+		for _, id := range m.GPUs {
+			if id+1 > gpuCount {
+				gpuCount = id + 1
+			}
+		}
+	}
+	if gpuCount < tb.GPUCount {
+		gpuCount = tb.GPUCount
+	}
+
+	topo := gpu.NewTopology(tb.GPU, gpuCount, tb.GPUMemBytes)
+	freezer := cgroup.NewFreezer()
+	hostCap := opts.HostSnapshotCapBytes
+	if hostCap == 0 && cfg.Global.SnapshotHostCapGiB > 0 {
+		hostCap = int64(cfg.Global.SnapshotHostCapGiB * float64(int64(1)<<30))
+	}
+	driver := cudackpt.NewDriver(clock, tb, hostCap)
+	if opts.SpillToDisk || cfg.Global.SnapshotSpill {
+		driver.EnableSpill()
+	}
+	rt := container.NewRuntime(clock, tb, freezer, driver)
+	store := storage.NewModelStore(clock, tb)
+
+	tm := NewTaskManager(clock, topo)
+	ctrl := NewController(clock, tb, rt, tm, opts.Policy, reg)
+	tm.SetEvictor(ctrl)
+	sched := NewScheduler(clock, tm, ctrl, reg)
+
+	s := &Server{
+		cfg:      cfg,
+		clock:    clock,
+		testbed:  tb,
+		reg:      reg,
+		topo:     topo,
+		freezer:  freezer,
+		driver:   driver,
+		rt:       rt,
+		store:    store,
+		tm:       tm,
+		ctrl:     ctrl,
+		sched:    sched,
+		backends: make(map[string]*Backend),
+	}
+	if cfg.Global.CompileCache {
+		s.initCache = engine.NewInitCache()
+	}
+	return s, nil
+}
+
+// Clock returns the server's simulation clock.
+func (s *Server) Clock() simclock.Clock { return s.clock }
+
+// Registry returns the metrics registry.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Testbed returns the hardware profile.
+func (s *Server) Testbed() perfmodel.Testbed { return s.testbed }
+
+// TaskManager exposes the task manager (for tests and tools).
+func (s *Server) TaskManager() *TaskManager { return s.tm }
+
+// Controller exposes the engine controller (for tests and tools).
+func (s *Server) Controller() *Controller { return s.ctrl }
+
+// Scheduler exposes the scheduler (for tests and tools).
+func (s *Server) Scheduler() *Scheduler { return s.sched }
+
+// Topology exposes the GPU topology.
+func (s *Server) Topology() *gpu.Topology { return s.topo }
+
+// Driver exposes the GPU checkpoint driver (for tests and tools).
+func (s *Server) Driver() *cudackpt.Driver { return s.driver }
+
+// Backend returns the backend serving the named model.
+func (s *Server) Backend(model string) (*Backend, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.backends[model]
+	return b, ok
+}
+
+// Backends returns all backends sorted by name.
+func (s *Server) Backends() []*Backend {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.backends))
+	for n := range s.backends {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]*Backend, len(names))
+	for i, n := range names {
+		out[i] = s.backends[n]
+	}
+	return out
+}
+
+// Start runs the initialization sequence of §3.2: stage weights, create
+// and run one container per configured model, wait for engine
+// initialization, snapshot the GPU state, and leave each backend paused
+// (unless keep-warm). Then the request handler and router begin serving.
+func (s *Server) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("core: server already started")
+	}
+	s.started = true
+	s.mu.Unlock()
+
+	catalog := models.Default()
+
+	// Stage model weights into the configured tiers (the model-pull step).
+	for _, mc := range s.cfg.Models {
+		m := catalog.MustLookup(mc.Name)
+		if err := engine.StageWeights(s.store, perfmodel.StorageTier(mc.StorageTier), m); err != nil {
+			return fmt.Errorf("core: staging weights for %s: %w", mc.Name, err)
+		}
+	}
+
+	// Initialize backends sequentially: engines like vLLM claim most of
+	// the device during initialization, so concurrent cold starts would
+	// spuriously OOM. Each backend is snapshotted and paused before the
+	// next begins.
+	for i := range s.cfg.Models {
+		if err := s.initBackend(ctx, &s.cfg.Models[i]); err != nil {
+			return fmt.Errorf("core: initializing %s: %w", s.cfg.Models[i].Name, err)
+		}
+	}
+
+	// Start the idle reaper when keep-alive is configured.
+	if ka := s.cfg.KeepAlive(); ka > 0 {
+		interval := ka / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		s.reap = newReaper(s, ka, interval)
+		go s.reap.run()
+	}
+
+	// Start the predictive prefetcher when configured.
+	if s.cfg.Global.Prefetch {
+		s.prefetch = newPrefetcher(s, 250*time.Millisecond)
+		go s.prefetch.run()
+	}
+
+	// Start the continuous GPU monitor when configured (§3.2).
+	if sec := s.cfg.Global.GPUMonitorSec; sec > 0 {
+		s.gpumon = newGPUMonitorLoop(s, time.Duration(sec*float64(time.Second)))
+		go s.gpumon.run()
+	}
+
+	// Start the router.
+	ln, err := net.Listen("tcp", s.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("core: listening on %s: %w", s.cfg.Listen, err)
+	}
+	s.listener = ln
+	s.httpServer = &http.Server{Handler: (&router{s: s}).handler()}
+	go s.httpServer.Serve(ln)
+	return nil
+}
+
+// initBackend creates, starts, initializes, and (by default) snapshots
+// one backend.
+func (s *Server) initBackend(ctx context.Context, mc *config.Model) error {
+	catalog := models.Default()
+	m := catalog.MustLookup(mc.Name)
+	kind := perfmodel.EngineKind(mc.Engine)
+	gpus := normalizeGPUs(mc.GPUs)
+	devices := make([]*gpu.Device, len(gpus))
+	for i, id := range gpus {
+		dev, err := s.topo.Device(id)
+		if err != nil {
+			return err
+		}
+		devices[i] = dev
+	}
+
+	spec := container.Spec{
+		Name:  sanitizeName(mc.Name),
+		Image: mc.Image,
+		Engine: func(owner string) (engine.Engine, error) {
+			return engine.New(kind, engine.Config{
+				Owner:                owner,
+				Model:                m,
+				Testbed:              s.testbed,
+				Clock:                s.clock,
+				Devices:              devices,
+				Store:                s.store,
+				Tier:                 perfmodel.StorageTier(mc.StorageTier),
+				GPUMemoryUtilization: mc.GPUMemoryUtilization,
+				InitCache:            s.initCache,
+			})
+		},
+	}
+	ctr, err := s.rt.Create(spec)
+	if err != nil {
+		return err
+	}
+
+	b := &Backend{
+		name:         mc.Name,
+		model:        m,
+		engine:       kind,
+		gpus:         gpus,
+		ctr:          ctr,
+		queue:        make(chan *queuedRequest, mc.QueueCapacity),
+		useSleepMode: s.cfg.Global.UseSleepMode,
+		keepWarm:     mc.KeepWarm,
+	}
+	b.setState(BackendInitializing)
+	b.touch(s.clock.Now())
+
+	s.mu.Lock()
+	s.backends[mc.Name] = b
+	s.mu.Unlock()
+	s.ctrl.RegisterBackend(b)
+
+	if err := s.rt.Start(ctx, ctr); err != nil {
+		b.setState(BackendFailed)
+		return err
+	}
+	initCtx := ctx
+	if t := mc.InitTimeout(); t > 0 {
+		var cancel func()
+		initCtx, cancel = contextWithTimeout(ctx, s.toWall(t))
+		defer cancel()
+	}
+	if err := ctr.WaitReady(initCtx); err != nil {
+		b.setState(BackendFailed)
+		return err
+	}
+	b.setState(BackendRunning)
+	b.lastReady.Store(s.clock.Now().UnixNano())
+	b.requiredBytes.Store(ctr.Engine().GPUBytes())
+
+	// Snapshot immediately after initialization and leave the container
+	// paused (§3.2), unless the deployment keeps this model warm.
+	if !b.keepWarm {
+		if err := s.ctrl.SwapOut(ctx, b); err != nil {
+			b.setState(BackendFailed)
+			return err
+		}
+	}
+
+	// Start the model worker.
+	w := newWorker(b, s.sched, s.clock, s.reg)
+	s.mu.Lock()
+	s.workers = append(s.workers, w)
+	s.mu.Unlock()
+	go w.run()
+	return nil
+}
+
+// Addr returns the router's listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// URL returns the router's base URL.
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Handler returns the router handler (usable without a listener).
+func (s *Server) Handler() http.Handler { return (&router{s: s}).handler() }
+
+// Shutdown stops the router, the reaper, the workers, and every
+// container.
+func (s *Server) Shutdown() {
+	if s.httpServer != nil {
+		s.httpServer.Close()
+	}
+	if s.reap != nil {
+		s.reap.halt()
+	}
+	if s.prefetch != nil {
+		s.prefetch.halt()
+	}
+	if s.gpumon != nil {
+		s.gpumon.halt()
+	}
+	s.mu.Lock()
+	workers := s.workers
+	s.workers = nil
+	s.mu.Unlock()
+	for _, w := range workers {
+		close(w.stop)
+	}
+	s.rt.Shutdown()
+}
+
+// toWall converts a simulated duration to wall time using the clock's
+// scale (identity for unscaled clocks).
+func (s *Server) toWall(d time.Duration) time.Duration {
+	if sc, ok := s.clock.(*simclock.Scaled); ok {
+		return time.Duration(float64(d) / sc.Scale())
+	}
+	return d
+}
+
+// contextWithTimeout is context.WithTimeout, indirected for clarity at
+// call sites that mix simulated and wall durations.
+func contextWithTimeout(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(parent, d)
+}
+
+// sanitizeName converts a model name into a container-safe name.
+func sanitizeName(model string) string {
+	out := make([]rune, 0, len(model))
+	for _, r := range model {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			out = append(out, r)
+		default:
+			out = append(out, '-')
+		}
+	}
+	return string(out)
+}
+
+// sortStrings is a tiny local sort to avoid importing sort twice across
+// files (kept for readability).
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/simclock"
+)
+
+// worker is the per-model worker of §3.1 ③: it polls the backend's queue,
+// coordinates swap-ins with the scheduler when the backend is not
+// running, and forwards requests to the inference engine, relaying
+// responses to the client without extra processing (§3.3 ⑩).
+type worker struct {
+	b     *Backend
+	sched *Scheduler
+	clock simclock.Clock
+	reg   *metrics.Registry
+
+	client *http.Client
+	stop   chan struct{}
+}
+
+// newWorker builds a worker for b.
+func newWorker(b *Backend, sched *Scheduler, clock simclock.Clock, reg *metrics.Registry) *worker {
+	return &worker{
+		b:      b,
+		sched:  sched,
+		clock:  clock,
+		reg:    reg,
+		client: &http.Client{},
+		stop:   make(chan struct{}),
+	}
+}
+
+// run is the worker loop; terminate with close(w.stop).
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case item := <-w.b.queue:
+			w.b.pending.Add(1)
+			// Verify the client is still connected before doing any work
+			// (§4.1: cancellations and timeouts are handled here).
+			if item.ctx.Err() != nil {
+				item.result <- forwardResult{err: item.ctx.Err()}
+				w.b.pending.Add(-1)
+				continue
+			}
+			if w.b.State() != BackendRunning {
+				if err := w.sched.EnsureRunning(item.ctx, w.b); err != nil {
+					item.result <- forwardResult{err: err}
+					w.b.pending.Add(-1)
+					continue
+				}
+			}
+			// Forward concurrently so the worker keeps draining the queue
+			// while long generations stream.
+			go w.forward(item)
+		}
+	}
+}
+
+// forward sends the request to the engine and hands the live response to
+// the router goroutine. The read side of the eviction lock guarantees the
+// backend cannot be swapped out between the running-state check and the
+// in-flight accounting (§3.5).
+func (w *worker) forward(item *queuedRequest) {
+	defer w.b.pending.Add(-1)
+	const maxAttempts = 3
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		w.b.evictMu.RLock()
+		if w.b.State() != BackendRunning {
+			w.b.evictMu.RUnlock()
+			// The backend was preempted between dequeue and forward;
+			// swap it back in and retry.
+			if err := w.sched.EnsureRunning(item.ctx, w.b); err != nil {
+				item.result <- forwardResult{err: err}
+				return
+			}
+			continue
+		}
+		w.b.active.Add(1)
+		w.b.evictMu.RUnlock()
+
+		w.relay(item)
+		w.b.active.Add(-1)
+		w.b.lastFinished.Store(w.clock.Now().UnixNano())
+		return
+	}
+	item.result <- forwardResult{err: fmt.Errorf("core: backend %s kept being preempted", w.b.name)}
+}
+
+// relay performs the engine HTTP call and keeps the in-flight accounting
+// alive until the router finishes streaming the response to the client.
+func (w *worker) relay(item *queuedRequest) {
+	url := w.b.ctr.BaseURL() + item.path
+	req, err := http.NewRequestWithContext(item.ctx, http.MethodPost, url, bytes.NewReader(item.body))
+	if err != nil {
+		item.result <- forwardResult{err: err}
+		return
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client.Do(req)
+	if err != nil {
+		item.result <- forwardResult{err: err}
+		return
+	}
+	item.result <- forwardResult{resp: resp}
+	// Remain "in flight" until the response body has been fully relayed,
+	// so eviction drains genuinely live streams.
+	select {
+	case <-item.done:
+	case <-item.ctx.Done():
+	}
+}
+
+// ensure context import is referenced in docs examples.
+var _ = context.Background

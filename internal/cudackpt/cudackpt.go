@@ -1,0 +1,383 @@
+// Package cudackpt simulates NVIDIA's transparent GPU checkpoint/restore
+// driver functionality (the cuda-checkpoint utility) that SwapServeLLM
+// relies on for engine-agnostic hot-swapping. A registered CUDA process
+// moves through the same state machine as the real driver:
+//
+//	Running --Lock--> Locked --Checkpoint--> Checkpointed
+//	Running <--Unlock-- Locked <--Restore-- Checkpointed
+//
+// Checkpoint copies the process's device allocations into a host-memory
+// image (freeing GPU capacity for other workloads); Restore re-allocates
+// device memory and copies the image back. Transfer times follow the
+// calibrated PCIe model in internal/perfmodel, enacted on the simulation
+// clock.
+package cudackpt
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// State is the checkpoint state of a registered CUDA process.
+type State int
+
+// Process states, mirroring cuda-checkpoint's lock/checkpoint protocol.
+const (
+	StateRunning State = iota
+	StateLocked
+	StateCheckpointed
+)
+
+// String returns the lowercase state name.
+func (s State) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StateLocked:
+		return "locked"
+	case StateCheckpointed:
+		return "checkpointed"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors returned by the driver.
+var (
+	ErrUnknownProcess = errors.New("cudackpt: unknown process")
+	ErrBadState       = errors.New("cudackpt: invalid state transition")
+	ErrHostMemory     = errors.New("cudackpt: host memory exhausted")
+	ErrAlreadyExists  = errors.New("cudackpt: process already registered")
+)
+
+// proc tracks one registered CUDA process (one entry covers every
+// tensor-parallel shard of the workload).
+type proc struct {
+	pid         string
+	devices     []*gpu.Device
+	engine      perfmodel.EngineKind
+	weightBytes int64
+	state       State
+	hostImage   int64   // total bytes held in the host image when checkpointed
+	shardBytes  []int64 // per-device bytes captured at checkpoint time
+	loc         ImageLocation
+	lastUsed    time.Time
+}
+
+// Driver simulates the per-node checkpoint driver. All methods are safe
+// for concurrent use; operations on distinct processes proceed in
+// parallel, while per-process transitions are serialized.
+type Driver struct {
+	clock   simclock.Clock
+	testbed perfmodel.Testbed
+
+	mu       sync.Mutex
+	procs    map[string]*proc
+	hostUsed int64
+	hostCap  int64 // 0 = unlimited
+	spill    bool  // spill LRU images to disk instead of failing on the cap
+	diskUsed int64
+	spills   int64
+	faults   map[FaultOp]int
+}
+
+// NewDriver creates a driver that times transfers against tb on clock.
+// hostCapBytes bounds the total host memory available for checkpoint
+// images (0 means unlimited).
+func NewDriver(clock simclock.Clock, tb perfmodel.Testbed, hostCapBytes int64) *Driver {
+	return &Driver{
+		clock:   clock,
+		testbed: tb,
+		procs:   make(map[string]*proc),
+		hostCap: hostCapBytes,
+	}
+}
+
+// Register adds a CUDA process whose device allocations are owned by pid
+// on device. weightBytes parameterizes the restore first-touch cost.
+func (d *Driver) Register(pid string, device *gpu.Device, engine perfmodel.EngineKind, weightBytes int64) error {
+	return d.RegisterSharded(pid, []*gpu.Device{device}, engine, weightBytes)
+}
+
+// RegisterSharded adds a tensor-parallel CUDA process spanning the given
+// devices; checkpoint and restore cover every shard.
+func (d *Driver) RegisterSharded(pid string, devices []*gpu.Device, engine perfmodel.EngineKind, weightBytes int64) error {
+	if len(devices) == 0 {
+		return fmt.Errorf("cudackpt: process %q needs at least one device", pid)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, dup := d.procs[pid]; dup {
+		return fmt.Errorf("%w: %q", ErrAlreadyExists, pid)
+	}
+	d.procs[pid] = &proc{
+		pid:         pid,
+		devices:     devices,
+		engine:      engine,
+		weightBytes: weightBytes,
+		state:       StateRunning,
+	}
+	return nil
+}
+
+// Unregister removes a process. A checkpointed process's host image is
+// released.
+func (d *Driver) Unregister(pid string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.procs[pid]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	if p.loc == LocDisk {
+		d.diskUsed -= p.hostImage
+	} else {
+		d.hostUsed -= p.hostImage
+	}
+	delete(d.procs, pid)
+	return nil
+}
+
+// State returns the current checkpoint state of pid.
+func (d *Driver) State(pid string) (State, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.procs[pid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	return p.state, nil
+}
+
+// ImageBytes returns the size of pid's host checkpoint image (zero unless
+// checkpointed).
+func (d *Driver) ImageBytes(pid string) (int64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.procs[pid]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	return p.hostImage, nil
+}
+
+// HostUsed returns the total host memory consumed by checkpoint images.
+func (d *Driver) HostUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hostUsed
+}
+
+// get fetches the proc or fails.
+func (d *Driver) get(pid string) (*proc, error) {
+	p, ok := d.procs[pid]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	return p, nil
+}
+
+// Lock quiesces a running process's CUDA activity (cuda-checkpoint
+// --action lock). It must be in the Running state.
+func (d *Driver) Lock(pid string) error {
+	d.mu.Lock()
+	p, err := d.get(pid)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if p.state != StateRunning {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: lock from %v", ErrBadState, p.state)
+	}
+	if err := d.takeFaultLocked(FaultLock); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	p.state = StateLocked
+	d.mu.Unlock()
+	d.clock.Sleep(d.testbed.CkptLock)
+	return nil
+}
+
+// Unlock resumes a locked process (cuda-checkpoint --action unlock).
+func (d *Driver) Unlock(pid string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, err := d.get(pid)
+	if err != nil {
+		return err
+	}
+	if p.state != StateLocked {
+		return fmt.Errorf("%w: unlock from %v", ErrBadState, p.state)
+	}
+	p.state = StateRunning
+	return nil
+}
+
+// Checkpoint copies a locked process's device state into a host image and
+// frees its GPU memory (cuda-checkpoint --action checkpoint). Returns the
+// image size.
+func (d *Driver) Checkpoint(pid string) (int64, error) {
+	d.mu.Lock()
+	p, err := d.get(pid)
+	if err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	if p.state != StateLocked {
+		d.mu.Unlock()
+		return 0, fmt.Errorf("%w: checkpoint from %v", ErrBadState, p.state)
+	}
+	if err := d.takeFaultLocked(FaultCheckpoint); err != nil {
+		d.mu.Unlock()
+		return 0, err
+	}
+	shard := make([]int64, len(p.devices))
+	var bytes int64
+	for i, dev := range p.devices {
+		shard[i] = dev.OwnerUsage(p.pid)
+		bytes += shard[i]
+	}
+	var spillSleep time.Duration
+	if d.hostCap > 0 && d.hostUsed+bytes > d.hostCap {
+		if !d.spill {
+			d.mu.Unlock()
+			return 0, fmt.Errorf("%w: need %d, used %d of %d", ErrHostMemory, bytes, d.hostUsed, d.hostCap)
+		}
+		var ok bool
+		spillSleep, ok = d.spillUntilLocked(bytes, pid)
+		if !ok {
+			d.mu.Unlock()
+			return 0, fmt.Errorf("%w: need %d, used %d of %d and nothing left to spill",
+				ErrHostMemory, bytes, d.hostUsed, d.hostCap)
+		}
+	}
+	d.hostUsed += bytes
+	d.mu.Unlock()
+	d.clock.Sleep(spillSleep)
+
+	// D2H copies outside the driver lock so distinct processes checkpoint
+	// concurrently; shards transfer in parallel over their own PCIe
+	// links, so the slowest (largest) shard dominates.
+	d.clock.Sleep(d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, dev := range p.devices {
+		if _, err := dev.FreeOwner(p.pid); err != nil && shard[i] > 0 {
+			// Accounting drift between snapshot and free is a programming error.
+			d.hostUsed -= bytes
+			return 0, fmt.Errorf("cudackpt: freeing device state: %v", err)
+		}
+	}
+	p.hostImage = bytes
+	p.shardBytes = shard
+	p.state = StateCheckpointed
+	p.loc = LocRAM
+	p.lastUsed = d.clock.Now()
+	return bytes, nil
+}
+
+// Restore re-allocates a checkpointed process's device memory and copies
+// its host image back (cuda-checkpoint --action restore). The process is
+// left Locked; call Unlock to resume it. Fails with gpu.ErrOutOfMemory if
+// the device cannot fit the image.
+func (d *Driver) Restore(pid string) error {
+	d.mu.Lock()
+	p, err := d.get(pid)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	if p.state != StateCheckpointed {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: restore from %v", ErrBadState, p.state)
+	}
+	if err := d.takeFaultLocked(FaultRestore); err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	bytes := p.hostImage
+	shard := p.shardBytes
+	fromDisk := p.loc == LocDisk
+	for i, dev := range p.devices {
+		if err := dev.Alloc(p.pid, shard[i]); err != nil {
+			for _, prev := range p.devices[:i] {
+				prev.FreeOwner(p.pid)
+			}
+			d.mu.Unlock()
+			return err
+		}
+	}
+	d.mu.Unlock()
+
+	// A disk-resident image must be read back before the device copy —
+	// the slow path the host-memory snapshot avoids.
+	if fromDisk {
+		d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
+	}
+	// H2D copies and first-touch outside the lock; parallel shards mean
+	// the largest one dominates. The engine-resume overhead is charged by
+	// the caller (engine controller), not here.
+	perShardWeights := p.weightBytes / int64(len(p.devices))
+	dur := d.testbed.CheckpointRestore(maxShard(shard), perShardWeights, p.engine) -
+		d.testbed.CkptLock - perfmodel.EngineResumeOverhead(p.engine)
+	d.clock.Sleep(dur)
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if fromDisk {
+		d.diskUsed -= bytes
+	} else {
+		d.hostUsed -= bytes
+	}
+	p.hostImage = 0
+	p.loc = LocRAM
+	p.lastUsed = d.clock.Now()
+	p.state = StateLocked
+	return nil
+}
+
+// Suspend is the convenience sequence Lock + Checkpoint used by the engine
+// controller's swap-out path. Returns the host image size.
+func (d *Driver) Suspend(pid string) (int64, error) {
+	if err := d.Lock(pid); err != nil {
+		return 0, err
+	}
+	bytes, err := d.Checkpoint(pid)
+	if err != nil {
+		// Roll the lock back so the process is usable again.
+		if uerr := d.Unlock(pid); uerr != nil {
+			return 0, errors.Join(err, uerr)
+		}
+		return 0, err
+	}
+	return bytes, nil
+}
+
+// maxShard returns the largest per-device byte count (zero for empty).
+func maxShard(shard []int64) int64 {
+	var m int64
+	for _, b := range shard {
+		if b > m {
+			m = b
+		}
+	}
+	return m
+}
+
+// Resume is the convenience sequence Restore + Unlock used by the engine
+// controller's swap-in path.
+func (d *Driver) Resume(pid string) error {
+	if err := d.Restore(pid); err != nil {
+		return err
+	}
+	return d.Unlock(pid)
+}

@@ -1,0 +1,43 @@
+package cudackpt
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FaultOp identifies a driver operation for fault injection.
+type FaultOp string
+
+// Injectable operations.
+const (
+	FaultLock       FaultOp = "lock"
+	FaultCheckpoint FaultOp = "checkpoint"
+	FaultRestore    FaultOp = "restore"
+)
+
+// ErrInjected marks failures produced by fault injection.
+var ErrInjected = errors.New("cudackpt: injected fault")
+
+// InjectFault makes the next n operations of the given kind fail with
+// ErrInjected. Fault injection exercises the controller's rollback paths
+// — driver-level checkpoint/restore failures happen in production (ECC
+// errors, resets, OOM host mappings) and the simulation makes them
+// reproducible.
+func (d *Driver) InjectFault(op FaultOp, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.faults == nil {
+		d.faults = make(map[FaultOp]int)
+	}
+	d.faults[op] = n
+}
+
+// takeFaultLocked consumes one injected fault for op, returning the error
+// to raise or nil. Caller holds d.mu.
+func (d *Driver) takeFaultLocked(op FaultOp) error {
+	if d.faults == nil || d.faults[op] <= 0 {
+		return nil
+	}
+	d.faults[op]--
+	return fmt.Errorf("%w: %s", ErrInjected, op)
+}

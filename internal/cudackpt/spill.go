@@ -1,0 +1,98 @@
+package cudackpt
+
+import (
+	"time"
+)
+
+// ImageLocation identifies where a checkpoint image currently resides.
+type ImageLocation int
+
+// Image locations.
+const (
+	// LocRAM: the image is in host memory — the fast path measured in
+	// Figures 5/6.
+	LocRAM ImageLocation = iota
+	// LocDisk: the image was spilled to disk under host-memory pressure;
+	// restoring it first pays a disk read.
+	LocDisk
+)
+
+// String returns the lowercase location name.
+func (l ImageLocation) String() string {
+	if l == LocDisk {
+		return "disk"
+	}
+	return "ram"
+}
+
+// EnableSpill turns on disk spilling: when a checkpoint would exceed the
+// host-memory cap, the least recently used resident image is written to
+// disk instead of failing. This addresses the deployment limit the paper
+// leaves open — a host with 221 GB of RAM cannot hold many 72 GB vLLM
+// snapshots simultaneously.
+func (d *Driver) EnableSpill() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.spill = true
+}
+
+// ImageLocation reports where pid's checkpoint image resides.
+func (d *Driver) ImageLocation(pid string) (ImageLocation, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.procs[pid]
+	if !ok {
+		return LocRAM, ErrUnknownProcess
+	}
+	return p.loc, nil
+}
+
+// DiskUsed returns the bytes of checkpoint images spilled to disk.
+func (d *Driver) DiskUsed() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.diskUsed
+}
+
+// SpillCount returns how many images have been spilled to disk in total.
+func (d *Driver) SpillCount() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.spills
+}
+
+// spillUntilLocked evicts LRU RAM-resident images to disk until need
+// bytes fit under the host cap, excluding exceptPid. Returns the total
+// simulated write time the caller must sleep (outside the lock), and
+// whether enough space was freed. Caller holds d.mu.
+func (d *Driver) spillUntilLocked(need int64, exceptPid string) (time.Duration, bool) {
+	var sleep time.Duration
+	for d.hostCap > 0 && d.hostUsed+need > d.hostCap {
+		victim := d.lruResidentLocked(exceptPid)
+		if victim == nil {
+			return sleep, false
+		}
+		// Writing the image out at the disk tier's effective bandwidth.
+		sleep += d.testbed.StorageReadTime("disk", victim.hostImage)
+		d.hostUsed -= victim.hostImage
+		d.diskUsed += victim.hostImage
+		victim.loc = LocDisk
+		d.spills++
+	}
+	return sleep, true
+}
+
+// lruResidentLocked returns the checkpointed, RAM-resident process with
+// the oldest lastUsed stamp (nil if none). Caller holds d.mu.
+func (d *Driver) lruResidentLocked(exceptPid string) *proc {
+	var victim *proc
+	for pid, p := range d.procs {
+		if pid == exceptPid || p.state != StateCheckpointed || p.loc != LocRAM || p.hostImage == 0 {
+			continue
+		}
+		if victim == nil || p.lastUsed.Before(victim.lastUsed) {
+			victim = p
+		}
+	}
+	return victim
+}

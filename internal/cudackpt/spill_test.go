@@ -1,0 +1,154 @@
+package cudackpt
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+func newSpillDriver(t *testing.T, hostCap int64) (*Driver, *gpu.Device, *simclock.Scaled) {
+	t.Helper()
+	clock := simclock.NewScaled(time.Date(2025, 11, 16, 0, 0, 0, 0, time.UTC), 5000)
+	dev := gpu.NewDevice(0, perfmodel.GPUH100, 80*gib)
+	d := NewDriver(clock, perfmodel.H100(), hostCap)
+	d.EnableSpill()
+	return d, dev, clock
+}
+
+func TestSpillEvictsLRUImage(t *testing.T) {
+	d, dev, _ := newSpillDriver(t, 40*gib)
+	// Two processes whose images cannot both fit in 40 GiB of host RAM.
+	dev.Alloc("old", 30*gib)
+	dev.Alloc("new", 25*gib)
+	d.Register("old", dev, perfmodel.EngineOllama, gib)
+	d.Register("new", dev, perfmodel.EngineOllama, gib)
+
+	if _, err := d.Suspend("old"); err != nil {
+		t.Fatal(err)
+	}
+	if loc, _ := d.ImageLocation("old"); loc != LocRAM {
+		t.Fatalf("first image location = %v", loc)
+	}
+	// The second checkpoint must spill the first image to disk.
+	if _, err := d.Suspend("new"); err != nil {
+		t.Fatalf("Suspend with spill: %v", err)
+	}
+	if loc, _ := d.ImageLocation("old"); loc != LocDisk {
+		t.Fatalf("LRU image location = %v, want disk", loc)
+	}
+	if loc, _ := d.ImageLocation("new"); loc != LocRAM {
+		t.Fatalf("new image location = %v, want ram", loc)
+	}
+	if d.HostUsed() != 25*gib || d.DiskUsed() != 30*gib {
+		t.Fatalf("tier accounting: host=%d disk=%d", d.HostUsed(), d.DiskUsed())
+	}
+	if d.SpillCount() != 1 {
+		t.Fatalf("spills = %d", d.SpillCount())
+	}
+}
+
+func TestSpillRestoreFromDiskSlower(t *testing.T) {
+	d, dev, clock := newSpillDriver(t, 40*gib)
+	dev.Alloc("a", 30*gib)
+	dev.Alloc("b", 30*gib)
+	d.Register("a", dev, perfmodel.EngineOllama, gib)
+	d.Register("b", dev, perfmodel.EngineOllama, gib)
+	d.Suspend("a")
+	d.Suspend("b") // spills a to disk
+
+	t0 := clock.Now()
+	if err := d.Resume("a"); err != nil {
+		t.Fatal(err)
+	}
+	diskRestore := clock.Since(t0)
+	t1 := clock.Now()
+	if err := d.Resume("b"); err != nil {
+		t.Fatal(err)
+	}
+	ramRestore := clock.Since(t1)
+	if diskRestore <= ramRestore {
+		t.Fatalf("disk restore %v not slower than RAM restore %v", diskRestore, ramRestore)
+	}
+	// Accounting drains both tiers.
+	if d.HostUsed() != 0 || d.DiskUsed() != 0 {
+		t.Fatalf("residual accounting: host=%d disk=%d", d.HostUsed(), d.DiskUsed())
+	}
+}
+
+func TestSpillExhausted(t *testing.T) {
+	// A single image larger than the cap cannot be satisfied even with
+	// spilling (nothing else to evict).
+	d, dev, _ := newSpillDriver(t, 20*gib)
+	dev.Alloc("big", 30*gib)
+	d.Register("big", dev, perfmodel.EngineOllama, gib)
+	if _, err := d.Suspend("big"); !errors.Is(err, ErrHostMemory) {
+		t.Fatalf("expected ErrHostMemory, got %v", err)
+	}
+	// The rollback must leave the process running with its memory intact.
+	if s, _ := d.State("big"); s != StateRunning {
+		t.Fatalf("state after failed suspend = %v", s)
+	}
+	if dev.OwnerUsage("big") != 30*gib {
+		t.Fatal("device allocation lost after failed suspend")
+	}
+}
+
+func TestSpillLRUOrder(t *testing.T) {
+	// Three images; the cap forces exactly the least recently used out.
+	d, dev, _ := newSpillDriver(t, 50*gib)
+	for _, pid := range []string{"p1", "p2", "p3"} {
+		dev.Alloc(pid, 20*gib)
+		d.Register(pid, dev, perfmodel.EngineOllama, gib)
+	}
+	d.Suspend("p1") // oldest
+	d.Suspend("p2")
+	// p3 needs 20 GiB; 40 used of 50 -> spill p1 only.
+	if _, err := d.Suspend("p3"); err != nil {
+		t.Fatal(err)
+	}
+	loc1, _ := d.ImageLocation("p1")
+	loc2, _ := d.ImageLocation("p2")
+	loc3, _ := d.ImageLocation("p3")
+	if loc1 != LocDisk || loc2 != LocRAM || loc3 != LocRAM {
+		t.Fatalf("locations: p1=%v p2=%v p3=%v", loc1, loc2, loc3)
+	}
+}
+
+func TestSpillUnregisterReleasesDisk(t *testing.T) {
+	d, dev, _ := newSpillDriver(t, 40*gib)
+	dev.Alloc("a", 30*gib)
+	dev.Alloc("b", 30*gib)
+	d.Register("a", dev, perfmodel.EngineOllama, gib)
+	d.Register("b", dev, perfmodel.EngineOllama, gib)
+	d.Suspend("a")
+	d.Suspend("b")
+	if err := d.Unregister("a"); err != nil { // disk-resident
+		t.Fatal(err)
+	}
+	if d.DiskUsed() != 0 {
+		t.Fatalf("disk bytes leaked: %d", d.DiskUsed())
+	}
+	if err := d.Unregister("b"); err != nil { // ram-resident
+		t.Fatal(err)
+	}
+	if d.HostUsed() != 0 {
+		t.Fatalf("host bytes leaked: %d", d.HostUsed())
+	}
+}
+
+func TestImageLocationString(t *testing.T) {
+	if LocRAM.String() != "ram" || LocDisk.String() != "disk" {
+		t.Fatal("location strings wrong")
+	}
+}
+
+func TestImageLocationUnknown(t *testing.T) {
+	d, _, _ := newSpillDriver(t, 0)
+	if _, err := d.ImageLocation("ghost"); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("unknown pid: %v", err)
+	}
+}

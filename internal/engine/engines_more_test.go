@@ -1,0 +1,140 @@
+package engine
+
+import (
+	"context"
+	"testing"
+
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/models"
+	"swapservellm/internal/perfmodel"
+)
+
+func TestSGLangInitPool(t *testing.T) {
+	r := newRig(t)
+	e, err := NewSGLang(r.config(t, "sgl-1", "llama3.2:3b-fp16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := e.Init(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SGLang's mem_fraction_static default: 85% of the 80 GiB device.
+	if got, want := e.GPUBytes(), int64(0.85*float64(80*gib)); got != want {
+		t.Fatalf("pool = %d, want %d", got, want)
+	}
+	// No torch.compile phase, but CUDA-graph capture present.
+	if bd.Compile != 0 {
+		t.Fatalf("sglang compile phase = %v, want 0", bd.Compile)
+	}
+	if bd.CUDAGraph <= 0 {
+		t.Fatal("sglang missing CUDA-graph phase")
+	}
+}
+
+func TestTRTLLMInitPool(t *testing.T) {
+	r := newRig(t)
+	e, err := NewTRTLLM(r.config(t, "trt-1", "deepseek-r1:1.5b-fp16"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := e.Init(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := e.GPUBytes(), int64(0.9*float64(80*gib)); got != want {
+		t.Fatalf("pool = %d, want %d", got, want)
+	}
+	// The TensorRT engine build dominates everything else.
+	if bd.Compile < bd.Load+bd.CUDAGraph+bd.Other {
+		t.Fatalf("trtllm build %v does not dominate breakdown %+v", bd.Compile, bd)
+	}
+}
+
+func TestEngineInitOrderingAcrossKinds(t *testing.T) {
+	// The Figure 2 ordering must hold for the engines' Init durations on
+	// a shared model, measured through real Init calls.
+	m := "llama3.2:1b-fp16"
+	durations := make(map[perfmodel.EngineKind]float64)
+	for _, kind := range []perfmodel.EngineKind{
+		perfmodel.EngineOllama, perfmodel.EngineSGLang, perfmodel.EngineVLLM, perfmodel.EngineTRTLLM,
+	} {
+		r := newRig(t)
+		e, err := New(kind, r.config(t, "ord-"+string(kind), m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		bd, err := e.Init(context.Background())
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		durations[kind] = bd.Total().Seconds()
+		e.Shutdown()
+	}
+	if !(durations[perfmodel.EngineOllama] < durations[perfmodel.EngineSGLang] &&
+		durations[perfmodel.EngineSGLang] < durations[perfmodel.EngineVLLM] &&
+		durations[perfmodel.EngineVLLM] < durations[perfmodel.EngineTRTLLM]) {
+		t.Fatalf("init ordering violated: %+v", durations)
+	}
+}
+
+func TestTensorParallelShardsEvenly(t *testing.T) {
+	r := newRig(t)
+	m := models.Default().MustLookup("llama3.3:70b-fp8")
+	if err := StageWeights(r.store, perfmodel.TierDisk, m); err != nil {
+		t.Fatal(err)
+	}
+	dev0 := r.device
+	dev1 := gpu.NewDevice(1, r.tb.GPU, r.tb.GPUMemBytes)
+	e, err := NewOllama(Config{
+		Owner: "tp2", Model: m, Testbed: r.tb, Clock: r.clock,
+		Devices: []*gpu.Device{dev0, dev1},
+		Store:   r.store, Tier: perfmodel.TierDisk,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Init(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	u0, u1 := dev0.OwnerUsage("tp2"), dev1.OwnerUsage("tp2")
+	if u0 == 0 || u1 == 0 {
+		t.Fatalf("shards not placed: %d / %d", u0, u1)
+	}
+	if u0 != u1 {
+		t.Fatalf("uneven shards: %d vs %d", u0, u1)
+	}
+	total := OllamaFootprint(m, 0)
+	if got := e.GPUBytes(); got < total-2 || got > total+2 {
+		t.Fatalf("total footprint = %d, want ~%d", got, total)
+	}
+	if err := e.Shutdown(); err != nil {
+		t.Fatal(err)
+	}
+	if dev0.Used() != 0 || dev1.Used() != 0 {
+		t.Fatal("shards leaked after shutdown")
+	}
+}
+
+func TestTensorParallelOOMRollsBackAllShards(t *testing.T) {
+	r := newRig(t)
+	m := models.Default().MustLookup("llama3.3:70b-fp8")
+	if err := StageWeights(r.store, perfmodel.TierDisk, m); err != nil {
+		t.Fatal(err)
+	}
+	dev0 := r.device
+	dev1 := gpu.NewDevice(1, r.tb.GPU, r.tb.GPUMemBytes)
+	// Fill the second shard's device so the weight allocation fails there.
+	dev1.Alloc("squatter", 79*gib)
+	e, _ := NewOllama(Config{
+		Owner: "tp-oom", Model: m, Testbed: r.tb, Clock: r.clock,
+		Devices: []*gpu.Device{dev0, dev1},
+		Store:   r.store, Tier: perfmodel.TierDisk,
+	})
+	if _, err := e.Init(context.Background()); err == nil {
+		t.Fatal("init succeeded despite shard OOM")
+	}
+	if dev0.OwnerUsage("tp-oom") != 0 {
+		t.Fatal("first shard not rolled back after OOM on second")
+	}
+}

@@ -1,0 +1,23 @@
+package engine
+
+import (
+	"fmt"
+
+	"swapservellm/internal/perfmodel"
+)
+
+// New constructs an engine of the given kind.
+func New(kind perfmodel.EngineKind, cfg Config) (Engine, error) {
+	switch kind {
+	case perfmodel.EngineVLLM:
+		return NewVLLM(cfg)
+	case perfmodel.EngineOllama:
+		return NewOllama(cfg)
+	case perfmodel.EngineSGLang:
+		return NewSGLang(cfg)
+	case perfmodel.EngineTRTLLM:
+		return NewTRTLLM(cfg)
+	default:
+		return nil, fmt.Errorf("engine: unknown engine kind %q", kind)
+	}
+}

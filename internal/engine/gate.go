@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"context"
+	"sync"
+)
+
+// Gate models the effect of the cgroup freezer on a containerized engine
+// process: while paused, the process makes no forward progress — new
+// requests are not accepted and in-flight decode loops stall mid-token.
+// The container runtime toggles the gate when freezing/thawing the
+// engine's cgroup.
+type Gate struct {
+	mu     sync.Mutex
+	paused bool
+	resume chan struct{} // closed on resume; replaced on pause
+}
+
+// NewGate returns an open (running) gate.
+func NewGate() *Gate {
+	g := &Gate{resume: make(chan struct{})}
+	close(g.resume)
+	return g
+}
+
+// Pause closes the gate: subsequent Wait calls block.
+func (g *Gate) Pause() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.paused {
+		return
+	}
+	g.paused = true
+	g.resume = make(chan struct{})
+}
+
+// Resume opens the gate, releasing all blocked waiters.
+func (g *Gate) Resume() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.paused {
+		return
+	}
+	g.paused = false
+	close(g.resume)
+}
+
+// Paused reports whether the gate is closed.
+func (g *Gate) Paused() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.paused
+}
+
+// Wait blocks until the gate is open or ctx is cancelled.
+func (g *Gate) Wait(ctx context.Context) error {
+	for {
+		g.mu.Lock()
+		paused, resume := g.paused, g.resume
+		g.mu.Unlock()
+		if !paused {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-resume:
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package engine
+
+import (
+	"hash/fnv"
+
+	"swapservellm/internal/openai"
+)
+
+// vocabulary is the word list the deterministic generator draws from. The
+// content is immaterial to the experiments; determinism is what matters
+// (§5.1 fixes temperature and seed for reproducible outputs).
+var vocabulary = []string{
+	"the", "model", "serves", "inference", "requests", "with", "low",
+	"latency", "and", "high", "throughput", "across", "multiple", "GPU",
+	"devices", "while", "memory", "is", "managed", "by", "a", "scheduler",
+	"that", "swaps", "engines", "in", "out", "of", "device", "state",
+	"checkpoints", "restore", "quickly", "because", "initialization",
+	"phases", "are", "skipped", "tokens", "stream", "to", "clients",
+	"over", "persistent", "connections", "as", "they", "decode",
+}
+
+// Generator produces deterministic completions: the same prompt, seed,
+// and temperature-zero setting always yield the same token sequence, as
+// §5.1 requires for reproducible evaluation.
+type Generator struct{}
+
+// hashSeed folds the prompt and request seed into a stream state.
+func hashSeed(prompt string, seed int64) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(prompt))
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	return h.Sum64()
+}
+
+// step advances the deterministic stream state.
+func step(state uint64) uint64 {
+	// SplitMix64 finalizer: good avalanche, no external deps.
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// CompletionLength returns the number of tokens the model would generate
+// for the prompt before emitting EOS, bounded by maxTokens when positive.
+func (Generator) CompletionLength(prompt string, seed int64, maxTokens int) int {
+	state := step(hashSeed(prompt, seed))
+	n := 16 + int(state%240) // 16..255 tokens before a natural stop
+	if maxTokens > 0 && n > maxTokens {
+		n = maxTokens
+	}
+	return n
+}
+
+// Token returns the i-th output token (with a leading space separator
+// after the first token).
+func (Generator) Token(prompt string, seed int64, i int) string {
+	state := hashSeed(prompt, seed)
+	for k := 0; k <= i; k++ {
+		state = step(state)
+	}
+	w := vocabulary[state%uint64(len(vocabulary))]
+	if i == 0 {
+		return w
+	}
+	return " " + w
+}
+
+// PromptText flattens a chat into the prompt string fed to the stream
+// state, mirroring a chat template.
+func PromptText(msgs []openai.Message) string {
+	var out string
+	for _, m := range msgs {
+		out += "<|" + m.Role + "|>" + m.Content
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"swapservellm/internal/openai"
+	"swapservellm/internal/perfmodel"
+)
+
+// handler serves the OpenAI-compatible interface for one engine instance.
+type handler struct {
+	b *base
+	// extra registers engine-specific routes (e.g. vLLM's sleep API).
+	extra func(mux *http.ServeMux)
+}
+
+// Handler builds the engine's HTTP interface.
+func (b *base) handlerWith(extra func(mux *http.ServeMux)) http.Handler {
+	h := &handler{b: b, extra: extra}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/health", h.health)
+	mux.HandleFunc("/v1/models", h.listModels)
+	mux.HandleFunc("/v1/chat/completions", h.chatCompletions)
+	mux.HandleFunc("/v1/completions", h.completions)
+	if extra != nil {
+		extra(mux)
+	}
+	// The freezer gate wraps everything: a frozen process accepts TCP
+	// connections (the kernel backlog) but never progresses them.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := h.b.gate.Wait(r.Context()); err != nil {
+			return // client gave up while the process was frozen
+		}
+		mux.ServeHTTP(w, r)
+	})
+}
+
+// health responds 200 once the engine is ready to serve.
+func (h *handler) health(w http.ResponseWriter, r *http.Request) {
+	switch h.b.State() {
+	case StateReady:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	case StateSleeping:
+		// Sleep mode still answers health checks (the process is alive).
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "sleeping")
+	default:
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+}
+
+// listModels reports the single served model.
+func (h *handler) listModels(w http.ResponseWriter, r *http.Request) {
+	m := h.b.cfg.Model
+	openai.WriteJSON(w, http.StatusOK, openai.ModelList{
+		Object: "list",
+		Data: []openai.ModelInfo{{
+			ID:      m.Name,
+			Object:  "model",
+			Created: h.b.cfg.Clock.Now().Unix(),
+			OwnedBy: string(h.b.kind),
+		}},
+	})
+}
+
+// chatCompletions implements POST /v1/chat/completions with both blocking
+// and SSE streaming responses, decoding tokens at the calibrated rate.
+func (h *handler) chatCompletions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	var req openai.ChatCompletionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	if req.Model != h.b.cfg.Model.Name {
+		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
+			fmt.Sprintf("model %q is not served by this backend (serves %q)", req.Model, h.b.cfg.Model.Name))
+		return
+	}
+	switch h.b.State() {
+	case StateReady:
+	case StateSleeping:
+		openai.WriteError(w, http.StatusServiceUnavailable, "engine_sleeping",
+			"engine is in sleep mode; wake it before serving")
+		return
+	default:
+		openai.WriteError(w, http.StatusServiceUnavailable, "engine_not_ready",
+			fmt.Sprintf("engine state: %v", h.b.State()))
+		return
+	}
+
+	h.b.active.Add(1)
+	h.updateBusy()
+	defer func() {
+		h.b.active.Add(-1)
+		h.updateBusy()
+	}()
+
+	var (
+		tok  Tokenizer
+		gen  Generator
+		tb   = h.b.cfg.Testbed
+		kind = h.b.kind
+		m    = h.b.cfg.Model
+	)
+	prompt := PromptText(req.Messages)
+	promptTokens := tok.CountMessages(req.Messages)
+	var seed int64
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	n := gen.CompletionLength(prompt, seed, req.MaxTokens)
+	if req.MinTokens > 0 && n < req.MinTokens {
+		n = req.MinTokens // vLLM min_tokens extension
+		if req.MaxTokens > 0 && n > req.MaxTokens {
+			n = req.MaxTokens
+		}
+	}
+	finish := "stop"
+	if req.MaxTokens > 0 && n == req.MaxTokens {
+		finish = "length"
+	}
+
+	// Prefill: compute-bound prompt processing.
+	tb0 := h.b.cfg.Clock
+	tb0.Sleep(tb.PrefillTime(kind, m, promptTokens))
+
+	id := fmt.Sprintf("chatcmpl-%s-%d", h.b.cfg.Owner, h.b.reqSeq.Add(1))
+	created := tb0.Now().Unix()
+
+	if req.Stream {
+		h.streamCompletion(w, r, &req, id, created, prompt, seed, n, promptTokens, finish)
+		return
+	}
+
+	// Blocking: decode every token, then respond.
+	var content string
+	for i := 0; i < n; i++ {
+		if err := h.b.gate.Wait(r.Context()); err != nil {
+			return
+		}
+		tb0.Sleep(tb.TokenTime(kind, m, 1))
+		content += gen.Token(prompt, seed, i)
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+	openai.WriteJSON(w, http.StatusOK, openai.ChatCompletionResponse{
+		ID:      id,
+		Object:  "chat.completion",
+		Created: created,
+		Model:   m.Name,
+		Choices: []openai.Choice{{
+			Message:      openai.Message{Role: "assistant", Content: content},
+			FinishReason: finish,
+		}},
+		Usage: openai.Usage{
+			PromptTokens:     promptTokens,
+			CompletionTokens: n,
+			TotalTokens:      promptTokens + n,
+		},
+	})
+}
+
+// completions implements the legacy POST /v1/completions endpoint:
+// plain-prompt generation with the same decode model as chat.
+func (h *handler) completions(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	var req openai.CompletionRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "malformed JSON: "+err.Error())
+		return
+	}
+	if err := req.Validate(); err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+	if req.Model != h.b.cfg.Model.Name {
+		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
+			fmt.Sprintf("model %q is not served by this backend (serves %q)", req.Model, h.b.cfg.Model.Name))
+		return
+	}
+	if h.b.State() != StateReady {
+		openai.WriteError(w, http.StatusServiceUnavailable, "engine_not_ready",
+			fmt.Sprintf("engine state: %v", h.b.State()))
+		return
+	}
+
+	h.b.active.Add(1)
+	h.updateBusy()
+	defer func() {
+		h.b.active.Add(-1)
+		h.updateBusy()
+	}()
+
+	var (
+		tok  Tokenizer
+		gen  Generator
+		tb   = h.b.cfg.Testbed
+		kind = h.b.kind
+		m    = h.b.cfg.Model
+	)
+	var seed int64
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	clock := h.b.cfg.Clock
+	id := fmt.Sprintf("cmpl-%s-%d", h.b.cfg.Owner, h.b.reqSeq.Add(1))
+	created := clock.Now().Unix()
+
+	var choices []openai.CompletionChoice
+	var usage openai.Usage
+	for idx, prompt := range req.Prompt {
+		promptTokens := tok.CountText(prompt)
+		n := gen.CompletionLength(prompt, seed, req.MaxTokens)
+		finish := "stop"
+		if req.MaxTokens > 0 && n == req.MaxTokens {
+			finish = "length"
+		}
+		clock.Sleep(tb.PrefillTime(kind, m, promptTokens))
+		var text string
+		for i := 0; i < n; i++ {
+			if err := h.b.gate.Wait(r.Context()); err != nil {
+				return
+			}
+			clock.Sleep(tb.TokenTime(kind, m, 1))
+			text += gen.Token(prompt, seed, i)
+			if r.Context().Err() != nil {
+				return
+			}
+		}
+		fr := finish
+		choices = append(choices, openai.CompletionChoice{Text: text, Index: idx, FinishReason: &fr})
+		usage.PromptTokens += promptTokens
+		usage.CompletionTokens += n
+	}
+	usage.TotalTokens = usage.PromptTokens + usage.CompletionTokens
+	openai.WriteJSON(w, http.StatusOK, openai.CompletionResponse{
+		ID:      id,
+		Object:  "text_completion",
+		Created: created,
+		Model:   m.Name,
+		Choices: choices,
+		Usage:   &usage,
+	})
+}
+
+// streamCompletion emits SSE chunks token by token.
+func (h *handler) streamCompletion(w http.ResponseWriter, r *http.Request, req *openai.ChatCompletionRequest,
+	id string, created int64, prompt string, seed int64, n, promptTokens int, finish string) {
+	var gen Generator
+	sw := openai.NewSSEWriter(w)
+	m := h.b.cfg.Model
+
+	// Role preamble chunk.
+	if err := sw.WriteChunk(&openai.ChatCompletionChunk{
+		ID: id, Object: "chat.completion.chunk", Created: created, Model: m.Name,
+		Choices: []openai.DeltaChoice{{Delta: openai.Message{Role: "assistant"}}},
+	}); err != nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		if err := h.b.gate.Wait(r.Context()); err != nil {
+			return
+		}
+		h.b.cfg.Clock.Sleep(h.b.cfg.Testbed.TokenTime(h.b.kind, m, 1))
+		if err := sw.WriteChunk(&openai.ChatCompletionChunk{
+			ID: id, Object: "chat.completion.chunk", Created: created, Model: m.Name,
+			Choices: []openai.DeltaChoice{{Delta: openai.Message{Content: gen.Token(prompt, seed, i)}}},
+		}); err != nil {
+			return
+		}
+	}
+	fr := finish
+	sw.WriteChunk(&openai.ChatCompletionChunk{
+		ID: id, Object: "chat.completion.chunk", Created: created, Model: m.Name,
+		Choices: []openai.DeltaChoice{{Delta: openai.Message{}, FinishReason: &fr}},
+		Usage: &openai.Usage{
+			PromptTokens:     promptTokens,
+			CompletionTokens: n,
+			TotalTokens:      promptTokens + n,
+		},
+	})
+	sw.WriteDone()
+}
+
+// updateBusy reflects in-flight request count in the device's compute
+// utilization.
+func (h *handler) updateBusy() {
+	share := 0.25 * float64(h.b.active.Load())
+	for _, d := range h.b.cfg.Devices {
+		d.SetBusy(h.b.cfg.Owner, share)
+	}
+}
+
+// ensure perfmodel is referenced even if future refactors drop direct use.
+var _ = perfmodel.EngineVLLM

@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/models"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+	"swapservellm/internal/storage"
+)
+
+// RunnerManager simulates Ollama's native multi-model scheduler (§2.3):
+// one llama.cpp runner per requested model, loaded on demand, with
+// least-recently-used runners unloaded when GPU memory is insufficient.
+// It is the strongest baseline the paper compares SwapServeLLM against
+// (Figure 5), trading runtime optimizations for fast loads.
+type RunnerManager struct {
+	clock   simclock.Clock
+	testbed perfmodel.Testbed
+	device  *gpu.Device
+	store   *storage.ModelStore
+	tier    perfmodel.StorageTier
+	catalog *models.Catalog
+
+	mu      sync.Mutex
+	runners map[string]*runnerEntry
+	seq     int64
+}
+
+type runnerEntry struct {
+	eng      *Ollama
+	lastUsed time.Time
+	loading  chan struct{} // closed when the load completes
+	loadErr  error
+}
+
+// ErrModelTooLarge is returned when a model cannot fit on the GPU even
+// with every other runner unloaded.
+var ErrModelTooLarge = errors.New("engine: model does not fit on the GPU")
+
+// NewRunnerManager builds an Ollama-style scheduler over device, reading
+// weights from store at tier and resolving model names via catalog.
+func NewRunnerManager(clock simclock.Clock, tb perfmodel.Testbed, device *gpu.Device,
+	store *storage.ModelStore, tier perfmodel.StorageTier, catalog *models.Catalog) *RunnerManager {
+	return &RunnerManager{
+		clock:   clock,
+		testbed: tb,
+		device:  device,
+		store:   store,
+		tier:    tier,
+		catalog: catalog,
+		runners: make(map[string]*runnerEntry),
+	}
+}
+
+// Acquire returns a ready runner for the model, loading it (and evicting
+// LRU runners as needed) if it is not resident. The returned engine is
+// ready to serve.
+func (rm *RunnerManager) Acquire(ctx context.Context, modelName string) (*Ollama, error) {
+	m, ok := rm.catalog.Lookup(modelName)
+	if !ok {
+		return nil, fmt.Errorf("engine: unknown model %q", modelName)
+	}
+
+	rm.mu.Lock()
+	if e, ok := rm.runners[modelName]; ok {
+		loading := e.loading
+		rm.mu.Unlock()
+		select {
+		case <-loading:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		rm.mu.Lock()
+		if e2, still := rm.runners[modelName]; still && e2 == e && e.loadErr == nil {
+			e.lastUsed = rm.clock.Now()
+			rm.mu.Unlock()
+			return e.eng, nil
+		}
+		rm.mu.Unlock()
+		// The runner failed or was evicted while we waited; retry.
+		return rm.Acquire(ctx, modelName)
+	}
+
+	// Claim the slot before the (slow) load so concurrent requests for the
+	// same model share one runner.
+	entry := &runnerEntry{loading: make(chan struct{}), lastUsed: rm.clock.Now()}
+	rm.runners[modelName] = entry
+	rm.seq++
+	owner := fmt.Sprintf("ollama-runner-%d", rm.seq)
+	rm.mu.Unlock()
+
+	eng, err := rm.loadRunner(ctx, owner, m)
+
+	rm.mu.Lock()
+	entry.eng = eng
+	entry.loadErr = err
+	entry.lastUsed = rm.clock.Now()
+	if err != nil {
+		delete(rm.runners, modelName)
+	}
+	close(entry.loading)
+	rm.mu.Unlock()
+
+	if err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// loadRunner evicts until the model fits, then initializes a runner.
+func (rm *RunnerManager) loadRunner(ctx context.Context, owner string, m models.Model) (*Ollama, error) {
+	need := OllamaFootprint(m, 0)
+	if need > rm.device.Total() {
+		return nil, fmt.Errorf("%w: %s needs %d bytes, device has %d",
+			ErrModelTooLarge, m.Name, need, rm.device.Total())
+	}
+	for rm.device.Free() < need {
+		if !rm.evictLRU() {
+			return nil, fmt.Errorf("%w: %s needs %d bytes, only %d free and nothing to evict",
+				ErrModelTooLarge, m.Name, need, rm.device.Free())
+		}
+	}
+	eng, err := NewOllama(Config{
+		Owner:   owner,
+		Model:   m,
+		Testbed: rm.testbed,
+		Clock:   rm.clock,
+		Device:  rm.device,
+		Store:   rm.store,
+		Tier:    rm.tier,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := eng.Init(ctx); err != nil {
+		return nil, err
+	}
+	return eng, nil
+}
+
+// evictLRU unloads the least recently used idle runner, returning false
+// when none is evictable.
+func (rm *RunnerManager) evictLRU() bool {
+	rm.mu.Lock()
+	var victimName string
+	var victim *runnerEntry
+	for name, e := range rm.runners {
+		if e.eng == nil { // still loading; not evictable
+			continue
+		}
+		if victim == nil || e.lastUsed.Before(victim.lastUsed) {
+			victim, victimName = e, name
+		}
+	}
+	if victim == nil {
+		rm.mu.Unlock()
+		return false
+	}
+	delete(rm.runners, victimName)
+	rm.mu.Unlock()
+
+	// Unloading a llama.cpp runner is quick: kill the process, free VRAM.
+	rm.clock.Sleep(100 * time.Millisecond)
+	victim.eng.Shutdown()
+	return true
+}
+
+// Loaded returns the resident model names sorted by most recent use.
+func (rm *RunnerManager) Loaded() []string {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	type pair struct {
+		name string
+		t    time.Time
+	}
+	var ps []pair
+	for name, e := range rm.runners {
+		if e.eng != nil {
+			ps = append(ps, pair{name, e.lastUsed})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].t.After(ps[j].t) })
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.name
+	}
+	return out
+}
+
+// Shutdown unloads every runner.
+func (rm *RunnerManager) Shutdown() {
+	rm.mu.Lock()
+	entries := make([]*runnerEntry, 0, len(rm.runners))
+	for name, e := range rm.runners {
+		entries = append(entries, e)
+		delete(rm.runners, name)
+	}
+	rm.mu.Unlock()
+	for _, e := range entries {
+		if e.eng != nil {
+			e.eng.Shutdown()
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/models"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+	"swapservellm/internal/storage"
+)
+
+// smallDeviceManager builds a runner manager over a deliberately small
+// GPU so eviction triggers quickly.
+func smallDeviceManager(t *testing.T, deviceBytes int64) (*RunnerManager, *gpu.Device) {
+	t.Helper()
+	clock := simclock.NewScaled(testEpoch, 5000)
+	tb := perfmodel.H100()
+	dev := gpu.NewDevice(0, tb.GPU, deviceBytes)
+	store := storage.NewModelStore(clock, tb)
+	cat := models.Default()
+	var ms []models.Model
+	for _, name := range cat.Names() {
+		ms = append(ms, cat.MustLookup(name))
+	}
+	if err := StageWeights(store, perfmodel.TierDisk, ms...); err != nil {
+		t.Fatal(err)
+	}
+	return NewRunnerManager(clock, tb, dev, store, perfmodel.TierDisk, cat), dev
+}
+
+func TestRunnerLoadsOnDemand(t *testing.T) {
+	rm, dev := smallDeviceManager(t, 80*gib)
+	eng, err := rm.Acquire(context.Background(), "llama3.2:1b-fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.State() != StateReady {
+		t.Fatalf("state = %v", eng.State())
+	}
+	if dev.Used() == 0 {
+		t.Fatal("no GPU memory in use after load")
+	}
+	if got := rm.Loaded(); len(got) != 1 || got[0] != "llama3.2:1b-fp16" {
+		t.Fatalf("Loaded = %v", got)
+	}
+}
+
+func TestRunnerReuse(t *testing.T) {
+	rm, _ := smallDeviceManager(t, 80*gib)
+	a, err := rm.Acquire(context.Background(), "llama3.2:1b-fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := rm.Acquire(context.Background(), "llama3.2:1b-fp16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("second Acquire created a new runner")
+	}
+}
+
+func TestRunnerUnknownModel(t *testing.T) {
+	rm, _ := smallDeviceManager(t, 80*gib)
+	if _, err := rm.Acquire(context.Background(), "gpt-oss:999b"); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestRunnerLRUEviction(t *testing.T) {
+	// 9 GiB device: 1B-q4 (~1.9 GiB) and 1.5B-q4 (~2 GiB) fit together, but
+	// a 7B-q4 (~5.5 GiB) forces the LRU runner out.
+	rm, _ := smallDeviceManager(t, 9*gib)
+	ctx := context.Background()
+	if _, err := rm.Acquire(ctx, "llama3.2:1b-q4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Acquire(ctx, "deepseek-r1:1.5b-q4"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch the 1B so the 1.5B becomes LRU.
+	if _, err := rm.Acquire(ctx, "llama3.2:1b-q4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rm.Acquire(ctx, "deepseek-r1:7b-q4"); err != nil {
+		t.Fatal(err)
+	}
+	loaded := rm.Loaded()
+	for _, name := range loaded {
+		if name == "deepseek-r1:1.5b-q4" {
+			t.Fatalf("LRU runner not evicted: %v", loaded)
+		}
+	}
+	found := false
+	for _, name := range loaded {
+		if name == "llama3.2:1b-q4" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("recently used runner evicted: %v", loaded)
+	}
+}
+
+func TestRunnerModelTooLarge(t *testing.T) {
+	rm, _ := smallDeviceManager(t, 4*gib)
+	_, err := rm.Acquire(context.Background(), "deepseek-r1:14b-fp16")
+	if !errors.Is(err, ErrModelTooLarge) {
+		t.Fatalf("expected ErrModelTooLarge, got %v", err)
+	}
+}
+
+func TestRunnerConcurrentAcquireSameModel(t *testing.T) {
+	rm, _ := smallDeviceManager(t, 80*gib)
+	const n = 8
+	engines := make([]*Ollama, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := rm.Acquire(context.Background(), "llama3.2:1b-fp16")
+			if err != nil {
+				t.Errorf("Acquire: %v", err)
+				return
+			}
+			engines[i] = e
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < n; i++ {
+		if engines[i] != engines[0] {
+			t.Fatal("concurrent Acquire created multiple runners for one model")
+		}
+	}
+}
+
+func TestRunnerShutdown(t *testing.T) {
+	rm, dev := smallDeviceManager(t, 80*gib)
+	rm.Acquire(context.Background(), "llama3.2:1b-fp16")
+	rm.Acquire(context.Background(), "deepseek-r1:1.5b-q4")
+	rm.Shutdown()
+	if len(rm.Loaded()) != 0 {
+		t.Fatal("runners still loaded after shutdown")
+	}
+	if dev.Used() != 0 {
+		t.Fatalf("GPU memory leaked: %d", dev.Used())
+	}
+}
+
+func TestRunnerEvictionOrderMultiple(t *testing.T) {
+	// Load three small models then demand one that requires evicting two.
+	rm, _ := smallDeviceManager(t, 12*gib)
+	ctx := context.Background()
+	for _, name := range []string{"llama3.2:1b-q4", "deepseek-r1:1.5b-q4", "deepseek-r1:1.5b-q8"} {
+		if _, err := rm.Acquire(ctx, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := rm.Acquire(ctx, "llama3.1:8b-q4"); err != nil {
+		t.Fatalf("8b: %v", err)
+	}
+	loaded := rm.Loaded()
+	if len(loaded) == 0 || loaded[0] != "llama3.1:8b-q4" {
+		t.Fatalf("expected 8b most-recent, got %v", loaded)
+	}
+}

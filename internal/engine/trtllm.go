@@ -1,0 +1,43 @@
+package engine
+
+import (
+	"context"
+	"net/http"
+
+	"swapservellm/internal/perfmodel"
+)
+
+// TRTLLM simulates the TensorRT-LLM engine: the longest cold start of the
+// four (the TensorRT engine build dominates — ~124 s for LLaMA 3.1-8B,
+// Figure 2) in exchange for the best decode throughput, with a pooled
+// KV cache like vLLM's.
+type TRTLLM struct {
+	*base
+}
+
+// DefaultTRTLLMMemoryUtilization mirrors TensorRT-LLM's
+// free_gpu_memory_fraction default applied to the whole device.
+const DefaultTRTLLMMemoryUtilization = 0.9
+
+// NewTRTLLM constructs a TensorRT-LLM engine instance.
+func NewTRTLLM(cfg Config) (*TRTLLM, error) {
+	if cfg.GPUMemoryUtilization == 0 {
+		cfg.GPUMemoryUtilization = DefaultTRTLLMMemoryUtilization
+	}
+	b, err := newBase(perfmodel.EngineTRTLLM, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TRTLLM{base: b}, nil
+}
+
+// Init implements Engine.
+func (t *TRTLLM) Init(ctx context.Context) (perfmodel.InitBreakdown, error) {
+	pool := int64(t.cfg.GPUMemoryUtilization * float64(t.cfg.Device.Total()))
+	return t.runInit(ctx, pool)
+}
+
+// Handler implements Engine.
+func (t *TRTLLM) Handler() http.Handler { return t.handlerWith(nil) }
+
+var _ Engine = (*TRTLLM)(nil)

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/workload"
+)
+
+func TestTable1CSV(t *testing.T) {
+	h, rows := Table1CSV([]Table1Row{{
+		Model: "m", DisplayName: "M", TotalSec: 1.5, LoadSec: 0.5, CompileSec: 0.7, CGSec: 0.3, MeasuredTotalSec: 1.49,
+	}})
+	if !strings.HasPrefix(h, "model,") || len(rows) != 1 {
+		t.Fatalf("h=%q rows=%v", h, rows)
+	}
+	if rows[0] != "m,M,1.50,0.50,0.70,0.30,1.49" {
+		t.Fatalf("row = %q", rows[0])
+	}
+}
+
+func TestFigureCSVs(t *testing.T) {
+	if _, rows := Figure2CSV([]Fig2Row{{Engine: perfmodel.EngineVLLM, Model: "m", DisplayName: "M", ColdStartSec: 2}}); len(rows) != 1 || !strings.Contains(rows[0], "vllm,m,M,2.00") {
+		t.Fatalf("fig2 rows = %v", rows)
+	}
+	if _, rows := Figure5CSV([]Fig5Row{{Model: "m", DisplayName: "M", WeightsGiB: 1, DiskSec: 2, MemorySec: 1, SnapshotSec: 0.5}}); len(rows) != 1 {
+		t.Fatalf("fig5 rows = %v", rows)
+	}
+	if _, rows := Figure6aCSV([]Fig6aRow{{Model: "m", DisplayName: "M", GPUMemGiB: 72, SwapInSec: 6, ColdStartSec: 80}}); !strings.Contains(rows[0], "72.0,6.00,80.00") {
+		t.Fatalf("fig6a rows = %v", rows)
+	}
+	if _, rows := Figure6bCSV([]Fig6bRow{{Model: "m", DisplayName: "M", GPUMemGiB: 3.6, OllamaLoadSec: 2, SwapInSec: 1}}); !strings.Contains(rows[0], "3.6,2.00,1.00") {
+		t.Fatalf("fig6b rows = %v", rows)
+	}
+	if _, rows := ElasticityCSV([]ElasticityRow{{Strategy: "s", MeanSec: 1, P99Sec: 2, MemGiBSec: 3, SwapIns: 4}}); !strings.Contains(rows[0], "s,1.00,2.00,3,4") {
+		t.Fatalf("elasticity rows = %v", rows)
+	}
+}
+
+func TestFigure1And3CSV(t *testing.T) {
+	series := []Fig1Series{{
+		Class: workload.ClassCoding,
+		Buckets: []workload.HourlyBucket{{
+			Start: time.Date(2025, 11, 17, 0, 0, 0, 0, time.UTC), Requests: 2, InputTokens: 10, OutputTokens: 3,
+		}},
+	}}
+	_, rows := Figure1CSV(series)
+	if len(rows) != 1 || !strings.Contains(rows[0], "coding,2025-11-17T00:00:00Z,2,10,3") {
+		t.Fatalf("fig1 rows = %v", rows)
+	}
+	res := Fig3Result{Samples: []workload.ClusterSample{{
+		T: time.Date(2025, 11, 3, 0, 0, 0, 0, time.UTC), Utilization: 0.25, MemBytes: 100,
+	}}}
+	_, rows = Figure3CSV(res)
+	if len(rows) != 1 || !strings.Contains(rows[0], "0.2500,100") {
+		t.Fatalf("fig3 rows = %v", rows)
+	}
+}
+
+func TestWriteCSVFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "nested", "out.csv")
+	if err := WriteCSVFile(path, "a,b", []string{"1,2", "3,4"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if string(data) != want {
+		t.Fatalf("file = %q", data)
+	}
+}

@@ -1,0 +1,98 @@
+// Package experiments regenerates every table and figure from the
+// paper's evaluation (§5) against the simulated substrates: each
+// experiment drives the real code paths — container runtime, engines,
+// checkpoint driver, and the full SwapServeLLM server — on a scaled
+// simulation clock and reports the measured simulated latencies.
+//
+// The per-experiment index in DESIGN.md maps each function here to the
+// paper element it reproduces; EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"swapservellm/internal/cgroup"
+	"swapservellm/internal/cudackpt"
+	"swapservellm/internal/engine"
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/models"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+	"swapservellm/internal/storage"
+)
+
+// epoch is the fixed simulated-time origin for every experiment.
+var epoch = time.Date(2025, 11, 16, 0, 0, 0, 0, time.UTC)
+
+// Reps is the number of repetitions per measured configuration; the
+// paper reports means over repeated runs.
+const Reps = 3
+
+// rig bundles the substrates for direct-measurement experiments.
+type rig struct {
+	clock   *simclock.Scaled
+	tb      perfmodel.Testbed
+	device  *gpu.Device
+	store   *storage.ModelStore
+	freezer *cgroup.Freezer
+	driver  *cudackpt.Driver
+}
+
+// newRig builds a single-GPU rig on the given testbed at the given clock
+// scale.
+func newRig(tb perfmodel.Testbed, scale float64) *rig {
+	clock := simclock.NewScaled(epoch, scale)
+	return &rig{
+		clock:   clock,
+		tb:      tb,
+		device:  gpu.NewDevice(0, tb.GPU, tb.GPUMemBytes),
+		store:   storage.NewModelStore(clock, tb),
+		freezer: cgroup.NewFreezer(),
+		driver:  cudackpt.NewDriver(clock, tb, 0),
+	}
+}
+
+// stage places a model's weights on the given tier, replacing any
+// existing blob.
+func (r *rig) stage(m models.Model, tier perfmodel.StorageTier) {
+	r.store.Delete(engine.WeightBlobName(m))
+	if err := r.store.Put(engine.WeightBlobName(m), m.WeightBytes(), tier); err != nil {
+		panic(err)
+	}
+}
+
+// engineConfig builds a config for a fresh engine instance.
+func (r *rig) engineConfig(owner string, m models.Model, tier perfmodel.StorageTier) engine.Config {
+	return engine.Config{
+		Owner:   owner,
+		Model:   m,
+		Testbed: r.tb,
+		Clock:   r.clock,
+		Device:  r.device,
+		Store:   r.store,
+		Tier:    tier,
+	}
+}
+
+// mean returns the average of a sample slice in seconds.
+func mean(ds []time.Duration) float64 {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return (sum / time.Duration(len(ds))).Seconds()
+}
+
+// gib converts bytes to GiB.
+func gib(b int64) float64 { return float64(b) / float64(1<<30) }
+
+// fprintf writes a formatted row, ignoring errors (experiment output is
+// best-effort console text).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,442 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/workload"
+)
+
+// close enough: |got-want| <= tol*want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.2f, want %.2f ±%.0f%%", name, got, want, 100*tol)
+	}
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows, err := Table1(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d, want 10", len(rows))
+	}
+	want := map[string][4]float64{ // total, load, compile, cg
+		"DS-14B":  {82.39, 5.17, 43.18, 21.00},
+		"DS-8B":   {55.17, 3.05, 29.13, 17.00},
+		"DS-7B":   {51.03, 2.88, 26.58, 16.33},
+		"DS-1.5B": {49.81, 1.01, 26.52, 16.00},
+		"G3-27B":  {160.30, 9.11, 79.67, 32.33},
+		"G3-12B":  {123.71, 4.35, 63.42, 27.00},
+		"G3-4B":   {89.26, 1.91, 47.50, 22.00},
+		"L3.1-8B": {55.41, 3.11, 29.33, 17.00},
+		"L3.2-3B": {49.41, 1.48, 26.38, 16.00},
+		"L3.2-1B": {34.14, 0.85, 16.85, 14.00},
+	}
+	for _, r := range rows {
+		w, ok := want[r.DisplayName]
+		if !ok {
+			t.Errorf("unexpected row %s", r.DisplayName)
+			continue
+		}
+		within(t, r.DisplayName+" total", r.TotalSec, w[0], 0.01)
+		within(t, r.DisplayName+" load", r.LoadSec, w[1], 0.02)
+		within(t, r.DisplayName+" compile", r.CompileSec, w[2], 0.01)
+		within(t, r.DisplayName+" cg", r.CGSec, w[3], 0.01)
+		// The engine must have really slept the breakdown on the clock.
+		within(t, r.DisplayName+" measured", r.MeasuredTotalSec, r.TotalSec, 0.10)
+	}
+}
+
+func TestFigure2Shape(t *testing.T) {
+	rows, err := Figure2(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure2Models)*len(Figure2Engines) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	cold := make(map[string]map[perfmodel.EngineKind]float64)
+	for _, r := range rows {
+		if cold[r.Model] == nil {
+			cold[r.Model] = make(map[perfmodel.EngineKind]float64)
+		}
+		cold[r.Model][r.Engine] = r.ColdStartSec
+		if r.ColdStartSec <= 0 {
+			t.Errorf("%s/%s non-positive cold start", r.Engine, r.Model)
+		}
+	}
+	// Per-model engine ordering: Ollama < SGLang < vLLM < TRT-LLM.
+	for model, byEngine := range cold {
+		o, s, v, tr := byEngine[perfmodel.EngineOllama], byEngine[perfmodel.EngineSGLang],
+			byEngine[perfmodel.EngineVLLM], byEngine[perfmodel.EngineTRTLLM]
+		if !(o < s && s < v && v < tr) {
+			t.Errorf("%s: ordering violated: ollama=%.1f sglang=%.1f vllm=%.1f trt=%.1f", model, o, s, v, tr)
+		}
+	}
+	// §5.2 anchors for LLaMA 3.1-8B (generous bands; measurement noise).
+	anchors := cold["llama3.1:8b-fp16"]
+	within(t, "ollama 8B cold", anchors[perfmodel.EngineOllama], 4.38, 0.6)
+	within(t, "sglang 8B cold", anchors[perfmodel.EngineSGLang], 21.68, 0.35)
+	within(t, "vllm 8B cold", anchors[perfmodel.EngineVLLM], 87.28, 0.15)
+	within(t, "trt 8B cold", anchors[perfmodel.EngineTRTLLM], 124.48, 0.15)
+}
+
+func TestFigure5Shape(t *testing.T) {
+	rows, err := Figure5(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure5Models) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := make(map[string]Fig5Row)
+	for _, r := range rows {
+		byName[r.Model] = r
+		// The headline ordering of the figure: snapshot < memory < disk.
+		if !(r.SnapshotSec < r.MemorySec && r.MemorySec < r.DiskSec) {
+			t.Errorf("%s: ordering violated: snap=%.2f mem=%.2f disk=%.2f",
+				r.Model, r.SnapshotSec, r.MemorySec, r.DiskSec)
+		}
+	}
+	// Quantization effect: Q4 loads faster than FP16 from disk (§5.2).
+	for _, base := range []string{"deepseek-r1:1.5b", "deepseek-r1:14b"} {
+		if byName[base+"-q4"].DiskSec >= byName[base+"-fp16"].DiskSec {
+			t.Errorf("%s: Q4 disk load not faster than FP16", base)
+		}
+	}
+	// Anchor bands from §5.2 (A100).
+	small := byName["deepseek-r1:1.5b-q4"]
+	if small.DiskSec < 3.0 || small.DiskSec > 13 {
+		t.Errorf("1.5B-q4 disk = %.2f, want 4.7-11.3 band", small.DiskSec)
+	}
+	if small.SnapshotSec < 0.5 || small.SnapshotSec > 1.7 {
+		t.Errorf("1.5B-q4 snapshot = %.2f, want 0.87-1.21 band", small.SnapshotSec)
+	}
+	large := byName["deepseek-r1:14b-fp16"]
+	if large.DiskSec < 25 || large.DiskSec > 55 {
+		t.Errorf("14B-fp16 disk = %.2f, want ~41.9", large.DiskSec)
+	}
+	if large.SnapshotSec < 2.0 || large.SnapshotSec > 5.0 {
+		t.Errorf("14B-fp16 snapshot = %.2f, want ~3.68", large.SnapshotSec)
+	}
+}
+
+func TestFigure6aShape(t *testing.T) {
+	rows, err := Figure6a(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure6Models) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// vLLM backends occupy ~90% of the 80 GiB device.
+		within(t, r.Model+" gpu mem", r.GPUMemGiB, 72, 0.03)
+		// Swap-in in the 5.5-7.5s band, far below cold start.
+		if r.SwapInSec < 4.5 || r.SwapInSec > 9 {
+			t.Errorf("%s swap-in = %.2f, want 5.5-7.5 band", r.Model, r.SwapInSec)
+		}
+		if sp := r.ColdStartSec / r.SwapInSec; sp < 5 {
+			t.Errorf("%s speedup = %.1f, want >= 5", r.Model, sp)
+		}
+	}
+	// Larger weights -> slower swap-in (first vs last).
+	if rows[0].SwapInSec >= rows[len(rows)-1].SwapInSec {
+		t.Errorf("swap-in not increasing with model size: %.2f vs %.2f",
+			rows[0].SwapInSec, rows[len(rows)-1].SwapInSec)
+	}
+}
+
+func TestFigure6bShape(t *testing.T) {
+	rows, err := Figure6b(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Fig6bRow)
+	for _, r := range rows {
+		byName[r.Model] = r
+		if r.SwapInSec >= r.OllamaLoadSec {
+			t.Errorf("%s: swap-in %.2f not faster than Ollama load %.2f",
+				r.Model, r.SwapInSec, r.OllamaLoadSec)
+		}
+	}
+	// §5.3 anchors: 1B swap-in ~0.75s at ~3.6 GB; 14B ~4.6s at ~30.5 GB.
+	small := byName["llama3.2:1b-fp16"]
+	within(t, "1B gpu mem", small.GPUMemGiB, 3.6, 0.15)
+	if small.SwapInSec < 0.5 || small.SwapInSec > 1.3 {
+		t.Errorf("1B swap-in = %.2f, want ~0.75", small.SwapInSec)
+	}
+	large := byName["deepseek-r1:14b-fp16"]
+	within(t, "14B gpu mem", large.GPUMemGiB, 30.5, 0.1)
+	if large.SwapInSec < 3.5 || large.SwapInSec > 5.6 {
+		t.Errorf("14B swap-in = %.2f, want ~4.6", large.SwapInSec)
+	}
+}
+
+func TestHeadlineClaims(t *testing.T) {
+	a, err := Figure6a(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure6b(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Headline(a, b)
+	// Speedups over vLLM cold starts: the paper reports 18-31x against its
+	// (longer) measured cold starts; our Figure 2-style cold starts give a
+	// lower but still dramatic band.
+	if h.VLLMSpeedupMin < 5 || h.VLLMSpeedupMax < h.VLLMSpeedupMin {
+		t.Errorf("vLLM speedups = %.1f-%.1f", h.VLLMSpeedupMin, h.VLLMSpeedupMax)
+	}
+	// ~2.6x for the 1B model over Ollama.
+	if h.OllamaSmallSpeedup < 1.7 || h.OllamaSmallSpeedup > 3.8 {
+		t.Errorf("Ollama small speedup = %.2f, want ~2.6", h.OllamaSmallSpeedup)
+	}
+	// ~29% for the 14B model.
+	if h.OllamaLargeImprovement < 0.10 || h.OllamaLargeImprovement > 0.45 {
+		t.Errorf("Ollama large improvement = %.0f%%, want ~29%%", 100*h.OllamaLargeImprovement)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	series := Figure1(42)
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	var coding, conv Fig1Summary
+	for _, s := range series {
+		if len(s.Buckets) != 7*24 {
+			t.Fatalf("%s buckets = %d", s.Class, len(s.Buckets))
+		}
+		sum := Summarize(s)
+		if s.Class == workload.ClassCoding {
+			coding = sum
+		} else {
+			conv = sum
+		}
+	}
+	// Coding is input-dominated; conversational output-heavy relative to it.
+	codingRatio := float64(coding.TotalInput) / float64(coding.TotalOutput)
+	convRatio := float64(conv.TotalInput) / float64(conv.TotalOutput)
+	if codingRatio <= convRatio {
+		t.Errorf("token ratios: coding %.1f vs conversational %.1f", codingRatio, convRatio)
+	}
+	// Strong diurnal pattern and weekend drop for coding.
+	if coding.PeakTroughRatio < 3 {
+		t.Errorf("coding peak:trough = %.1f, want >= 3", coding.PeakTroughRatio)
+	}
+	if coding.WeekendReduction < 0.4 {
+		t.Errorf("coding weekend drop = %.0f%%, want >= 40%%", 100*coding.WeekendReduction)
+	}
+	if conv.WeekendReduction >= coding.WeekendReduction {
+		t.Error("conversational weekend drop should be milder than coding")
+	}
+	if coding.BusinessShare < 0.5 {
+		t.Errorf("coding business-hours share = %.0f%%, want >= 50%%", 100*coding.BusinessShare)
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	r := Figure3(7)
+	if len(r.Samples) != 30*24*4 {
+		t.Fatalf("samples = %d", len(r.Samples))
+	}
+	// Figure 3's point: memory pinned high, utilization low.
+	if r.MemFrac < 0.7 || r.MemFrac > 0.95 {
+		t.Errorf("memory fraction = %.2f, want ~0.85", r.MemFrac)
+	}
+	if r.MeanUtil > 0.30 {
+		t.Errorf("mean utilization = %.2f, want low (<0.30)", r.MeanUtil)
+	}
+	if r.P95Util <= r.MeanUtil {
+		t.Error("p95 utilization should exceed mean (spiky)")
+	}
+}
+
+func TestAblationSleepMode(t *testing.T) {
+	rows, err := AblationSleepMode(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	off, on := rows[0], rows[1]
+	if on.SnapshotGiB >= off.SnapshotGiB/10 {
+		t.Errorf("sleep-mode snapshot %.2f GiB not ≪ %.2f GiB", on.SnapshotGiB, off.SnapshotGiB)
+	}
+	if on.SwapInSec >= off.SwapInSec {
+		t.Errorf("sleep-mode swap-in %.2f not faster than %.2f", on.SwapInSec, off.SwapInSec)
+	}
+}
+
+func TestAblationConsolidation(t *testing.T) {
+	rows := AblationConsolidation()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	dedicated, cold, swap := rows[0], rows[1], rows[2]
+	if dedicated.GPUs != 6 {
+		t.Errorf("dedicated fleet needs %d GPUs, want 6", dedicated.GPUs)
+	}
+	if swap.GPUs != 1 || cold.GPUs != 1 {
+		t.Error("on-demand strategies should use one GPU")
+	}
+	if swap.WorstLatency >= cold.WorstLatency {
+		t.Errorf("hot-swap worst wait %.2f not below cold start %.2f",
+			swap.WorstLatency, cold.WorstLatency)
+	}
+	if swap.WorstLatency <= 0 {
+		t.Error("hot-swap worst wait must be positive")
+	}
+}
+
+func TestAblationPreemptionPolicy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-policy trial is slow")
+	}
+	rows, err := AblationPreemptionPolicy(1500, 48, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byPolicy := make(map[string]PolicyAblationRow)
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.Errors > 0 {
+			t.Errorf("policy %s: %d errors", r.Policy, r.Errors)
+		}
+		if r.Served == 0 {
+			t.Errorf("policy %s served nothing", r.Policy)
+		}
+	}
+	// The demand-aware policy avoids evicting the hot backend (the one
+	// with queued/active requests); demand-blind round-robin keeps
+	// hitting it.
+	da, rr := byPolicy["demand-aware"], byPolicy["round-robin"]
+	if da.HotSwapOuts > rr.HotSwapOuts {
+		t.Errorf("demand-aware hot evictions %d > round-robin %d", da.HotSwapOuts, rr.HotSwapOuts)
+	}
+}
+
+func TestPrintersProduceOutput(t *testing.T) {
+	var sb strings.Builder
+	PrintTable1(&sb, []Table1Row{{DisplayName: "X", TotalSec: 1}})
+	PrintFigure2(&sb, []Fig2Row{{Engine: perfmodel.EngineVLLM, Model: "llama3.1:8b-fp16", DisplayName: "L", ColdStartSec: 1}})
+	PrintFigure5(&sb, []Fig5Row{{DisplayName: "X"}})
+	PrintFigure6a(&sb, []Fig6aRow{{DisplayName: "X", SwapInSec: 1, ColdStartSec: 2}})
+	PrintFigure6b(&sb, []Fig6bRow{{DisplayName: "X", SwapInSec: 1, OllamaLoadSec: 2}})
+	PrintHeadline(&sb, HeadlineResult{})
+	PrintFigure1(&sb, Figure1(1))
+	PrintFigure3(&sb, Fig3Result{})
+	PrintPolicyAblation(&sb, []PolicyAblationRow{{Policy: "x"}})
+	PrintSleepModeAblation(&sb, []SleepModeAblationRow{{}})
+	PrintConsolidation(&sb, AblationConsolidation())
+	if !strings.Contains(sb.String(), "Table 1") || !strings.Contains(sb.String(), "Figure 6b") {
+		t.Fatal("printers produced unexpected output")
+	}
+}
+
+func TestAblationElasticity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy trial is slow")
+	}
+	rows, err := AblationElasticity(2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	warm, swap, pre := rows[0], rows[1], rows[2]
+	// Always-warm pays the most memory; hot-swapping cuts it sharply.
+	if swap.MemGiBSec >= warm.MemGiBSec*0.8 {
+		t.Errorf("hot-swap memory %.0f GiB*s not well below always-warm %.0f", swap.MemGiBSec, warm.MemGiBSec)
+	}
+	// Always-warm has the best latency (no swap-ins at all).
+	if warm.SwapIns != 0 {
+		t.Errorf("always-warm performed %d swap-ins", warm.SwapIns)
+	}
+	// Always-warm latency must not be materially worse than hot-swap
+	// (it usually wins outright; allow measurement noise under CPU
+	// contention since hot-swap's advantage shows in memory, not speed).
+	if warm.MeanSec > swap.MeanSec*1.5 {
+		t.Errorf("always-warm mean %.2f well above hot-swap %.2f", warm.MeanSec, swap.MeanSec)
+	}
+	// The prefetcher must fire and must not cost more memory than
+	// always-warm.
+	if pre.Prefetches == 0 {
+		t.Error("prefetcher never fired")
+	}
+	if pre.MemGiBSec >= warm.MemGiBSec {
+		t.Errorf("prefetch memory %.0f not below always-warm %.0f", pre.MemGiBSec, warm.MemGiBSec)
+	}
+}
+
+func TestAblationSnapshotTiering(t *testing.T) {
+	rows, err := AblationSnapshotTiering(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var ram, disk []TieringRow
+	for _, r := range rows {
+		if r.Location == "disk" {
+			disk = append(disk, r)
+		} else {
+			ram = append(ram, r)
+		}
+	}
+	if len(disk) == 0 {
+		t.Fatal("no image was spilled under the 40 GiB cap")
+	}
+	if len(ram) == 0 {
+		t.Fatal("every image spilled (cap accounting broken)")
+	}
+	// A disk-tier restore must pay the disk read on top of what a
+	// RAM-resident restore of the same image would cost (analytic
+	// same-size comparison; per-GiB ratios are unfair across sizes
+	// because of fixed overheads).
+	tb := perfmodel.H100()
+	for _, r := range disk {
+		imgBytes := int64(r.SnapshotGiB * float64(1<<30))
+		ramEquiv := tb.CheckpointRestore(imgBytes, imgBytes, perfmodel.EngineOllama).Seconds()
+		if r.SwapInSec <= ramEquiv+1 {
+			t.Errorf("%s: disk swap-in %.2f s not above same-size RAM estimate %.2f s",
+				r.Scenario, r.SwapInSec, ramEquiv)
+		}
+	}
+}
+
+func TestAblationCompileCache(t *testing.T) {
+	rows, err := AblationCompileCache(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	coldCold, coldWarm, swap := rows[0], rows[1], rows[2]
+	// The warm compile cache saves roughly Table 1's compile column
+	// (29.3s for L3.1-8B).
+	saved := coldCold.LatencySec - coldWarm.LatencySec
+	if saved < 25 || saved > 34 {
+		t.Errorf("warm cache saved %.1fs, want ~29", saved)
+	}
+	// But hot-swapping still beats the warm-cache cold start by a wide
+	// margin: graph capture, runtime setup, and the Python boot remain.
+	if swap.LatencySec*3 > coldWarm.LatencySec {
+		t.Errorf("swap-in %.1fs not well below warm-cache cold start %.1fs",
+			swap.LatencySec, coldWarm.LatencySec)
+	}
+}

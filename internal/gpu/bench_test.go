@@ -1,0 +1,56 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"swapservellm/internal/perfmodel"
+)
+
+func BenchmarkAllocFree(b *testing.B) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d.Alloc("bench", gib)
+		d.FreeOwner("bench")
+	}
+}
+
+func BenchmarkAllocFreeManyOwners(b *testing.B) {
+	d := NewDevice(0, perfmodel.GPUH100, 1<<50)
+	for i := 0; i < 64; i++ {
+		d.Alloc(fmt.Sprintf("resident-%d", i), gib)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Alloc("bench", gib)
+		d.FreeOwner("bench")
+	}
+}
+
+func BenchmarkStats(b *testing.B) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	for i := 0; i < 8; i++ {
+		d.Alloc(fmt.Sprintf("o%d", i), gib)
+		d.SetBusy(fmt.Sprintf("o%d", i), 0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Stats()
+	}
+}
+
+func BenchmarkUsageIntegralTracking(b *testing.B) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	now := time.Now()
+	d.EnableUsageTracking(func() time.Time { now = now.Add(time.Millisecond); return now })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Alloc("bench", gib)
+		d.FreeOwner("bench")
+	}
+	if d.UsageIntegral() <= 0 {
+		b.Fatal("no usage accumulated")
+	}
+}

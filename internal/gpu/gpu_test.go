@@ -1,0 +1,322 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"swapservellm/internal/perfmodel"
+)
+
+const gib = int64(1) << 30
+
+func newTestDevice() *Device {
+	return NewDevice(0, perfmodel.GPUH100, 80*gib)
+}
+
+func TestAllocAndFree(t *testing.T) {
+	d := newTestDevice()
+	if err := d.Alloc("vllm-a", 30*gib); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if err := d.Alloc("ollama-b", 20*gib); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if got := d.Used(); got != 50*gib {
+		t.Fatalf("Used = %d, want %d", got, 50*gib)
+	}
+	if got := d.Free(); got != 30*gib {
+		t.Fatalf("Free = %d, want %d", got, 30*gib)
+	}
+	freed, err := d.FreeOwner("vllm-a")
+	if err != nil || freed != 30*gib {
+		t.Fatalf("FreeOwner = %d, %v", freed, err)
+	}
+	if got := d.Used(); got != 20*gib {
+		t.Fatalf("Used after free = %d, want %d", got, 20*gib)
+	}
+}
+
+func TestAllocAccumulates(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("e", 10*gib)
+	d.Alloc("e", 5*gib)
+	if got := d.OwnerUsage("e"); got != 15*gib {
+		t.Fatalf("OwnerUsage = %d, want %d", got, 15*gib)
+	}
+}
+
+func TestAllocOutOfMemory(t *testing.T) {
+	d := newTestDevice()
+	if err := d.Alloc("big", 81*gib); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	d.Alloc("a", 79*gib)
+	if err := d.Alloc("b", 2*gib); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory for second alloc, got %v", err)
+	}
+	// The failed allocation must not change accounting.
+	if got := d.Used(); got != 79*gib {
+		t.Fatalf("failed alloc changed Used to %d", got)
+	}
+}
+
+func TestAllocNegative(t *testing.T) {
+	d := newTestDevice()
+	if err := d.Alloc("x", -1); err == nil {
+		t.Fatal("negative alloc should fail")
+	}
+}
+
+func TestFreeUnknownOwner(t *testing.T) {
+	d := newTestDevice()
+	if _, err := d.FreeOwner("ghost"); !errors.Is(err, ErrUnknownOwner) {
+		t.Fatalf("expected ErrUnknownOwner, got %v", err)
+	}
+}
+
+func TestResize(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("e", 10*gib)
+	if err := d.Resize("e", 40*gib); err != nil {
+		t.Fatalf("grow: %v", err)
+	}
+	if got := d.OwnerUsage("e"); got != 40*gib {
+		t.Fatalf("after grow OwnerUsage = %d", got)
+	}
+	if err := d.Resize("e", 5*gib); err != nil {
+		t.Fatalf("shrink: %v", err)
+	}
+	if got := d.Used(); got != 5*gib {
+		t.Fatalf("after shrink Used = %d", got)
+	}
+	if err := d.Resize("e", 0); err != nil {
+		t.Fatalf("resize to zero: %v", err)
+	}
+	if got := d.OwnerUsage("e"); got != 0 {
+		t.Fatalf("after zero resize OwnerUsage = %d", got)
+	}
+}
+
+func TestResizeOOM(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("a", 70*gib)
+	d.Alloc("b", 5*gib)
+	if err := d.Resize("b", 20*gib); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("expected ErrOutOfMemory, got %v", err)
+	}
+	if got := d.OwnerUsage("b"); got != 5*gib {
+		t.Fatalf("failed resize changed usage to %d", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := newTestDevice()
+	if u := d.Utilization(); u != 0 {
+		t.Fatalf("idle utilization = %v", u)
+	}
+	d.SetBusy("a", 0.3)
+	d.SetBusy("b", 0.5)
+	if u := d.Utilization(); u < 0.79 || u > 0.81 {
+		t.Fatalf("utilization = %v, want 0.8", u)
+	}
+	d.SetBusy("a", 0.9) // sum capped at 1
+	if u := d.Utilization(); u != 1 {
+		t.Fatalf("capped utilization = %v, want 1", u)
+	}
+	d.SetBusy("a", 0)
+	d.SetBusy("b", 0)
+	if u := d.Utilization(); u != 0 {
+		t.Fatalf("cleared utilization = %v", u)
+	}
+	d.SetBusy("c", 7)    // clamped to 1
+	d.SetBusy("d", -0.5) // clamped to 0
+	if u := d.Utilization(); u != 1 {
+		t.Fatalf("clamped utilization = %v, want 1", u)
+	}
+}
+
+func TestOwnersSorted(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("small", 1*gib)
+	d.Alloc("large", 40*gib)
+	d.Alloc("mid", 10*gib)
+	owners := d.Owners()
+	if len(owners) != 3 {
+		t.Fatalf("got %d owners", len(owners))
+	}
+	if owners[0].Name != "large" || owners[1].Name != "mid" || owners[2].Name != "small" {
+		t.Fatalf("owners not sorted by bytes: %+v", owners)
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("a", 12*gib)
+	d.SetBusy("a", 0.25)
+	s := d.Stats()
+	if s.UsedBytes != 12*gib || s.TotalBytes != 80*gib || s.Utilization != 0.25 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Kind != perfmodel.GPUH100 || s.ID != 0 {
+		t.Fatalf("identity fields wrong: %+v", s)
+	}
+}
+
+func TestFreeOwnerClearsBusy(t *testing.T) {
+	d := newTestDevice()
+	d.Alloc("a", gib)
+	d.SetBusy("a", 0.7)
+	d.FreeOwner("a")
+	if u := d.Utilization(); u != 0 {
+		t.Fatalf("utilization after FreeOwner = %v", u)
+	}
+}
+
+func TestNewDevicePanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero capacity")
+		}
+	}()
+	NewDevice(0, perfmodel.GPUA100, 0)
+}
+
+func TestConcurrentAllocFree(t *testing.T) {
+	d := newTestDevice()
+	const workers = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		owner := fmt.Sprintf("w%d", w)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if err := d.Alloc(owner, gib); err == nil {
+					d.FreeOwner(owner)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// After all paired alloc/free cycles the device must be empty.
+	if got := d.Used(); got != 0 {
+		t.Fatalf("leaked %d bytes after concurrent churn", got)
+	}
+}
+
+// Property: the allocation invariant 0 <= Used <= Total holds under any
+// sequence of alloc/free operations.
+func TestAllocationInvariantProperty(t *testing.T) {
+	type op struct {
+		Owner byte
+		Bytes uint32
+		Free  bool
+	}
+	f := func(ops []op) bool {
+		d := NewDevice(0, perfmodel.GPUA100, 1<<30)
+		for _, o := range ops {
+			owner := fmt.Sprintf("o%d", o.Owner%8)
+			if o.Free {
+				d.FreeOwner(owner)
+			} else {
+				d.Alloc(owner, int64(o.Bytes))
+			}
+			used := d.Used()
+			if used < 0 || used > d.Total() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Used equals the sum of per-owner usages.
+func TestUsedEqualsOwnerSumProperty(t *testing.T) {
+	f := func(allocs []uint16) bool {
+		d := NewDevice(0, perfmodel.GPUH100, 1<<40)
+		var want int64
+		for i, a := range allocs {
+			owner := fmt.Sprintf("o%d", i%5)
+			if d.Alloc(owner, int64(a)) == nil {
+				want += int64(a)
+			}
+		}
+		var sum int64
+		for _, o := range d.Owners() {
+			sum += o.Bytes
+		}
+		return d.Used() == want && sum == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopology(t *testing.T) {
+	topo := NewTopology(perfmodel.GPUH100, 4, 80*gib)
+	if topo.Len() != 4 {
+		t.Fatalf("Len = %d", topo.Len())
+	}
+	d2, err := topo.Device(2)
+	if err != nil || d2.ID() != 2 {
+		t.Fatalf("Device(2) = %v, %v", d2, err)
+	}
+	if _, err := topo.Device(4); err == nil {
+		t.Fatal("Device(4) should fail")
+	}
+	if _, err := topo.Device(-1); err == nil {
+		t.Fatal("Device(-1) should fail")
+	}
+	d2.Alloc("x", 10*gib)
+	if free := topo.TotalFree(); free != 4*80*gib-10*gib {
+		t.Fatalf("TotalFree = %d", free)
+	}
+}
+
+func TestFromTestbed(t *testing.T) {
+	topo := FromTestbed(perfmodel.H100())
+	if topo.Len() != 1 {
+		t.Fatalf("H100 testbed should have 1 GPU, got %d", topo.Len())
+	}
+	d, _ := topo.Device(0)
+	if d.Total() != 80*gib {
+		t.Fatalf("capacity = %d, want 80 GiB", d.Total())
+	}
+}
+
+func TestMonitorSample(t *testing.T) {
+	topo := NewTopology(perfmodel.GPUA100, 2, 80*gib)
+	mon := NewMonitor(topo)
+	d0, _ := topo.Device(0)
+	d0.Alloc("m", 16*gib)
+	stats := mon.Sample()
+	if len(stats) != 2 {
+		t.Fatalf("Sample returned %d entries", len(stats))
+	}
+	if stats[0].UsedBytes != 16*gib || stats[1].UsedBytes != 0 {
+		t.Fatalf("sample = %+v", stats)
+	}
+	free, err := mon.FreeBytes(0)
+	if err != nil || free != 64*gib {
+		t.Fatalf("FreeBytes = %d, %v", free, err)
+	}
+	if _, err := mon.FreeBytes(9); err == nil {
+		t.Fatal("FreeBytes(9) should fail")
+	}
+}
+
+func TestTopologyPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty topology")
+		}
+	}()
+	NewTopology(perfmodel.GPUH100, 0, gib)
+}

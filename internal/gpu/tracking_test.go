@@ -1,0 +1,72 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+
+	"swapservellm/internal/perfmodel"
+)
+
+// fakeClock is a hand-advanced time source for integral tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time { return f.t }
+func (f *fakeClock) advance(d time.Duration) {
+	f.t = f.t.Add(d)
+}
+
+func TestUsageIntegralExact(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	fc := &fakeClock{t: time.Unix(1000, 0)}
+	d.EnableUsageTracking(fc.now)
+
+	// 10 GiB for 5 seconds.
+	d.Alloc("a", 10*gib)
+	fc.advance(5 * time.Second)
+	// Grow to 30 GiB for 2 seconds.
+	d.Alloc("a", 20*gib)
+	fc.advance(2 * time.Second)
+	// Free everything for 3 seconds.
+	d.FreeOwner("a")
+	fc.advance(3 * time.Second)
+
+	want := float64(10*gib)*5 + float64(30*gib)*2 + 0*3
+	if got := d.UsageIntegral(); got != want {
+		t.Fatalf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestUsageIntegralZeroWithoutTracking(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	d.Alloc("a", gib)
+	if got := d.UsageIntegral(); got != 0 {
+		t.Fatalf("integral without tracking = %v", got)
+	}
+}
+
+func TestUsageIntegralResizeAccounted(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d.EnableUsageTracking(fc.now)
+	d.Alloc("a", 4*gib)
+	fc.advance(10 * time.Second)
+	d.Resize("a", 2*gib)
+	fc.advance(10 * time.Second)
+	want := float64(4*gib)*10 + float64(2*gib)*10
+	if got := d.UsageIntegral(); got != want {
+		t.Fatalf("integral = %v, want %v", got, want)
+	}
+}
+
+func TestUsageIntegralQueryAccumulates(t *testing.T) {
+	// Reading the integral mid-flight includes the elapsed time since the
+	// last change.
+	d := NewDevice(0, perfmodel.GPUH100, 80*gib)
+	fc := &fakeClock{t: time.Unix(0, 0)}
+	d.EnableUsageTracking(fc.now)
+	d.Alloc("a", gib)
+	fc.advance(7 * time.Second)
+	if got, want := d.UsageIntegral(), float64(gib)*7; got != want {
+		t.Fatalf("integral = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,200 @@
+package models
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Catalog is a read-only registry of model definitions, keyed by canonical
+// name. The zero value is empty; use NewCatalog or Default.
+type Catalog struct {
+	mu     sync.RWMutex
+	byName map[string]Model
+}
+
+// NewCatalog builds a catalog from the given models. Duplicate names panic:
+// the catalog is assembled from static definitions, so a duplicate is a
+// programming error.
+func NewCatalog(ms ...Model) *Catalog {
+	c := &Catalog{byName: make(map[string]Model, len(ms))}
+	for _, m := range ms {
+		if _, dup := c.byName[m.Name]; dup {
+			panic(fmt.Sprintf("models: duplicate catalog entry %q", m.Name))
+		}
+		c.byName[m.Name] = m
+	}
+	return c
+}
+
+// Lookup returns the model with the given canonical name.
+func (c *Catalog) Lookup(name string) (Model, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.byName[name]
+	return m, ok
+}
+
+// MustLookup is Lookup that panics on a missing name; for static experiment
+// definitions where absence is a programming error.
+func (c *Catalog) MustLookup(name string) Model {
+	m, ok := c.Lookup(name)
+	if !ok {
+		panic(fmt.Sprintf("models: unknown model %q", name))
+	}
+	return m
+}
+
+// Register adds a model definition, returning an error on duplicates.
+func (c *Catalog) Register(m Model) error {
+	if m.Name == "" {
+		return fmt.Errorf("models: empty model name")
+	}
+	if !m.Quant.Valid() {
+		return fmt.Errorf("models: model %q has invalid quantization %q", m.Name, m.Quant)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.byName[m.Name]; dup {
+		return fmt.Errorf("models: duplicate model %q", m.Name)
+	}
+	c.byName[m.Name] = m
+	return nil
+}
+
+// Names returns all canonical names in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.byName))
+	for n := range c.byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len reports the number of registered models.
+func (c *Catalog) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.byName)
+}
+
+// ByFamily returns all models of the given family, sorted by parameter
+// count then name.
+func (c *Catalog) ByFamily(f Family) []Model {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	var out []Model
+	for _, m := range c.byName {
+		if m.Family == f {
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Params != out[j].Params {
+			return out[i].Params < out[j].Params
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// def constructs a catalog entry; sizes follow the published architectures.
+func def(name, display string, fam Family, paramsB float64, q Quantization, a Arch) Model {
+	return Model{
+		Name:        name,
+		DisplayName: display,
+		Family:      fam,
+		Params:      int64(paramsB * 1e9),
+		Quant:       q,
+		Arch:        a,
+	}
+}
+
+// Published transformer architectures for the evaluated models.
+var (
+	archLlama1B  = Arch{Layers: 16, HiddenDim: 2048, NumHeads: 32, NumKVHeads: 8, HeadDim: 64, VocabSize: 128256, ContextLen: 131072}
+	archLlama3B  = Arch{Layers: 28, HiddenDim: 3072, NumHeads: 24, NumKVHeads: 8, HeadDim: 128, VocabSize: 128256, ContextLen: 131072}
+	archLlama8B  = Arch{Layers: 32, HiddenDim: 4096, NumHeads: 32, NumKVHeads: 8, HeadDim: 128, VocabSize: 128256, ContextLen: 131072}
+	archLlama70B = Arch{Layers: 80, HiddenDim: 8192, NumHeads: 64, NumKVHeads: 8, HeadDim: 128, VocabSize: 128256, ContextLen: 131072}
+	archDS15B    = Arch{Layers: 28, HiddenDim: 1536, NumHeads: 12, NumKVHeads: 2, HeadDim: 128, VocabSize: 151936, ContextLen: 131072}
+	archDS7B     = Arch{Layers: 28, HiddenDim: 3584, NumHeads: 28, NumKVHeads: 4, HeadDim: 128, VocabSize: 152064, ContextLen: 131072}
+	archDS8B     = archLlama8B // R1-Distill-Llama-8B
+	archDS14B    = Arch{Layers: 48, HiddenDim: 5120, NumHeads: 40, NumKVHeads: 8, HeadDim: 128, VocabSize: 152064, ContextLen: 131072}
+	archDSC67B   = Arch{Layers: 32, HiddenDim: 4096, NumHeads: 32, NumKVHeads: 32, HeadDim: 128, VocabSize: 32256, ContextLen: 16384}
+	archGemma7B  = Arch{Layers: 28, HiddenDim: 3072, NumHeads: 16, NumKVHeads: 16, HeadDim: 256, VocabSize: 256000, ContextLen: 8192}
+	archGemma4B  = Arch{Layers: 34, HiddenDim: 2560, NumHeads: 8, NumKVHeads: 4, HeadDim: 256, VocabSize: 262144, ContextLen: 131072}
+	archGemma12B = Arch{Layers: 48, HiddenDim: 3840, NumHeads: 16, NumKVHeads: 8, HeadDim: 256, VocabSize: 262144, ContextLen: 131072}
+	archGemma27B = Arch{Layers: 62, HiddenDim: 5376, NumHeads: 32, NumKVHeads: 16, HeadDim: 128, VocabSize: 262144, ContextLen: 131072}
+)
+
+// catalogEntries lists every model variant referenced in the paper's
+// evaluation (Figures 2, 5, 6; Table 1; §3.4 examples).
+func catalogEntries() []Model {
+	base := []Model{
+		// LLaMA family.
+		def("llama3.2:1b-fp16", "L3.2-1B", FamilyLLaMA, 1.24, QuantFP16, archLlama1B),
+		def("llama3.2:3b-fp16", "L3.2-3B", FamilyLLaMA, 3.21, QuantFP16, archLlama3B),
+		def("llama3.1:8b-fp16", "L3.1-8B", FamilyLLaMA, 8.03, QuantFP16, archLlama8B),
+		def("llama3.3:70b-fp8", "L3.3-70B", FamilyLLaMA, 70.6, QuantFP8, archLlama70B),
+		// DeepSeek-R1 distills (Figure 5 sweeps these across Q4/Q8/FP16).
+		def("deepseek-r1:1.5b-fp16", "DS-1.5B", FamilyDeepSeekR1, 1.78, QuantFP16, archDS15B),
+		def("deepseek-r1:7b-fp16", "DS-7B", FamilyDeepSeekR1, 7.62, QuantFP16, archDS7B),
+		def("deepseek-r1:8b-fp16", "DS-8B", FamilyDeepSeekR1, 8.03, QuantFP16, archDS8B),
+		def("deepseek-r1:14b-fp16", "DS-14B", FamilyDeepSeekR1, 14.77, QuantFP16, archDS14B),
+		def("deepseek-coder:6.7b-fp16", "DSC-6.7B", FamilyDeepSeekCoder, 6.74, QuantFP16, archDSC67B),
+		// Gemma.
+		def("gemma:7b-fp16", "G-7B", FamilyGemma, 8.54, QuantFP16, archGemma7B),
+		def("gemma3:4b-fp16", "G3-4B", FamilyGemma3, 4.3, QuantFP16, archGemma4B),
+		def("gemma3:12b-fp16", "G3-12B", FamilyGemma3, 12.19, QuantFP16, archGemma12B),
+		def("gemma3:27b-fp16", "G3-27B", FamilyGemma3, 27.01, QuantFP16, archGemma27B),
+	}
+	// Quantized GGUF variants for the Ollama loading experiments (Figure 5).
+	quantSweep := []string{
+		"deepseek-r1:1.5b-fp16",
+		"deepseek-r1:7b-fp16",
+		"deepseek-r1:8b-fp16",
+		"deepseek-r1:14b-fp16",
+		"llama3.2:1b-fp16",
+		"llama3.1:8b-fp16",
+	}
+	byName := make(map[string]Model, len(base))
+	for _, m := range base {
+		byName[m.Name] = m
+	}
+	out := base
+	for _, name := range quantSweep {
+		m := byName[name]
+		for _, q := range []Quantization{QuantQ4, QuantQ8} {
+			v := m
+			v.Quant = q
+			v.Name = strings.Replace(m.Name, "-fp16", "-"+strings.ToLower(tagOf(q)), 1)
+			v.DisplayName = m.DisplayName + " " + strings.ToUpper(tagOf(q))
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// tagOf maps a quantization to the short tag used in catalog names.
+func tagOf(q Quantization) string {
+	switch q {
+	case QuantQ4:
+		return "q4"
+	case QuantQ8:
+		return "q8"
+	case QuantFP8:
+		return "fp8"
+	default:
+		return "fp16"
+	}
+}
+
+var defaultCatalog = NewCatalog(catalogEntries()...)
+
+// Default returns the shared catalog with every model variant used by the
+// paper's evaluation.
+func Default() *Catalog { return defaultCatalog }

@@ -1,0 +1,139 @@
+// Package models defines the LLM model catalog used throughout the
+// SwapServeLLM reproduction: the LLaMA, DeepSeek, and Gemma model families
+// evaluated in the paper, with their architectures, quantization levels,
+// weight sizes, and GPU memory footprints.
+package models
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Family identifies a model architecture family.
+type Family string
+
+// Model families evaluated in the paper (§5.1).
+const (
+	FamilyLLaMA         Family = "llama"
+	FamilyDeepSeekR1    Family = "deepseek-r1"
+	FamilyDeepSeekCoder Family = "deepseek-coder"
+	FamilyGemma         Family = "gemma"
+	FamilyGemma3        Family = "gemma3"
+)
+
+// Quantization identifies the numeric format of the stored weights.
+type Quantization string
+
+// Quantization levels used in the evaluation (Figure 5 sweeps Q4/Q8/FP16;
+// LLaMA 3.3 70B is served in FP8 in §3.4).
+const (
+	QuantQ4   Quantization = "Q4_K_M"
+	QuantQ8   Quantization = "Q8_0"
+	QuantFP8  Quantization = "FP8"
+	QuantFP16 Quantization = "FP16"
+)
+
+// BytesPerParam returns the effective storage bytes per parameter for the
+// quantization, including GGUF block metadata overheads for the K-quants.
+func (q Quantization) BytesPerParam() float64 {
+	switch q {
+	case QuantQ4:
+		return 0.5625 // 4.5 bits/weight effective
+	case QuantQ8:
+		return 1.0625 // 8.5 bits/weight effective
+	case QuantFP8:
+		return 1.0
+	case QuantFP16:
+		return 2.0
+	default:
+		return 2.0
+	}
+}
+
+// Valid reports whether q is one of the supported quantization levels.
+func (q Quantization) Valid() bool {
+	switch q {
+	case QuantQ4, QuantQ8, QuantFP8, QuantFP16:
+		return true
+	}
+	return false
+}
+
+// Arch holds the transformer architecture parameters that determine the
+// KV-cache footprint and compute characteristics.
+type Arch struct {
+	Layers     int // number of transformer blocks
+	HiddenDim  int // model (embedding) dimension
+	NumHeads   int // attention heads
+	NumKVHeads int // key/value heads (GQA)
+	HeadDim    int // per-head dimension
+	VocabSize  int // tokenizer vocabulary size
+	ContextLen int // maximum context length supported
+}
+
+// Model describes one deployable model variant: an architecture at a
+// specific parameter count and quantization.
+type Model struct {
+	// Name is the canonical identifier, e.g. "deepseek-r1:14b-fp16".
+	Name string
+	// DisplayName is the short label used in the paper's tables/figures,
+	// e.g. "DS-14B".
+	DisplayName string
+	Family      Family
+	// Params is the total parameter count.
+	Params int64
+	Quant  Quantization
+	Arch   Arch
+}
+
+// String returns the canonical name.
+func (m Model) String() string { return m.Name }
+
+// ParamsB returns the parameter count in billions.
+func (m Model) ParamsB() float64 { return float64(m.Params) / 1e9 }
+
+// WeightBytes returns the on-disk/weight-file size in bytes for the model's
+// quantization.
+func (m Model) WeightBytes() int64 {
+	return int64(float64(m.Params) * m.Quant.BytesPerParam())
+}
+
+// KVBytesPerToken returns the KV-cache bytes required per token of context
+// (two tensors — K and V — per layer, over the KV heads, at the cache
+// dtype width; FP16 cache assumed except for Q4/Q8 GGUF models which use
+// FP16 caches as well in llama.cpp's default configuration).
+func (m Model) KVBytesPerToken() int64 {
+	const cacheBytesPerScalar = 2 // FP16 KV cache
+	a := m.Arch
+	if a.Layers == 0 || a.NumKVHeads == 0 || a.HeadDim == 0 {
+		return 0
+	}
+	return int64(2 * a.Layers * a.NumKVHeads * a.HeadDim * cacheBytesPerScalar)
+}
+
+// KVCacheBytes returns the KV-cache bytes for a context of tokens tokens.
+func (m Model) KVCacheBytes(tokens int) int64 {
+	return m.KVBytesPerToken() * int64(tokens)
+}
+
+// WithQuant returns a copy of the model at a different quantization level,
+// with the name rewritten accordingly.
+func (m Model) WithQuant(q Quantization) Model {
+	base := m.Name
+	if i := strings.LastIndex(base, "-"); i > 0 {
+		// The suffix after the final dash is the quant tag for catalog names
+		// of the form "family:size-quant".
+		if strings.Contains(base[i+1:], "b") == false {
+			base = base[:i]
+		}
+	}
+	m.Name = fmt.Sprintf("%s-%s", base, strings.ToLower(string(q)))
+	m.Quant = q
+	return m
+}
+
+// GiB is one gibibyte in bytes.
+const GiB = 1 << 30
+
+// MiB is one mebibyte in bytes.
+const MiB = 1 << 20

@@ -1,0 +1,239 @@
+package models
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantBytesPerParam(t *testing.T) {
+	cases := []struct {
+		q    Quantization
+		want float64
+	}{
+		{QuantQ4, 0.5625},
+		{QuantQ8, 1.0625},
+		{QuantFP8, 1.0},
+		{QuantFP16, 2.0},
+		{Quantization("bogus"), 2.0},
+	}
+	for _, c := range cases {
+		if got := c.q.BytesPerParam(); got != c.want {
+			t.Errorf("BytesPerParam(%s) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantValid(t *testing.T) {
+	for _, q := range []Quantization{QuantQ4, QuantQ8, QuantFP8, QuantFP16} {
+		if !q.Valid() {
+			t.Errorf("%s should be valid", q)
+		}
+	}
+	if Quantization("INT3").Valid() {
+		t.Error("INT3 should be invalid")
+	}
+}
+
+func TestWeightBytesOrdering(t *testing.T) {
+	// For a fixed parameter count, weight size must strictly increase with
+	// bit width: Q4 < FP8 < Q8 < FP16.
+	m := Default().MustLookup("deepseek-r1:14b-fp16")
+	q4, q8 := m, m
+	q4.Quant = QuantQ4
+	q8.Quant = QuantQ8
+	fp8 := m
+	fp8.Quant = QuantFP8
+	if !(q4.WeightBytes() < fp8.WeightBytes() && fp8.WeightBytes() < q8.WeightBytes() && q8.WeightBytes() < m.WeightBytes()) {
+		t.Fatalf("weight sizes not ordered: q4=%d fp8=%d q8=%d fp16=%d",
+			q4.WeightBytes(), fp8.WeightBytes(), q8.WeightBytes(), m.WeightBytes())
+	}
+}
+
+func TestWeightBytesPlausible(t *testing.T) {
+	// Sanity anchors: LLaMA 3.1 8B FP16 is ~16 GB, DS-R1 14B FP16 ~29.5 GB.
+	cases := []struct {
+		name         string
+		minGB, maxGB float64
+	}{
+		{"llama3.1:8b-fp16", 14, 18},
+		{"deepseek-r1:14b-fp16", 27, 32},
+		{"deepseek-r1:1.5b-q4", 0.8, 1.3},
+		{"llama3.3:70b-fp8", 65, 76},
+	}
+	for _, c := range cases {
+		m := Default().MustLookup(c.name)
+		gb := float64(m.WeightBytes()) / GiB
+		if gb < c.minGB || gb > c.maxGB {
+			t.Errorf("%s weight size %.2f GiB outside [%v, %v]", c.name, gb, c.minGB, c.maxGB)
+		}
+	}
+}
+
+func TestKVBytesPerToken(t *testing.T) {
+	m := Default().MustLookup("llama3.1:8b-fp16")
+	// 2 tensors * 32 layers * 8 KV heads * 128 head dim * 2 bytes = 131072.
+	if got := m.KVBytesPerToken(); got != 131072 {
+		t.Fatalf("KVBytesPerToken = %d, want 131072", got)
+	}
+	if got := m.KVCacheBytes(1000); got != 131072000 {
+		t.Fatalf("KVCacheBytes(1000) = %d", got)
+	}
+}
+
+func TestKVBytesZeroArch(t *testing.T) {
+	m := Model{Name: "x", Quant: QuantFP16}
+	if got := m.KVBytesPerToken(); got != 0 {
+		t.Fatalf("zero arch KVBytesPerToken = %d, want 0", got)
+	}
+}
+
+func TestCatalogLookup(t *testing.T) {
+	c := Default()
+	m, ok := c.Lookup("deepseek-r1:14b-fp16")
+	if !ok {
+		t.Fatal("deepseek-r1:14b-fp16 missing from catalog")
+	}
+	if m.DisplayName != "DS-14B" || m.Family != FamilyDeepSeekR1 {
+		t.Fatalf("unexpected entry %+v", m)
+	}
+	if _, ok := c.Lookup("gpt-5"); ok {
+		t.Fatal("unknown model found in catalog")
+	}
+}
+
+func TestCatalogMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown model did not panic")
+		}
+	}()
+	Default().MustLookup("nonexistent:model")
+}
+
+func TestCatalogContainsPaperModels(t *testing.T) {
+	// Every model named in Table 1 and Figures 2/5/6 must be present.
+	required := []string{
+		"deepseek-r1:1.5b-fp16", "deepseek-r1:7b-fp16", "deepseek-r1:8b-fp16", "deepseek-r1:14b-fp16",
+		"gemma3:4b-fp16", "gemma3:12b-fp16", "gemma3:27b-fp16",
+		"llama3.1:8b-fp16", "llama3.2:1b-fp16", "llama3.2:3b-fp16",
+		"gemma:7b-fp16", "deepseek-coder:6.7b-fp16", "llama3.3:70b-fp8",
+		"deepseek-r1:14b-q4", "deepseek-r1:14b-q8", "deepseek-r1:1.5b-q4",
+	}
+	for _, name := range required {
+		if _, ok := Default().Lookup(name); !ok {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+}
+
+func TestCatalogRegister(t *testing.T) {
+	c := NewCatalog()
+	m := def("custom:1b-fp16", "C-1B", FamilyLLaMA, 1.0, QuantFP16, archLlama1B)
+	if err := c.Register(m); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := c.Register(m); err == nil {
+		t.Fatal("duplicate Register did not fail")
+	}
+	if err := c.Register(Model{Name: "", Quant: QuantFP16}); err == nil {
+		t.Fatal("empty-name Register did not fail")
+	}
+	if err := c.Register(Model{Name: "bad", Quant: "INT3"}); err == nil {
+		t.Fatal("invalid-quant Register did not fail")
+	}
+}
+
+func TestCatalogNamesSorted(t *testing.T) {
+	names := Default().Names()
+	if len(names) != Default().Len() {
+		t.Fatalf("Names length %d != Len %d", len(names), Default().Len())
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %q >= %q", names[i-1], names[i])
+		}
+	}
+}
+
+func TestCatalogByFamilySorted(t *testing.T) {
+	ds := Default().ByFamily(FamilyDeepSeekR1)
+	if len(ds) < 4 {
+		t.Fatalf("expected >=4 DeepSeek-R1 variants, got %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i-1].Params > ds[i].Params {
+			t.Fatalf("ByFamily not sorted by params at %d", i)
+		}
+		if ds[i].Family != FamilyDeepSeekR1 {
+			t.Fatalf("wrong family %s in result", ds[i].Family)
+		}
+	}
+}
+
+func TestNewCatalogDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewCatalog with duplicates did not panic")
+		}
+	}()
+	m := def("dup:1b-fp16", "D", FamilyLLaMA, 1, QuantFP16, archLlama1B)
+	NewCatalog(m, m)
+}
+
+func TestQuantizedVariantsSmaller(t *testing.T) {
+	c := Default()
+	for _, base := range []string{"deepseek-r1:14b", "deepseek-r1:7b", "llama3.1:8b"} {
+		fp16 := c.MustLookup(base + "-fp16")
+		q8 := c.MustLookup(base + "-q8")
+		q4 := c.MustLookup(base + "-q4")
+		if !(q4.WeightBytes() < q8.WeightBytes() && q8.WeightBytes() < fp16.WeightBytes()) {
+			t.Errorf("%s: quantized sizes not ordered", base)
+		}
+		if q4.Params != fp16.Params {
+			t.Errorf("%s: quantization changed param count", base)
+		}
+	}
+}
+
+// Property: WeightBytes is monotonic in parameter count for any fixed
+// quantization, and always positive for positive params.
+func TestWeightBytesMonotonicProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		pa, pb := int64(a)+1, int64(b)+1
+		ma := Model{Params: pa * 1000, Quant: QuantQ4}
+		mb := Model{Params: pb * 1000, Quant: QuantQ4}
+		if pa < pb && ma.WeightBytes() > mb.WeightBytes() {
+			return false
+		}
+		return ma.WeightBytes() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: KV cache grows linearly in token count.
+func TestKVCacheLinearProperty(t *testing.T) {
+	m := Default().MustLookup("llama3.2:3b-fp16")
+	f := func(n uint16) bool {
+		return m.KVCacheBytes(int(n)) == int64(n)*m.KVBytesPerToken()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsB(t *testing.T) {
+	m := Default().MustLookup("deepseek-r1:14b-fp16")
+	if b := m.ParamsB(); b < 14 || b > 15 {
+		t.Fatalf("ParamsB = %v, want ~14.77", b)
+	}
+}
+
+func TestDisplayNamesForQuantVariants(t *testing.T) {
+	m := Default().MustLookup("deepseek-r1:14b-q4")
+	if !strings.Contains(m.DisplayName, "Q4") {
+		t.Fatalf("quant variant display name %q missing quant tag", m.DisplayName)
+	}
+}

@@ -1,0 +1,66 @@
+package openai
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func BenchmarkSSEWriteChunk(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewSSEWriter(&buf)
+	chunk := &ChatCompletionChunk{
+		ID:      "chatcmpl-bench",
+		Object:  "chat.completion.chunk",
+		Model:   "llama3.2:1b-fp16",
+		Choices: []DeltaChoice{{Delta: Message{Content: " token"}}},
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		w.WriteChunk(chunk)
+	}
+}
+
+func BenchmarkSSERoundTrip(b *testing.B) {
+	var buf bytes.Buffer
+	w := NewSSEWriter(&buf)
+	chunk := &ChatCompletionChunk{
+		ID:      "c",
+		Choices: []DeltaChoice{{Delta: Message{Content: " hello"}}},
+	}
+	for i := 0; i < 64; i++ {
+		w.WriteChunk(chunk)
+	}
+	w.WriteDone()
+	stream := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := NewSSEReader(bytes.NewReader(stream))
+		for {
+			if _, err := r.Next(); err == io.EOF {
+				break
+			} else if err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkRequestValidate(b *testing.B) {
+	req := &ChatCompletionRequest{
+		Model: "llama3.1:8b-fp16",
+		Messages: []Message{
+			{Role: "system", Content: "be helpful"},
+			{Role: "user", Content: "summarize this document please"},
+		},
+		MaxTokens: 128,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := req.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package openai
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func f64(v float64) *float64 { return &v }
+
+func TestRequestValidate(t *testing.T) {
+	valid := ChatCompletionRequest{
+		Model:    "llama3.2:1b-fp16",
+		Messages: []Message{{Role: "user", Content: "hello"}},
+	}
+	if err := valid.Validate(); err != nil {
+		t.Fatalf("valid request rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*ChatCompletionRequest)
+	}{
+		{"missing model", func(r *ChatCompletionRequest) { r.Model = "" }},
+		{"no messages", func(r *ChatCompletionRequest) { r.Messages = nil }},
+		{"bad role", func(r *ChatCompletionRequest) { r.Messages = []Message{{Role: "robot", Content: "x"}} }},
+		{"negative max_tokens", func(r *ChatCompletionRequest) { r.MaxTokens = -1 }},
+		{"temperature too high", func(r *ChatCompletionRequest) { r.Temperature = f64(3) }},
+		{"temperature negative", func(r *ChatCompletionRequest) { r.Temperature = f64(-0.1) }},
+	}
+	for _, c := range cases {
+		r := valid
+		r.Messages = append([]Message(nil), valid.Messages...)
+		c.mut(&r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: invalid request accepted", c.name)
+		}
+	}
+}
+
+func TestValidRoles(t *testing.T) {
+	for _, role := range []string{"system", "user", "assistant", "tool"} {
+		r := ChatCompletionRequest{Model: "m", Messages: []Message{{Role: role, Content: "x"}}}
+		if err := r.Validate(); err != nil {
+			t.Errorf("role %s rejected: %v", role, err)
+		}
+	}
+}
+
+func TestSSERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewSSEWriter(&buf)
+	chunks := []*ChatCompletionChunk{
+		{ID: "c1", Object: "chat.completion.chunk", Model: "m", Choices: []DeltaChoice{{Delta: Message{Role: "assistant"}}}},
+		{ID: "c1", Object: "chat.completion.chunk", Model: "m", Choices: []DeltaChoice{{Delta: Message{Content: "Hello"}}}},
+		{ID: "c1", Object: "chat.completion.chunk", Model: "m", Choices: []DeltaChoice{{Delta: Message{Content: " world"}}}},
+	}
+	for _, c := range chunks {
+		if err := w.WriteChunk(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.WriteDone(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewSSEReader(&buf)
+	var got []*ChatCompletionChunk
+	for {
+		c, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, c)
+	}
+	if len(got) != len(chunks) {
+		t.Fatalf("round-tripped %d chunks, want %d", len(got), len(chunks))
+	}
+	for i := range chunks {
+		if got[i].Choices[0].Delta.Content != chunks[i].Choices[0].Delta.Content {
+			t.Errorf("chunk %d content = %q, want %q", i,
+				got[i].Choices[0].Delta.Content, chunks[i].Choices[0].Delta.Content)
+		}
+	}
+}
+
+func TestSSEReaderSkipsCommentsAndBlank(t *testing.T) {
+	input := ": keep-alive\n\n\ndata: {\"id\":\"x\"}\n\ndata: [DONE]\n\n"
+	r := NewSSEReader(strings.NewReader(input))
+	c, err := r.Next()
+	if err != nil || c.ID != "x" {
+		t.Fatalf("Next = %+v, %v", c, err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF after [DONE], got %v", err)
+	}
+}
+
+func TestSSEReaderMalformed(t *testing.T) {
+	r := NewSSEReader(strings.NewReader("data: {not json}\n\n"))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("malformed chunk accepted")
+	}
+}
+
+func TestSSEReaderEOFWithoutDone(t *testing.T) {
+	r := NewSSEReader(strings.NewReader(""))
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("empty stream: %v", err)
+	}
+}
+
+// Property: any chunk survives a write/read round trip.
+func TestSSEChunkRoundTripProperty(t *testing.T) {
+	f := func(id, content string, idx uint8) bool {
+		// SSE is line-oriented; JSON escaping must keep newlines safe.
+		in := &ChatCompletionChunk{
+			ID:      id,
+			Object:  "chat.completion.chunk",
+			Choices: []DeltaChoice{{Index: int(idx), Delta: Message{Content: content}}},
+		}
+		var buf bytes.Buffer
+		w := NewSSEWriter(&buf)
+		if err := w.WriteChunk(in); err != nil {
+			return false
+		}
+		w.WriteDone()
+		out, err := NewSSEReader(&buf).Next()
+		if err != nil {
+			return false
+		}
+		return out.ID == in.ID && out.Choices[0].Delta.Content == content && out.Choices[0].Index == int(idx)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAPIErrorError(t *testing.T) {
+	e := &APIError{Message: "model not found", Type: "invalid_request_error"}
+	if !strings.Contains(e.Error(), "model not found") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestWriteErrorEnvelope(t *testing.T) {
+	rec := httptest.NewRecorder()
+	WriteError(rec, http.StatusNotFound, "invalid_request_error", "no such model")
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var env ErrorEnvelope
+	if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Error.Message != "no such model" || env.Error.Type != "invalid_request_error" {
+		t.Fatalf("envelope = %+v", env)
+	}
+}
+
+func TestClientChatCompletion(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/chat/completions" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		var req ChatCompletionRequest
+		json.NewDecoder(r.Body).Decode(&req)
+		WriteJSON(w, http.StatusOK, ChatCompletionResponse{
+			ID:      "cmpl-1",
+			Object:  "chat.completion",
+			Model:   req.Model,
+			Choices: []Choice{{Message: Message{Role: "assistant", Content: "hi"}, FinishReason: "stop"}},
+			Usage:   Usage{PromptTokens: 3, CompletionTokens: 1, TotalTokens: 4},
+		})
+	}))
+	defer srv.Close()
+
+	c := NewClient(srv.URL)
+	resp, err := c.ChatCompletion(context.Background(), &ChatCompletionRequest{
+		Model:    "llama3.2:1b-fp16",
+		Messages: []Message{{Role: "user", Content: "hello"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Choices[0].Message.Content != "hi" || resp.Usage.TotalTokens != 4 {
+		t.Fatalf("resp = %+v", resp)
+	}
+}
+
+func TestClientStream(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := NewSSEWriter(w)
+		for _, tok := range []string{"a", "b", "c"} {
+			sw.WriteChunk(&ChatCompletionChunk{ID: "s1", Choices: []DeltaChoice{{Delta: Message{Content: tok}}}})
+		}
+		sw.WriteDone()
+	}))
+	defer srv.Close()
+
+	var got []string
+	err := NewClient(srv.URL).ChatCompletionStream(context.Background(),
+		&ChatCompletionRequest{Model: "m", Messages: []Message{{Role: "user", Content: "x"}}},
+		func(c *ChatCompletionChunk) error {
+			got = append(got, c.Choices[0].Delta.Content)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "") != "abc" {
+		t.Fatalf("stream = %v", got)
+	}
+}
+
+func TestClientErrorEnvelope(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		WriteError(w, http.StatusNotFound, "invalid_request_error", "unknown model")
+	}))
+	defer srv.Close()
+
+	_, err := NewClient(srv.URL).ChatCompletion(context.Background(), &ChatCompletionRequest{
+		Model: "x", Messages: []Message{{Role: "user", Content: "y"}},
+	})
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("error type %T: %v", err, err)
+	}
+	if apiErr.Message != "unknown model" {
+		t.Fatalf("message = %q", apiErr.Message)
+	}
+}
+
+func TestClientListModels(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/models" {
+			t.Errorf("path = %s", r.URL.Path)
+		}
+		WriteJSON(w, http.StatusOK, ModelList{Object: "list", Data: []ModelInfo{{ID: "m1", Object: "model"}}})
+	}))
+	defer srv.Close()
+	list, err := NewClient(srv.URL).ListModels(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list.Data) != 1 || list.Data[0].ID != "m1" {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+func TestWaitHealthy(t *testing.T) {
+	var calls int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := NewClient(srv.URL).WaitHealthy(ctx, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if calls < 3 {
+		t.Fatalf("health called %d times", calls)
+	}
+}
+
+func TestWaitHealthyTimeout(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := NewClient(srv.URL).WaitHealthy(ctx, 5*time.Millisecond); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestMarshalJSONString(t *testing.T) {
+	s := MarshalJSONString(Message{Role: "user", Content: "hi"})
+	if !strings.Contains(s, `"role":"user"`) {
+		t.Fatalf("marshal = %s", s)
+	}
+}

@@ -1,0 +1,112 @@
+package openai
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// DoneSentinel is the terminal SSE data payload.
+const DoneSentinel = "[DONE]"
+
+// SSEWriter streams chat-completion chunks as server-sent events.
+type SSEWriter struct {
+	w       io.Writer
+	flusher http.Flusher
+}
+
+// NewSSEWriter prepares w for SSE streaming. If w is an http.ResponseWriter
+// the proper headers are set and each event is flushed immediately.
+func NewSSEWriter(w io.Writer) *SSEWriter {
+	s := &SSEWriter{w: w}
+	if rw, ok := w.(http.ResponseWriter); ok {
+		rw.Header().Set("Content-Type", "text/event-stream")
+		rw.Header().Set("Cache-Control", "no-cache")
+		rw.Header().Set("Connection", "keep-alive")
+		if f, ok := rw.(http.Flusher); ok {
+			s.flusher = f
+		}
+	}
+	return s
+}
+
+// WriteChunk emits one chunk as a data event.
+func (s *SSEWriter) WriteChunk(c *ChatCompletionChunk) error {
+	b, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("openai: marshal chunk: %w", err)
+	}
+	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", b); err != nil {
+		return err
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return nil
+}
+
+// WriteDone emits the terminal [DONE] event.
+func (s *SSEWriter) WriteDone() error {
+	if _, err := fmt.Fprintf(s.w, "data: %s\n\n", DoneSentinel); err != nil {
+		return err
+	}
+	if s.flusher != nil {
+		s.flusher.Flush()
+	}
+	return nil
+}
+
+// SSEReader decodes a stream of chat-completion chunks.
+type SSEReader struct {
+	scanner *bufio.Scanner
+}
+
+// NewSSEReader wraps r for reading SSE events.
+func NewSSEReader(r io.Reader) *SSEReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	return &SSEReader{scanner: sc}
+}
+
+// Next returns the next chunk, or io.EOF after the [DONE] sentinel or end
+// of stream.
+func (r *SSEReader) Next() (*ChatCompletionChunk, error) {
+	for r.scanner.Scan() {
+		line := strings.TrimSpace(r.scanner.Text())
+		if line == "" || strings.HasPrefix(line, ":") {
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data:")
+		if !ok {
+			continue
+		}
+		data = strings.TrimSpace(data)
+		if data == DoneSentinel {
+			return nil, io.EOF
+		}
+		var chunk ChatCompletionChunk
+		if err := json.Unmarshal([]byte(data), &chunk); err != nil {
+			return nil, fmt.Errorf("openai: decode chunk: %w", err)
+		}
+		return &chunk, nil
+	}
+	if err := r.scanner.Err(); err != nil {
+		return nil, err
+	}
+	return nil, io.EOF
+}
+
+// WriteJSON writes v to w with the given HTTP status.
+func WriteJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// WriteError writes an OpenAI error envelope with the given HTTP status.
+func WriteError(w http.ResponseWriter, status int, typ, msg string) {
+	WriteJSON(w, status, NewErrorEnvelope(typ, msg))
+}

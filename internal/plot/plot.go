@@ -1,0 +1,154 @@
+// Package plot renders experiment results as terminal charts — the Go
+// equivalent of the artifact's Python plotting scripts. Horizontal bar
+// charts cover the latency comparisons (Figures 2, 5, 6); column
+// sparklines cover the time series (Figures 1, 3).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// BarRow is one labelled value in a bar chart.
+type BarRow struct {
+	Label string
+	Value float64
+}
+
+// Bars renders a horizontal bar chart: one row per value, bars scaled to
+// width characters against the maximum.
+func Bars(w io.Writer, title, unit string, rows []BarRow, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, r := range rows {
+		if r.Value > maxVal {
+			maxVal = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+	}
+	for _, r := range rows {
+		n := 0
+		if maxVal > 0 {
+			n = int(math.Round(r.Value / maxVal * float64(width)))
+		}
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(w, "  %-*s %s %.2f%s\n", labelW, r.Label, strings.Repeat("█", n), r.Value, unit)
+	}
+}
+
+// GroupedBars renders one bar block per series, sharing a global scale so
+// series are visually comparable (e.g. disk vs memory vs snapshot loads).
+func GroupedBars(w io.Writer, title, unit string, labels []string, series []NamedSeries, width int) {
+	if width <= 0 {
+		width = 50
+	}
+	if title != "" {
+		fmt.Fprintln(w, title)
+	}
+	maxVal := 0.0
+	labelW := 0
+	for _, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+	}
+	for _, s := range series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+		}
+	}
+	for _, s := range series {
+		fmt.Fprintf(w, " %s:\n", s.Name)
+		for i, l := range labels {
+			if i >= len(s.Values) {
+				break
+			}
+			n := 0
+			if maxVal > 0 {
+				n = int(math.Round(s.Values[i] / maxVal * float64(width)))
+			}
+			fmt.Fprintf(w, "  %-*s %s %.2f%s\n", labelW, l, strings.Repeat("█", n), s.Values[i], unit)
+		}
+	}
+}
+
+// NamedSeries is one series in a grouped chart.
+type NamedSeries struct {
+	Name   string
+	Values []float64
+}
+
+// sparks are the eight column heights of a sparkline.
+var sparks = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single-line column chart scaled to the
+// series maximum.
+func Sparkline(w io.Writer, title string, values []float64) {
+	if title != "" {
+		fmt.Fprintf(w, "%s ", title)
+	}
+	maxVal := 0.0
+	for _, v := range values {
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	var sb strings.Builder
+	for _, v := range values {
+		idx := 0
+		if maxVal > 0 {
+			idx = int(math.Round(v / maxVal * float64(len(sparks)-1)))
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sparks) {
+			idx = len(sparks) - 1
+		}
+		sb.WriteRune(sparks[idx])
+	}
+	fmt.Fprintf(w, "|%s| max=%.2f\n", sb.String(), maxVal)
+}
+
+// Downsample reduces values to at most buckets points by averaging equal
+// spans — long series (a month of 15-minute samples) fit one terminal
+// line.
+func Downsample(values []float64, buckets int) []float64 {
+	if buckets <= 0 || len(values) <= buckets {
+		out := make([]float64, len(values))
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, buckets)
+	span := float64(len(values)) / float64(buckets)
+	for i := 0; i < buckets; i++ {
+		lo := int(float64(i) * span)
+		hi := int(float64(i+1) * span)
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(values) {
+			hi = len(values)
+		}
+		var sum float64
+		for _, v := range values[lo:hi] {
+			sum += v
+		}
+		out[i] = sum / float64(hi-lo)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBars(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "Cold starts", "s", []BarRow{
+		{Label: "ollama", Value: 4.38},
+		{Label: "vllm", Value: 87.28},
+	}, 40)
+	out := sb.String()
+	if !strings.Contains(out, "Cold starts") || !strings.Contains(out, "ollama") {
+		t.Fatalf("output = %q", out)
+	}
+	// The larger value gets the full-width bar.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	vllmBars := strings.Count(lines[2], "█")
+	ollamaBars := strings.Count(lines[1], "█")
+	if vllmBars != 40 {
+		t.Fatalf("max bar = %d chars, want 40", vllmBars)
+	}
+	if ollamaBars >= vllmBars || ollamaBars < 1 {
+		t.Fatalf("small bar = %d chars", ollamaBars)
+	}
+	if !strings.Contains(lines[2], "87.28s") {
+		t.Fatalf("value missing: %q", lines[2])
+	}
+}
+
+func TestBarsEmptyAndZero(t *testing.T) {
+	var sb strings.Builder
+	Bars(&sb, "", "s", []BarRow{{Label: "z", Value: 0}}, 10)
+	if !strings.Contains(sb.String(), "0.00s") {
+		t.Fatalf("zero row = %q", sb.String())
+	}
+	sb.Reset()
+	Bars(&sb, "t", "s", nil, 0)
+	if !strings.Contains(sb.String(), "t") {
+		t.Fatal("title missing for empty chart")
+	}
+}
+
+func TestGroupedBars(t *testing.T) {
+	var sb strings.Builder
+	GroupedBars(&sb, "Loads", "s", []string{"1.5B", "14B"}, []NamedSeries{
+		{Name: "disk", Values: []float64{5, 41}},
+		{Name: "snapshot", Values: []float64{0.9, 3.6}},
+	}, 40)
+	out := sb.String()
+	for _, want := range []string{"disk:", "snapshot:", "1.5B", "14B"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %q", want, out)
+		}
+	}
+	// Shared scale: the disk 41s bar is the widest overall.
+	var widest int
+	for _, line := range strings.Split(out, "\n") {
+		if n := strings.Count(line, "█"); n > widest {
+			widest = n
+		}
+	}
+	if widest != 40 {
+		t.Fatalf("widest bar = %d, want 40", widest)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	var sb strings.Builder
+	Sparkline(&sb, "util", []float64{0, 0.5, 1.0})
+	out := sb.String()
+	if !strings.Contains(out, "util") || !strings.Contains(out, "max=1.00") {
+		t.Fatalf("output = %q", out)
+	}
+	if !strings.ContainsRune(out, '█') {
+		t.Fatal("max value not rendered as full block")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	in := make([]float64, 100)
+	for i := range in {
+		in[i] = float64(i)
+	}
+	out := Downsample(in, 10)
+	if len(out) != 10 {
+		t.Fatalf("len = %d", len(out))
+	}
+	// Averages increase monotonically for a ramp.
+	for i := 1; i < len(out); i++ {
+		if out[i] <= out[i-1] {
+			t.Fatalf("not monotone: %v", out)
+		}
+	}
+	// Short series pass through.
+	short := Downsample([]float64{1, 2}, 10)
+	if len(short) != 2 || short[0] != 1 {
+		t.Fatalf("short = %v", short)
+	}
+}
+
+// Property: downsampling preserves the overall mean (within float noise).
+func TestDownsampleMeanProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		in := make([]float64, len(raw))
+		var sum float64
+		for i, v := range raw {
+			in[i] = float64(v)
+			sum += float64(v)
+		}
+		mean := sum / float64(len(in))
+		out := Downsample(in, 7)
+		// Bucket means weighted by bucket sizes reproduce the global mean
+		// only for equal buckets; allow generous tolerance.
+		var outSum float64
+		for _, v := range out {
+			outSum += v
+		}
+		outMean := outSum / float64(len(out))
+		diff := outMean - mean
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= mean*0.5+1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Manual is a hand-advanced Clock for deterministic tests. Goroutines that
+// Sleep on a Manual clock block until a call to Advance (or Set) moves the
+// clock past their deadline. Advance wakes sleepers in deadline order so
+// that timer callbacks observe monotonically non-decreasing times.
+type Manual struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters waiterHeap
+}
+
+type waiter struct {
+	deadline time.Time
+	ch       chan time.Time
+	index    int
+}
+
+type waiterHeap []*waiter
+
+func (h waiterHeap) Len() int            { return len(h) }
+func (h waiterHeap) Less(i, j int) bool  { return h[i].deadline.Before(h[j].deadline) }
+func (h waiterHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *waiterHeap) Push(x interface{}) { w := x.(*waiter); w.index = len(*h); *h = append(*h, w) }
+func (h *waiterHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	w := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return w
+}
+
+// NewManual returns a Manual clock initialized to start.
+func NewManual(start time.Time) *Manual {
+	return &Manual{now: start}
+}
+
+// Now implements Clock.
+func (c *Manual) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep implements Clock: blocks until Advance moves the clock past the
+// deadline.
+func (c *Manual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-c.After(d)
+}
+
+// After implements Clock.
+func (c *Manual) After(d time.Duration) <-chan time.Time {
+	ch := make(chan time.Time, 1)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	heap.Push(&c.waiters, &waiter{deadline: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Since implements Clock.
+func (c *Manual) Since(t time.Time) time.Duration { return c.Now().Sub(t) }
+
+// Advance moves the clock forward by d, waking all sleepers whose deadline
+// has been reached, in deadline order.
+func (c *Manual) Advance(d time.Duration) {
+	if d < 0 {
+		return
+	}
+	c.mu.Lock()
+	c.set(c.now.Add(d))
+	c.mu.Unlock()
+}
+
+// Set jumps the clock to t (which must not be earlier than the current
+// time; earlier values are ignored) and wakes eligible sleepers.
+func (c *Manual) Set(t time.Time) {
+	c.mu.Lock()
+	if t.After(c.now) {
+		c.set(t)
+	}
+	c.mu.Unlock()
+}
+
+// set advances to target, releasing waiters in deadline order. Caller holds mu.
+func (c *Manual) set(target time.Time) {
+	for len(c.waiters) > 0 && !c.waiters[0].deadline.After(target) {
+		w := heap.Pop(&c.waiters).(*waiter)
+		// The sleeper observes its own deadline, not the final target, so
+		// a large Advance still produces ordered wake-up timestamps.
+		c.now = w.deadline
+		w.ch <- w.deadline
+	}
+	c.now = target
+}
+
+// PendingWaiters reports how many goroutines are currently blocked on the
+// clock. Useful for tests that need to synchronize with sleepers.
+func (c *Manual) PendingWaiters() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.waiters)
+}
+
+// NextDeadline returns the earliest pending deadline and true, or the zero
+// time and false when no goroutine is waiting.
+func (c *Manual) NextDeadline() (time.Time, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.waiters) == 0 {
+		return time.Time{}, false
+	}
+	return c.waiters[0].deadline, true
+}

@@ -1,0 +1,136 @@
+// Package storage simulates the model-weight storage tiers compared in
+// Figure 5 of the paper: the default disk store and a memory-backed
+// (tmpfs) filesystem. Reads take the calibrated time for the tier and blob
+// size, enacted on the simulation clock, so engines loading weights
+// experience the same I/O bottlenecks the paper measures.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// Errors returned by the store.
+var (
+	ErrNotFound = errors.New("storage: blob not found")
+	ErrExists   = errors.New("storage: blob already exists")
+)
+
+// Blob is one stored model-weight file (GGUF or safetensors shard set).
+type Blob struct {
+	Name  string
+	Bytes int64
+	Tier  perfmodel.StorageTier
+}
+
+// ModelStore holds model weights across tiers and simulates read latency.
+// All methods are safe for concurrent use; reads on distinct blobs proceed
+// concurrently.
+type ModelStore struct {
+	clock   simclock.Clock
+	testbed perfmodel.Testbed
+
+	mu    sync.RWMutex
+	blobs map[string]Blob
+}
+
+// NewModelStore creates an empty store timed against tb on clock.
+func NewModelStore(clock simclock.Clock, tb perfmodel.Testbed) *ModelStore {
+	return &ModelStore{clock: clock, testbed: tb, blobs: make(map[string]Blob)}
+}
+
+// Put registers a blob. Storing a duplicate name fails.
+func (s *ModelStore) Put(name string, bytes int64, tier perfmodel.StorageTier) error {
+	if bytes <= 0 {
+		return fmt.Errorf("storage: blob %q must have positive size", name)
+	}
+	if tier != perfmodel.TierDisk && tier != perfmodel.TierTmpfs {
+		return fmt.Errorf("storage: unknown tier %q", tier)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, dup := s.blobs[name]; dup {
+		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	s.blobs[name] = Blob{Name: name, Bytes: bytes, Tier: tier}
+	return nil
+}
+
+// Stat returns a blob's metadata without reading it.
+func (s *ModelStore) Stat(name string) (Blob, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.blobs[name]
+	if !ok {
+		return Blob{}, fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	return b, nil
+}
+
+// Read simulates reading the blob fully (storage read at the tier's
+// effective bandwidth) and returns its metadata.
+func (s *ModelStore) Read(name string) (Blob, error) {
+	b, err := s.Stat(name)
+	if err != nil {
+		return Blob{}, err
+	}
+	s.clock.Sleep(s.testbed.StorageReadTime(b.Tier, b.Bytes))
+	return b, nil
+}
+
+// Promote moves a blob to another tier (e.g. staging weights into tmpfs),
+// simulating the copy time: a read at the source tier's bandwidth.
+func (s *ModelStore) Promote(name string, tier perfmodel.StorageTier) error {
+	b, err := s.Stat(name)
+	if err != nil {
+		return err
+	}
+	if b.Tier == tier {
+		return nil
+	}
+	s.clock.Sleep(s.testbed.StorageReadTime(b.Tier, b.Bytes))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b.Tier = tier
+	s.blobs[name] = b
+	return nil
+}
+
+// Delete removes a blob.
+func (s *ModelStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.blobs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, name)
+	}
+	delete(s.blobs, name)
+	return nil
+}
+
+// List returns all blobs sorted by name.
+func (s *ModelStore) List() []Blob {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Blob, 0, len(s.blobs))
+	for _, b := range s.blobs {
+		out = append(out, b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// TierUsage returns the total bytes stored per tier.
+func (s *ModelStore) TierUsage() map[perfmodel.StorageTier]int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	usage := make(map[perfmodel.StorageTier]int64, 2)
+	for _, b := range s.blobs {
+		usage[b.Tier] += b.Bytes
+	}
+	return usage
+}

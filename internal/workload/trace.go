@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace CSV format, one request per row:
+//
+//	timestamp,model,class,input_tokens,output_tokens
+//
+// with RFC3339 timestamps — the shape of the Azure public traces the
+// paper's Figure 1 draws on, so recorded or synthesized traces can be
+// replayed through the serving stack.
+const traceHeader = "timestamp,model,class,input_tokens,output_tokens"
+
+// WriteTrace writes requests as trace CSV, sorted by arrival time.
+func WriteTrace(w io.Writer, reqs []Request) error {
+	sorted := append([]Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, traceHeader); err != nil {
+		return err
+	}
+	for _, r := range sorted {
+		if _, err := fmt.Fprintf(bw, "%s,%s,%s,%d,%d\n",
+			r.At.UTC().Format(time.RFC3339Nano), r.Model, r.Class, r.InputTokens, r.OutputTokens); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses trace CSV, returning requests sorted by arrival time.
+func ReadTrace(r io.Reader) ([]Request, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	var out []Request
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || text == traceHeader {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("workload: trace line %d: want 5 fields, got %d", line, len(fields))
+		}
+		at, err := time.Parse(time.RFC3339Nano, fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: bad timestamp: %v", line, err)
+		}
+		in, err := strconv.Atoi(fields[3])
+		if err != nil || in < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad input_tokens %q", line, fields[3])
+		}
+		outTok, err := strconv.Atoi(fields[4])
+		if err != nil || outTok < 0 {
+			return nil, fmt.Errorf("workload: trace line %d: bad output_tokens %q", line, fields[4])
+		}
+		out = append(out, Request{
+			At:           at,
+			Model:        fields[1],
+			Class:        Class(fields[2]),
+			InputTokens:  in,
+			OutputTokens: outTok,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].At.Before(out[j].At) })
+	return out, nil
+}
+
+// ReplaySchedule converts a trace into relative firing offsets from the
+// first arrival, for a driver that paces requests against a clock.
+func ReplaySchedule(reqs []Request) []time.Duration {
+	if len(reqs) == 0 {
+		return nil
+	}
+	sorted := append([]Request(nil), reqs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].At.Before(sorted[j].At) })
+	t0 := sorted[0].At
+	out := make([]time.Duration, len(sorted))
+	for i, r := range sorted {
+		out[i] = r.At.Sub(t0)
+	}
+	return out
+}

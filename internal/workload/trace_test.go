@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceRoundTrip(t *testing.T) {
+	g := NewGenerator(5)
+	reqs := g.Arrivals(ClassCoding, "llama3.1:8b-fp16", monday, monday.Add(3*time.Hour), 300, 2)
+	if len(reqs) == 0 {
+		t.Fatal("no requests generated")
+	}
+	var sb strings.Builder
+	if err := WriteTrace(&sb, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(reqs) {
+		t.Fatalf("round-tripped %d of %d requests", len(got), len(reqs))
+	}
+	// Output is time-sorted.
+	for i := 1; i < len(got); i++ {
+		if got[i].At.Before(got[i-1].At) {
+			t.Fatal("trace not sorted by arrival")
+		}
+	}
+	// Token totals preserved.
+	var wantIn, gotIn int64
+	for _, r := range reqs {
+		wantIn += int64(r.InputTokens)
+	}
+	for _, r := range got {
+		gotIn += int64(r.InputTokens)
+		if r.Model != "llama3.1:8b-fp16" || r.Class != ClassCoding {
+			t.Fatalf("metadata lost: %+v", r)
+		}
+	}
+	if wantIn != gotIn {
+		t.Fatalf("input tokens %d != %d", gotIn, wantIn)
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"wrong fields", "2025-01-01T00:00:00Z,m,coding,5\n"},
+		{"bad timestamp", "not-a-time,m,coding,5,5\n"},
+		{"bad input", "2025-01-01T00:00:00Z,m,coding,x,5\n"},
+		{"negative output", "2025-01-01T00:00:00Z,m,coding,5,-1\n"},
+	}
+	for _, c := range cases {
+		if _, err := ReadTrace(strings.NewReader(c.in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestReadTraceSkipsHeaderAndBlank(t *testing.T) {
+	in := "timestamp,model,class,input_tokens,output_tokens\n\n2025-01-01T00:00:00Z,m,coding,5,6\n"
+	got, err := ReadTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].InputTokens != 5 || got[0].OutputTokens != 6 {
+		t.Fatalf("got = %+v", got)
+	}
+}
+
+func TestReplaySchedule(t *testing.T) {
+	reqs := []Request{
+		{At: monday.Add(10 * time.Second)},
+		{At: monday},
+		{At: monday.Add(4 * time.Second)},
+	}
+	sched := ReplaySchedule(reqs)
+	want := []time.Duration{0, 4 * time.Second, 10 * time.Second}
+	for i := range want {
+		if sched[i] != want[i] {
+			t.Fatalf("schedule = %v", sched)
+		}
+	}
+	if ReplaySchedule(nil) != nil {
+		t.Fatal("empty schedule should be nil")
+	}
+}

@@ -1,0 +1,236 @@
+// Package workload generates the synthetic inference workloads used to
+// reproduce the paper's motivation figures: the weekly token-volume
+// pattern of Azure's Coding and Conversational traces (Figure 1), bursty
+// time-varying request arrivals for serving experiments, and the
+// month-long sporadic multi-model cluster trace behind the GPU
+// utilization analysis (Figure 3).
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Class is a workload class with distinct token-length characteristics
+// (§1: large-input/small-output requests are compute-intensive; the
+// reverse are memory-bound).
+type Class string
+
+// The two Azure trace classes of Figure 1.
+const (
+	ClassCoding         Class = "coding"
+	ClassConversational Class = "conversational"
+)
+
+// TokenProfile describes a class's token-length distribution.
+type TokenProfile struct {
+	// MeanInput/MeanOutput are the log-normal medians.
+	MeanInput, MeanOutput float64
+	// SigmaInput/SigmaOutput are the log-normal shape parameters.
+	SigmaInput, SigmaOutput float64
+}
+
+// Profile returns the token profile for a class, matching the qualitative
+// shape of the Azure traces: coding requests carry long contexts and
+// short completions; conversational requests are the reverse.
+func Profile(c Class) TokenProfile {
+	switch c {
+	case ClassCoding:
+		return TokenProfile{MeanInput: 2000, SigmaInput: 0.9, MeanOutput: 40, SigmaOutput: 0.7}
+	default: // conversational
+		return TokenProfile{MeanInput: 700, SigmaInput: 0.8, MeanOutput: 250, SigmaOutput: 0.8}
+	}
+}
+
+// Request is one generated inference request.
+type Request struct {
+	At           time.Time
+	Class        Class
+	Model        string
+	InputTokens  int
+	OutputTokens int
+}
+
+// DiurnalRate returns the request-rate multiplier in [0,1] for a moment
+// in the weekly cycle: weekday business-hours peak (8 AM – 5 PM, the
+// Figure 1 zoom), an evening shoulder for conversational traffic, and a
+// weekend trough.
+func DiurnalRate(c Class, t time.Time) float64 {
+	hour := float64(t.Hour()) + float64(t.Minute())/60
+	weekday := t.Weekday()
+	weekend := weekday == time.Saturday || weekday == time.Sunday
+
+	// Business-hours bell centred at 12:30 with the 8–17 span.
+	business := math.Exp(-math.Pow(hour-12.5, 2) / (2 * 3.5 * 3.5))
+	// Evening shoulder for conversational usage (19:00–23:00).
+	evening := math.Exp(-math.Pow(hour-21, 2) / (2 * 2 * 2))
+	// Overnight floor.
+	const floor = 0.06
+
+	var v float64
+	switch c {
+	case ClassCoding:
+		v = floor + 0.94*business
+		if weekend {
+			v *= 0.25
+		}
+	default:
+		v = floor + 0.70*business + 0.35*evening
+		if v > 1 {
+			v = 1
+		}
+		if weekend {
+			v *= 0.55
+		}
+	}
+	return v
+}
+
+// Generator produces deterministic synthetic workloads.
+type Generator struct {
+	rng *rand.Rand
+}
+
+// NewGenerator returns a generator seeded for reproducibility.
+func NewGenerator(seed int64) *Generator {
+	return &Generator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// lognormal draws a log-normal sample with the given median and sigma.
+func (g *Generator) lognormal(median, sigma float64) float64 {
+	return median * math.Exp(sigma*g.rng.NormFloat64())
+}
+
+// Tokens draws an (input, output) token pair for a class.
+func (g *Generator) Tokens(c Class) (in, out int) {
+	p := Profile(c)
+	in = int(g.lognormal(p.MeanInput, p.SigmaInput)) + 1
+	out = int(g.lognormal(p.MeanOutput, p.SigmaOutput)) + 1
+	const maxTokens = 128 * 1024
+	if in > maxTokens {
+		in = maxTokens
+	}
+	if out > maxTokens {
+		out = maxTokens
+	}
+	return in, out
+}
+
+// Arrivals generates a non-homogeneous Poisson arrival sequence for a
+// class between start and end: peakPerHour scales the diurnal curve, and
+// burstiness > 1 adds gamma-distributed rate noise (the unpredictable
+// bursts of §1).
+func (g *Generator) Arrivals(c Class, model string, start, end time.Time, peakPerHour, burstiness float64) []Request {
+	if burstiness < 1 {
+		burstiness = 1
+	}
+	var out []Request
+	// Thinning with 1-minute steps: cheap and accurate enough at the
+	// hour-scale rates we reproduce.
+	const step = time.Minute
+	for t := start; t.Before(end); t = t.Add(step) {
+		rate := peakPerHour * DiurnalRate(c, t) / 60 // per minute
+		// Burst noise: multiply by a gamma(k, 1/k) factor with k =
+		// 1/(burstiness-1+eps): higher burstiness, heavier tails.
+		if burstiness > 1 {
+			k := 1 / (burstiness - 1)
+			rate *= g.gamma(k) / k
+		}
+		n := g.poisson(rate)
+		for i := 0; i < n; i++ {
+			in, outTok := g.Tokens(c)
+			out = append(out, Request{
+				At:           t.Add(time.Duration(g.rng.Float64() * float64(step))),
+				Class:        c,
+				Model:        model,
+				InputTokens:  in,
+				OutputTokens: outTok,
+			})
+		}
+	}
+	return out
+}
+
+// poisson draws a Poisson sample (Knuth for small lambda, normal
+// approximation for large).
+func (g *Generator) poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		n := int(lambda + math.Sqrt(lambda)*g.rng.NormFloat64() + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= g.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// gamma draws a gamma(shape, 1) sample (Marsaglia-Tsang).
+func (g *Generator) gamma(shape float64) float64 {
+	if shape < 1 {
+		u := g.rng.Float64()
+		return g.gamma(shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := g.rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := g.rng.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
+// HourlyBucket aggregates token volume over one hour (a Figure 1 sample).
+type HourlyBucket struct {
+	Start        time.Time
+	Requests     int
+	InputTokens  int64
+	OutputTokens int64
+}
+
+// BucketHourly aggregates requests into hourly token-volume buckets
+// covering [start, end).
+func BucketHourly(reqs []Request, start, end time.Time) []HourlyBucket {
+	n := int(end.Sub(start) / time.Hour)
+	if n <= 0 {
+		return nil
+	}
+	buckets := make([]HourlyBucket, n)
+	for i := range buckets {
+		buckets[i].Start = start.Add(time.Duration(i) * time.Hour)
+	}
+	for _, r := range reqs {
+		if r.At.Before(start) {
+			continue // duration division truncates toward zero
+		}
+		idx := int(r.At.Sub(start) / time.Hour)
+		if idx >= n {
+			continue
+		}
+		buckets[idx].Requests++
+		buckets[idx].InputTokens += int64(r.InputTokens)
+		buckets[idx].OutputTokens += int64(r.OutputTokens)
+	}
+	return buckets
+}

@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+var monday = time.Date(2025, 11, 17, 0, 0, 0, 0, time.UTC) // a Monday
+
+func TestDiurnalRateShape(t *testing.T) {
+	// Business hours beat overnight on a weekday for both classes.
+	noon := monday.Add(12 * time.Hour)
+	threeAM := monday.Add(3 * time.Hour)
+	for _, c := range []Class{ClassCoding, ClassConversational} {
+		if DiurnalRate(c, noon) <= DiurnalRate(c, threeAM) {
+			t.Errorf("%s: noon rate not above 3AM", c)
+		}
+	}
+	// Weekends are quieter than weekdays at the same hour.
+	saturdayNoon := monday.AddDate(0, 0, 5).Add(12 * time.Hour)
+	if DiurnalRate(ClassCoding, saturdayNoon) >= DiurnalRate(ClassCoding, noon) {
+		t.Error("coding: weekend not quieter than weekday")
+	}
+	// Coding drops off harder on weekends than conversational (Figure 1).
+	codingDrop := DiurnalRate(ClassCoding, saturdayNoon) / DiurnalRate(ClassCoding, noon)
+	convDrop := DiurnalRate(ClassConversational, saturdayNoon) / DiurnalRate(ClassConversational, noon)
+	if codingDrop >= convDrop {
+		t.Errorf("weekend drop: coding %.2f vs conversational %.2f", codingDrop, convDrop)
+	}
+	// Rates stay in [0, 1].
+	for h := 0; h < 24*7; h++ {
+		at := monday.Add(time.Duration(h) * time.Hour)
+		for _, c := range []Class{ClassCoding, ClassConversational} {
+			if r := DiurnalRate(c, at); r < 0 || r > 1 {
+				t.Fatalf("rate out of range at %v: %v", at, r)
+			}
+		}
+	}
+}
+
+func TestTokenProfiles(t *testing.T) {
+	// Figure 1 / §1: coding is input-heavy, conversational output-heavy.
+	coding := Profile(ClassCoding)
+	conv := Profile(ClassConversational)
+	if coding.MeanInput/coding.MeanOutput <= conv.MeanInput/conv.MeanOutput {
+		t.Fatal("coding input:output ratio not above conversational")
+	}
+}
+
+func TestTokensDeterministic(t *testing.T) {
+	a := NewGenerator(42)
+	b := NewGenerator(42)
+	for i := 0; i < 100; i++ {
+		ai, ao := a.Tokens(ClassCoding)
+		bi, bo := b.Tokens(ClassCoding)
+		if ai != bi || ao != bo {
+			t.Fatal("same seed produced different tokens")
+		}
+		if ai <= 0 || ao <= 0 {
+			t.Fatal("non-positive token count")
+		}
+	}
+}
+
+func TestTokensClassSkew(t *testing.T) {
+	g := NewGenerator(7)
+	var codingIn, codingOut, convIn, convOut int64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		ci, co := g.Tokens(ClassCoding)
+		vi, vo := g.Tokens(ClassConversational)
+		codingIn += int64(ci)
+		codingOut += int64(co)
+		convIn += int64(vi)
+		convOut += int64(vo)
+	}
+	if codingIn <= convIn {
+		t.Error("coding inputs not longer than conversational on average")
+	}
+	if codingOut >= convOut {
+		t.Error("coding outputs not shorter than conversational on average")
+	}
+}
+
+func TestArrivalsDiurnal(t *testing.T) {
+	g := NewGenerator(1)
+	day := monday
+	reqs := g.Arrivals(ClassCoding, "m", day, day.Add(24*time.Hour), 600, 1)
+	if len(reqs) == 0 {
+		t.Fatal("no arrivals generated")
+	}
+	var business, night int
+	for _, r := range reqs {
+		h := r.At.Hour()
+		switch {
+		case h >= 8 && h < 17:
+			business++
+		case h < 6:
+			night++
+		}
+		if r.At.Before(day) || !r.At.Before(day.Add(24*time.Hour)) {
+			t.Fatalf("arrival outside window: %v", r.At)
+		}
+		if r.Model != "m" || r.Class != ClassCoding {
+			t.Fatalf("bad request metadata: %+v", r)
+		}
+	}
+	if business <= 3*night {
+		t.Fatalf("business hours %d vs night %d: diurnal shape missing", business, night)
+	}
+}
+
+func TestArrivalsBurstinessIncreasesVariance(t *testing.T) {
+	smooth := NewGenerator(3).Arrivals(ClassCoding, "m", monday, monday.Add(24*time.Hour), 600, 1)
+	bursty := NewGenerator(3).Arrivals(ClassCoding, "m", monday, monday.Add(24*time.Hour), 600, 4)
+	varOf := func(reqs []Request) float64 {
+		counts := make([]float64, 24*60)
+		for _, r := range reqs {
+			counts[int(r.At.Sub(monday)/time.Minute)]++
+		}
+		var mean float64
+		for _, c := range counts {
+			mean += c
+		}
+		mean /= float64(len(counts))
+		var ss float64
+		for _, c := range counts {
+			ss += (c - mean) * (c - mean)
+		}
+		return ss / float64(len(counts))
+	}
+	if varOf(bursty) <= varOf(smooth) {
+		t.Fatal("burstiness did not increase per-minute variance")
+	}
+}
+
+func TestBucketHourly(t *testing.T) {
+	start := monday
+	reqs := []Request{
+		{At: start.Add(10 * time.Minute), InputTokens: 100, OutputTokens: 10},
+		{At: start.Add(50 * time.Minute), InputTokens: 200, OutputTokens: 20},
+		{At: start.Add(90 * time.Minute), InputTokens: 300, OutputTokens: 30},
+		{At: start.Add(-time.Minute), InputTokens: 999, OutputTokens: 999}, // outside
+	}
+	buckets := BucketHourly(reqs, start, start.Add(2*time.Hour))
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %d", len(buckets))
+	}
+	if buckets[0].Requests != 2 || buckets[0].InputTokens != 300 || buckets[0].OutputTokens != 30 {
+		t.Fatalf("bucket 0 = %+v", buckets[0])
+	}
+	if buckets[1].Requests != 1 || buckets[1].InputTokens != 300 {
+		t.Fatalf("bucket 1 = %+v", buckets[1])
+	}
+	if BucketHourly(reqs, start, start) != nil {
+		t.Fatal("empty window should return nil")
+	}
+}
+
+func TestClusterTraceShape(t *testing.T) {
+	// Figure 3's core observation: dedicated provisioning keeps memory
+	// consumption high (models resident) while mean compute utilization
+	// stays low.
+	g := NewGenerator(11)
+	const gib = int64(1) << 30
+	ms := []ClusterModel{
+		{Name: "m1", MemBytes: 16 * gib, PeakPerHour: 12, Burstiness: 3, Class: ClassCoding},
+		{Name: "m2", MemBytes: 14 * gib, PeakPerHour: 8, Burstiness: 3, Class: ClassConversational},
+		{Name: "m3", MemBytes: 10 * gib, PeakPerHour: 4, Burstiness: 2, Class: ClassCoding},
+		{Name: "m4", MemBytes: 8 * gib, PeakPerHour: 3, Burstiness: 2, Class: ClassConversational},
+		{Name: "m5", MemBytes: 6 * gib, PeakPerHour: 2, Burstiness: 2, Class: ClassCoding},
+		{Name: "m6", MemBytes: 6 * gib, PeakPerHour: 2, Burstiness: 2, Class: ClassConversational},
+	}
+	samples := ClusterTrace(g, ms, monday, 30, 2*time.Second, 15*time.Minute)
+	if len(samples) != 30*24*4 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	meanUtil, p95, memFrac := UtilizationStats(samples, 80*gib)
+	if meanUtil <= 0 || meanUtil > 0.35 {
+		t.Fatalf("mean utilization = %.3f, want low but positive", meanUtil)
+	}
+	if p95 < meanUtil {
+		t.Fatalf("p95 %.3f below mean %.3f", p95, meanUtil)
+	}
+	// Memory stays pinned at the resident sum (~75%% of 80 GiB).
+	if memFrac < 0.7 || memFrac > 0.8 {
+		t.Fatalf("memory fraction = %.3f, want ~0.75", memFrac)
+	}
+}
+
+func TestUtilizationStatsEmpty(t *testing.T) {
+	m, p, f := UtilizationStats(nil, 1)
+	if m != 0 || p != 0 || f != 0 {
+		t.Fatal("empty stats not zero")
+	}
+}
