@@ -292,6 +292,30 @@ func BenchmarkAblationSnapshotTiering(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationClusterPlacement compares the cluster gateway's
+// locality-first placement against least-loaded and random baselines on
+// a three-node, twelve-model deployment serving a compressed diurnal
+// day, reporting streaming TTFT and the placement hit rate.
+func BenchmarkAblationClusterPlacement(b *testing.B) {
+	var rows []experiments.ClusterPlacementRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationClusterPlacement(1000, 11)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if printTables() {
+		experiments.PrintClusterPlacement(os.Stdout, rows)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.MeanTTFTSec, r.Policy+"-mean-ttft-s")
+		if r.Policy == "locality" {
+			b.ReportMetric(r.PlacementHitRate, "locality-hit-rate")
+		}
+	}
+}
+
 // BenchmarkAblationCompileCache compares plain cold starts, warm
 // compile-cache cold starts, and hot-swapping for vLLM LLaMA 3.1-8B.
 func BenchmarkAblationCompileCache(b *testing.B) {

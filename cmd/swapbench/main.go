@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|cluster|all")
 		scale  = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
 		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations")
 		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV under this directory")
@@ -163,10 +163,19 @@ func main() {
 		experiments.PrintSnapshotTiering(out, rows)
 		fmt.Fprintln(out)
 	}
+	if run("cluster") {
+		any = true
+		rows, err := experiments.AblationClusterPlacement(pick(1000), *seed)
+		fail(err)
+		experiments.PrintClusterPlacement(out, rows)
+		h, csv := experiments.ClusterPlacementCSV(rows)
+		writeCSV("cluster", h, csv)
+		fmt.Fprintln(out)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "cluster"}, " "))
 		os.Exit(2)
 	}
 }

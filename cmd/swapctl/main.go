@@ -166,7 +166,7 @@ func cmdSwap(base, dir string, args []string) {
 }
 
 func cmdMetrics(base string) {
-	resp, err := http.Get(base + "/metrics")
+	resp, err := http.Get(base + "/metrics.csv")
 	if err != nil {
 		fatal(err)
 	}

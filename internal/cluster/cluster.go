@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"swapservellm/internal/config"
+	"swapservellm/internal/core"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/models"
+	"swapservellm/internal/simclock"
+)
+
+// Options tunes cluster construction.
+type Options struct {
+	// Clock is the shared simulation clock for every node (default: a
+	// Scaled clock at simclock.DefaultScale starting now).
+	Clock simclock.Clock
+	// Registry collects cluster/gateway metrics; each node keeps its own
+	// registry (default: a fresh registry).
+	Registry *metrics.Registry
+	// Policy overrides the configured placement policy.
+	Policy Policy
+	// Seed seeds the random placement baseline (default 1).
+	Seed int64
+	// Catalog overrides the model catalog (default: models.Default()).
+	Catalog *models.Catalog
+}
+
+// Cluster is the assembled multi-node deployment: the member nodes
+// (each a full core.Server on its own simulated hardware), the node
+// registry with its heartbeat loop, the placement policy, the gateway,
+// and the snapshot rebalancer — all sharing one simulation clock.
+type Cluster struct {
+	cfg    config.Cluster
+	clock  simclock.Clock
+	reg    *metrics.Registry
+	policy Policy
+	client *http.Client
+
+	registry   *NodeRegistry
+	nodes      []*Node
+	rebal      *rebalancer
+	retryLimit int
+
+	httpServer *http.Server
+	listener   net.Listener
+
+	mu      sync.Mutex
+	started bool
+}
+
+// New builds a cluster from its configuration. Nodes are constructed
+// but not started.
+func New(cfg config.Cluster, opts Options) (*Cluster, error) {
+	catalog := opts.Catalog
+	if catalog == nil {
+		catalog = models.Default()
+	}
+	if err := cfg.Validate(catalog); err != nil {
+		return nil, err
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.NewScaled(time.Now(), simclock.DefaultScale)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	policy := opts.Policy
+	if policy == nil {
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		p, ok := PolicyByName(cfg.Cluster.Placement, seed)
+		if !ok {
+			return nil, fmt.Errorf("cluster: unknown placement policy %q", cfg.Cluster.Placement)
+		}
+		policy = p
+	}
+
+	c := &Cluster{
+		cfg:        cfg,
+		clock:      clock,
+		reg:        reg,
+		policy:     policy,
+		client:     &http.Client{},
+		retryLimit: cfg.Cluster.RetryLimit,
+		registry:   NewNodeRegistry(clock, reg, cfg.Heartbeat(), cfg.Cluster.HeartbeatMissLimit),
+	}
+
+	capBytes := int64(cfg.Global.SnapshotHostCapGiB * (1 << 30))
+	for i := range cfg.Nodes {
+		nc := cfg.Nodes[i]
+		srv, err := core.New(cfg.NodeConfig(i), core.Options{
+			Clock:    clock,
+			GPUCount: nc.GPUCount,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %q: %w", nc.Name, err)
+		}
+		n := newNode(nc.Name, srv, capBytes)
+		c.nodes = append(c.nodes, n)
+		c.registry.Add(n)
+	}
+
+	if every := cfg.RebalanceEvery(); every > 0 {
+		c.rebal = newRebalancer(c, every, cfg.Cluster.RebalanceHighWater, capBytes)
+	}
+	return c, nil
+}
+
+// Start boots every node (concurrently — each initializes its own
+// backends), then the heartbeat loop, the rebalancer, and finally the
+// gateway listener.
+func (c *Cluster) Start(ctx context.Context) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.started {
+		return fmt.Errorf("cluster: already started")
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(c.nodes))
+	for i, n := range c.nodes {
+		wg.Add(1)
+		go func(i int, n *Node) {
+			defer wg.Done()
+			errs[i] = n.Server().Start(ctx)
+		}(i, n)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			c.shutdownNodesLocked()
+			return fmt.Errorf("cluster: starting node %q: %w", c.nodes[i].ID(), err)
+		}
+	}
+
+	c.registry.Start()
+	if c.rebal != nil {
+		go c.rebal.run()
+	}
+
+	ln, err := net.Listen("tcp", c.cfg.Listen)
+	if err != nil {
+		c.registry.Stop()
+		if c.rebal != nil {
+			c.rebal.halt()
+		}
+		c.shutdownNodesLocked()
+		return fmt.Errorf("cluster: gateway listen: %w", err)
+	}
+	c.listener = ln
+	c.httpServer = &http.Server{Handler: (&gateway{c: c}).handler()}
+	go c.httpServer.Serve(ln)
+	c.started = true
+	return nil
+}
+
+// Shutdown stops the gateway, background loops, and every node.
+func (c *Cluster) Shutdown() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.started {
+		return
+	}
+	c.started = false
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	c.httpServer.Shutdown(ctx)
+	if c.rebal != nil {
+		c.rebal.halt()
+	}
+	c.registry.Stop()
+	c.shutdownNodesLocked()
+}
+
+func (c *Cluster) shutdownNodesLocked() {
+	for _, n := range c.nodes {
+		n.Server().Shutdown()
+	}
+}
+
+// Addr returns the gateway's bound address (empty before Start).
+func (c *Cluster) Addr() string {
+	if c.listener == nil {
+		return ""
+	}
+	return c.listener.Addr().String()
+}
+
+// URL returns the gateway's base URL.
+func (c *Cluster) URL() string { return "http://" + c.Addr() }
+
+// Clock returns the shared simulation clock.
+func (c *Cluster) Clock() simclock.Clock { return c.clock }
+
+// Registry returns the cluster/gateway metrics registry.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// NodeRegistry returns the membership registry.
+func (c *Cluster) NodeRegistry() *NodeRegistry { return c.registry }
+
+// Nodes returns the members sorted by ID.
+func (c *Cluster) Nodes() []*Node { return c.registry.Nodes() }
+
+// Node looks up a member by ID.
+func (c *Cluster) Node(id string) (*Node, bool) { return c.registry.Node(id) }
+
+// Policy returns the active placement policy.
+func (c *Cluster) Policy() Policy { return c.policy }
+
+// Rebalance forces one rebalancer sweep (0 if the rebalancer is
+// disabled), for tests and operator tooling.
+func (c *Cluster) Rebalance() int {
+	if c.rebal == nil {
+		return 0
+	}
+	return c.rebal.Sweep()
+}
+
+// KillNode abruptly shuts a node's server down without touching its
+// registry state — simulating a node crash. The heartbeat loop (or the
+// gateway's passive detection) will mark it down.
+func (c *Cluster) KillNode(id string) error {
+	n, ok := c.registry.Node(id)
+	if !ok {
+		return fmt.Errorf("cluster: unknown node %q", id)
+	}
+	n.Server().Shutdown()
+	return nil
+}

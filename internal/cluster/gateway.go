@@ -1,0 +1,437 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"swapservellm/internal/openai"
+)
+
+// gateway is the cluster's OpenAI-compatible front door. It terminates
+// client requests, asks the placement policy which node should serve
+// each one, and proxies to that node's router — relaying SSE streams
+// chunk by chunk. When a node dies mid-request or reports overload the
+// gateway fails the request over to another replica: buffered JSON
+// responses retry invisibly, and interrupted streams resume on the new
+// node by skipping the events the client has already received (node
+// generation is deterministic for identical requests, so the resumed
+// stream continues exactly where the dead node stopped).
+type gateway struct {
+	c *Cluster
+}
+
+// maxBodyBytes bounds client payloads (mirrors the node router).
+const maxBodyBytes = 1 << 20
+
+// proxyOutcome classifies one forwarding attempt.
+type proxyOutcome int
+
+const (
+	// outcomeDone: the response (success or a client-caused error) was
+	// delivered; stop.
+	outcomeDone proxyOutcome = iota
+	// outcomeRetry: the node failed in a way another replica can absorb
+	// (connection refused/reset, queue full, backend failure).
+	outcomeRetry
+	// outcomeFatal: the client is gone or the stream is unrecoverable.
+	outcomeFatal
+)
+
+// handler builds the gateway's http.Handler.
+func (g *gateway) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/chat/completions", g.auth(g.proxy("/v1/chat/completions", validateChat)))
+	mux.HandleFunc("/v1/completions", g.auth(g.proxy("/v1/completions", validateCompletion)))
+	mux.HandleFunc("/v1/models", g.auth(g.listModels))
+	mux.HandleFunc("/health", g.health)
+	mux.HandleFunc("/cluster/status", g.auth(g.status))
+	mux.HandleFunc("/cluster/drain", g.auth(g.drain(true)))
+	mux.HandleFunc("/cluster/undrain", g.auth(g.drain(false)))
+	mux.HandleFunc("/metrics", g.auth(g.metricsProm))
+	mux.HandleFunc("/metrics.csv", g.auth(g.metricsCSV))
+	return mux
+}
+
+// auth enforces the optional bearer token at the gateway edge.
+func (g *gateway) auth(next http.HandlerFunc) http.HandlerFunc {
+	token := g.c.cfg.Global.AuthToken
+	if token == "" {
+		return next
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := strings.TrimPrefix(r.Header.Get("Authorization"), "Bearer ")
+		if got != token {
+			openai.WriteError(w, http.StatusUnauthorized, "invalid_api_key", "invalid or missing API key")
+			return
+		}
+		next(w, r)
+	}
+}
+
+// validateChat checks a chat-completions payload and extracts the model.
+func validateChat(body []byte) (string, error) {
+	var req openai.ChatCompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	return req.Model, nil
+}
+
+// validateCompletion checks a legacy completions payload.
+func validateCompletion(body []byte) (string, error) {
+	var req openai.CompletionRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", fmt.Errorf("malformed JSON: %v", err)
+	}
+	if err := req.Validate(); err != nil {
+		return "", err
+	}
+	return req.Model, nil
+}
+
+func (g *gateway) proxy(path string, validate func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		g.serveProxy(w, r, path, validate)
+	}
+}
+
+// serveProxy runs the place → forward → maybe-fail-over loop for one
+// client request.
+func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string, validate func([]byte) (string, error)) {
+	if r.Method != http.MethodPost {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "reading body: "+err.Error())
+		return
+	}
+	model, err := validate(body)
+	if err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
+
+	g.c.reg.Counter("gateway_requests_total").Inc()
+
+	// stream tracks SSE delivery across attempts so a failover resumes
+	// where the dead node stopped.
+	stream := &sseRelay{w: w}
+	tried := make(map[string]bool)
+	var lastErr string
+
+	for attempt := 0; attempt < g.c.retryLimit; attempt++ {
+		id, warm, ok := g.place(model, tried)
+		if !ok {
+			break
+		}
+		tried[id] = true
+		if attempt == 0 {
+			g.recordPlacement(id, warm)
+		} else {
+			g.c.reg.Counter("cross_node_retries").Inc()
+		}
+		node, ok := g.c.registry.Node(id)
+		if !ok {
+			continue
+		}
+		outcome, errMsg := g.forward(r.Context(), node, path, body, r.Header.Get("Authorization"), stream)
+		switch outcome {
+		case outcomeDone:
+			if attempt > 0 {
+				g.c.reg.Counter("failover_successes").Inc()
+			}
+			return
+		case outcomeFatal:
+			return
+		}
+		lastErr = errMsg
+	}
+
+	// Every eligible node was tried (or none existed).
+	g.c.reg.Counter("gateway_unrouteable").Inc()
+	if stream.started {
+		// Mid-stream with no replica left: all we can do is end the
+		// stream; the missing [DONE] tells the client it was truncated.
+		return
+	}
+	if len(tried) == 0 {
+		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
+			fmt.Sprintf("model %q is not available on any healthy node", model))
+		return
+	}
+	msg := fmt.Sprintf("all %d eligible nodes failed for %q", len(tried), model)
+	if lastErr != "" {
+		msg += ": " + lastErr
+	}
+	openai.WriteError(w, http.StatusServiceUnavailable, "no_available_node", msg)
+}
+
+// place asks the policy for the next node, excluding already-tried
+// ones. Returns the node ID and whether the placement was a locality
+// hit (warm backend).
+func (g *gateway) place(model string, tried map[string]bool) (string, bool, bool) {
+	cands := g.c.registry.Candidates(model)
+	if len(tried) > 0 {
+		kept := cands[:0]
+		for _, c := range cands {
+			if !tried[c.NodeID] {
+				kept = append(kept, c)
+			}
+		}
+		cands = kept
+	}
+	if len(cands) == 0 {
+		return "", false, false
+	}
+	idx, ok := g.c.policy.Select(model, cands)
+	if !ok || idx < 0 || idx >= len(cands) {
+		return "", false, false
+	}
+	return cands[idx].NodeID, cands[idx].Presence == PresenceWarm, true
+}
+
+// recordPlacement updates the placement-quality metrics for a
+// first-attempt routing decision.
+func (g *gateway) recordPlacement(nodeID string, warm bool) {
+	total := g.c.reg.Counter("placement_total")
+	hits := g.c.reg.Counter("placement_hits")
+	total.Inc()
+	if warm {
+		hits.Inc()
+	} else {
+		g.c.reg.Counter("placement_misses").Inc()
+	}
+	g.c.reg.Counter("placement_node_" + nodeID).Inc()
+	if t := total.Value(); t > 0 {
+		g.c.reg.Gauge("placement_hit_ratio").Set(hits.Value() / t)
+	}
+}
+
+// forward sends the request to one node and relays its response. The
+// error string is only meaningful for outcomeRetry.
+func (g *gateway) forward(ctx context.Context, node *Node, path string, body []byte, authHeader string, stream *sseRelay) (proxyOutcome, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL()+path, bytes.NewReader(body))
+	if err != nil {
+		return outcomeRetry, err.Error()
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if authHeader != "" {
+		req.Header.Set("Authorization", authHeader)
+	}
+	resp, err := g.c.client.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return outcomeFatal, ctx.Err().Error()
+		}
+		// Connection-level failure: the node is gone. Fence it now rather
+		// than waiting for the heartbeat loop to notice.
+		g.c.registry.ReportFailure(node.ID())
+		return outcomeRetry, err.Error()
+	}
+	defer resp.Body.Close()
+
+	if retriableStatus(resp.StatusCode) {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return outcomeRetry, fmt.Sprintf("node %s: HTTP %d: %s", node.ID(), resp.StatusCode, bytes.TrimSpace(msg))
+	}
+
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		return stream.relay(node, resp)
+	}
+
+	// Buffered (non-streaming) response: read it fully before touching
+	// the client connection so a mid-body failure can still fail over.
+	full, err := io.ReadAll(resp.Body)
+	if err != nil {
+		g.c.registry.ReportFailure(node.ID())
+		return outcomeRetry, fmt.Sprintf("node %s: reading response: %v", node.ID(), err)
+	}
+	copyHeaders(stream.w.Header(), resp.Header)
+	stream.w.WriteHeader(resp.StatusCode)
+	stream.w.Write(full)
+	return outcomeDone, ""
+}
+
+// retriableStatus reports whether a node-level status is worth trying
+// on another replica: queue saturation and backend failures are, client
+// errors are not.
+func retriableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// sseRelay streams SSE events to the client while counting delivered
+// events, so a retry on another node can skip what the client already
+// has and continue the stream seamlessly.
+type sseRelay struct {
+	w         http.ResponseWriter
+	started   bool
+	delivered int
+}
+
+// relay pipes one node's SSE response to the client. On a clean [DONE]
+// it reports outcomeDone; on a mid-stream read failure it reports
+// outcomeRetry so the caller can resume on another node.
+func (s *sseRelay) relay(node *Node, resp *http.Response) (proxyOutcome, string) {
+	if !s.started {
+		copyHeaders(s.w.Header(), resp.Header)
+		s.w.WriteHeader(resp.StatusCode)
+		s.started = true
+	}
+	flusher, _ := s.w.(http.Flusher)
+	br := bufio.NewReader(resp.Body)
+	skip := s.delivered
+	for {
+		event, err := readSSEEvent(br)
+		if err != nil {
+			// A partial event cut off mid-write is discarded: the replica
+			// will re-send it whole at the same position.
+			return outcomeRetry, fmt.Sprintf("node %s: stream interrupted after %d events: %v", node.ID(), s.delivered, err)
+		}
+		done := strings.TrimSpace(strings.TrimPrefix(event, "data:")) == openai.DoneSentinel
+		if !done && skip > 0 {
+			skip--
+			continue
+		}
+		if _, werr := io.WriteString(s.w, event+"\n\n"); werr != nil {
+			return outcomeFatal, "client gone"
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if done {
+			return outcomeDone, ""
+		}
+		s.delivered++
+	}
+}
+
+// readSSEEvent reads one blank-line-delimited SSE event (without the
+// trailing blank line). A non-nil error may accompany a final partial
+// event.
+func readSSEEvent(br *bufio.Reader) (string, error) {
+	var lines []string
+	for {
+		line, err := br.ReadString('\n')
+		line = strings.TrimRight(line, "\r\n")
+		if err != nil {
+			return strings.Join(lines, "\n"), err
+		}
+		if line == "" {
+			if len(lines) == 0 {
+				continue // leading keep-alive blank line
+			}
+			return strings.Join(lines, "\n"), nil
+		}
+		lines = append(lines, line)
+	}
+}
+
+// listModels reports the union of models deployed on healthy nodes.
+func (g *gateway) listModels(w http.ResponseWriter, r *http.Request) {
+	list := openai.ModelList{Object: "list"}
+	seen := make(map[string]bool)
+	for _, n := range g.c.registry.Nodes() {
+		if n.State() != NodeHealthy {
+			continue
+		}
+		for _, b := range n.Server().Backends() {
+			if seen[b.Name()] {
+				continue
+			}
+			seen[b.Name()] = true
+			list.Data = append(list.Data, openai.ModelInfo{
+				ID:      b.Name(),
+				Object:  "model",
+				Created: g.c.clock.Now().Unix(),
+				OwnedBy: string(b.EngineKind()),
+			})
+		}
+	}
+	openai.WriteJSON(w, http.StatusOK, list)
+}
+
+// health reports gateway liveness: OK once at least one node is
+// healthy.
+func (g *gateway) health(w http.ResponseWriter, r *http.Request) {
+	var healthy int
+	for _, n := range g.c.registry.Nodes() {
+		if n.State() == NodeHealthy {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		openai.WriteError(w, http.StatusServiceUnavailable, "no_healthy_nodes", "no cluster node is healthy")
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// status reports every node's capacity/utilization report.
+func (g *gateway) status(w http.ResponseWriter, r *http.Request) {
+	var out struct {
+		Placement string   `json:"placement"`
+		Nodes     []Report `json:"nodes"`
+	}
+	out.Placement = g.c.policy.Name()
+	for _, n := range g.c.registry.Nodes() {
+		out.Nodes = append(out.Nodes, n.Report())
+	}
+	openai.WriteJSON(w, http.StatusOK, out)
+}
+
+// drain moves a node into (or out of) the draining state.
+func (g *gateway) drain(enter bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+			return
+		}
+		id := r.URL.Query().Get("node")
+		var err error
+		if enter {
+			err = g.c.registry.Drain(id)
+		} else {
+			err = g.c.registry.Undrain(id)
+		}
+		if err != nil {
+			openai.WriteError(w, http.StatusNotFound, "invalid_request_error", err.Error())
+			return
+		}
+		n, _ := g.c.registry.Node(id)
+		openai.WriteJSON(w, http.StatusOK, map[string]string{"node": id, "state": n.State().String()})
+	}
+}
+
+func (g *gateway) metricsProm(w http.ResponseWriter, r *http.Request) {
+	g.c.reg.Handler().ServeHTTP(w, r)
+}
+
+func (g *gateway) metricsCSV(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/csv")
+	g.c.reg.WriteCSV(w)
+}

@@ -1,0 +1,174 @@
+// Package cluster federates multiple SwapServeLLM nodes — each a full
+// core.Server with its own simulated GPU topology, engines, and
+// snapshot store — behind one OpenAI-compatible gateway. It adds the
+// fleet-scale mechanisms the single-node system cannot express: a node
+// registry with heartbeats and a node state machine, a pluggable
+// placement engine (locality-first routing to nodes already holding a
+// warm backend or snapshot, following ServerlessLLM's locality-aware
+// scheduling), gateway-level failover that retries a request on another
+// node when its first node dies mid-stream or reports overload, and a
+// rebalancer that migrates cold snapshot images from hot nodes to idle
+// ones using the existing checkpoint/storage cost models.
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"swapservellm/internal/core"
+)
+
+// NodeState is a cluster member's lifecycle state.
+type NodeState int32
+
+// Node states: joining → healthy ⇄ down, healthy → draining.
+const (
+	// NodeJoining: the node's backends are initializing; it receives no
+	// traffic until its first successful heartbeat.
+	NodeJoining NodeState = iota
+	// NodeHealthy: heartbeats are current; the node is placeable.
+	NodeHealthy
+	// NodeDraining: the node finishes in-flight work but receives no new
+	// placements (operator-initiated, e.g. ahead of maintenance).
+	NodeDraining
+	// NodeDown: heartbeats missed (or a proxy attempt failed hard); the
+	// node is skipped until probes succeed again.
+	NodeDown
+)
+
+// String returns the lowercase state name.
+func (s NodeState) String() string {
+	switch s {
+	case NodeJoining:
+		return "joining"
+	case NodeHealthy:
+		return "healthy"
+	case NodeDraining:
+		return "draining"
+	case NodeDown:
+		return "down"
+	default:
+		return fmt.Sprintf("state(%d)", int32(s))
+	}
+}
+
+// Node is one cluster member: a full single-node SwapServeLLM
+// deployment plus the cluster-side bookkeeping (state machine, missed
+// heartbeats).
+type Node struct {
+	id  string
+	srv *core.Server
+
+	state  atomic.Int32
+	missed atomic.Int32
+
+	// snapshotCapBytes mirrors the node's host snapshot cap so the
+	// rebalancer can compute RAM pressure without re-deriving config.
+	snapshotCapBytes int64
+}
+
+// newNode wraps a built (not yet started) server.
+func newNode(id string, srv *core.Server, snapshotCapBytes int64) *Node {
+	n := &Node{id: id, srv: srv, snapshotCapBytes: snapshotCapBytes}
+	n.state.Store(int32(NodeJoining))
+	return n
+}
+
+// ID returns the node's cluster-unique name.
+func (n *Node) ID() string { return n.id }
+
+// Server exposes the underlying deployment (for tests and tools).
+func (n *Node) Server() *core.Server { return n.srv }
+
+// URL returns the node router's base URL (empty before start).
+func (n *Node) URL() string { return n.srv.URL() }
+
+// State returns the node's lifecycle state.
+func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
+
+func (n *Node) setState(s NodeState) { n.state.Store(int32(s)) }
+
+// Report is a node's capacity/utilization report: what the registry
+// records on each heartbeat and what placement decisions consume.
+type Report struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	URL   string `json:"url"`
+	// Load is the outstanding work across all backends: queued plus
+	// dequeued plus in-flight requests.
+	Load int `json:"load"`
+	// FreeGPUBytes / TotalGPUBytes describe device capacity.
+	FreeGPUBytes  int64 `json:"free_gpu_bytes"`
+	TotalGPUBytes int64 `json:"total_gpu_bytes"`
+	// SnapshotRAMBytes is host memory held by checkpoint images;
+	// SnapshotCapBytes is the configured cap (0 = unlimited).
+	SnapshotRAMBytes int64 `json:"snapshot_ram_bytes"`
+	SnapshotCapBytes int64 `json:"snapshot_cap_bytes,omitempty"`
+	// SwapIns / SwapOuts total hot-swap operations across backends.
+	SwapIns  int64 `json:"swap_ins"`
+	SwapOuts int64 `json:"swap_outs"`
+	// Models is the node-local backend/snapshot inventory.
+	Models []core.ModelInventory `json:"models"`
+}
+
+// Report samples the node's current capacity, load, and inventory.
+func (n *Node) Report() Report {
+	inv := n.srv.Inventory()
+	rep := Report{
+		ID:               n.id,
+		State:            n.State().String(),
+		URL:              n.URL(),
+		FreeGPUBytes:     n.srv.GPUFree(),
+		TotalGPUBytes:    n.srv.GPUTotal(),
+		SnapshotRAMBytes: n.srv.Driver().HostUsed(),
+		SnapshotCapBytes: n.snapshotCapBytes,
+		Models:           inv,
+	}
+	for _, mi := range inv {
+		rep.Load += mi.Load()
+	}
+	for _, b := range n.srv.Backends() {
+		in, out := b.SwapCounts()
+		rep.SwapIns += in
+		rep.SwapOuts += out
+	}
+	return rep
+}
+
+// presence returns the node's locality class for a model, and whether
+// the model is deployed on this node at all.
+func (n *Node) presence(model string) (Presence, bool) {
+	b, ok := n.srv.Backend(model)
+	if !ok {
+		return PresenceNone, false
+	}
+	switch b.State() {
+	case core.BackendRunning:
+		return PresenceWarm, true
+	case core.BackendSwapping, core.BackendInitializing:
+		// A transition is in flight; the backend will shortly be warm (or
+		// swapped out). Treat as RAM-class: routable, nearly warm.
+		return PresenceRAM, true
+	case core.BackendFailed:
+		return PresenceNone, false
+	}
+	// Swapped out: locality depends on where the image resides.
+	if ctr := b.Container(); ctr != nil {
+		if loc, err := n.srv.Driver().ImageLocation(ctr.ID()); err == nil {
+			if loc.String() == "disk" {
+				return PresenceDisk, true
+			}
+			return PresenceRAM, true
+		}
+	}
+	return PresenceDisk, true
+}
+
+// load returns the node's total outstanding work.
+func (n *Node) load() int {
+	var total int
+	for _, b := range n.srv.Backends() {
+		total += b.QueueLen() + int(b.Pending()) + int(b.Active())
+	}
+	return total
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Presence classifies how "close" a node is to serving a model, in
+// decreasing order of swap-in cost saved: a warm (running) backend
+// serves immediately; a RAM-resident snapshot restores at memcpy
+// speed; a disk-spilled snapshot first pays a disk read; absence means
+// the model is not deployed there at all.
+type Presence int
+
+// Presence classes, ordered so that a larger value is always a better
+// placement for latency.
+const (
+	PresenceNone Presence = iota
+	PresenceDisk
+	PresenceRAM
+	PresenceWarm
+)
+
+// String returns the lowercase presence name.
+func (p Presence) String() string {
+	switch p {
+	case PresenceWarm:
+		return "warm"
+	case PresenceRAM:
+		return "ram"
+	case PresenceDisk:
+		return "disk"
+	default:
+		return "none"
+	}
+}
+
+// Candidate is one node eligible to serve a request, as seen by a
+// placement policy. Candidates are always presented sorted by node ID
+// so policies are deterministic given the same cluster state.
+type Candidate struct {
+	NodeID string
+	// Presence is the node's locality class for the requested model.
+	Presence Presence
+	// Load is the node's total outstanding requests (all backends).
+	Load int
+	// FreeGPUBytes is unallocated device memory across the node's GPUs.
+	FreeGPUBytes int64
+}
+
+// Policy chooses the node to serve a request. Implementations must be
+// safe for concurrent use.
+type Policy interface {
+	Name() string
+	// Select returns the chosen candidate's index, or false when no
+	// candidate is acceptable. The slice is never empty.
+	Select(model string, cands []Candidate) (int, bool)
+}
+
+// LocalityFirst prefers the node that needs the least data movement to
+// serve the model — warm backend over RAM snapshot over disk snapshot
+// — and breaks ties toward the least-loaded node. This is the
+// ServerlessLLM-style locality-aware policy the cluster defaults to:
+// routing to where the state already lives converts would-be cold
+// starts into hot-swap resumes.
+type LocalityFirst struct{}
+
+// Name identifies the policy in configs and metrics.
+func (LocalityFirst) Name() string { return "locality" }
+
+// Select picks the best-presence candidate, tie-breaking by load then
+// free GPU memory then node ID.
+func (LocalityFirst) Select(model string, cands []Candidate) (int, bool) {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || betterLocality(c, cands[best]) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+func betterLocality(a, b Candidate) bool {
+	if a.Presence != b.Presence {
+		return a.Presence > b.Presence
+	}
+	return lessLoaded(a, b)
+}
+
+// LeastLoaded ignores locality and picks the node with the fewest
+// outstanding requests — classic load balancing, included as the
+// ablation baseline that shows why locality matters for swap-heavy
+// serving.
+type LeastLoaded struct{}
+
+// Name identifies the policy in configs and metrics.
+func (LeastLoaded) Name() string { return "least-loaded" }
+
+// Select picks the least-loaded candidate, tie-breaking by free GPU
+// memory then node ID.
+func (LeastLoaded) Select(model string, cands []Candidate) (int, bool) {
+	best := -1
+	for i, c := range cands {
+		if best < 0 || lessLoaded(c, cands[best]) {
+			best = i
+		}
+	}
+	return best, best >= 0
+}
+
+func lessLoaded(a, b Candidate) bool {
+	if a.Load != b.Load {
+		return a.Load < b.Load
+	}
+	if a.FreeGPUBytes != b.FreeGPUBytes {
+		return a.FreeGPUBytes > b.FreeGPUBytes
+	}
+	return a.NodeID < b.NodeID
+}
+
+// Random picks uniformly among candidates — the null-hypothesis
+// baseline for the placement ablation.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom returns a seeded uniform-random policy.
+func NewRandom(seed int64) *Random {
+	return &Random{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name identifies the policy in configs and metrics.
+func (*Random) Name() string { return "random" }
+
+// Select picks a uniformly random candidate.
+func (p *Random) Select(model string, cands []Candidate) (int, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rng.Intn(len(cands)), true
+}
+
+// PolicyByName constructs the named placement policy ("locality",
+// "least-loaded", or "random"); seed only affects "random".
+func PolicyByName(name string, seed int64) (Policy, bool) {
+	switch name {
+	case "locality", "":
+		return LocalityFirst{}, true
+	case "least-loaded":
+		return LeastLoaded{}, true
+	case "random":
+		return NewRandom(seed), true
+	default:
+		return nil, false
+	}
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func cand(id string, p Presence, load int, free int64) Candidate {
+	return Candidate{NodeID: id, Presence: p, Load: load, FreeGPUBytes: free}
+}
+
+func selectID(t *testing.T, p Policy, cands []Candidate) string {
+	t.Helper()
+	idx, ok := p.Select("m", cands)
+	if !ok {
+		t.Fatal("policy returned no candidate")
+	}
+	return cands[idx].NodeID
+}
+
+func TestLocalityFirstPrefersWarm(t *testing.T) {
+	p := LocalityFirst{}
+	cands := []Candidate{
+		cand("a", PresenceDisk, 0, 100),
+		cand("b", PresenceWarm, 9, 0), // loaded, but warm wins outright
+		cand("c", PresenceRAM, 0, 100),
+	}
+	if got := selectID(t, p, cands); got != "b" {
+		t.Fatalf("picked %q, want warm node b", got)
+	}
+}
+
+func TestLocalityFirstOrdering(t *testing.T) {
+	// Warm > RAM > disk > none, per the presence ladder.
+	p := LocalityFirst{}
+	cands := []Candidate{
+		cand("a", PresenceNone, 0, 0),
+		cand("b", PresenceDisk, 0, 0),
+		cand("c", PresenceRAM, 0, 0),
+	}
+	if got := selectID(t, p, cands); got != "c" {
+		t.Fatalf("picked %q, want ram node c", got)
+	}
+}
+
+func TestLocalityFirstTieBreaksByLoad(t *testing.T) {
+	p := LocalityFirst{}
+	cands := []Candidate{
+		cand("a", PresenceRAM, 5, 100),
+		cand("b", PresenceRAM, 1, 100),
+	}
+	if got := selectID(t, p, cands); got != "b" {
+		t.Fatalf("picked %q, want less-loaded node b", got)
+	}
+	// Fully symmetric candidates break toward the lexically first ID, so
+	// repeated placements are deterministic.
+	cands = []Candidate{
+		cand("y", PresenceRAM, 1, 100),
+		cand("x", PresenceRAM, 1, 100),
+	}
+	if got := selectID(t, p, cands); got != "x" {
+		t.Fatalf("picked %q, want lexical first x", got)
+	}
+}
+
+func TestLeastLoadedIgnoresPresence(t *testing.T) {
+	p := LeastLoaded{}
+	cands := []Candidate{
+		cand("a", PresenceWarm, 4, 100),
+		cand("b", PresenceNone, 2, 100),
+	}
+	if got := selectID(t, p, cands); got != "b" {
+		t.Fatalf("picked %q, want least-loaded node b", got)
+	}
+	// Equal load: more free GPU memory wins.
+	cands = []Candidate{
+		cand("a", PresenceWarm, 2, 10),
+		cand("b", PresenceNone, 2, 100),
+	}
+	if got := selectID(t, p, cands); got != "b" {
+		t.Fatalf("picked %q, want free-GPU node b", got)
+	}
+}
+
+func TestRandomSeededDeterministic(t *testing.T) {
+	cands := []Candidate{
+		cand("a", PresenceWarm, 0, 0),
+		cand("b", PresenceWarm, 0, 0),
+		cand("c", PresenceWarm, 0, 0),
+	}
+	run := func(seed int64) []string {
+		p := NewRandom(seed)
+		var out []string
+		for i := 0; i < 20; i++ {
+			out = append(out, selectID(t, p, cands))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Over 20 draws of 3 nodes, more than one node must appear.
+	seen := make(map[string]bool)
+	for _, id := range a {
+		seen[id] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("random policy stuck on one node: %v", seen)
+	}
+}
+
+func TestPolicyByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":             "locality",
+		"locality":     "locality",
+		"least-loaded": "least-loaded",
+		"random":       "random",
+	} {
+		p, ok := PolicyByName(name, 1)
+		if !ok || p.Name() != want {
+			t.Fatalf("PolicyByName(%q) = %v, %v", name, p, ok)
+		}
+	}
+	if _, ok := PolicyByName("warmest", 1); ok {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPresenceString(t *testing.T) {
+	if PresenceWarm.String() != "warm" || PresenceRAM.String() != "ram" ||
+		PresenceDisk.String() != "disk" || PresenceNone.String() != "none" {
+		t.Fatal("presence strings wrong")
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	for s, want := range map[NodeState]string{
+		NodeJoining: "joining", NodeHealthy: "healthy",
+		NodeDraining: "draining", NodeDown: "down",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", s, s.String())
+		}
+	}
+}

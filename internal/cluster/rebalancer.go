@@ -1,0 +1,159 @@
+package cluster
+
+import (
+	"time"
+
+	"swapservellm/internal/core"
+)
+
+// rebalancer is the cluster's background snapshot-placement optimizer.
+// Each sweep finds nodes whose host snapshot RAM is above the
+// high-water fraction of the cap ("hot") and moves their coldest idle
+// image's RAM residency to an idle replica node: the replica promotes
+// its disk copy into RAM (paying the disk read through the storage
+// cost model) and the hot node demotes its copy to disk (paying the
+// write). The next request for that model then finds a RAM-resident
+// snapshot on the idle node — a fast hot-swap resume instead of a disk
+// restore — while the hot node regains headroom for the models it is
+// actually serving.
+type rebalancer struct {
+	c         *Cluster
+	interval  time.Duration
+	highWater float64
+	capBytes  int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+func newRebalancer(c *Cluster, interval time.Duration, highWater float64, capBytes int64) *rebalancer {
+	return &rebalancer{
+		c:         c,
+		interval:  interval,
+		highWater: highWater,
+		capBytes:  capBytes,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+func (rb *rebalancer) run() {
+	defer close(rb.done)
+	for {
+		select {
+		case <-rb.stop:
+			return
+		case <-rb.c.clock.After(rb.interval):
+			rb.Sweep()
+		}
+	}
+}
+
+func (rb *rebalancer) halt() {
+	close(rb.stop)
+	<-rb.done
+}
+
+// Sweep performs one rebalancing pass, returning how many migrations
+// it executed. Exported for tests and the swapgateway admin surface.
+func (rb *rebalancer) Sweep() int {
+	rb.c.reg.Counter("rebalance_sweeps").Inc()
+	if rb.capBytes <= 0 {
+		return 0
+	}
+	hi := int64(rb.highWater * float64(rb.capBytes))
+	var migrated int
+	for _, hot := range rb.c.registry.Nodes() {
+		if hot.State() != NodeHealthy {
+			continue
+		}
+		if hot.Server().Driver().HostUsed() <= hi {
+			continue
+		}
+		if rb.migrateFrom(hot, hi) {
+			migrated++
+		}
+	}
+	if migrated > 0 {
+		rb.c.reg.Counter("rebalance_migrations").Add(float64(migrated))
+	}
+	return migrated
+}
+
+// migrateFrom moves one image's RAM residency off the hot node. It
+// walks the node's swapped-out, RAM-resident, idle backends from
+// coldest to warmest and takes the first with a willing destination.
+func (rb *rebalancer) migrateFrom(hot *Node, hi int64) bool {
+	for _, b := range coldestFirst(hot.Server()) {
+		dst, ok := rb.destinationFor(hot, b)
+		if !ok {
+			continue
+		}
+		db, _ := dst.Server().Backend(b.Name())
+		// Promote the replica first: if it fails (raced past the headroom
+		// check), the hot node keeps its RAM copy and nothing is lost.
+		if err := dst.Server().Driver().Promote(db.Container().ID()); err != nil {
+			continue
+		}
+		if err := hot.Server().Driver().Demote(b.Container().ID()); err != nil {
+			continue
+		}
+		rb.c.reg.Counter("rebalance_promotions_" + dst.ID()).Inc()
+		rb.c.reg.Counter("rebalance_demotions_" + hot.ID()).Inc()
+		return true
+	}
+	return false
+}
+
+// destinationFor finds a healthy replica node whose copy of b's model
+// is a disk-resident snapshot and which has RAM headroom to promote it
+// without crossing the high-water mark itself.
+func (rb *rebalancer) destinationFor(hot *Node, b *core.Backend) (*Node, bool) {
+	hi := int64(rb.highWater * float64(rb.capBytes))
+	for _, n := range rb.c.registry.Nodes() {
+		if n.ID() == hot.ID() || n.State() != NodeHealthy {
+			continue
+		}
+		rb2, ok := n.Server().Backend(b.Name())
+		if !ok || rb2.State() != core.BackendSwappedOut {
+			continue
+		}
+		drv := n.Server().Driver()
+		loc, err := drv.ImageLocation(rb2.Container().ID())
+		if err != nil || loc.String() != "disk" {
+			continue
+		}
+		bytes, err := drv.ImageBytes(rb2.Container().ID())
+		if err != nil || drv.HostUsed()+bytes > hi {
+			continue
+		}
+		return n, true
+	}
+	return nil, false
+}
+
+// coldestFirst lists the node's migration candidates — swapped-out,
+// RAM-resident images belonging to idle backends — least recently
+// accessed first.
+func coldestFirst(srv *core.Server) []*core.Backend {
+	var out []*core.Backend
+	for _, b := range srv.Backends() {
+		if b.State() != core.BackendSwappedOut {
+			continue
+		}
+		if b.QueueLen() > 0 || b.Pending() > 0 || b.Active() > 0 {
+			continue
+		}
+		loc, err := srv.Driver().ImageLocation(b.Container().ID())
+		if err != nil || loc.String() != "ram" {
+			continue
+		}
+		out = append(out, b)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].LastAccessed().Before(out[j-1].LastAccessed()); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

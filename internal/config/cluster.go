@@ -1,0 +1,205 @@
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"swapservellm/internal/models"
+)
+
+// Node configures one cluster member: a full SwapServeLLM deployment
+// (its own simulated GPU topology, engines, and snapshot store) joined
+// to the gateway.
+type Node struct {
+	// Name is the node's cluster-unique identifier.
+	Name string `json:"name"`
+	// Listen is the node router's bind address (default "127.0.0.1:0").
+	Listen string `json:"listen,omitempty"`
+	// GPUCount overrides the node's topology size (default: the
+	// testbed's count, grown to fit the highest configured GPU index).
+	GPUCount int `json:"gpu_count,omitempty"`
+	// Models lists the backends deployed on this node. A model may be
+	// replicated across nodes; the placement engine then chooses per
+	// request.
+	Models []Model `json:"models"`
+}
+
+// ClusterGlobal holds gateway-level parameters.
+type ClusterGlobal struct {
+	// Placement selects the placement policy: "locality" (default),
+	// "least-loaded", or "random".
+	Placement string `json:"placement,omitempty"`
+	// HeartbeatSec is the registry's heartbeat probe interval in
+	// simulated seconds (default 2).
+	HeartbeatSec float64 `json:"heartbeat_sec,omitempty"`
+	// HeartbeatMissLimit marks a node down after this many consecutive
+	// missed heartbeats (default 3).
+	HeartbeatMissLimit int `json:"heartbeat_miss_limit,omitempty"`
+	// RebalanceSec is the snapshot rebalancer's sweep interval in
+	// simulated seconds (0 disables the rebalancer).
+	RebalanceSec float64 `json:"rebalance_sec,omitempty"`
+	// RebalanceHighWater is the host-snapshot RAM fraction above which a
+	// node is considered hot (default 0.75; only meaningful with a
+	// snapshot_host_cap_gib).
+	RebalanceHighWater float64 `json:"rebalance_high_water,omitempty"`
+	// RetryLimit bounds how many distinct nodes the gateway tries per
+	// request before giving up (default 2, i.e. one failover).
+	RetryLimit int `json:"retry_limit,omitempty"`
+}
+
+// Cluster is the multi-node deployment configuration consumed by the
+// swapgateway binary: one gateway address, shared global backend
+// parameters, and the node list.
+type Cluster struct {
+	// Listen is the gateway's bind address.
+	Listen string `json:"listen"`
+	// Testbed selects the hardware profile for every node.
+	Testbed string `json:"testbed"`
+	// Global backend parameters apply to every node (same split as the
+	// single-node Config).
+	Global Global `json:"global"`
+	// Cluster holds gateway-level parameters.
+	Cluster ClusterGlobal `json:"cluster"`
+	// Nodes lists the cluster members.
+	Nodes []Node `json:"nodes"`
+}
+
+// DefaultCluster returns a cluster configuration with sensible defaults
+// and no nodes.
+func DefaultCluster() Cluster {
+	def := Default()
+	return Cluster{
+		Listen:  "127.0.0.1:0",
+		Testbed: def.Testbed,
+		Global:  def.Global,
+		Cluster: ClusterGlobal{
+			Placement:          "locality",
+			HeartbeatSec:       2,
+			HeartbeatMissLimit: 3,
+			RebalanceHighWater: 0.75,
+			RetryLimit:         2,
+		},
+	}
+}
+
+// ParseCluster decodes a JSON cluster configuration, applying defaults
+// for omitted fields.
+func ParseCluster(r io.Reader) (Cluster, error) {
+	cfg := DefaultCluster()
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return cfg, fmt.Errorf("config: parsing cluster: %w", err)
+	}
+	return cfg, nil
+}
+
+// LoadCluster reads and parses a cluster configuration file.
+func LoadCluster(path string) (Cluster, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Cluster{}, fmt.Errorf("config: %w", err)
+	}
+	defer f.Close()
+	return ParseCluster(f)
+}
+
+// Validate checks the cluster configuration: gateway parameters, node
+// uniqueness, and every node's deployment via the single-node rules.
+// Node defaults (listen address, queue capacities, storage tiers) are
+// filled in place.
+func (c *Cluster) Validate(catalog *models.Catalog) error {
+	if c.Listen == "" {
+		return errors.New("config: cluster listen address required")
+	}
+	switch c.Cluster.Placement {
+	case "", "locality", "least-loaded", "random":
+	default:
+		return fmt.Errorf("config: unknown placement policy %q (want locality, least-loaded, or random)", c.Cluster.Placement)
+	}
+	if c.Cluster.Placement == "" {
+		c.Cluster.Placement = "locality"
+	}
+	if c.Cluster.HeartbeatSec < 0 {
+		return errors.New("config: heartbeat_sec must be non-negative")
+	}
+	if c.Cluster.HeartbeatSec == 0 {
+		c.Cluster.HeartbeatSec = 2
+	}
+	if c.Cluster.HeartbeatMissLimit < 0 {
+		return errors.New("config: heartbeat_miss_limit must be non-negative")
+	}
+	if c.Cluster.HeartbeatMissLimit == 0 {
+		c.Cluster.HeartbeatMissLimit = 3
+	}
+	if c.Cluster.RebalanceSec < 0 {
+		return errors.New("config: rebalance_sec must be non-negative")
+	}
+	if c.Cluster.RebalanceHighWater < 0 || c.Cluster.RebalanceHighWater > 1 {
+		return errors.New("config: rebalance_high_water must be in [0,1]")
+	}
+	if c.Cluster.RebalanceHighWater == 0 {
+		c.Cluster.RebalanceHighWater = 0.75
+	}
+	if c.Cluster.RetryLimit < 0 {
+		return errors.New("config: retry_limit must be non-negative")
+	}
+	if c.Cluster.RetryLimit == 0 {
+		c.Cluster.RetryLimit = 2
+	}
+	if len(c.Nodes) == 0 {
+		return errors.New("config: at least one node required")
+	}
+	seen := make(map[string]bool, len(c.Nodes))
+	for i := range c.Nodes {
+		n := &c.Nodes[i]
+		if n.Name == "" {
+			return fmt.Errorf("config: nodes[%d] missing name", i)
+		}
+		if seen[n.Name] {
+			return fmt.Errorf("config: duplicate node %q", n.Name)
+		}
+		seen[n.Name] = true
+		if n.Listen == "" {
+			n.Listen = "127.0.0.1:0"
+		}
+		if n.GPUCount < 0 {
+			return fmt.Errorf("config: node %q gpu_count must be non-negative", n.Name)
+		}
+		nodeCfg := c.NodeConfig(i)
+		if err := nodeCfg.Validate(catalog); err != nil {
+			return fmt.Errorf("config: node %q: %w", n.Name, err)
+		}
+		// Validate fills per-model defaults; copy them back.
+		n.Models = nodeCfg.Models
+	}
+	return nil
+}
+
+// NodeConfig assembles the single-node Config for the i-th node: the
+// shared global parameters with the node's own listen address and model
+// list.
+func (c *Cluster) NodeConfig(i int) Config {
+	n := c.Nodes[i]
+	return Config{
+		Listen:  n.Listen,
+		Testbed: c.Testbed,
+		Global:  c.Global,
+		Models:  append([]Model(nil), n.Models...),
+	}
+}
+
+// Heartbeat returns the heartbeat probe interval as a Duration.
+func (c *Cluster) Heartbeat() time.Duration {
+	return time.Duration(c.Cluster.HeartbeatSec * float64(time.Second))
+}
+
+// RebalanceEvery returns the rebalancer sweep interval (zero =
+// disabled).
+func (c *Cluster) RebalanceEvery() time.Duration {
+	return time.Duration(c.Cluster.RebalanceSec * float64(time.Second))
+}

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"testing"
@@ -25,6 +26,23 @@ func TestShippedEvaluationConfigsValid(t *testing.T) {
 			continue
 		}
 		path := filepath.Join(dir, e.Name())
+		// Cluster deployments carry a "nodes" list and use the cluster
+		// schema; everything else is a single-node config.
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if bytes.Contains(raw, []byte(`"nodes"`)) {
+			cfg, err := LoadCluster(path)
+			if err != nil {
+				t.Errorf("%s: %v", e.Name(), err)
+				continue
+			}
+			if err := cfg.Validate(models.Default()); err != nil {
+				t.Errorf("%s: %v", e.Name(), err)
+			}
+			continue
+		}
 		cfg, err := Load(path)
 		if err != nil {
 			t.Errorf("%s: %v", e.Name(), err)

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"swapservellm/internal/config"
+	"swapservellm/internal/simclock"
+)
+
+// The reaper and the prefetcher form an autoscaling pair working in
+// opposite directions: the reaper reclaims memory behind idle backends,
+// the prefetcher restores them ahead of predicted demand. These tests
+// pin down their interaction — neither may immediately undo the other's
+// work. Both loops are driven by explicit sweep() calls (the config
+// leaves the background loops disabled) so the interleavings are exact.
+
+// prefetchSetup starts a one-model server with both loops disabled and
+// primes the backend's EWMA demand predictor with chats spaced gapMS
+// wall-milliseconds apart (gapMS simulated seconds at scale 1000).
+func prefetchSetup(t *testing.T, gapMS int) (*Server, *Backend) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Models = []config.Model{ollamaModel("llama3.2:1b-fp16")}
+	s := startServer(t, cfg, Options{Clock: simclock.NewScaled(testEpoch, 1000)})
+	b, _ := s.Backend("llama3.2:1b-fp16")
+	for i := 0; i < 4; i++ {
+		doChat(t, s.URL(), "llama3.2:1b-fp16", 1)
+		time.Sleep(time.Duration(gapMS) * time.Millisecond)
+	}
+	if b.ewmaInterArrival.Load() <= 0 {
+		t.Fatal("EWMA predictor not primed")
+	}
+	return s, b
+}
+
+// TestReaperSparesPrefetchedBackend: a proactive prefetch swap-in resets
+// the backend's idle clock. Even when the last request arrival is well
+// outside the keep-alive window, the reaper must not reclaim a backend
+// the prefetcher just restored — idle time runs from the moment it last
+// became servable, not from the last request.
+func TestReaperSparesPrefetchedBackend(t *testing.T) {
+	// ~12 simulated seconds between arrivals; keep-alive is 6, so by the
+	// time the prefetcher fires (one EWMA period after the last arrival)
+	// the last access is already older than the keep-alive window.
+	s, b := prefetchSetup(t, 12)
+	if err := s.Controller().SwapOut(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+
+	p := newPrefetcher(s, time.Hour)
+	deadline := time.Now().Add(10 * time.Second)
+	for b.State() != BackendRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("prefetcher never restored the backend (state=%v, ewma=%v)",
+				b.State(), time.Duration(b.ewmaInterArrival.Load()))
+		}
+		p.sweep()
+		time.Sleep(time.Millisecond)
+	}
+	if s.Registry().Counter("prefetch_swap_ins").Value() == 0 {
+		t.Fatal("prefetch_swap_ins not incremented")
+	}
+
+	// The last arrival is now >= one EWMA period (~12 simulated seconds)
+	// in the past — outside the 6-second keep-alive window. A reap sweep
+	// right after the prefetch must leave the backend alone.
+	r := newReaper(s, 6*time.Second, time.Hour)
+	if idle := s.clock.Now().Sub(b.LastAccessed()); idle < 6*time.Second {
+		t.Fatalf("test premise broken: last access only %v ago", idle)
+	}
+	r.sweep()
+	if b.State() != BackendRunning {
+		t.Fatal("reaper reclaimed a freshly prefetched backend")
+	}
+	if v := s.Registry().Counter("idle_reaps").Value(); v != 0 {
+		t.Fatalf("idle_reaps = %v after prefetch", v)
+	}
+
+	// The guard is a grace period, not an exemption: once the backend has
+	// been servable-but-unused for a full keep-alive window, the reaper
+	// reclaims it as usual.
+	time.Sleep(10 * time.Millisecond) // ~10 simulated seconds
+	r.sweep()
+	if b.State() != BackendSwappedOut {
+		t.Fatalf("reaper never reclaimed the idle prefetched backend (state=%v)", b.State())
+	}
+	if v := s.Registry().Counter("idle_reaps").Value(); v != 1 {
+		t.Fatalf("idle_reaps = %v, want 1", v)
+	}
+}
+
+// TestPrefetcherSkipsFreshlyReapedBackend: the inverse interaction. A
+// backend reaped for genuine idleness — traffic stopped long enough that
+// the predicted next arrival is stale — must not be prefetched straight
+// back in, or the pair would thrash swap-out/swap-in forever.
+func TestPrefetcherSkipsFreshlyReapedBackend(t *testing.T) {
+	// ~6 simulated seconds between arrivals, then silence.
+	s, b := prefetchSetup(t, 6)
+
+	// Let the trace go cold: ~24 simulated seconds with no arrivals puts
+	// the predicted next arrival more than one EWMA period in the past.
+	time.Sleep(24 * time.Millisecond)
+
+	r := newReaper(s, 5*time.Second, time.Hour)
+	r.sweep()
+	if b.State() != BackendSwappedOut {
+		t.Fatalf("reaper did not reclaim the idle backend (state=%v)", b.State())
+	}
+
+	// Repeated prefetch sweeps must leave the reaped backend swapped out.
+	p := newPrefetcher(s, time.Hour)
+	for i := 0; i < 5; i++ {
+		p.sweep()
+		time.Sleep(time.Millisecond)
+	}
+	if b.State() != BackendSwappedOut {
+		t.Fatalf("prefetcher restored a backend with no predicted demand (state=%v)", b.State())
+	}
+	if v := s.Registry().Counter("prefetch_swap_ins").Value(); v != 0 {
+		t.Fatalf("prefetch_swap_ins = %v after cold reap", v)
+	}
+
+	// The predictor re-arms when traffic resumes: two fresh arrivals
+	// rebuild the EWMA and the next quiet gap is prefetched again.
+	doChat(t, s.URL(), "llama3.2:1b-fp16", 1)
+	time.Sleep(6 * time.Millisecond)
+	doChat(t, s.URL(), "llama3.2:1b-fp16", 1)
+	if err := s.Controller().SwapOut(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for s.Registry().Counter("prefetch_swap_ins").Value() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("prefetcher never re-armed after traffic resumed")
+		}
+		p.sweep()
+		time.Sleep(time.Millisecond)
+	}
+}

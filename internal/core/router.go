@@ -29,9 +29,11 @@ func (rt *router) handler() http.Handler {
 		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/admin/status", rt.auth(rt.adminStatus))
+	mux.HandleFunc("/admin/inventory", rt.auth(rt.adminInventory))
 	mux.HandleFunc("/admin/swap-in", rt.auth(rt.adminSwap(true)))
 	mux.HandleFunc("/admin/swap-out", rt.auth(rt.adminSwap(false)))
-	mux.HandleFunc("/metrics", rt.auth(rt.metricsCSV))
+	mux.HandleFunc("/metrics", rt.auth(rt.metricsProm))
+	mux.HandleFunc("/metrics.csv", rt.auth(rt.metricsCSV))
 	return mux
 }
 
@@ -255,7 +257,20 @@ func (rt *router) adminSwap(in bool) http.HandlerFunc {
 	}
 }
 
-// metricsCSV dumps the metrics registry.
+// adminInventory reports the node-local backend/snapshot inventory the
+// cluster layer consumes for placement and rebalancing.
+func (rt *router) adminInventory(w http.ResponseWriter, r *http.Request) {
+	openai.WriteJSON(w, http.StatusOK, rt.s.Inventory())
+}
+
+// metricsProm serves the registry in the Prometheus text exposition
+// format (scrapeable /metrics).
+func (rt *router) metricsProm(w http.ResponseWriter, r *http.Request) {
+	rt.s.reg.Handler().ServeHTTP(w, r)
+}
+
+// metricsCSV dumps the metrics registry as CSV (the paper's analysis
+// format).
 func (rt *router) metricsCSV(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/csv")
 	rt.s.reg.WriteCSV(w)

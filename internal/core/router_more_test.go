@@ -84,7 +84,7 @@ func TestMetricsAfterTraffic(t *testing.T) {
 	s := testServer(t, 5000, ollamaModel("llama3.2:1b-fp16"))
 	doChat(t, s.URL(), "llama3.2:1b-fp16", 2)
 	doChat(t, s.URL(), "llama3.2:1b-fp16", 2)
-	resp, err := http.Get(s.URL() + "/metrics")
+	resp, err := http.Get(s.URL() + "/metrics.csv")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -363,10 +363,22 @@ func TestMetricsEndpoint(t *testing.T) {
 		}
 	}
 	out := sb.String()
-	for _, want := range []string{"requests_total", "swap_in_latency", "swap_outs"} {
+	for _, want := range []string{"requests_total", "swap_in_latency", "swap_outs", "# TYPE"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("metrics output missing %q", want)
 		}
+	}
+
+	// The CSV exposition remains available at /metrics.csv.
+	csvResp, err := http.Get(s.URL() + "/metrics.csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer csvResp.Body.Close()
+	head := make([]byte, 64)
+	n, _ := csvResp.Body.Read(head)
+	if !strings.HasPrefix(string(head[:n]), "kind,name,field,value") {
+		t.Errorf("/metrics.csv header = %q", head[:n])
 	}
 }
 

@@ -48,11 +48,13 @@ func TestSoakRandomChurn(t *testing.T) {
 	sem := make(chan struct{}, 10)
 	const requests = 120
 	for i := 0; i < requests; i++ {
+		// All random draws happen here: rng is not goroutine-safe.
 		model := modelNames[rng.Intn(len(modelNames))]
 		action := rng.Intn(10)
+		maxTokens := 1 + rng.Intn(8)
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(i int, model string, action int) {
+		go func(i int, model string, action, maxTokens int) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			switch {
@@ -68,7 +70,7 @@ func TestSoakRandomChurn(t *testing.T) {
 						Model:     model,
 						Messages:  []openai.Message{{Role: "user", Content: "soak"}},
 						Seed:      &seed,
-						MaxTokens: 1 + rng.Intn(8),
+						MaxTokens: maxTokens,
 					})
 				mu.Lock()
 				if err != nil {
@@ -78,7 +80,7 @@ func TestSoakRandomChurn(t *testing.T) {
 				}
 				mu.Unlock()
 			}
-		}(i, model, action)
+		}(i, model, action, maxTokens)
 	}
 	wg.Wait()
 

@@ -1,7 +1,11 @@
 package cudackpt
 
 import (
+	"fmt"
+	"sort"
 	"time"
+
+	"swapservellm/internal/perfmodel"
 )
 
 // ImageLocation identifies where a checkpoint image currently resides.
@@ -59,6 +63,90 @@ func (d *Driver) SpillCount() int64 {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.spills
+}
+
+// Demote moves a checkpointed, RAM-resident image to disk, paying the
+// disk write at the storage tier's effective bandwidth. The cluster
+// rebalancer uses this to free host memory on a hot node after its
+// snapshot has been replicated elsewhere.
+func (d *Driver) Demote(pid string) error {
+	d.mu.Lock()
+	p, ok := d.procs[pid]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	if p.state != StateCheckpointed || p.hostImage == 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: demote of %q in state %v", ErrBadState, pid, p.state)
+	}
+	if p.loc == LocDisk {
+		d.mu.Unlock()
+		return nil
+	}
+	bytes := p.hostImage
+	d.hostUsed -= bytes
+	d.diskUsed += bytes
+	p.loc = LocDisk
+	d.spills++
+	d.mu.Unlock()
+	d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
+	return nil
+}
+
+// Promote moves a checkpointed, disk-spilled image back into host RAM,
+// paying the disk read. It fails with ErrHostMemory when the image no
+// longer fits under the host cap — Promote never spills other images to
+// make room.
+func (d *Driver) Promote(pid string) error {
+	d.mu.Lock()
+	p, ok := d.procs[pid]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	if p.state != StateCheckpointed || p.hostImage == 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: promote of %q in state %v", ErrBadState, pid, p.state)
+	}
+	if p.loc == LocRAM {
+		d.mu.Unlock()
+		return nil
+	}
+	bytes := p.hostImage
+	if d.hostCap > 0 && d.hostUsed+bytes > d.hostCap {
+		d.mu.Unlock()
+		return fmt.Errorf("%w: need %d, used %d of %d", ErrHostMemory, bytes, d.hostUsed, d.hostCap)
+	}
+	d.diskUsed -= bytes
+	d.hostUsed += bytes
+	p.loc = LocRAM
+	d.mu.Unlock()
+	d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
+	return nil
+}
+
+// SnapshotInfo describes one checkpointed image for inventory listings.
+type SnapshotInfo struct {
+	PID      string
+	Bytes    int64
+	Loc      ImageLocation
+	LastUsed time.Time
+}
+
+// Snapshots lists every checkpointed image, sorted by PID.
+func (d *Driver) Snapshots() []SnapshotInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []SnapshotInfo
+	for pid, p := range d.procs {
+		if p.state != StateCheckpointed || p.hostImage == 0 {
+			continue
+		}
+		out = append(out, SnapshotInfo{PID: pid, Bytes: p.hostImage, Loc: p.loc, LastUsed: p.lastUsed})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
 }
 
 // spillUntilLocked evicts LRU RAM-resident images to disk until need

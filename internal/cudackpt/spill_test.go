@@ -140,6 +140,79 @@ func TestSpillUnregisterReleasesDisk(t *testing.T) {
 	}
 }
 
+func TestDemotePromoteRoundTrip(t *testing.T) {
+	d, dev, clock := newSpillDriver(t, 60*gib)
+	dev.Alloc("a", 20*gib)
+	d.Register("a", dev, perfmodel.EngineOllama, gib)
+	if _, err := d.Suspend("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := clock.Now()
+	if err := d.Demote("a"); err != nil {
+		t.Fatal(err)
+	}
+	if clock.Since(t0) <= 0 {
+		t.Error("demote charged no write time")
+	}
+	if loc, _ := d.ImageLocation("a"); loc != LocDisk {
+		t.Fatalf("location after demote = %v", loc)
+	}
+	if d.HostUsed() != 0 || d.DiskUsed() != 20*gib {
+		t.Fatalf("accounting after demote: host=%d disk=%d", d.HostUsed(), d.DiskUsed())
+	}
+	// Demoting a disk image is a no-op.
+	if err := d.Demote("a"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := d.Promote("a"); err != nil {
+		t.Fatal(err)
+	}
+	if loc, _ := d.ImageLocation("a"); loc != LocRAM {
+		t.Fatalf("location after promote = %v", loc)
+	}
+	if d.HostUsed() != 20*gib || d.DiskUsed() != 0 {
+		t.Fatalf("accounting after promote: host=%d disk=%d", d.HostUsed(), d.DiskUsed())
+	}
+
+	// Inventory listing sees the single image.
+	snaps := d.Snapshots()
+	if len(snaps) != 1 || snaps[0].PID != "a" || snaps[0].Bytes != 20*gib || snaps[0].Loc != LocRAM {
+		t.Fatalf("snapshots = %+v", snaps)
+	}
+}
+
+func TestPromoteRespectsCap(t *testing.T) {
+	d, dev, _ := newSpillDriver(t, 40*gib)
+	dev.Alloc("a", 30*gib)
+	dev.Alloc("b", 30*gib)
+	d.Register("a", dev, perfmodel.EngineOllama, gib)
+	d.Register("b", dev, perfmodel.EngineOllama, gib)
+	d.Suspend("a")
+	d.Suspend("b") // spills a to disk
+	// RAM holds b (30 of 40 GiB); promoting a (30 GiB) cannot fit and must
+	// not spill b to make room.
+	if err := d.Promote("a"); !errors.Is(err, ErrHostMemory) {
+		t.Fatalf("promote over cap: %v", err)
+	}
+	if loc, _ := d.ImageLocation("b"); loc != LocRAM {
+		t.Fatal("promote displaced another image")
+	}
+}
+
+func TestDemoteBadState(t *testing.T) {
+	d, dev, _ := newSpillDriver(t, 0)
+	dev.Alloc("run", 5*gib)
+	d.Register("run", dev, perfmodel.EngineOllama, gib)
+	if err := d.Demote("run"); !errors.Is(err, ErrBadState) {
+		t.Fatalf("demote of running process: %v", err)
+	}
+	if err := d.Demote("ghost"); !errors.Is(err, ErrUnknownProcess) {
+		t.Fatalf("demote of unknown process: %v", err)
+	}
+}
+
 func TestImageLocationString(t *testing.T) {
 	if LocRAM.String() != "ram" || LocDisk.String() != "disk" {
 		t.Fatal("location strings wrong")

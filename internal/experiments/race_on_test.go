@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector instruments this build.
+// Its scheduling overhead leaks real milliseconds into the scaled
+// simulation clock, so calibration anchors cannot be asserted tightly
+// under -race.
+const raceEnabled = true

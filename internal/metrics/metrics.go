@@ -245,21 +245,34 @@ func (r *Registry) Series(name string) *Series {
 	return s
 }
 
+// sortedKeys returns a map's keys in sorted order, so every exporter
+// emits metrics deterministically regardless of registration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
 // WriteCSV exports all metrics: one "kind,name,field,value" row per scalar
-// and one "series,name,timestamp,value" row per sample, sorted by name for
-// deterministic output.
+// and one "series,name,timestamp,value" row per sample. Metric names are
+// sorted before emission within each kind (counters, then gauges, then
+// histograms, then series), so output is byte-identical across runs.
 func (r *Registry) WriteCSV(w io.Writer) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 
 	var rows []string
-	for name, c := range r.counters {
-		rows = append(rows, fmt.Sprintf("counter,%s,value,%g", name, c.Value()))
+	for _, name := range sortedKeys(r.counters) {
+		rows = append(rows, fmt.Sprintf("counter,%s,value,%g", name, r.counters[name].Value()))
 	}
-	for name, g := range r.gauges {
-		rows = append(rows, fmt.Sprintf("gauge,%s,value,%g", name, g.Value()))
+	for _, name := range sortedKeys(r.gauges) {
+		rows = append(rows, fmt.Sprintf("gauge,%s,value,%g", name, r.gauges[name].Value()))
 	}
-	for name, h := range r.histograms {
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
 		rows = append(rows,
 			fmt.Sprintf("histogram,%s,count,%d", name, h.Count()),
 			fmt.Sprintf("histogram,%s,mean_s,%.6f", name, h.Mean().Seconds()),
@@ -267,12 +280,11 @@ func (r *Registry) WriteCSV(w io.Writer) error {
 			fmt.Sprintf("histogram,%s,p99_s,%.6f", name, h.Quantile(0.99).Seconds()),
 		)
 	}
-	for name, s := range r.series {
-		for _, p := range s.Points() {
+	for _, name := range sortedKeys(r.series) {
+		for _, p := range r.series[name].Points() {
 			rows = append(rows, fmt.Sprintf("series,%s,%d,%.6f", name, p.T.Unix(), p.V))
 		}
 	}
-	sort.Strings(rows)
 	if _, err := fmt.Fprintln(w, "kind,name,field,value"); err != nil {
 		return err
 	}

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Prometheus text exposition (version 0.0.4) for the registry, so a
+// standard Prometheus scraper can pull the same counters, gauges, and
+// histogram summaries the CSV exporter records. Metric names are
+// sanitized to the [a-zA-Z0-9_:] charset and emitted in sorted order so
+// repeated scrapes of an unchanged registry are byte-identical.
+
+// promName maps an arbitrary registry name onto a legal Prometheus
+// metric name: every disallowed rune (including ':', reserved for
+// recording rules) becomes '_', and a leading digit is prefixed with
+// '_'.
+func promName(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+			out = append(out, c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				out = append(out, '_')
+			}
+			out = append(out, c)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// WritePrometheus exports the registry in the Prometheus text format:
+// counters and gauges as single samples, histograms as a summary
+// (quantile-labelled samples plus _sum and _count), and series as a
+// gauge holding the most recent sample. Names are sorted before
+// emission for deterministic output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	for _, name := range sortedKeys(r.counters) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %g\n", n, n, r.counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.gauges) {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, r.gauges[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.histograms) {
+		h := r.histograms[name]
+		n := promName(name) + "_seconds"
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", n); err != nil {
+			return err
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %.6f\n", n, fmt.Sprintf("%g", q), h.Quantile(q).Seconds()); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %.6f\n%s_count %d\n", n, h.sumSeconds(), n, h.Count()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(r.series) {
+		s := r.series[name]
+		pts := s.Points()
+		if len(pts) == 0 {
+			continue
+		}
+		last := pts[len(pts)-1]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %g\n", n, n, last.V); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sumSeconds returns the histogram's total observed time in seconds.
+func (h *Histogram) sumSeconds() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum.Seconds()
+}
+
+// Handler returns an http.Handler serving the registry in the
+// Prometheus text exposition format (a drop-in /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

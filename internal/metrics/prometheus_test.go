@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("requests_total").Add(7)
+	r.Gauge("snapshot_bytes_llama3.2:1b-fp16").Set(2.5e9)
+	r.Histogram("swap_in_latency").Observe(2 * time.Second)
+	r.Histogram("swap_in_latency").Observe(4 * time.Second)
+	r.Series("gpu0_util").Append(time.Unix(1000, 0), 0.25)
+	r.Series("gpu0_util").Append(time.Unix(2000, 0), 0.75)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE requests_total counter",
+		"requests_total 7",
+		// Invalid runes (':', '.', '-') are sanitized to underscores.
+		"# TYPE snapshot_bytes_llama3_2_1b_fp16 gauge",
+		"snapshot_bytes_llama3_2_1b_fp16 2.5e+09",
+		"# TYPE swap_in_latency_seconds summary",
+		`swap_in_latency_seconds{quantile="0.5"} 2.000000`,
+		`swap_in_latency_seconds{quantile="0.99"} 4.000000`,
+		"swap_in_latency_seconds_sum 6.000000",
+		"swap_in_latency_seconds_count 2",
+		// Series expose their latest sample.
+		"gpu0_util 0.75",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromNameLeadingDigit(t *testing.T) {
+	if got := promName("0gpu util"); got != "_0gpu_util" {
+		t.Fatalf("promName = %q", got)
+	}
+}
+
+func TestPrometheusHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits 1") {
+		t.Errorf("handler output = %q", buf[:n])
+	}
+}
+
+// TestExportDeterministic asserts both exporters emit byte-identical
+// output for registries populated in different orders, and across
+// repeated exports of the same registry.
+func TestExportDeterministic(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for _, n := range names {
+			r.Counter("c_" + n).Add(3)
+			r.Gauge("g_" + n).Set(1.25)
+			r.Histogram("h_" + n).Observe(time.Second)
+			r.Series("s_"+n).Append(time.Unix(500, 0), 0.5)
+		}
+		return r
+	}
+	a := build([]string{"alpha", "beta", "gamma", "delta"})
+	b := build([]string{"delta", "gamma", "beta", "alpha"})
+
+	var csvA, csvB, promA, promB strings.Builder
+	if err := a.WriteCSV(&csvA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteCSV(&csvB); err != nil {
+		t.Fatal(err)
+	}
+	if csvA.String() != csvB.String() {
+		t.Errorf("WriteCSV depends on insertion order:\n%s\nvs\n%s", csvA.String(), csvB.String())
+	}
+	if err := a.WritePrometheus(&promA); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WritePrometheus(&promB); err != nil {
+		t.Fatal(err)
+	}
+	if promA.String() != promB.String() {
+		t.Errorf("WritePrometheus depends on insertion order:\n%s\nvs\n%s", promA.String(), promB.String())
+	}
+
+	// Repeated exports of an unchanged registry are identical.
+	var again strings.Builder
+	if err := a.WriteCSV(&again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != csvA.String() {
+		t.Error("WriteCSV not stable across repeated runs")
+	}
+
+	// Names must come out sorted within each kind.
+	lines := strings.Split(strings.TrimSpace(csvA.String()), "\n")
+	var counters []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "counter,") {
+			counters = append(counters, l)
+		}
+	}
+	for i := 1; i < len(counters); i++ {
+		if counters[i] < counters[i-1] {
+			t.Errorf("counter rows unsorted: %q after %q", counters[i], counters[i-1])
+		}
+	}
+}
