@@ -18,9 +18,10 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|cluster|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|cluster|chaos|all")
 		scale  = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
-		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations")
+		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
+		seeds  = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
 		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV under this directory")
 	)
 	flag.Parse()
@@ -172,10 +173,22 @@ func main() {
 		writeCSV("cluster", h, csv)
 		fmt.Fprintln(out)
 	}
+	if run("chaos") {
+		any = true
+		rows, err := experiments.ChaosSweep(*seed, *seeds, pick(4000))
+		fail(err)
+		clusterRows, err := experiments.ChaosClusterSweep(*seed, *seeds, pick(4000))
+		fail(err)
+		rows = append(rows, clusterRows...)
+		experiments.PrintChaos(out, rows)
+		h, csv := experiments.ChaosCSV(rows)
+		writeCSV("chaos", h, csv)
+		fmt.Fprintln(out)
+	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "cluster"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "cluster", "chaos"}, " "))
 		os.Exit(2)
 	}
 }

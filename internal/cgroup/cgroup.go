@@ -11,6 +11,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"swapservellm/internal/chaos"
 )
 
 // SelfState is a cgroup's own freezer state (what is written to
@@ -42,8 +44,20 @@ var (
 // Freezer is a simulated freezer hierarchy rooted at "/". It is safe for
 // concurrent use.
 type Freezer struct {
-	mu     sync.RWMutex
-	groups map[string]SelfState
+	mu       sync.RWMutex
+	groups   map[string]SelfState
+	chaosInj *chaos.Injector
+}
+
+// SetChaos installs (or, with nil, removes) the fault injector. Freeze
+// and Thaw consult chaos.SiteCgroupFreeze / chaos.SiteCgroupThaw before
+// writing the state — a fired fault models the kernel freezer write
+// failing (e.g. FREEZING stuck on an uninterruptible task) and leaves
+// the cgroup in its previous state.
+func (f *Freezer) SetChaos(in *chaos.Injector) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.chaosInj = in
 }
 
 // NewFreezer returns a hierarchy containing only the root cgroup "/".
@@ -139,6 +153,13 @@ func (f *Freezer) setState(path string, s SelfState) error {
 	defer f.mu.Unlock()
 	if _, ok := f.groups[p]; !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, p)
+	}
+	site := chaos.SiteCgroupFreeze
+	if s == Thawed {
+		site = chaos.SiteCgroupThaw
+	}
+	if ferr := f.chaosInj.At(site).Err; ferr != nil {
+		return fmt.Errorf("cgroup: writing %v to %s: %w", s, p, ferr)
 	}
 	f.groups[p] = s
 	return nil

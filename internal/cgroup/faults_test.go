@@ -1,0 +1,42 @@
+package cgroup
+
+import (
+	"errors"
+	"testing"
+
+	"swapservellm/internal/chaos"
+)
+
+func TestFreezeThawFaults(t *testing.T) {
+	f := NewFreezer()
+	if err := f.Create("/pod"); err != nil {
+		t.Fatal(err)
+	}
+
+	// A freeze fault leaves the cgroup thawed.
+	f.SetChaos(chaos.FailNext(chaos.SiteCgroupFreeze, 1))
+	if err := f.Freeze("/pod"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Freeze = %v, want injected", err)
+	}
+	if s, _ := f.SelfState("/pod"); s != Thawed {
+		t.Fatalf("state after freeze fault = %v", s)
+	}
+	if err := f.Freeze("/pod"); err != nil {
+		t.Fatalf("Freeze after fault cleared: %v", err)
+	}
+
+	// A thaw fault leaves it frozen.
+	f.SetChaos(chaos.FailNext(chaos.SiteCgroupThaw, 1))
+	if err := f.Thaw("/pod"); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Thaw = %v, want injected", err)
+	}
+	if s, _ := f.SelfState("/pod"); s != Frozen {
+		t.Fatalf("state after thaw fault = %v", s)
+	}
+	if err := f.Thaw("/pod"); err != nil {
+		t.Fatalf("Thaw after fault cleared: %v", err)
+	}
+	if s, _ := f.SelfState("/pod"); s != Thawed {
+		t.Fatalf("final state = %v", s)
+	}
+}

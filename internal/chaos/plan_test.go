@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePlan(t *testing.T) {
+	plan, err := ParsePlan("seed=42; cudackpt.restore: p=0.2 times=3; cudackpt.pcie: delay=10ms, p=0.5; cluster.sse: after=7 times=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 42, Rules: []Rule{
+		{Site: SiteCkptRestore, P: 0.2, Times: 3},
+		{Site: SiteCkptPCIe, Delay: 10 * time.Millisecond, P: 0.5},
+		{Site: SiteSSE, After: 7, Times: 1},
+	}}
+	if !reflect.DeepEqual(plan, want) {
+		t.Fatalf("plan = %+v, want %+v", plan, want)
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	plan, err := ParsePlan("cudackpt.lock:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Seed != 0 || len(plan.Rules) != 1 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if p := plan.Rules[0].probability(); p != 1 {
+		t.Fatalf("default probability = %v, want 1", p)
+	}
+}
+
+func TestParsePlanRejects(t *testing.T) {
+	for _, text := range []string{
+		"cudackpt.restore p=1",              // missing colon
+		"cudackpt.restore: q=1",             // unknown key
+		"cudackpt.restore: p=2",             // probability out of range
+		"cudackpt.restore: p=-0.5",          // negative probability
+		"cudackpt.restore: times=-1",        // negative count
+		"cudackpt.restore: after=-2",        // negative skip
+		"cudackpt.restore: delay=-5ms",      // negative delay
+		"cudackpt.restore: delay=xyz",       // unparseable duration
+		"cudackpt.restore: p",               // bare key
+		"seed=abc; cudackpt.restore:",       // bad seed
+		"cudackpt.restore:; seed=1",         // seed not first
+		"seed=1; seed=2; cudackpt.restore:", // duplicate seed
+		"BAD SITE: p=1",                     // illegal site characters
+		": p=1",                             // empty site
+	} {
+		if _, err := ParsePlan(text); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", text)
+		}
+	}
+}
+
+// TestPlanStringRoundTrip: the canonical rendering reparses to the
+// identical plan — the property the fuzz target checks at scale.
+func TestPlanStringRoundTrip(t *testing.T) {
+	plan := Plan{Seed: -7, Rules: []Rule{
+		{Site: SiteCkptRestore, P: 0.125, Times: 2},
+		{Site: SiteCkptPCIe, Delay: 1500 * time.Microsecond},
+		{Site: SiteHeartbeat, After: 4},
+		{Site: SiteCgroupThaw},
+	}}
+	text := plan.String()
+	back, err := ParsePlan(text)
+	if err != nil {
+		t.Fatalf("reparsing %q: %v", text, err)
+	}
+	if !reflect.DeepEqual(plan, back) {
+		t.Fatalf("round trip:\n  plan %+v\n  text %q\n  back %+v", plan, text, back)
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	in := NewInjector(Plan{Seed: 3, Rules: []Rule{{Site: SiteCkptLock, Times: 1}}})
+	in.At(SiteCkptLock)
+	in.At(SiteCkptLock)
+	in.At(SiteCkptRestore)
+	got := FormatStats(in.Stats())
+	if !strings.Contains(got, "cudackpt.lock=1/2") || !strings.Contains(got, "cudackpt.restore=0/1") {
+		t.Fatalf("FormatStats = %q", got)
+	}
+}

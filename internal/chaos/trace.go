@@ -1,0 +1,70 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is one recorded state transition of an audited component.
+type Event struct {
+	// Seq is the global record order (0-based).
+	Seq int
+	// Kind names the component class: "ckpt" for checkpoint-driver
+	// process transitions, "node" for cluster node lifecycle.
+	Kind string
+	// Subject identifies the instance (process ID, node ID).
+	Subject string
+	// From and To are the transition endpoints (component state names).
+	From, To string
+}
+
+// String renders the event for failure messages.
+func (e Event) String() string {
+	return fmt.Sprintf("#%d %s %s: %s->%s", e.Seq, e.Kind, e.Subject, e.From, e.To)
+}
+
+// Trace is an append-only transition log that audited components write
+// to, so the invariant checker can validate whole histories — e.g.
+// that no process was ever checkpointed twice without a restore in
+// between. A nil *Trace is a valid no-op sink.
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewTrace returns an empty trace.
+func NewTrace() *Trace { return &Trace{} }
+
+// Record appends one transition. Safe on a nil receiver.
+func (t *Trace) Record(kind, subject, from, to string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, Event{
+		Seq: len(t.events), Kind: kind, Subject: subject, From: from, To: to,
+	})
+}
+
+// Events returns a copy of the recorded history in order.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, len(t.events))
+	copy(out, t.events)
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}

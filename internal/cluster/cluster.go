@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
 	"swapservellm/internal/metrics"
@@ -29,6 +30,14 @@ type Options struct {
 	Seed int64
 	// Catalog overrides the model catalog (default: models.Default()).
 	Catalog *models.Catalog
+	// Chaos, when set, is the shared fault injector: it is installed on
+	// the registry (heartbeat faults), the gateway (proxy/SSE faults),
+	// and every node's driver, freezer, and store — one seeded plan
+	// covers cluster- and node-level sites.
+	Chaos *chaos.Injector
+	// Trace, when set, receives node and checkpoint state transitions
+	// for invariant checking.
+	Trace *chaos.Trace
 }
 
 // Cluster is the assembled multi-node deployment: the member nodes
@@ -36,11 +45,12 @@ type Options struct {
 // registry with its heartbeat loop, the placement policy, the gateway,
 // and the snapshot rebalancer — all sharing one simulation clock.
 type Cluster struct {
-	cfg    config.Cluster
-	clock  simclock.Clock
-	reg    *metrics.Registry
-	policy Policy
-	client *http.Client
+	cfg      config.Cluster
+	clock    simclock.Clock
+	reg      *metrics.Registry
+	policy   Policy
+	client   *http.Client
+	chaosInj *chaos.Injector
 
 	registry   *NodeRegistry
 	nodes      []*Node
@@ -91,9 +101,12 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 		reg:        reg,
 		policy:     policy,
 		client:     &http.Client{},
+		chaosInj:   opts.Chaos,
 		retryLimit: cfg.Cluster.RetryLimit,
 		registry:   NewNodeRegistry(clock, reg, cfg.Heartbeat(), cfg.Cluster.HeartbeatMissLimit),
 	}
+	c.registry.SetChaos(opts.Chaos)
+	c.registry.SetTrace(opts.Trace)
 
 	capBytes := int64(cfg.Global.SnapshotHostCapGiB * (1 << 30))
 	for i := range cfg.Nodes {
@@ -101,6 +114,8 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 		srv, err := core.New(cfg.NodeConfig(i), core.Options{
 			Clock:    clock,
 			GPUCount: nc.GPUCount,
+			Chaos:    opts.Chaos,
+			Trace:    opts.Trace,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %q: %w", nc.Name, err)

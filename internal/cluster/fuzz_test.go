@@ -1,0 +1,62 @@
+package cluster
+
+import (
+	"testing"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/invariant"
+)
+
+// FuzzNodeTransitions drives the registry state machine with arbitrary
+// transition request sequences and checks two properties on every
+// input: transition() accepts a request iff the edge is in
+// legalNodeEdges (an illegal request leaves the state untouched), and
+// the committed transition trace always satisfies the node invariants
+// (continuity from joining, legal edges only).
+func FuzzNodeTransitions(f *testing.F) {
+	// Seed corpus: the full legal lifecycle, the crash/rejoin cycle,
+	// classic illegal requests (joining→draining, down→draining), and
+	// repeated same-state no-ops.
+	f.Add([]byte{1, 2, 1, 3, 1})       // healthy→draining→healthy→down→healthy
+	f.Add([]byte{3, 1, 3, 1})          // crash/rejoin twice
+	f.Add([]byte{2})                   // joining→draining (illegal)
+	f.Add([]byte{3, 2})                // down→draining (illegal)
+	f.Add([]byte{1, 1, 1})             // same-state no-ops
+	f.Add([]byte{0, 1, 0, 2, 0, 3, 0}) // every attempt back to joining (illegal)
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, seq []byte) {
+		tr := chaos.NewTrace()
+		n := newNode("fuzz-node", nil, 0)
+		n.trace = tr
+
+		cur := NodeJoining
+		for i, b := range seq {
+			to := NodeState(b % 4)
+			legal := legalTransition(cur, to)
+			ok := n.transition(to)
+			if ok != legal {
+				t.Fatalf("step %d: transition(%v→%v) = %v, legal = %v", i, cur, to, ok, legal)
+			}
+			if ok {
+				cur = to
+			}
+			if got := n.State(); got != cur {
+				t.Fatalf("step %d: state = %v, want %v (request %v, accepted=%v)", i, got, cur, to, ok)
+			}
+		}
+
+		var rep invariant.Report
+		invariant.CheckNodeTrace(&rep, tr)
+		if !rep.Ok() {
+			t.Fatalf("trace violations after %v:\n%s", seq, rep.String())
+		}
+		// No-op requests (including rejected ones) must not appear in the
+		// trace: every event is a real state change.
+		for _, ev := range tr.Events() {
+			if ev.From == ev.To {
+				t.Fatalf("self-loop recorded in trace: %+v", ev)
+			}
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"strings"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/openai"
 )
 
@@ -126,7 +127,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 
 	// stream tracks SSE delivery across attempts so a failover resumes
 	// where the dead node stopped.
-	stream := &sseRelay{w: w}
+	stream := &sseRelay{w: w, inj: g.c.chaosInj}
 	tried := make(map[string]bool)
 	var lastErr string
 
@@ -229,6 +230,18 @@ func (g *gateway) forward(ctx context.Context, node *Node, path string, body []b
 	if authHeader != "" {
 		req.Header.Set("Authorization", authHeader)
 	}
+	// An injected proxy fault is indistinguishable from a refused
+	// connection: fence the node and try a replica. A delay-only outcome
+	// models a slow upstream link.
+	if out := g.c.chaosInj.At(chaos.SiteProxy); out.Err != nil || out.Delay > 0 {
+		if out.Delay > 0 {
+			g.c.clock.Sleep(out.Delay)
+		}
+		if out.Err != nil {
+			g.c.registry.ReportFailure(node.ID())
+			return outcomeRetry, fmt.Sprintf("node %s: %v", node.ID(), out.Err)
+		}
+	}
 	resp, err := g.c.client.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -288,6 +301,7 @@ func copyHeaders(dst, src http.Header) {
 // has and continue the stream seamlessly.
 type sseRelay struct {
 	w         http.ResponseWriter
+	inj       *chaos.Injector
 	started   bool
 	delivered int
 }
@@ -310,6 +324,12 @@ func (s *sseRelay) relay(node *Node, resp *http.Response) (proxyOutcome, string)
 			// A partial event cut off mid-write is discarded: the replica
 			// will re-send it whole at the same position.
 			return outcomeRetry, fmt.Sprintf("node %s: stream interrupted after %d events: %v", node.ID(), s.delivered, err)
+		}
+		// Injected mid-stream disconnect: drop the connection here, as if
+		// the node died between two events. The event just read is
+		// discarded — the replica re-sends it at the same position.
+		if ferr := s.inj.At(chaos.SiteSSE).Err; ferr != nil {
+			return outcomeRetry, fmt.Sprintf("node %s: stream cut after %d events: %v", node.ID(), s.delivered, ferr)
 		}
 		done := strings.TrimSpace(strings.TrimPrefix(event, "data:")) == openai.DoneSentinel
 		if !done && skip > 0 {

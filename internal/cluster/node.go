@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/core"
 )
 
@@ -62,6 +63,10 @@ type Node struct {
 	state  atomic.Int32
 	missed atomic.Int32
 
+	// trace, when set, receives every committed state transition as a
+	// "node" event for invariant checking.
+	trace *chaos.Trace
+
 	// snapshotCapBytes mirrors the node's host snapshot cap so the
 	// rebalancer can compute RAM pressure without re-deriving config.
 	snapshotCapBytes int64
@@ -86,7 +91,50 @@ func (n *Node) URL() string { return n.srv.URL() }
 // State returns the node's lifecycle state.
 func (n *Node) State() NodeState { return NodeState(n.state.Load()) }
 
-func (n *Node) setState(s NodeState) { n.state.Store(int32(s)) }
+// legalNodeEdges is the registry state machine: the only transitions a
+// member may take. Down nodes must rejoin through healthy; joining
+// nodes cannot drain.
+var legalNodeEdges = map[NodeState][]NodeState{
+	NodeJoining:  {NodeHealthy, NodeDown},
+	NodeHealthy:  {NodeDraining, NodeDown},
+	NodeDraining: {NodeHealthy, NodeDown},
+	NodeDown:     {NodeHealthy},
+}
+
+// legalTransition reports whether from -> to is an allowed edge
+// (same-state is a legal no-op).
+func legalTransition(from, to NodeState) bool {
+	if from == to {
+		return true
+	}
+	for _, next := range legalNodeEdges[from] {
+		if next == to {
+			return true
+		}
+	}
+	return false
+}
+
+// transition moves the node to the target state if the edge is legal,
+// reporting whether the state is now the target. Illegal requests are
+// rejected without touching the state. A CAS loop makes concurrent
+// probe/drain/failure paths race-safe: each committed step is
+// individually legal and recorded in the trace.
+func (n *Node) transition(to NodeState) bool {
+	for {
+		cur := NodeState(n.state.Load())
+		if cur == to {
+			return true
+		}
+		if !legalTransition(cur, to) {
+			return false
+		}
+		if n.state.CompareAndSwap(int32(cur), int32(to)) {
+			n.trace.Record("node", n.id, cur.String(), to.String())
+			return true
+		}
+	}
+}
 
 // Report is a node's capacity/utilization report: what the registry
 // records on each heartbeat and what placement decisions consume.

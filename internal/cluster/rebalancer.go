@@ -24,6 +24,22 @@ type rebalancer struct {
 
 	stop chan struct{}
 	done chan struct{}
+
+	// testHookBeforeCommit, when set, runs after a (hot, dst) pair is
+	// selected but before the Promote/Demote commit — a seam for tests
+	// that race a node-state change against the migration.
+	testHookBeforeCommit func(dst *Node)
+}
+
+// nodeSnap is one node's membership view captured at the start of a
+// sweep. All placement decisions in the sweep read this snapshot, not
+// the live registry, so a node flapping mid-sweep cannot make the
+// rebalancer reason from two inconsistent views; the commit itself
+// re-validates against live state.
+type nodeSnap struct {
+	node     *Node
+	state    NodeState
+	hostUsed int64
 }
 
 func newRebalancer(c *Cluster, interval time.Duration, highWater float64, capBytes int64) *rebalancer {
@@ -56,21 +72,39 @@ func (rb *rebalancer) halt() {
 
 // Sweep performs one rebalancing pass, returning how many migrations
 // it executed. Exported for tests and the swapgateway admin surface.
+//
+// The pass reads one consistent membership snapshot taken up front.
+// Without it, a node marked down by the heartbeat loop between the
+// hot-node scan and the destination scan could be selected as a
+// migration target (or a freshly-rejoined node double-counted),
+// because each check would observe a different registry state. The
+// snapshot makes every decision in the sweep agree on who was healthy
+// when the sweep began; the Promote/Demote commit then re-validates
+// both ends against live state and aborts if either has since left
+// healthy.
 func (rb *rebalancer) Sweep() int {
 	rb.c.reg.Counter("rebalance_sweeps").Inc()
 	if rb.capBytes <= 0 {
 		return 0
 	}
+	snaps := make([]nodeSnap, 0)
+	for _, n := range rb.c.registry.Nodes() {
+		snaps = append(snaps, nodeSnap{
+			node:     n,
+			state:    n.State(),
+			hostUsed: n.Server().Driver().HostUsed(),
+		})
+	}
 	hi := int64(rb.highWater * float64(rb.capBytes))
 	var migrated int
-	for _, hot := range rb.c.registry.Nodes() {
-		if hot.State() != NodeHealthy {
+	for _, hot := range snaps {
+		if hot.state != NodeHealthy {
 			continue
 		}
-		if hot.Server().Driver().HostUsed() <= hi {
+		if hot.hostUsed <= hi {
 			continue
 		}
-		if rb.migrateFrom(hot, hi) {
+		if rb.migrateFrom(hot.node, snaps, hi) {
 			migrated++
 		}
 	}
@@ -83,13 +117,25 @@ func (rb *rebalancer) Sweep() int {
 // migrateFrom moves one image's RAM residency off the hot node. It
 // walks the node's swapped-out, RAM-resident, idle backends from
 // coldest to warmest and takes the first with a willing destination.
-func (rb *rebalancer) migrateFrom(hot *Node, hi int64) bool {
+func (rb *rebalancer) migrateFrom(hot *Node, snaps []nodeSnap, hi int64) bool {
 	for _, b := range coldestFirst(hot.Server()) {
-		dst, ok := rb.destinationFor(hot, b)
+		dst, ok := rb.destinationFor(hot, snaps, b, hi)
 		if !ok {
 			continue
 		}
 		db, _ := dst.Server().Backend(b.Name())
+		if rb.testHookBeforeCommit != nil {
+			rb.testHookBeforeCommit(dst)
+		}
+		// Commit-time re-validation: the snapshot the selection used may
+		// be stale by now — a heartbeat sweep or a proxy failure report
+		// can mark either end down between selection and commit. Moving
+		// the only RAM-resident copy onto a dead node (or stripping a
+		// down node's copy) would strand the image, so abort instead.
+		if hot.State() != NodeHealthy || dst.State() != NodeHealthy {
+			rb.c.reg.Counter("rebalance_aborted_stale").Inc()
+			continue
+		}
 		// Promote the replica first: if it fails (raced past the headroom
 		// check), the hot node keeps its RAM copy and nothing is lost.
 		if err := dst.Server().Driver().Promote(db.Container().ID()); err != nil {
@@ -105,13 +151,13 @@ func (rb *rebalancer) migrateFrom(hot *Node, hi int64) bool {
 	return false
 }
 
-// destinationFor finds a healthy replica node whose copy of b's model
-// is a disk-resident snapshot and which has RAM headroom to promote it
-// without crossing the high-water mark itself.
-func (rb *rebalancer) destinationFor(hot *Node, b *core.Backend) (*Node, bool) {
-	hi := int64(rb.highWater * float64(rb.capBytes))
-	for _, n := range rb.c.registry.Nodes() {
-		if n.ID() == hot.ID() || n.State() != NodeHealthy {
+// destinationFor finds a replica node — healthy in the sweep snapshot —
+// whose copy of b's model is a disk-resident snapshot and which has RAM
+// headroom to promote it without crossing the high-water mark itself.
+func (rb *rebalancer) destinationFor(hot *Node, snaps []nodeSnap, b *core.Backend, hi int64) (*Node, bool) {
+	for _, snap := range snaps {
+		n := snap.node
+		if n.ID() == hot.ID() || snap.state != NodeHealthy {
 			continue
 		}
 		rb2, ok := n.Server().Backend(b.Name())
@@ -124,7 +170,7 @@ func (rb *rebalancer) destinationFor(hot *Node, b *core.Backend) (*Node, bool) {
 			continue
 		}
 		bytes, err := drv.ImageBytes(rb2.Container().ID())
-		if err != nil || drv.HostUsed()+bytes > hi {
+		if err != nil || snap.hostUsed+bytes > hi {
 			continue
 		}
 		return n, true

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/simclock"
 )
@@ -25,6 +26,9 @@ type NodeRegistry struct {
 	missLimit int
 	probe     *http.Client
 
+	chaosInj *chaos.Injector
+	trace    *chaos.Trace
+
 	mu    sync.RWMutex
 	nodes map[string]*Node
 	order []string
@@ -32,6 +36,28 @@ type NodeRegistry struct {
 	stopOnce sync.Once
 	stop     chan struct{}
 	done     chan struct{}
+}
+
+// SetChaos installs (or removes) the fault injector. Every health probe
+// consults chaos.SiteHeartbeat: a fired fault makes the probe report
+// the node dead regardless of the HTTP result, so a burst of firings
+// simulates a crashed node and the probes succeeding again afterwards
+// simulate its restart.
+func (r *NodeRegistry) SetChaos(in *chaos.Injector) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.chaosInj = in
+}
+
+// SetTrace installs the transition audit log on every registered node
+// (and nodes added later).
+func (r *NodeRegistry) SetTrace(t *chaos.Trace) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, n := range r.nodes {
+		n.trace = t
+	}
+	r.trace = t
 }
 
 // NewNodeRegistry builds a registry; interval is in simulated time.
@@ -58,6 +84,7 @@ func (r *NodeRegistry) Add(n *Node) {
 	if _, dup := r.nodes[n.ID()]; dup {
 		return
 	}
+	n.trace = r.trace
 	r.nodes[n.ID()] = n
 	r.order = append(r.order, n.ID())
 	sort.Strings(r.order)
@@ -126,22 +153,32 @@ func (r *NodeRegistry) probeNode(n *Node) {
 		n.missed.Store(0)
 		switch n.State() {
 		case NodeJoining:
-			n.setState(NodeHealthy)
-			r.reg.Counter("cluster_node_joins").Inc()
+			if n.transition(NodeHealthy) {
+				r.reg.Counter("cluster_node_joins").Inc()
+			}
 		case NodeDown:
-			n.setState(NodeHealthy)
-			r.reg.Counter("cluster_node_rejoins").Inc()
+			if n.transition(NodeHealthy) {
+				r.reg.Counter("cluster_node_rejoins").Inc()
+			}
 		}
 	default:
 		if n.missed.Add(1) >= int32(r.missLimit) && n.State() != NodeDown {
-			n.setState(NodeDown)
-			r.reg.Counter("cluster_node_downs").Inc()
+			if n.transition(NodeDown) {
+				r.reg.Counter("cluster_node_downs").Inc()
+			}
 		}
 	}
 }
 
-// healthy performs the HTTP probe against the node router.
+// healthy performs the HTTP probe against the node router. An injected
+// heartbeat fault makes the probe report the node dead.
 func (r *NodeRegistry) healthy(n *Node) bool {
+	r.mu.RLock()
+	in := r.chaosInj
+	r.mu.RUnlock()
+	if in.At(chaos.SiteHeartbeat).Err != nil {
+		return false
+	}
 	url := n.URL()
 	if url == "http://" || url == "" {
 		return false
@@ -165,8 +202,9 @@ func (r *NodeRegistry) ReportFailure(id string) {
 	}
 	if n.State() != NodeDown && !r.healthy(n) {
 		n.missed.Store(int32(r.missLimit))
-		n.setState(NodeDown)
-		r.reg.Counter("cluster_node_downs").Inc()
+		if n.transition(NodeDown) {
+			r.reg.Counter("cluster_node_downs").Inc()
+		}
 		r.publish()
 	}
 }
@@ -179,7 +217,7 @@ func (r *NodeRegistry) Drain(id string) error {
 		return fmt.Errorf("cluster: unknown node %q", id)
 	}
 	if n.State() == NodeHealthy {
-		n.setState(NodeDraining)
+		n.transition(NodeDraining)
 	}
 	return nil
 }
@@ -191,7 +229,7 @@ func (r *NodeRegistry) Undrain(id string) error {
 		return fmt.Errorf("cluster: unknown node %q", id)
 	}
 	if n.State() == NodeDraining {
-		n.setState(NodeHealthy)
+		n.transition(NodeHealthy)
 	}
 	return nil
 }

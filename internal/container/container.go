@@ -305,7 +305,9 @@ func (rt *Runtime) Start(ctx context.Context, c *Container) error {
 	return nil
 }
 
-// Pause freezes the container's cgroup: the engine stops making progress.
+// Pause freezes the container's cgroup: the engine stops making
+// progress. The lifecycle state commits only after the freezer write
+// succeeds, so a failed freeze leaves the container Running.
 func (rt *Runtime) Pause(c *Container) error {
 	c.mu.Lock()
 	if c.state != StateRunning {
@@ -313,7 +315,6 @@ func (rt *Runtime) Pause(c *Container) error {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: pause from %s", ErrBadState, s)
 	}
-	c.state = StatePaused
 	eng := c.eng
 	cg := c.cgPath
 	c.mu.Unlock()
@@ -321,12 +322,17 @@ func (rt *Runtime) Pause(c *Container) error {
 	if err := rt.freezer.Freeze(cg); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	c.state = StatePaused
+	c.mu.Unlock()
 	eng.Gate().Pause()
 	rt.clock.Sleep(rt.testbed.FreezeLatency)
 	return nil
 }
 
-// Unpause thaws the container's cgroup.
+// Unpause thaws the container's cgroup. As with Pause, the state
+// commits only after the freezer write succeeds: a failed thaw leaves
+// the container Paused (and still frozen), so the caller can retry.
 func (rt *Runtime) Unpause(c *Container) error {
 	c.mu.Lock()
 	if c.state != StatePaused {
@@ -334,7 +340,6 @@ func (rt *Runtime) Unpause(c *Container) error {
 		c.mu.Unlock()
 		return fmt.Errorf("%w: unpause from %s", ErrBadState, s)
 	}
-	c.state = StateRunning
 	eng := c.eng
 	cg := c.cgPath
 	c.mu.Unlock()
@@ -342,6 +347,9 @@ func (rt *Runtime) Unpause(c *Container) error {
 	if err := rt.freezer.Thaw(cg); err != nil {
 		return err
 	}
+	c.mu.Lock()
+	c.state = StateRunning
+	c.mu.Unlock()
 	rt.clock.Sleep(rt.testbed.ThawLatency)
 	eng.Gate().Resume()
 	return nil

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"swapservellm/internal/container"
+	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/engine"
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/openai"
@@ -105,19 +106,22 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
 
 	// Freeze CPU execution, then checkpoint the GPU state.
 	if err := ct.rt.Pause(b.ctr); err != nil {
+		ct.wakeIfSlept(ctx, b, eng)
 		b.setState(BackendRunning)
 		return fmt.Errorf("core: pausing container: %w", err)
 	}
 	t0 := ct.clock.Now()
 	saved, err := ct.rt.Driver().Suspend(b.ctr.ID())
 	if err != nil {
-		ct.rt.Unpause(b.ctr)
-		if b.sleepUsed.Load() {
-			if sleeper, ok := eng.(engine.Sleeper); ok {
-				sleeper.Wake(ctx)
-			}
-			b.sleepUsed.Store(false)
+		// Roll back to a serving backend: thaw the container (retrying
+		// past transient faults) and undo the sleep-mode offload. A thaw
+		// that keeps failing leaves the engine frozen, so the backend is
+		// unusable and must be marked failed rather than Running.
+		if uerr := retryTransient(func() error { return ct.rt.Unpause(b.ctr) }); uerr != nil {
+			b.setState(BackendFailed)
+			return fmt.Errorf("core: checkpointing GPU state: %w (rollback thaw failed: %v)", err, uerr)
 		}
+		ct.wakeIfSlept(ctx, b, eng)
 		b.setState(BackendRunning)
 		return fmt.Errorf("core: checkpointing GPU state: %w", err)
 	}
@@ -156,20 +160,18 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 
 	// Restore device state and resume the CUDA process.
 	if err := ct.rt.Driver().Resume(b.ctr.ID()); err != nil {
-		b.setState(BackendSwappedOut)
-		return fmt.Errorf("core: restoring GPU state: %w", err)
+		return ct.failBack(b, "restoring GPU state", err)
 	}
-	// Thaw the container.
-	if err := ct.rt.Unpause(b.ctr); err != nil {
-		b.setState(BackendSwappedOut)
-		return fmt.Errorf("core: unpausing container: %w", err)
+	// Thaw the container. A failed thaw leaves it paused, so retrying is
+	// safe and far cheaper than rolling the whole restore back.
+	if err := retryTransient(func() error { return ct.rt.Unpause(b.ctr) }); err != nil {
+		return ct.failBack(b, "unpausing container", err)
 	}
 	// Engine-specific wake-up after a sleep-mode swap-out.
 	if b.sleepUsed.Load() {
 		if sleeper, ok := b.ctr.Engine().(engine.Sleeper); ok {
 			if err := sleeper.Wake(ctx); err != nil {
-				b.setState(BackendSwappedOut)
-				return fmt.Errorf("core: waking engine: %w", err)
+				return ct.failBack(b, "waking engine", err)
 			}
 		}
 		b.sleepUsed.Store(false)
@@ -177,8 +179,7 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 	// Engine resume overhead (API liveness verification, §3.3 ⑩).
 	ct.clock.Sleep(perfmodel.EngineResumeOverhead(b.engine))
 	if err := ct.verifyAPI(ctx, b); err != nil {
-		b.setState(BackendSwappedOut)
-		return fmt.Errorf("core: engine API not live after swap-in: %w", err)
+		return ct.failBack(b, "engine API not live after swap-in", err)
 	}
 
 	ct.reg.Histogram("swap_in_latency").Observe(ct.clock.Since(t0))
@@ -187,6 +188,75 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 	b.setState(BackendRunning)
 	b.swapIns.Add(1)
 	return nil
+}
+
+// failBack rolls a half-swapped-in backend back to a consistent
+// swapped-out state after a mid-swap-in failure. Depending on how far
+// the swap-in got, the driver may be Checkpointed (restore never
+// happened), Locked (restore done, unlock failed), or Running (fully
+// resumed but a later step failed) — each needs a different path back
+// to Checkpointed. The rollback is what keeps the system's two views
+// consistent: a backend reported SwappedOut must have its image in host
+// memory, not its state on the device.
+func (ct *Controller) failBack(b *Backend, stage string, cause error) error {
+	id := b.ctr.ID()
+	st, serr := ct.rt.Driver().State(id)
+	var rbErr error
+	if serr != nil {
+		rbErr = serr
+	} else {
+		switch st {
+		case cudackpt.StateCheckpointed:
+			// Nothing moved; already consistent.
+		case cudackpt.StateLocked:
+			rbErr = retryTransient(func() error {
+				_, err := ct.rt.Driver().Checkpoint(id)
+				return err
+			})
+		case cudackpt.StateRunning:
+			// Refreeze the CPU side if it was thawed, then re-suspend.
+			if b.ctr.State() == container.StateRunning {
+				rbErr = retryTransient(func() error { return ct.rt.Pause(b.ctr) })
+			}
+			if rbErr == nil {
+				rbErr = retryTransient(func() error {
+					_, err := ct.rt.Driver().Suspend(id)
+					return err
+				})
+			}
+		}
+	}
+	if rbErr != nil {
+		b.setState(BackendFailed)
+		return fmt.Errorf("core: %s: %w (rollback failed: %v)", stage, cause, rbErr)
+	}
+	b.setState(BackendSwappedOut)
+	// The device capacity the failed swap-in had claimed is free again.
+	ct.tm.NotifyFreed()
+	return fmt.Errorf("core: %s: %w", stage, cause)
+}
+
+// retryTransient retries op a few times, for rollback steps that must
+// not give up on a single transient (often injected) fault.
+func retryTransient(op func() error) error {
+	var err error
+	for attempt := 0; attempt < 4; attempt++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// wakeIfSlept undoes a sleep-mode offload during swap-out rollback.
+func (ct *Controller) wakeIfSlept(ctx context.Context, b *Backend, eng engine.Engine) {
+	if !b.sleepUsed.Load() {
+		return
+	}
+	if sleeper, ok := eng.(engine.Sleeper); ok {
+		sleeper.Wake(ctx)
+	}
+	b.sleepUsed.Store(false)
 }
 
 // verifyAPI polls the engine's health endpoint until it responds.

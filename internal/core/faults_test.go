@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/config"
 	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/openai"
@@ -17,7 +18,7 @@ import (
 func TestSwapInFailureRecovers(t *testing.T) {
 	s := testServer(t, 5000, ollamaModel("llama3.2:1b-fp16"))
 	b, _ := s.Backend("llama3.2:1b-fp16")
-	s.Driver().InjectFault(cudackpt.FaultRestore, 1)
+	s.Driver().SetChaos(chaos.FailNext(chaos.SiteCkptRestore, 1))
 
 	seed := int64(1)
 	_, err := openai.NewClient(s.URL()).ChatCompletion(context.Background(),
@@ -60,9 +61,9 @@ func TestSwapOutFailureKeepsServing(t *testing.T) {
 	s := testServer(t, 5000, m)
 	b, _ := s.Backend("llama3.2:1b-fp16")
 
-	s.Driver().InjectFault(cudackpt.FaultCheckpoint, 1)
+	s.Driver().SetChaos(chaos.FailNext(chaos.SiteCkptCheckpoint, 1))
 	err := s.Controller().SwapOut(context.Background(), b)
-	if !errors.Is(err, cudackpt.ErrInjected) {
+	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("swap-out error = %v, want injected", err)
 	}
 	if b.State() != BackendRunning {
@@ -84,8 +85,8 @@ func TestLockFaultDuringSwapOut(t *testing.T) {
 	s := testServer(t, 5000, m)
 	b, _ := s.Backend("llama3.2:1b-fp16")
 
-	s.Driver().InjectFault(cudackpt.FaultLock, 1)
-	if err := s.Controller().SwapOut(context.Background(), b); !errors.Is(err, cudackpt.ErrInjected) {
+	s.Driver().SetChaos(chaos.FailNext(chaos.SiteCkptLock, 1))
+	if err := s.Controller().SwapOut(context.Background(), b); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("swap-out error = %v, want injected", err)
 	}
 	if b.State() != BackendRunning {
@@ -98,6 +99,63 @@ func TestLockFaultDuringSwapOut(t *testing.T) {
 	if b.State() != BackendSwappedOut {
 		t.Fatalf("state = %v", b.State())
 	}
+}
+
+// TestThawFaultDuringSwapIn: the cgroup thaw fails after a successful
+// GPU restore. The controller must roll the driver back to Checkpointed
+// (re-suspend) so the backend's SwappedOut state stays consistent with
+// the driver, and the next request must recover.
+func TestThawFaultDuringSwapIn(t *testing.T) {
+	s := testServer(t, 5000, ollamaModel("llama3.2:1b-fp16"))
+	b, _ := s.Backend("llama3.2:1b-fp16")
+	// Unpause retries past transient faults, so arm enough thaw failures
+	// to exhaust the retry budget and fail the whole swap-in.
+	s.Freezer().SetChaos(chaos.FailNext(chaos.SiteCgroupThaw, 4))
+
+	seed := int64(1)
+	_, err := openai.NewClient(s.URL()).ChatCompletion(context.Background(),
+		&openai.ChatCompletionRequest{
+			Model:     "llama3.2:1b-fp16",
+			Messages:  []openai.Message{{Role: "user", Content: "x"}},
+			Seed:      &seed,
+			MaxTokens: 2,
+		})
+	if err == nil {
+		t.Fatal("request succeeded despite injected thaw faults")
+	}
+	if b.State() != BackendSwappedOut {
+		t.Fatalf("state after failed swap-in = %v", b.State())
+	}
+	// The rollback must have re-checkpointed the GPU state, keeping the
+	// backend/driver views consistent.
+	if ds, _ := s.Driver().State(b.Container().ID()); ds != cudackpt.StateCheckpointed {
+		t.Fatalf("driver state after rollback = %v", ds)
+	}
+	if got := s.TaskManager().Reserved(0); got != 0 {
+		t.Fatalf("leaked reservation: %d", got)
+	}
+	doChat(t, s.URL(), "llama3.2:1b-fp16", 2)
+	if b.State() != BackendRunning {
+		t.Fatalf("state after retry = %v", b.State())
+	}
+}
+
+// TestFreezeFaultDuringSwapOut: the cgroup freeze fails before the
+// checkpoint; the backend must stay running and keep serving.
+func TestFreezeFaultDuringSwapOut(t *testing.T) {
+	m := ollamaModel("llama3.2:1b-fp16")
+	m.KeepWarm = true
+	s := testServer(t, 5000, m)
+	b, _ := s.Backend("llama3.2:1b-fp16")
+
+	s.Freezer().SetChaos(chaos.FailNext(chaos.SiteCgroupFreeze, 1))
+	if err := s.Controller().SwapOut(context.Background(), b); !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("swap-out error = %v, want injected", err)
+	}
+	if b.State() != BackendRunning {
+		t.Fatalf("state after failed swap-out = %v", b.State())
+	}
+	doChat(t, s.URL(), "llama3.2:1b-fp16", 2)
 }
 
 // TestPreemptionSurvivesRestoreFault: a fault during a preemption-driven
@@ -119,7 +177,7 @@ func TestPreemptionSurvivesRestoreFault(t *testing.T) {
 
 	// Serve A so B's swap-in needs a preemption; fault B's first restore.
 	doChat(t, s.URL(), "llama3.2:1b-fp16", 1)
-	s.Driver().InjectFault(cudackpt.FaultRestore, 1)
+	s.Driver().SetChaos(chaos.FailNext(chaos.SiteCkptRestore, 1))
 	seed := int64(1)
 	_, err = openai.NewClient(s.URL()).ChatCompletion(context.Background(),
 		&openai.ChatCompletionRequest{

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"swapservellm/internal/cgroup"
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/config"
 	"swapservellm/internal/container"
 	"swapservellm/internal/cudackpt"
@@ -40,6 +41,12 @@ type Options struct {
 	// SpillToDisk spills LRU checkpoint images to disk under host-memory
 	// pressure (default: the config's snapshot_spill).
 	SpillToDisk bool
+	// Chaos, when set, arms deterministic fault injection in every
+	// substrate layer (checkpoint driver, cgroup freezer, model store).
+	Chaos *chaos.Injector
+	// Trace, when set, receives the driver's state-transition audit log
+	// for invariant checking.
+	Trace *chaos.Trace
 }
 
 // Server is the assembled SwapServeLLM deployment: substrates, backends,
@@ -114,6 +121,14 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 	}
 	rt := container.NewRuntime(clock, tb, freezer, driver)
 	store := storage.NewModelStore(clock, tb)
+	if opts.Chaos != nil {
+		driver.SetChaos(opts.Chaos)
+		freezer.SetChaos(opts.Chaos)
+		store.SetChaos(opts.Chaos)
+	}
+	if opts.Trace != nil {
+		driver.SetTrace(opts.Trace)
+	}
 
 	tm := NewTaskManager(clock, topo)
 	ctrl := NewController(clock, tb, rt, tm, opts.Policy, reg)
@@ -164,6 +179,12 @@ func (s *Server) Topology() *gpu.Topology { return s.topo }
 
 // Driver exposes the GPU checkpoint driver (for tests and tools).
 func (s *Server) Driver() *cudackpt.Driver { return s.driver }
+
+// Freezer exposes the cgroup freezer (for tests and tools).
+func (s *Server) Freezer() *cgroup.Freezer { return s.freezer }
+
+// Store exposes the model store (for tests and tools).
+func (s *Server) Store() *storage.ModelStore { return s.store }
 
 // Backend returns the backend serving the named model.
 func (s *Server) Backend(model string) (*Backend, bool) {

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/gpu"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/simclock"
@@ -84,7 +85,8 @@ type Driver struct {
 	spill    bool  // spill LRU images to disk instead of failing on the cap
 	diskUsed int64
 	spills   int64
-	faults   map[FaultOp]int
+	chaosInj *chaos.Injector
+	trace    *chaos.Trace
 }
 
 // NewDriver creates a driver that times transfers against tb on clock.
@@ -196,11 +198,12 @@ func (d *Driver) Lock(pid string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: lock from %v", ErrBadState, p.state)
 	}
-	if err := d.takeFaultLocked(FaultLock); err != nil {
+	if err := d.takeFaultLocked(chaos.SiteCkptLock); err != nil {
 		d.mu.Unlock()
 		return err
 	}
 	p.state = StateLocked
+	d.recordLocked(pid, StateRunning, StateLocked)
 	d.mu.Unlock()
 	d.clock.Sleep(d.testbed.CkptLock)
 	return nil
@@ -217,7 +220,11 @@ func (d *Driver) Unlock(pid string) error {
 	if p.state != StateLocked {
 		return fmt.Errorf("%w: unlock from %v", ErrBadState, p.state)
 	}
+	if err := d.takeFaultLocked(chaos.SiteCkptUnlock); err != nil {
+		return err
+	}
 	p.state = StateRunning
+	d.recordLocked(pid, StateLocked, StateRunning)
 	return nil
 }
 
@@ -235,10 +242,11 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		d.mu.Unlock()
 		return 0, fmt.Errorf("%w: checkpoint from %v", ErrBadState, p.state)
 	}
-	if err := d.takeFaultLocked(FaultCheckpoint); err != nil {
+	if err := d.takeFaultLocked(chaos.SiteCkptCheckpoint); err != nil {
 		d.mu.Unlock()
 		return 0, err
 	}
+	pcie := d.pcieDelayLocked()
 	shard := make([]int64, len(p.devices))
 	var bytes int64
 	for i, dev := range p.devices {
@@ -265,8 +273,9 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 
 	// D2H copies outside the driver lock so distinct processes checkpoint
 	// concurrently; shards transfer in parallel over their own PCIe
-	// links, so the slowest (largest) shard dominates.
-	d.clock.Sleep(d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock)
+	// links, so the slowest (largest) shard dominates. Injected PCIe
+	// congestion stretches the transfer.
+	d.clock.Sleep(d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock + pcie)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -282,6 +291,7 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 	p.state = StateCheckpointed
 	p.loc = LocRAM
 	p.lastUsed = d.clock.Now()
+	d.recordLocked(pid, StateLocked, StateCheckpointed)
 	return bytes, nil
 }
 
@@ -300,10 +310,11 @@ func (d *Driver) Restore(pid string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: restore from %v", ErrBadState, p.state)
 	}
-	if err := d.takeFaultLocked(FaultRestore); err != nil {
+	if err := d.takeFaultLocked(chaos.SiteCkptRestore); err != nil {
 		d.mu.Unlock()
 		return err
 	}
+	pcie := d.pcieDelayLocked()
 	bytes := p.hostImage
 	shard := p.shardBytes
 	fromDisk := p.loc == LocDisk
@@ -329,7 +340,7 @@ func (d *Driver) Restore(pid string) error {
 	perShardWeights := p.weightBytes / int64(len(p.devices))
 	dur := d.testbed.CheckpointRestore(maxShard(shard), perShardWeights, p.engine) -
 		d.testbed.CkptLock - perfmodel.EngineResumeOverhead(p.engine)
-	d.clock.Sleep(dur)
+	d.clock.Sleep(dur + pcie)
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -342,6 +353,7 @@ func (d *Driver) Restore(pid string) error {
 	p.loc = LocRAM
 	p.lastUsed = d.clock.Now()
 	p.state = StateLocked
+	d.recordLocked(pid, StateCheckpointed, StateLocked)
 	return nil
 }
 
@@ -353,11 +365,16 @@ func (d *Driver) Suspend(pid string) (int64, error) {
 	}
 	bytes, err := d.Checkpoint(pid)
 	if err != nil {
-		// Roll the lock back so the process is usable again.
-		if uerr := d.Unlock(pid); uerr != nil {
-			return 0, errors.Join(err, uerr)
+		// Roll the lock back so the process is usable again. Unlock can
+		// itself hit a transient injected fault; retry a few times so a
+		// single chaos firing doesn't wedge the process in Locked.
+		var uerr error
+		for attempt := 0; attempt < 4; attempt++ {
+			if uerr = d.Unlock(pid); uerr == nil {
+				return 0, err
+			}
 		}
-		return 0, err
+		return 0, errors.Join(err, uerr)
 	}
 	return bytes, nil
 }

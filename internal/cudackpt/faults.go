@@ -1,43 +1,88 @@
 package cudackpt
 
 import (
-	"errors"
-	"fmt"
+	"sort"
+	"time"
+
+	"swapservellm/internal/chaos"
 )
 
-// FaultOp identifies a driver operation for fault injection.
-type FaultOp string
+// This file is the driver's chaos integration: the injectable fault
+// points the deterministic schedule engine (internal/chaos) drives, and
+// the introspection surface the invariant checker audits. Driver-level
+// checkpoint/restore failures happen in production (ECC errors, device
+// resets, OOM host mappings, congested PCIe links) and the simulation
+// makes them reproducible: every transition consults the injector
+// before mutating state, so an injected fault always leaves the process
+// exactly where it was.
 
-// Injectable operations.
-const (
-	FaultLock       FaultOp = "lock"
-	FaultCheckpoint FaultOp = "checkpoint"
-	FaultRestore    FaultOp = "restore"
-)
-
-// ErrInjected marks failures produced by fault injection.
-var ErrInjected = errors.New("cudackpt: injected fault")
-
-// InjectFault makes the next n operations of the given kind fail with
-// ErrInjected. Fault injection exercises the controller's rollback paths
-// — driver-level checkpoint/restore failures happen in production (ECC
-// errors, resets, OOM host mappings) and the simulation makes them
-// reproducible.
-func (d *Driver) InjectFault(op FaultOp, n int) {
+// SetChaos installs (or, with nil, removes) the fault injector. All
+// driver operations consult it: Lock, Checkpoint, Restore, and Unlock
+// fail with the injector's error before any state change, and
+// checkpoint/restore transfers stretch by any chaos.SiteCkptPCIe delay.
+func (d *Driver) SetChaos(in *chaos.Injector) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if d.faults == nil {
-		d.faults = make(map[FaultOp]int)
-	}
-	d.faults[op] = n
+	d.chaosInj = in
 }
 
-// takeFaultLocked consumes one injected fault for op, returning the error
-// to raise or nil. Caller holds d.mu.
-func (d *Driver) takeFaultLocked(op FaultOp) error {
-	if d.faults == nil || d.faults[op] <= 0 {
-		return nil
+// SetTrace installs (or removes) the transition audit log. Every
+// successful state transition is recorded as a "ckpt" event, so the
+// invariant checker can prove no process was double-checkpointed or
+// double-restored across a whole chaos run.
+func (d *Driver) SetTrace(t *chaos.Trace) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.trace = t
+}
+
+// takeFaultLocked consults the injector for op, returning the error to
+// raise or nil. Caller holds d.mu; the injector has its own lock and
+// never calls back into the driver.
+func (d *Driver) takeFaultLocked(site chaos.Site) error {
+	return d.chaosInj.At(site).Err
+}
+
+// pcieDelayLocked returns any injected PCIe latency for the next
+// transfer. Caller holds d.mu; the sleep itself happens outside it.
+func (d *Driver) pcieDelayLocked() time.Duration {
+	return d.chaosInj.At(chaos.SiteCkptPCIe).Delay
+}
+
+// recordLocked appends a successful transition to the audit trace.
+// Caller holds d.mu.
+func (d *Driver) recordLocked(pid string, from, to State) {
+	d.trace.Record("ckpt", pid, from.String(), to.String())
+}
+
+// ProcInfo is one registered process's audit snapshot.
+type ProcInfo struct {
+	// PID is the registered process identifier (the container ID).
+	PID string
+	// State is the current checkpoint state.
+	State State
+	// ImageBytes is the host image size (zero unless checkpointed).
+	ImageBytes int64
+	// Loc is where the image resides when checkpointed.
+	Loc ImageLocation
+	// DeviceIDs are the GPU indices the process spans.
+	DeviceIDs []int
+}
+
+// ProcInfos returns an audit snapshot of every registered process,
+// sorted by PID — the invariant checker reconciles these against
+// device-owner accounting and the host/disk usage totals.
+func (d *Driver) ProcInfos() []ProcInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]ProcInfo, 0, len(d.procs))
+	for pid, p := range d.procs {
+		info := ProcInfo{PID: pid, State: p.state, ImageBytes: p.hostImage, Loc: p.loc}
+		for _, dev := range p.devices {
+			info.DeviceIDs = append(info.DeviceIDs, dev.ID())
+		}
+		out = append(out, info)
 	}
-	d.faults[op]--
-	return fmt.Errorf("%w: %s", ErrInjected, op)
+	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
+	return out
 }

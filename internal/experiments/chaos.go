@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/config"
+	"swapservellm/internal/core"
+	"swapservellm/internal/engine"
+	"swapservellm/internal/invariant"
+	"swapservellm/internal/openai"
+	"swapservellm/internal/simclock"
+
+	"swapservellm/internal/cluster"
+)
+
+// ChaosRow summarizes one chaos soak trial: a seeded fault schedule
+// replayed against a live deployment while the harness measures how the
+// system absorbs each fault (recovery latency of the retry that follows
+// a failed request) and then audits the system-wide invariants at
+// quiescence. Violations must be zero on every seed; a non-zero count
+// is a bug reproducible from the seed alone.
+type ChaosRow struct {
+	Scope          string // "node" (single server) or "cluster" (gateway + 2 nodes)
+	Seed           int64
+	Requests       int
+	Failed         int // requests whose first attempt returned an error
+	Recovered      int // failed requests whose bounded retry succeeded
+	Unrecovered    int
+	FaultsInjected int
+	RecoveryP50Sec float64 // simulated seconds from first failure to recovery
+	RecoveryMaxSec float64
+	Violations     int
+	ViolationText  string
+}
+
+// NodeChaosRules is the default single-node soak schedule: moderate
+// error probabilities on every checkpoint/cgroup transition, a lossy
+// PCIe link, and a degraded disk. The seed is swept per trial.
+const NodeChaosRules = "cudackpt.lock: p=0.08" +
+	"; cudackpt.checkpoint: p=0.1" +
+	"; cudackpt.restore: p=0.12" +
+	"; cudackpt.pcie: p=0.25 delay=25ms" +
+	"; cgroup.freeze: p=0.08" +
+	"; cgroup.thaw: p=0.08" +
+	"; storage.read: p=0.15 delay=40ms"
+
+// ClusterChaosRules is the default cluster soak schedule: heartbeat
+// loss (node crash/restart), proxy-level connection failures, and
+// mid-stream SSE cuts.
+const ClusterChaosRules = "cluster.heartbeat: p=0.15" +
+	"; cluster.proxy: p=0.1" +
+	"; cluster.sse: p=0.04"
+
+// chaosSoakRequests is the workload length of one trial.
+const chaosSoakRequests = 16
+
+// ChaosSoak runs one seeded single-node trial: two vLLM backends that
+// cannot share the GPU (every alternation preempts, maximizing
+// checkpoint/restore traffic) serve a sequential workload while the
+// schedule injects faults. Failed requests are retried a bounded number
+// of times; at quiescence the full invariant suite is checked.
+func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
+	cfg := config.Default()
+	cfg.Global.ResponseTimeoutSec = 0
+	cfg.Global.KeepAliveSec = 0
+	cfg.Global.GPUMonitorSec = 0
+	cfg.Global.Prefetch = false
+	modelsUsed := []string{"llama3.2:1b-fp16", "llama3.2:3b-fp16"}
+	for _, m := range modelsUsed {
+		cfg.Models = append(cfg.Models, config.Model{Name: m, Engine: "vllm"})
+	}
+
+	clock := simclock.NewScaled(epoch, scale)
+	tr := chaos.NewTrace()
+	s, err := core.New(cfg, core.Options{Clock: clock, Trace: tr})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer s.Shutdown()
+	if err := s.Start(context.Background()); err != nil {
+		return ChaosRow{}, err
+	}
+
+	// Arm the injector only after startup so the schedule measures fault
+	// tolerance of the serving path, not of initialization, and so seed
+	// occurrence indices start at the same point on every run.
+	inj := chaos.NewInjector(chaos.MustParsePlan(NodeChaosRules).WithSeed(seed))
+	s.Driver().SetChaos(inj)
+	s.Freezer().SetChaos(inj)
+	s.Store().SetChaos(inj)
+
+	row := ChaosRow{Scope: "node", Seed: seed}
+	led := invariant.NewLedger()
+	cli := openai.NewClient(s.URL())
+	var recoveries []time.Duration
+	for i := 0; i < chaosSoakRequests; i++ {
+		model := modelsUsed[i%len(modelsUsed)]
+		id := fmt.Sprintf("req-%d", i)
+		led.Accept(id)
+		row.Requests++
+		if chatOnce(cli, model, seed) == nil {
+			led.Finish(id)
+			continue
+		}
+		row.Failed++
+		tFail := clock.Now()
+		if retryUntilOK(func() error { return chatOnce(cli, model, seed) }) {
+			row.Recovered++
+			recoveries = append(recoveries, clock.Since(tFail))
+		} else {
+			row.Unrecovered++
+		}
+		led.Finish(id)
+	}
+
+	var rep invariant.Report
+	invariant.CheckServer(&rep, s)
+	invariant.CheckCkptTrace(&rep, tr)
+	led.Check(&rep)
+	fillChaosRow(&row, &rep, inj, recoveries)
+	return row, nil
+}
+
+// ChaosClusterSoak runs one seeded cluster trial: streaming requests
+// through the two-node gateway while heartbeat, proxy, and SSE faults
+// fire; every successful stream's transcript is compared byte-for-byte
+// against the deterministic expectation (a failover that duplicates or
+// drops an event is an invariant violation, not just a failure), and at
+// quiescence the node transition trace and both servers are audited.
+func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
+	const model = "llama3.2:1b-fp16"
+	cfg := config.DefaultCluster()
+	cfg.Cluster.HeartbeatSec = 3600 // swept manually between requests
+	cfg.Nodes = []config.Node{
+		{Name: "node-a", Models: []config.Model{{Name: model, Engine: "ollama"}}},
+		{Name: "node-b", Models: []config.Model{{Name: model, Engine: "ollama"}}},
+	}
+
+	clock := simclock.NewScaled(epoch, scale)
+	tr := chaos.NewTrace()
+	inj := chaos.NewInjector(chaos.MustParsePlan(ClusterChaosRules).WithSeed(seed))
+	// The plan has only cluster.* rules, so arming at construction is
+	// safe: node startup consults none of them.
+	c, err := cluster.New(cfg, cluster.Options{Clock: clock, Chaos: inj, Trace: tr})
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(context.Background()); err != nil {
+		return ChaosRow{}, err
+	}
+
+	row := ChaosRow{Scope: "cluster", Seed: seed}
+	var rep invariant.Report
+	led := invariant.NewLedger()
+	var recoveries []time.Duration
+	reqSeed := seed
+	for i := 0; i < chaosSoakRequests; i++ {
+		c.NodeRegistry().Sweep() // exercise heartbeat faults between requests
+		id := fmt.Sprintf("stream-%d", i)
+		led.Accept(id)
+		row.Requests++
+		attempt := func() error {
+			got, finished, err := streamOnce(c.URL(), model, reqSeed)
+			if err != nil {
+				return err
+			}
+			if !finished {
+				// Truncated without a finish chunk: every replica was cut
+				// mid-stream. The client can see this and retry, so it is a
+				// failure, not a correctness violation.
+				return fmt.Errorf("stream truncated after %d bytes", len(got))
+			}
+			// A stream that did finish must be byte-exact: a failover that
+			// duplicated or dropped an event is an invariant violation.
+			if want := expectedStream(model, reqSeed); got != want {
+				rep.Addf("stream.integrity", id,
+					"failover transcript diverged: got %d bytes, want %d", len(got), len(want))
+			}
+			return nil
+		}
+		if attempt() == nil {
+			led.Finish(id)
+			continue
+		}
+		row.Failed++
+		tFail := clock.Now()
+		recovered := retryUntilOK(func() error {
+			// A downed node needs a clean probe to rejoin before it can
+			// absorb retries.
+			c.NodeRegistry().Sweep()
+			return attempt()
+		})
+		if recovered {
+			row.Recovered++
+			recoveries = append(recoveries, clock.Since(tFail))
+		} else {
+			row.Unrecovered++
+		}
+		led.Finish(id)
+	}
+
+	invariant.CheckNodeTrace(&rep, tr)
+	for _, n := range c.Nodes() {
+		invariant.CheckServer(&rep, n.Server())
+	}
+	led.Check(&rep)
+	fillChaosRow(&row, &rep, inj, recoveries)
+	return row, nil
+}
+
+// ChaosSweep runs the single-node soak over n consecutive seeds
+// starting at start — the property-style loop: same rules, swept seed.
+func ChaosSweep(start int64, n int, scale float64) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for seed := start; seed < start+int64(n); seed++ {
+		row, err := ChaosSoak(seed, scale)
+		if err != nil {
+			return rows, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ChaosClusterSweep runs the cluster soak over n consecutive seeds.
+func ChaosClusterSweep(start int64, n int, scale float64) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for seed := start; seed < start+int64(n); seed++ {
+		row, err := ChaosClusterSoak(seed, scale)
+		if err != nil {
+			return rows, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// chatOnce issues one non-streaming request.
+func chatOnce(cli *openai.Client, model string, seed int64) error {
+	s := seed
+	_, err := cli.ChatCompletion(context.Background(), &openai.ChatCompletionRequest{
+		Model:     model,
+		Messages:  []openai.Message{{Role: "user", Content: "soak"}},
+		Seed:      &s,
+		MaxTokens: 4,
+	})
+	return err
+}
+
+// chaosStreamMin / chaosStreamMax bound the soak's stream length:
+// short enough that a double cut (both replicas severed on one
+// request) stays an occasional failure rather than the norm, long
+// enough that cuts land at varied positions.
+const (
+	chaosStreamMin = 12
+	chaosStreamMax = 16
+)
+
+// streamOnce issues one streaming request, returning the concatenated
+// completion text and whether the stream delivered its finish chunk —
+// the relayed stream ends silently at EOF when every replica was cut,
+// so only the finish marker distinguishes complete from truncated.
+func streamOnce(url, model string, seed int64) (string, bool, error) {
+	s := seed
+	var got strings.Builder
+	finished := false
+	err := openai.NewClient(url).ChatCompletionStream(context.Background(),
+		&openai.ChatCompletionRequest{
+			Model:     model,
+			Messages:  []openai.Message{{Role: "user", Content: "soak stream"}},
+			Seed:      &s,
+			MinTokens: chaosStreamMin,
+			MaxTokens: chaosStreamMax,
+		},
+		func(ch *openai.ChatCompletionChunk) error {
+			for _, choice := range ch.Choices {
+				got.WriteString(choice.Delta.Content)
+				if choice.FinishReason != nil && *choice.FinishReason != "" {
+					finished = true
+				}
+			}
+			return nil
+		})
+	return got.String(), finished, err
+}
+
+// expectedStream computes the deterministic transcript streamOnce must
+// observe — identical on every replica, which is what makes skip-ahead
+// failover exact. It mirrors the engine handler's token-count clamp.
+func expectedStream(model string, seed int64) string {
+	var gen engine.Generator
+	full := engine.PromptText([]openai.Message{{Role: "user", Content: "soak stream"}})
+	n := gen.CompletionLength(full, seed, chaosStreamMax)
+	if n < chaosStreamMin {
+		n = chaosStreamMin
+	}
+	var want strings.Builder
+	for i := 0; i < n; i++ {
+		want.WriteString(gen.Token(full, seed, i))
+	}
+	return want.String()
+}
+
+// retryUntilOK retries op up to five times, reporting whether it
+// eventually succeeded.
+func retryUntilOK(op func() error) bool {
+	for attempt := 0; attempt < 5; attempt++ {
+		if op() == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// fillChaosRow finalizes a trial row from the invariant report,
+// injector stats, and measured recovery latencies.
+func fillChaosRow(row *ChaosRow, rep *invariant.Report, inj *chaos.Injector, recoveries []time.Duration) {
+	row.FaultsInjected = inj.TotalFired()
+	row.Violations = len(rep.Violations)
+	if row.Violations > 0 {
+		row.ViolationText = rep.String()
+	}
+	if len(recoveries) > 0 {
+		row.RecoveryP50Sec = quantile(recoveries, 0.50)
+		var max time.Duration
+		for _, d := range recoveries {
+			if d > max {
+				max = d
+			}
+		}
+		row.RecoveryMaxSec = max.Seconds()
+	}
+}
+
+// PrintChaos renders a chaos sweep, one row per seed, plus totals.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	fprintf(w, "Chaos soak: seeded fault schedules vs system-wide invariants\n")
+	fprintf(w, "node rules:    %s\n", NodeChaosRules)
+	fprintf(w, "cluster rules: %s\n", ClusterChaosRules)
+	fprintf(w, "%-8s %6s %5s %7s %10s %7s %11s %11s %11s\n",
+		"scope", "seed", "reqs", "failed", "recovered", "faults", "rec-p50(s)", "rec-max(s)", "violations")
+	var faults, violations int
+	for _, r := range rows {
+		fprintf(w, "%-8s %6d %5d %7d %10d %7d %11.2f %11.2f %11d\n",
+			r.Scope, r.Seed, r.Requests, r.Failed, r.Recovered, r.FaultsInjected,
+			r.RecoveryP50Sec, r.RecoveryMaxSec, r.Violations)
+		faults += r.FaultsInjected
+		violations += r.Violations
+		if r.ViolationText != "" {
+			fprintf(w, "  seed %d violations:\n%s\n", r.Seed, r.ViolationText)
+		}
+	}
+	fprintf(w, "total: %d seeds, %d faults injected, %d invariant violations\n",
+		len(rows), faults, violations)
+	if violations > 0 {
+		fprintf(w, "replay a failing seed with: go test ./internal/experiments -run TestChaosSoak -chaos.seed=<seed>\n")
+	}
+}
+
+// ChaosCSV renders chaos rows as CSV lines.
+func ChaosCSV(rows []ChaosRow) (header string, out []string) {
+	header = "scope,seed,requests,failed,recovered,unrecovered,faults,recovery_p50_s,recovery_max_s,violations"
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%s,%d,%d,%d,%d,%d,%d,%.3f,%.3f,%d",
+			r.Scope, r.Seed, r.Requests, r.Failed, r.Recovered, r.Unrecovered,
+			r.FaultsInjected, r.RecoveryP50Sec, r.RecoveryMaxSec, r.Violations))
+	}
+	return header, out
+}

@@ -1,0 +1,51 @@
+package invariant
+
+import (
+	"swapservellm/internal/core"
+	"swapservellm/internal/cudackpt"
+)
+
+// CheckServer validates a quiescent (no in-flight requests) single-node
+// deployment: every backend has settled into Running, SwappedOut, or —
+// under persistent injected faults that exhaust every rollback — Failed;
+// for the live states the backend state agrees with the driver's
+// checkpoint state for its container, no reservation headroom leaked,
+// and nothing is stuck waiting for capacity. Call only after the
+// workload has drained — transitional states are legitimate mid-request.
+func CheckServer(r *Report, s *core.Server) {
+	for _, b := range s.Backends() {
+		st := b.State()
+		if st == core.BackendFailed {
+			// A legal terminal state when rollbacks were themselves faulted;
+			// the driver accounting below still must balance.
+			continue
+		}
+		if st != core.BackendRunning && st != core.BackendSwappedOut {
+			r.Addf("backend.settled", b.Name(), "state %v at quiescence", st)
+			continue
+		}
+		ds, err := s.Driver().State(b.Container().ID())
+		if err != nil {
+			r.Addf("backend.driver", b.Name(), "driver state: %v", err)
+			continue
+		}
+		switch {
+		case st == core.BackendSwappedOut && ds != cudackpt.StateCheckpointed:
+			r.Addf("backend.driver", b.Name(), "swapped out but driver state is %v", ds)
+		case st == core.BackendRunning && ds != cudackpt.StateRunning:
+			r.Addf("backend.driver", b.Name(), "running but driver state is %v", ds)
+		}
+		if p := b.Pending(); p != 0 {
+			r.Addf("backend.settled", b.Name(), "%d pending requests at quiescence", p)
+		}
+	}
+	for i := 0; i < s.Topology().Len(); i++ {
+		if got := s.TaskManager().Reserved(i); got != 0 {
+			r.Addf("taskmgr.reservations", "gpu", "gpu %d holds %d reserved bytes at quiescence", i, got)
+		}
+	}
+	if n := s.TaskManager().PendingCount(); n != 0 {
+		r.Addf("taskmgr.reservations", "queue", "%d reservations still pending at quiescence", n)
+	}
+	CheckDriver(r, s.Driver(), s.Topology())
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 
+	"swapservellm/internal/chaos"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/simclock"
 )
@@ -19,6 +20,9 @@ import (
 var (
 	ErrNotFound = errors.New("storage: blob not found")
 	ErrExists   = errors.New("storage: blob already exists")
+	// ErrTorn marks a blob whose write was interrupted: the partial file
+	// occupies the name but cannot be read. Recover by re-Putting it.
+	ErrTorn = errors.New("storage: torn blob")
 )
 
 // Blob is one stored model-weight file (GGUF or safetensors shard set).
@@ -26,6 +30,9 @@ type Blob struct {
 	Name  string
 	Bytes int64
 	Tier  perfmodel.StorageTier
+	// Torn marks a partial blob left behind by an interrupted write;
+	// reads fail until the blob is re-Put.
+	Torn bool
 }
 
 // ModelStore holds model weights across tiers and simulates read latency.
@@ -35,8 +42,19 @@ type ModelStore struct {
 	clock   simclock.Clock
 	testbed perfmodel.Testbed
 
-	mu    sync.RWMutex
-	blobs map[string]Blob
+	mu       sync.RWMutex
+	blobs    map[string]Blob
+	chaosInj *chaos.Injector
+}
+
+// SetChaos installs (or, with nil, removes) the fault injector. Reads
+// consult chaos.SiteStorageRead (error or extra latency); writes
+// consult chaos.SiteStorageWrite — a fired fault tears the write,
+// leaving an unreadable partial blob that a retried Put replaces.
+func (s *ModelStore) SetChaos(in *chaos.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.chaosInj = in
 }
 
 // NewModelStore creates an empty store timed against tb on clock.
@@ -54,8 +72,13 @@ func (s *ModelStore) Put(name string, bytes int64, tier perfmodel.StorageTier) e
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, dup := s.blobs[name]; dup {
+	if prev, dup := s.blobs[name]; dup && !prev.Torn {
 		return fmt.Errorf("%w: %s", ErrExists, name)
+	}
+	if err := s.chaosInj.At(chaos.SiteStorageWrite).Err; err != nil {
+		// Torn write: the partial file occupies the name but is useless.
+		s.blobs[name] = Blob{Name: name, Bytes: bytes, Tier: tier, Torn: true}
+		return fmt.Errorf("storage: writing %s: %w", name, errors.Join(ErrTorn, err))
 	}
 	s.blobs[name] = Blob{Name: name, Bytes: bytes, Tier: tier}
 	return nil
@@ -73,13 +96,23 @@ func (s *ModelStore) Stat(name string) (Blob, error) {
 }
 
 // Read simulates reading the blob fully (storage read at the tier's
-// effective bandwidth) and returns its metadata.
+// effective bandwidth) and returns its metadata. Torn blobs are
+// unreadable until re-Put.
 func (s *ModelStore) Read(name string) (Blob, error) {
 	b, err := s.Stat(name)
 	if err != nil {
 		return Blob{}, err
 	}
-	s.clock.Sleep(s.testbed.StorageReadTime(b.Tier, b.Bytes))
+	if b.Torn {
+		return Blob{}, fmt.Errorf("%w: %s", ErrTorn, name)
+	}
+	s.mu.RLock()
+	out := s.chaosInj.At(chaos.SiteStorageRead)
+	s.mu.RUnlock()
+	if out.Err != nil {
+		return Blob{}, fmt.Errorf("storage: reading %s: %w", name, out.Err)
+	}
+	s.clock.Sleep(s.testbed.StorageReadTime(b.Tier, b.Bytes) + out.Delay)
 	return b, nil
 }
 
@@ -89,6 +122,9 @@ func (s *ModelStore) Promote(name string, tier perfmodel.StorageTier) error {
 	b, err := s.Stat(name)
 	if err != nil {
 		return err
+	}
+	if b.Torn {
+		return fmt.Errorf("%w: %s", ErrTorn, name)
 	}
 	if b.Tier == tier {
 		return nil
