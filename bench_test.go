@@ -221,6 +221,32 @@ func BenchmarkAblationSleepMode(b *testing.B) {
 	b.ReportMetric(rows[1].SwapInSec, "swapin-sleep-s")
 }
 
+// BenchmarkAblationPipelinedSwap measures the full-duplex pipelined
+// swap exchange (victim checkpoint overlapped with target restore)
+// against the sequential swap-out-then-swap-in baseline across the
+// Figure 6 sweep.
+func BenchmarkAblationPipelinedSwap(b *testing.B) {
+	var rows []experiments.PipelineRow
+	var err error
+	for i := 0; i < b.N; i++ {
+		rows, err = experiments.AblationPipelinedSwap(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if printTables() {
+		experiments.PrintPipeline(os.Stdout, rows)
+	}
+	last := rows[len(rows)-1]
+	b.ReportMetric(last.SequentialSec, "14B-sequential-s")
+	b.ReportMetric(last.PipelinedSec, "14B-pipelined-s")
+	var imp float64
+	for _, r := range rows {
+		imp += r.ImprovementPct
+	}
+	b.ReportMetric(imp/float64(len(rows)), "mean-improvement-%")
+}
+
 // BenchmarkAblationConsolidation quantifies §6's models-per-GPU
 // consolidation argument.
 func BenchmarkAblationConsolidation(b *testing.B) {

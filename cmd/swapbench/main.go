@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|cluster|chaos|all")
+		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|chaos|all")
 		scale  = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
 		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
 		seeds  = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
@@ -164,6 +164,15 @@ func main() {
 		experiments.PrintSnapshotTiering(out, rows)
 		fmt.Fprintln(out)
 	}
+	if run("pipeline") {
+		any = true
+		rows, err := experiments.AblationPipelinedSwap(pick(1000))
+		fail(err)
+		experiments.PrintPipeline(out, rows)
+		h, csv := experiments.PipelineCSV(rows)
+		writeCSV("pipeline", h, csv)
+		fmt.Fprintln(out)
+	}
 	if run("cluster") {
 		any = true
 		rows, err := experiments.AblationClusterPlacement(pick(1000), *seed)
@@ -188,7 +197,7 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "cluster", "chaos"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "chaos"}, " "))
 		os.Exit(2)
 	}
 }

@@ -37,6 +37,10 @@ const (
 	// SiteCkptPCIe is latency-only: it stretches a checkpoint or restore
 	// transfer, modelling a congested or degraded PCIe link.
 	SiteCkptPCIe Site = "cudackpt.pcie"
+	// SiteCkptChunk fails one chunk of a chunked checkpoint or restore
+	// transfer mid-pipeline. The driver retries the chunk a bounded
+	// number of times before aborting and rolling the transfer back.
+	SiteCkptChunk Site = "cudackpt.chunk"
 	// SiteCgroupFreeze / SiteCgroupThaw fail the freezer state write.
 	SiteCgroupFreeze Site = "cgroup.freeze"
 	SiteCgroupThaw   Site = "cgroup.thaw"
@@ -60,7 +64,7 @@ const (
 func Sites() []Site {
 	out := []Site{
 		SiteCkptLock, SiteCkptCheckpoint, SiteCkptRestore, SiteCkptUnlock,
-		SiteCkptPCIe, SiteCgroupFreeze, SiteCgroupThaw,
+		SiteCkptPCIe, SiteCkptChunk, SiteCgroupFreeze, SiteCgroupThaw,
 		SiteStorageRead, SiteStorageWrite,
 		SiteHeartbeat, SiteProxy, SiteSSE,
 	}

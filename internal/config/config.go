@@ -53,6 +53,15 @@ type Global struct {
 	// CompileCache shares compilation artifacts (torch.compile cache,
 	// TensorRT plans) across the deployment's cold starts.
 	CompileCache bool `json:"compile_cache"`
+	// PipelinedSwap selects the full-duplex swap-exchange fast path: a
+	// target's restore starts as soon as the victim's checkpoint frees
+	// its first chunks, instead of after the checkpoint completes. Off
+	// by default so the sequential baseline remains selectable for A/B.
+	PipelinedSwap bool `json:"pipelined_swap"`
+	// SwapChunkMiB sets the checkpoint/restore transfer chunk size in
+	// MiB (0 = the driver default, 1 GiB). Smaller chunks tighten the
+	// pipeline overlap at the cost of more bookkeeping.
+	SwapChunkMiB int `json:"swap_chunk_mib"`
 	// StorageTier is the default tier model weights are read from.
 	StorageTier string `json:"storage_tier"`
 }
@@ -153,6 +162,9 @@ func (c *Config) Validate(catalog *models.Catalog) error {
 	}
 	if c.Global.GPUMonitorSec < 0 {
 		return errors.New("config: gpu_monitor_sec must be non-negative")
+	}
+	if c.Global.SwapChunkMiB < 0 {
+		return errors.New("config: swap_chunk_mib must be non-negative")
 	}
 	if err := validTier(c.Global.StorageTier); err != nil {
 		return err

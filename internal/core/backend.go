@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -78,6 +79,13 @@ type Backend struct {
 
 	// active counts in-flight requests (forwarded, response not finished).
 	active atomic.Int64
+
+	// idleMu guards idleWait, the event-driven drain signal: the
+	// controller's drain registers a waiter channel instead of polling
+	// active, and decActive closes it when the last in-flight request
+	// finishes.
+	idleMu   sync.Mutex
+	idleWait chan struct{}
 
 	// pending counts requests a worker has dequeued but not yet finished
 	// forwarding — work the backend owes even though it is not yet
@@ -152,6 +160,47 @@ func (b *Backend) Active() int64 { return b.active.Load() }
 
 // Pending returns the number of dequeued-but-unfinished requests.
 func (b *Backend) Pending() int64 { return b.pending.Load() }
+
+// incActive records a request entering flight. Paired with decActive.
+func (b *Backend) incActive() { b.active.Add(1) }
+
+// decActive records a request leaving flight and, when it was the last
+// one, wakes any drain waiting for the backend to go idle.
+func (b *Backend) decActive() {
+	if b.active.Add(-1) != 0 {
+		return
+	}
+	b.idleMu.Lock()
+	if b.idleWait != nil {
+		close(b.idleWait)
+		b.idleWait = nil
+	}
+	b.idleMu.Unlock()
+}
+
+// awaitIdle blocks until the backend has no in-flight requests or ctx is
+// done. It is the event-driven replacement for polling Active() in a
+// sleep loop: the waiter channel is (re)armed under idleMu and re-checked
+// after each wake, so a request racing in between checks is caught.
+func (b *Backend) awaitIdle(ctx context.Context) error {
+	for {
+		b.idleMu.Lock()
+		if b.active.Load() == 0 {
+			b.idleMu.Unlock()
+			return nil
+		}
+		if b.idleWait == nil {
+			b.idleWait = make(chan struct{})
+		}
+		ch := b.idleWait
+		b.idleMu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
 
 // LastAccessed returns the most recent request arrival time.
 func (b *Backend) LastAccessed() time.Time {

@@ -13,6 +13,7 @@ import (
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/openai"
 	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/retry"
 	"swapservellm/internal/simclock"
 )
 
@@ -33,9 +34,16 @@ type Controller struct {
 	mu       sync.Mutex
 	backends map[string]*Backend
 
-	// evictSerial serializes evictions so concurrent reclaim loops do not
-	// stampede.
-	evictSerial sync.Mutex
+	// evictSerial serializes evictions per device so concurrent reclaim
+	// loops on the same GPU do not stampede the same candidates, while
+	// evictions on unrelated devices proceed in parallel.
+	evictSerialMu sync.Mutex
+	evictSerial   map[int]*sync.Mutex
+
+	// pipelined selects the full-duplex SwapExchange fast path: the
+	// target's restore starts as soon as the victim's checkpoint frees
+	// its first chunks, instead of after the checkpoint completes.
+	pipelined bool
 }
 
 // NewController builds a controller. The server registers backends as it
@@ -49,14 +57,44 @@ func NewController(clock simclock.Clock, tb perfmodel.Testbed, rt *container.Run
 		reg = metrics.NewRegistry()
 	}
 	return &Controller{
-		clock:    clock,
-		testbed:  tb,
-		rt:       rt,
-		tm:       tm,
-		policy:   policy,
-		reg:      reg,
-		backends: make(map[string]*Backend),
+		clock:       clock,
+		testbed:     tb,
+		rt:          rt,
+		tm:          tm,
+		policy:      policy,
+		reg:         reg,
+		backends:    make(map[string]*Backend),
+		evictSerial: make(map[int]*sync.Mutex),
 	}
+}
+
+// SetPipelined selects between the sequential swap path (checkpoint the
+// victim fully, then restore the target) and the pipelined full-duplex
+// path in SwapExchange. Sequential remains the A/B baseline.
+func (ct *Controller) SetPipelined(on bool) {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	ct.pipelined = on
+}
+
+// Pipelined reports whether the full-duplex exchange path is selected.
+func (ct *Controller) Pipelined() bool {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	return ct.pipelined
+}
+
+// evictLock returns the per-device eviction mutex, creating it on first
+// use.
+func (ct *Controller) evictLock(gpuID int) *sync.Mutex {
+	ct.evictSerialMu.Lock()
+	defer ct.evictSerialMu.Unlock()
+	m, ok := ct.evictSerial[gpuID]
+	if !ok {
+		m = &sync.Mutex{}
+		ct.evictSerial[gpuID] = m
+	}
+	return m
 }
 
 // RegisterBackend adds a backend to the controller's candidate set.
@@ -136,15 +174,12 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
 	return nil
 }
 
-// drain waits until the backend has no in-flight requests.
+// drain waits until the backend has no in-flight requests. Completion is
+// event-driven: the last in-flight request wakes the waiter directly
+// (Backend.decActive), so there is no polling interval between the final
+// response and the start of the checkpoint.
 func (ct *Controller) drain(ctx context.Context, b *Backend) error {
-	for b.active.Load() > 0 {
-		if err := ctx.Err(); err != nil {
-			return err
-		}
-		ct.clock.Sleep(10 * time.Millisecond)
-	}
-	return nil
+	return b.awaitIdle(ctx)
 }
 
 // SwapIn resumes a swapped-out backend (§3.3 ⑨): restore the GPU state
@@ -237,15 +272,11 @@ func (ct *Controller) failBack(b *Backend, stage string, cause error) error {
 }
 
 // retryTransient retries op a few times, for rollback steps that must
-// not give up on a single transient (often injected) fault.
+// not give up on a single transient (often injected) fault. It is the
+// shared helper from internal/retry — the driver's Suspend unlock
+// rollback uses the same one.
 func retryTransient(op func() error) error {
-	var err error
-	for attempt := 0; attempt < 4; attempt++ {
-		if err = op(); err == nil {
-			return nil
-		}
-	}
-	return err
+	return retry.Transient(op)
 }
 
 // wakeIfSlept undoes a sleep-mode offload during swap-out rollback.
@@ -270,8 +301,9 @@ func (ct *Controller) verifyAPI(ctx context.Context, b *Backend) error {
 // EvictOne implements Evictor: pick the policy's best candidate among
 // running backends on the device and swap it out.
 func (ct *Controller) EvictOne(ctx context.Context, gpuID int, exclude map[string]bool) (int64, bool) {
-	ct.evictSerial.Lock()
-	defer ct.evictSerial.Unlock()
+	lock := ct.evictLock(gpuID)
+	lock.Lock()
+	defer lock.Unlock()
 
 	cand, ok := ct.selectCandidate(gpuID, exclude)
 	if !ok {

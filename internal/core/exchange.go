@@ -1,0 +1,204 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"swapservellm/internal/engine"
+	"swapservellm/internal/perfmodel"
+)
+
+// This file implements the swap-exchange fast path: replacing one
+// running backend (the victim) with a swapped-out one (the target) as a
+// single operation. The sequential baseline checkpoints the victim
+// fully, reserves the freed memory, and only then restores the target —
+// the two transfers serialize even though the PCIe link is full duplex.
+// The pipelined path overlaps them: the victim's checkpoint frees device
+// capacity chunk by chunk (D2H) while the target's restore claims it
+// chunk by chunk (H2D), so the exchange completes in roughly the time of
+// the slower transfer instead of their sum.
+
+// SwapExchange replaces the running victim with the swapped-out target
+// in one operation, using the pipelined full-duplex path when selected
+// via SetPipelined and the sequential swap-out-then-swap-in baseline
+// otherwise. The reported "swap_exchange_latency" histogram measures
+// victim swap-out start to target serving.
+func (ct *Controller) SwapExchange(ctx context.Context, victim, target *Backend) error {
+	if victim == target || victim.name == target.name {
+		return fmt.Errorf("core: swap-exchange of %s with itself", victim.name)
+	}
+	if ct.Pipelined() {
+		return ct.swapExchangePipelined(ctx, victim, target)
+	}
+	return ct.swapExchangeSequential(ctx, victim, target)
+}
+
+// swapExchangeSequential is the A/B baseline: a full SwapOut, then a
+// blocking reservation of the target's footprint, then a full SwapIn.
+func (ct *Controller) swapExchangeSequential(ctx context.Context, victim, target *Backend) error {
+	target.swapMu.Lock()
+	defer target.swapMu.Unlock()
+	if s := target.State(); s != BackendSwappedOut {
+		return fmt.Errorf("core: swap-exchange target %s in state %v", target.name, s)
+	}
+
+	t0 := ct.clock.Now()
+	if err := ct.SwapOut(ctx, victim); err != nil {
+		return err
+	}
+	perDevice := target.RequiredBytes() / int64(len(target.gpus))
+	res, err := ct.tm.Reserve(ctx, target.gpus, perDevice, target.name)
+	if err != nil {
+		return fmt.Errorf("core: reserving %d bytes for %s: %w", target.RequiredBytes(), target.name, err)
+	}
+	defer res.Release()
+	if err := ct.SwapIn(ctx, target); err != nil {
+		return err
+	}
+	ct.reg.Histogram("swap_exchange_latency").Observe(ct.clock.Since(t0))
+	ct.reg.Counter("swap_exchanges").Inc()
+	return nil
+}
+
+// swapExchangePipelined overlaps the victim's checkpoint with the
+// target's restore. The victim is drained and frozen first; its Suspend
+// then runs in a goroutine while RestoreWait claims each freed chunk as
+// it lands. An async reservation acts as a FIFO barrier so the freed
+// capacity accrues to the target rather than a third party — the restore
+// itself never waits for the full grant.
+func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target *Backend) error {
+	target.swapMu.Lock()
+	defer target.swapMu.Unlock()
+	if s := target.State(); s != BackendSwappedOut {
+		return fmt.Errorf("core: swap-exchange target %s in state %v", target.name, s)
+	}
+
+	victim.evictMu.Lock()
+	defer victim.evictMu.Unlock()
+	if s := victim.State(); s != BackendRunning {
+		return fmt.Errorf("core: swap-exchange victim %s in state %v", victim.name, s)
+	}
+
+	t0 := ct.clock.Now()
+	victim.setState(BackendSwapping)
+	if err := ct.drain(ctx, victim); err != nil {
+		victim.setState(BackendRunning)
+		return err
+	}
+	eng := victim.ctr.Engine()
+	victim.requiredBytes.Store(eng.GPUBytes())
+	victim.sleepUsed.Store(false)
+	if sleeper, ok := eng.(engine.Sleeper); ok && victim.useSleepMode {
+		if err := sleeper.Sleep(ctx, 1); err == nil {
+			victim.sleepUsed.Store(true)
+		}
+	}
+	if err := ct.rt.Pause(victim.ctr); err != nil {
+		ct.wakeIfSlept(ctx, victim, eng)
+		victim.setState(BackendRunning)
+		return fmt.Errorf("core: pausing container: %w", err)
+	}
+
+	target.setState(BackendSwapping)
+	perDevice := target.RequiredBytes() / int64(len(target.gpus))
+	barrier, err := ct.tm.ReserveAsync(target.gpus, perDevice, target.name)
+	if err != nil {
+		ct.recoverVictim(ctx, victim, eng)
+		target.setState(BackendSwappedOut)
+		return fmt.Errorf("core: reserving %d bytes for %s: %w", target.RequiredBytes(), target.name, err)
+	}
+	defer barrier.Release()
+
+	// The restore aborts if the victim's checkpoint fails — without the
+	// victim's capacity it could wait forever.
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type suspendResult struct {
+		saved int64
+		err   error
+	}
+	suspended := make(chan suspendResult, 1)
+	go func() {
+		saved, serr := ct.rt.Driver().Suspend(victim.ctr.ID())
+		if serr != nil {
+			cancel()
+		}
+		suspended <- suspendResult{saved: saved, err: serr}
+	}()
+
+	restoreErr := ct.rt.Driver().RestoreWait(rctx, target.ctr.ID())
+	if restoreErr == nil {
+		restoreErr = retryTransient(func() error { return ct.rt.Driver().Unlock(target.ctr.ID()) })
+	}
+	sres := <-suspended
+
+	// Victim leg: on success it is swapped out; on failure thaw it back
+	// to a serving state (mirroring SwapOut's rollback). Either way the
+	// target leg below still settles the target into a consistent state.
+	victimErr := sres.err
+	if victimErr == nil {
+		ct.reg.Counter("swap_outs").Inc()
+		ct.reg.Gauge("snapshot_bytes_" + victim.name).Set(float64(sres.saved))
+		victim.setState(BackendSwappedOut)
+		victim.swapOuts.Add(1)
+		ct.tm.NotifyFreed()
+	} else if !ct.recoverVictim(ctx, victim, eng) {
+		victimErr = fmt.Errorf("%w (rollback thaw failed)", victimErr)
+	}
+
+	// Target leg: the driver rolled a failed restore back to
+	// Checkpointed (or left it Locked after an unlock failure), so
+	// failBack restores the SwappedOut contract.
+	if restoreErr != nil {
+		ferr := ct.failBack(target, "restoring GPU state", restoreErr)
+		if victimErr != nil {
+			// The victim's failure is the root cause; the restore only
+			// aborted because the exchange cancelled it.
+			return fmt.Errorf("core: checkpointing GPU state: %w (target restore aborted: %v)", victimErr, restoreErr)
+		}
+		return ferr
+	}
+	if err := retryTransient(func() error { return ct.rt.Unpause(target.ctr) }); err != nil {
+		return ct.failBack(target, "unpausing container", err)
+	}
+	if target.sleepUsed.Load() {
+		if sleeper, ok := target.ctr.Engine().(engine.Sleeper); ok {
+			if err := sleeper.Wake(ctx); err != nil {
+				return ct.failBack(target, "waking engine", err)
+			}
+		}
+		target.sleepUsed.Store(false)
+	}
+	ct.clock.Sleep(perfmodel.EngineResumeOverhead(target.engine))
+	if err := ct.verifyAPI(ctx, target); err != nil {
+		return ct.failBack(target, "engine API not live after swap-in", err)
+	}
+	target.lastReady.Store(ct.clock.Now().UnixNano())
+	target.setState(BackendRunning)
+	target.swapIns.Add(1)
+	ct.reg.Counter("swap_ins").Inc()
+
+	if victimErr != nil {
+		// The target is serving but the victim leg failed and was thawed
+		// back to Running; report the partial failure.
+		return fmt.Errorf("core: checkpointing GPU state: %w", victimErr)
+	}
+	ct.reg.Histogram("swap_exchange_latency").Observe(ct.clock.Since(t0))
+	ct.reg.Counter("swap_exchanges").Inc()
+	return nil
+}
+
+// recoverVictim thaws a frozen victim back to a serving state after a
+// failed exchange, reporting whether the thaw succeeded. A thaw that
+// keeps failing leaves the engine frozen, so the backend is marked
+// failed.
+func (ct *Controller) recoverVictim(ctx context.Context, victim *Backend, eng engine.Engine) bool {
+	if err := retryTransient(func() error { return ct.rt.Unpause(victim.ctr) }); err != nil {
+		victim.setState(BackendFailed)
+		return false
+	}
+	ct.wakeIfSlept(ctx, victim, eng)
+	victim.setState(BackendRunning)
+	return true
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/config"
+	"swapservellm/internal/cudackpt"
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// exchangeServer builds a one-GPU deployment with a swapped-out target
+// (initialized first, snapshotted, paused) and a keep-warm victim
+// holding the device.
+func exchangeServer(t *testing.T, pipelined bool, opts Options) (*Server, *Backend, *Backend) {
+	t.Helper()
+	cfg := config.Default()
+	cfg.Global.PipelinedSwap = pipelined
+	target := vllmModel("llama3.2:1b-fp16")
+	victim := vllmModel("llama3.2:3b-fp16")
+	victim.KeepWarm = true
+	cfg.Models = []config.Model{target, victim}
+	if opts.Clock == nil {
+		opts.Clock = simclock.NewScaled(testEpoch, 20000)
+	}
+	s, err := New(cfg, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := s.Start(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Shutdown)
+	tb, _ := s.Backend("llama3.2:1b-fp16")
+	vb, _ := s.Backend("llama3.2:3b-fp16")
+	return s, vb, tb
+}
+
+func checkExchanged(t *testing.T, s *Server, victim, target *Backend) {
+	t.Helper()
+	if st := victim.State(); st != BackendSwappedOut {
+		t.Fatalf("victim state = %v, want swapped-out", st)
+	}
+	if st := target.State(); st != BackendRunning {
+		t.Fatalf("target state = %v, want running", st)
+	}
+	if got := s.Driver().HostPledged(); got != 0 {
+		t.Fatalf("host pledged after exchange = %d", got)
+	}
+	if got := s.TaskManager().Reserved(0); got != 0 {
+		t.Fatalf("reserved headroom leaked: %d", got)
+	}
+	// The target must be genuinely servable.
+	doChat(t, s.URL(), target.Name(), 2)
+}
+
+func TestSwapExchangeSequential(t *testing.T) {
+	s, victim, target := exchangeServer(t, false, Options{})
+	if err := s.Controller().SwapExchange(context.Background(), victim, target); err != nil {
+		t.Fatal(err)
+	}
+	checkExchanged(t, s, victim, target)
+}
+
+func TestSwapExchangePipelined(t *testing.T) {
+	s, victim, target := exchangeServer(t, true, Options{})
+	if !s.Controller().Pipelined() {
+		t.Fatal("pipelined flag not wired from config")
+	}
+	if err := s.Controller().SwapExchange(context.Background(), victim, target); err != nil {
+		t.Fatal(err)
+	}
+	checkExchanged(t, s, victim, target)
+	if n := s.Registry().Histogram("swap_exchange_latency").Count(); n != 1 {
+		t.Fatalf("swap_exchange_latency count = %d", n)
+	}
+}
+
+func TestSwapExchangePipelinedOverlaps(t *testing.T) {
+	// Both directions of the exchange must be in flight at once: the
+	// victim's first D2H chunk blocks until the target's first H2D chunk
+	// has been observed, which can only happen if the restore really
+	// starts before the checkpoint finishes.
+	s, victim, target := exchangeServer(t, true, Options{})
+	victimPID := victim.Container().ID()
+	targetPID := target.Container().ID()
+
+	d2h := make(chan struct{})
+	h2d := make(chan struct{})
+	var d2hOnce, h2dOnce sync.Once
+	s.Driver().OnChunk(func(ev cudackpt.ChunkEvent) {
+		switch {
+		case ev.PID == victimPID && ev.Dir == perfmodel.DirD2H:
+			d2hOnce.Do(func() { close(d2h) })
+			select {
+			case <-h2d:
+			case <-time.After(30 * time.Second):
+				t.Error("target restore never started while victim checkpoint was in flight")
+			}
+		case ev.PID == targetPID && ev.Dir == perfmodel.DirH2D:
+			h2dOnce.Do(func() { close(h2d) })
+			select {
+			case <-d2h:
+			case <-time.After(30 * time.Second):
+				t.Error("victim checkpoint never started while target restore was in flight")
+			}
+		}
+	})
+	if err := s.Controller().SwapExchange(context.Background(), victim, target); err != nil {
+		t.Fatal(err)
+	}
+	checkExchanged(t, s, victim, target)
+}
+
+func TestSwapExchangePipelinedVictimFaultRollsBack(t *testing.T) {
+	// The victim's checkpoint fails outright (operation fault, not a
+	// chunk fault): the exchange must thaw the victim back to a serving
+	// state, cancel the target's restore, and leave the target
+	// swapped-out with all accounting balanced.
+	inj := chaos.NewInjector(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
+		// After: 1 skips the target's init-time snapshot checkpoint.
+		{Site: chaos.SiteCkptCheckpoint, P: 1, After: 1, Times: 1},
+	}})
+	s, victim, target := exchangeServer(t, true, Options{Chaos: inj})
+
+	err := s.Controller().SwapExchange(context.Background(), victim, target)
+	if err == nil {
+		t.Fatal("exchange succeeded despite injected checkpoint fault")
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("err = %v, want injected fault", err)
+	}
+	if st := victim.State(); st != BackendRunning {
+		t.Fatalf("victim state = %v, want running after rollback", st)
+	}
+	if st := target.State(); st != BackendSwappedOut {
+		t.Fatalf("target state = %v, want swapped-out after rollback", st)
+	}
+	if got := s.Driver().HostPledged(); got != 0 {
+		t.Fatalf("host pledged after failed exchange = %d", got)
+	}
+	if got := s.TaskManager().Reserved(0); got != 0 {
+		t.Fatalf("reserved headroom leaked: %d", got)
+	}
+	// Both backends must still be usable: the victim serves immediately,
+	// and the exchange succeeds once chaos is disarmed.
+	s.Driver().SetChaos(nil)
+	doChat(t, s.URL(), victim.Name(), 2)
+	if err := s.Controller().SwapExchange(context.Background(), victim, target); err != nil {
+		t.Fatal(err)
+	}
+	checkExchanged(t, s, victim, target)
+}
+
+func TestEvictionsOverlapAcrossDevices(t *testing.T) {
+	// Per-GPU eviction serialization: evicting on device 0 and device 1
+	// concurrently must overlap. Each eviction's first checkpoint chunk
+	// blocks until the other eviction's first chunk is seen — possible
+	// only if neither holds a lock the other needs.
+	cfg := config.Default()
+	cfg.Global.SwapChunkMiB = 256
+	a := ollamaModel("deepseek-r1:14b-fp16")
+	a.KeepWarm = true
+	b := ollamaModel("deepseek-r1:7b-q4")
+	b.KeepWarm = true
+	b.GPUs = []int{1}
+	cfg.Models = []config.Model{a, b}
+	s := startServer(t, cfg, Options{Clock: simclock.NewScaled(testEpoch, 2000)})
+
+	ba, _ := s.Backend(a.Name)
+	bb, _ := s.Backend(b.Name)
+	pidA := ba.Container().ID()
+	pidB := bb.Container().ID()
+
+	firstA := make(chan struct{})
+	firstB := make(chan struct{})
+	var onceA, onceB sync.Once
+	s.Driver().OnChunk(func(ev cudackpt.ChunkEvent) {
+		switch ev.PID {
+		case pidA:
+			onceA.Do(func() { close(firstA) })
+			select {
+			case <-firstB:
+			case <-time.After(30 * time.Second):
+				t.Error("eviction on gpu1 never progressed during eviction on gpu0")
+			}
+		case pidB:
+			onceB.Do(func() { close(firstB) })
+			select {
+			case <-firstA:
+			case <-time.After(30 * time.Second):
+				t.Error("eviction on gpu0 never progressed during eviction on gpu1")
+			}
+		}
+	})
+
+	var wg sync.WaitGroup
+	results := make([]bool, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, results[0] = s.Controller().EvictOne(context.Background(), 0, nil)
+	}()
+	go func() {
+		defer wg.Done()
+		_, results[1] = s.Controller().EvictOne(context.Background(), 1, nil)
+	}()
+	wg.Wait()
+	if !results[0] || !results[1] {
+		t.Fatalf("evictions failed: gpu0=%v gpu1=%v", results[0], results[1])
+	}
+}
+
+func TestSameDeviceEvictionsSerialize(t *testing.T) {
+	// Two concurrent reclaim loops on the same device must not stampede:
+	// the per-device lock serializes them, so the two victims' chunk
+	// streams never interleave.
+	cfg := config.Default()
+	cfg.Global.SwapChunkMiB = 256
+	a := ollamaModel("deepseek-r1:14b-fp16")
+	a.KeepWarm = true
+	b := ollamaModel("deepseek-r1:7b-q4")
+	b.KeepWarm = true
+	cfg.Models = []config.Model{a, b}
+	s := startServer(t, cfg, Options{Clock: simclock.NewScaled(testEpoch, 2000)})
+
+	ba, _ := s.Backend(a.Name)
+	bb, _ := s.Backend(b.Name)
+	pids := map[string]string{ba.Container().ID(): "a", bb.Container().ID(): "b"}
+
+	var mu sync.Mutex
+	var order []string
+	s.Driver().OnChunk(func(ev cudackpt.ChunkEvent) {
+		if name, ok := pids[ev.PID]; ok {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	})
+
+	var wg sync.WaitGroup
+	results := make([]bool, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, results[0] = s.Controller().EvictOne(context.Background(), 0, map[string]bool{b.Name: true})
+	}()
+	go func() {
+		defer wg.Done()
+		_, results[1] = s.Controller().EvictOne(context.Background(), 0, map[string]bool{a.Name: true})
+	}()
+	wg.Wait()
+	if !results[0] || !results[1] {
+		t.Fatalf("evictions failed: %v %v", results[0], results[1])
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	switches := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] != order[i-1] {
+			switches++
+		}
+	}
+	if switches > 1 {
+		t.Fatalf("same-device evictions interleaved (%d switches): %v", switches, order)
+	}
+}
+
+func TestIncrementalGrantBeforeCheckpointFinishes(t *testing.T) {
+	// A pending reservation smaller than the victim's footprint must be
+	// granted from the first freed chunks, long before the checkpoint
+	// finishes.
+	clock := simclock.NewScaled(testEpoch, 1000)
+	topo := gpu.NewTopology(perfmodel.GPUH100, 1, 80*gib)
+	tm := NewTaskManager(clock, topo)
+	tb, _ := perfmodel.TestbedByName("h100")
+	drv := cudackpt.NewDriver(clock, tb, 0)
+	dev, _ := topo.Device(0)
+	if err := drv.Register("victim", dev, perfmodel.EngineVLLM, 16*gib); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Alloc("victim", 75*gib); err != nil {
+		t.Fatal(err)
+	}
+	drv.OnChunk(func(ev cudackpt.ChunkEvent) {
+		if ev.Dir == perfmodel.DirD2H {
+			tm.NotifyFreed()
+		}
+	})
+
+	suspended := make(chan error, 1)
+	go func() {
+		_, err := drv.Suspend("victim")
+		suspended <- err
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := tm.Reserve(ctx, []int{0}, 10*gib, "incoming")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-suspended:
+		t.Fatal("reservation granted only after the whole checkpoint finished")
+	default:
+	}
+	res.Release()
+	if err := <-suspended; err != nil {
+		t.Fatal(err)
+	}
+	if got := tm.Reserved(0); got != 0 {
+		t.Fatalf("Reserved = %d after release", got)
+	}
+}
+
+func TestCancelledReservationReturnsPartialClaims(t *testing.T) {
+	tm, topo := newTM(t, 1)
+	dev, _ := topo.Device(0)
+	if err := dev.Alloc("squatter", 80*gib); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := tm.Reserve(ctx, []int{0}, 40*gib, "w")
+		errCh <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let the waiter enqueue
+
+	// Free 10 GiB: the head claims it incrementally but stays queued.
+	if err := dev.Resize("squatter", 70*gib); err != nil {
+		t.Fatal(err)
+	}
+	tm.NotifyFreed()
+	if got := tm.Reserved(0); got != 10*gib {
+		t.Fatalf("partial claim = %d, want %d", got, 10*gib)
+	}
+
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tm.Reserved(0); got != 0 {
+		t.Fatalf("cancelled reservation leaked %d claimed bytes", got)
+	}
+	if tm.PendingCount() != 0 {
+		t.Fatalf("pending queue not cleaned: %d", tm.PendingCount())
+	}
+}
+
+func TestReserveAsyncBarrier(t *testing.T) {
+	tm, topo := newTM(t, 1)
+	dev, _ := topo.Device(0)
+	if err := dev.Alloc("squatter", 80*gib); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := tm.ReserveAsync([]int{0}, 40*gib, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ar.Done():
+		t.Fatal("granted with zero free memory")
+	default:
+	}
+
+	// A later request must queue behind the barrier, not steal freed
+	// memory.
+	if err := dev.Resize("squatter", 50*gib); err != nil {
+		t.Fatal(err)
+	}
+	tm.NotifyFreed()
+	if got := tm.Reserved(0); got != 30*gib {
+		t.Fatalf("partial claim = %d, want %d", got, 30*gib)
+	}
+	if got := tm.Available(0); got != 0 {
+		t.Fatalf("Available = %d with barrier holding all freed memory", got)
+	}
+
+	if err := dev.Resize("squatter", 40*gib); err != nil {
+		t.Fatal(err)
+	}
+	tm.NotifyFreed()
+	select {
+	case <-ar.Done():
+	default:
+		t.Fatal("barrier not granted after enough memory freed")
+	}
+	if got := tm.Reserved(0); got != 40*gib {
+		t.Fatalf("Reserved = %d after full grant", got)
+	}
+	ar.Release()
+	ar.Release() // idempotent
+	if got := tm.Reserved(0); got != 0 {
+		t.Fatalf("Reserved = %d after release", got)
+	}
+}
+
+func TestReserveAsyncReleaseReturnsPartialClaims(t *testing.T) {
+	tm, topo := newTM(t, 1)
+	dev, _ := topo.Device(0)
+	if err := dev.Alloc("squatter", 80*gib); err != nil {
+		t.Fatal(err)
+	}
+	ar, err := tm.ReserveAsync([]int{0}, 40*gib, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Resize("squatter", 65*gib); err != nil {
+		t.Fatal(err)
+	}
+	tm.NotifyFreed()
+	if got := tm.Reserved(0); got != 15*gib {
+		t.Fatalf("partial claim = %d", got)
+	}
+	ar.Release()
+	if got := tm.Reserved(0); got != 0 {
+		t.Fatalf("released partial claim leaked %d bytes", got)
+	}
+	if tm.PendingCount() != 0 {
+		t.Fatalf("pending queue not cleaned: %d", tm.PendingCount())
+	}
+}

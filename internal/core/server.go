@@ -119,6 +119,9 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 	if opts.SpillToDisk || cfg.Global.SnapshotSpill {
 		driver.EnableSpill()
 	}
+	if cfg.Global.SwapChunkMiB > 0 {
+		driver.SetChunkBytes(int64(cfg.Global.SwapChunkMiB) << 20)
+	}
 	rt := container.NewRuntime(clock, tb, freezer, driver)
 	store := storage.NewModelStore(clock, tb)
 	if opts.Chaos != nil {
@@ -132,8 +135,17 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 
 	tm := NewTaskManager(clock, topo)
 	ctrl := NewController(clock, tb, rt, tm, opts.Policy, reg)
+	ctrl.SetPipelined(cfg.Global.PipelinedSwap)
 	tm.SetEvictor(ctrl)
 	sched := NewScheduler(clock, tm, ctrl, reg)
+	// Every checkpoint chunk that frees device capacity immediately
+	// re-runs the grant loop, so a pending reservation can be granted
+	// incrementally before the victim's checkpoint finishes.
+	driver.OnChunk(func(ev cudackpt.ChunkEvent) {
+		if ev.Dir == perfmodel.DirD2H {
+			tm.NotifyFreed()
+		}
+	})
 
 	s := &Server{
 		cfg:      cfg,

@@ -61,6 +61,15 @@ type pending struct {
 	seq     int64
 	granted chan struct{}
 	index   int
+
+	// claimed tracks, per device, the bytes the grant loop has already
+	// carved out of the free pool for this reservation. The queue head
+	// claims incrementally as memory frees — a pipelined swap-out
+	// releases capacity chunk by chunk, and each chunk lands here before
+	// a later request can steal it. The reservation is granted when
+	// claimed reaches bytes on every device; a cancelled or released
+	// reservation returns whatever it had claimed.
+	claimed map[int]int64
 }
 
 // pendingHeap orders reservations by arrival (FIFO grant order).
@@ -197,6 +206,8 @@ func (tm *TaskManager) Reserve(ctx context.Context, gpus []int, bytes int64, own
 		if p.index >= 0 && p.index < len(tm.queue) && tm.queue[p.index] == p {
 			heap.Remove(&tm.queue, p.index)
 		}
+		// A partially claimed head gives back what it took.
+		tm.returnClaimsLocked(p)
 		tm.grantLocked()
 		tm.mu.Unlock()
 		return nil, ctx.Err()
@@ -221,32 +232,64 @@ func normalizeGPUs(gpus []int) []int {
 	return out[:w]
 }
 
-// grantLocked grants queued reservations in FIFO order while they fit.
-// Strict ordering avoids starving large requests (§3.4's LLaMA 70B
-// example queues behind nothing but gets the next grant once memory
-// frees). Caller holds tm.mu.
+// grantLocked grants queued reservations in FIFO order. Strict ordering
+// avoids starving large requests (§3.4's LLaMA 70B example queues behind
+// nothing but gets the next grant once memory frees). The head claims
+// incrementally: any positive headroom on a device it still needs is
+// carved out immediately, so capacity freed chunk-by-chunk by a
+// pipelined swap-out accrues to the oldest waiter instead of sitting
+// exposed until the full amount fits. The grant completes — and the next
+// waiter gets its turn — once every device is fully claimed. Caller
+// holds tm.mu.
 func (tm *TaskManager) grantLocked() {
 	for len(tm.queue) > 0 {
 		head := tm.queue[0]
-		if !tm.fitsLocked(head) {
+		if !tm.claimHeadLocked(head) {
 			return
 		}
 		heap.Pop(&tm.queue)
-		for _, id := range head.gpus {
-			tm.reserved[id] += head.bytes
-		}
 		close(head.granted)
 	}
 }
 
-// fitsLocked reports whether p fits on all its devices right now.
-func (tm *TaskManager) fitsLocked(p *pending) bool {
+// claimHeadLocked claims whatever headroom is available toward p's
+// remaining need on each device, reporting whether p is now fully
+// claimed. Caller holds tm.mu.
+func (tm *TaskManager) claimHeadLocked(p *pending) bool {
+	done := true
 	for _, id := range p.gpus {
-		if tm.availableLocked(id) < p.bytes {
-			return false
+		need := p.bytes - p.claimed[id]
+		if need <= 0 {
+			continue
+		}
+		avail := tm.availableLocked(id)
+		if avail > need {
+			avail = need
+		}
+		if avail > 0 {
+			if p.claimed == nil {
+				p.claimed = make(map[int]int64)
+			}
+			p.claimed[id] += avail
+			tm.reserved[id] += avail
+		}
+		if p.claimed[id] < p.bytes {
+			done = false
 		}
 	}
-	return true
+	return done
+}
+
+// returnClaimsLocked hands back the partial claims of a reservation that
+// is leaving the queue ungranted. Caller holds tm.mu.
+func (tm *TaskManager) returnClaimsLocked(p *pending) {
+	for id, c := range p.claimed {
+		tm.reserved[id] -= c
+		if tm.reserved[id] < 0 {
+			tm.reserved[id] = 0
+		}
+	}
+	p.claimed = nil
 }
 
 // isClosed reports whether a grant channel has been closed.
@@ -291,7 +334,8 @@ func (tm *TaskManager) reclaim(ctx context.Context, p *pending) {
 		shortID := -1
 		if isHead {
 			for _, id := range p.gpus {
-				if tm.availableLocked(id) < p.bytes {
+				// Incremental claims shrink the outstanding need.
+				if tm.availableLocked(id) < p.bytes-p.claimed[id] {
 					shortID = id
 					break
 				}
@@ -342,4 +386,81 @@ func (tm *TaskManager) NotifyFreed() {
 	tm.mu.Lock()
 	tm.grantLocked()
 	tm.mu.Unlock()
+}
+
+// AsyncReservation is a queued reservation that does not block its
+// creator: the pipelined swap-exchange enqueues one as a FIFO barrier so
+// capacity freed by the victim's checkpoint accrues to the incoming
+// target rather than to a third party, while the restore itself proceeds
+// without waiting for the full grant.
+type AsyncReservation struct {
+	tm *TaskManager
+	p  *pending
+
+	mu       sync.Mutex
+	released bool
+}
+
+// Done is closed once the reservation has been fully granted.
+func (a *AsyncReservation) Done() <-chan struct{} { return a.p.granted }
+
+// Release returns whatever the reservation holds — the full claim when
+// granted, the partial per-device claims otherwise — and removes it from
+// the queue. Idempotent.
+func (a *AsyncReservation) Release() {
+	a.mu.Lock()
+	if a.released {
+		a.mu.Unlock()
+		return
+	}
+	a.released = true
+	a.mu.Unlock()
+
+	tm := a.tm
+	tm.mu.Lock()
+	if isClosed(a.p.granted) {
+		// Fully granted: every device holds the full claim.
+		for _, id := range a.p.gpus {
+			tm.reserved[id] -= a.p.bytes
+			if tm.reserved[id] < 0 {
+				tm.reserved[id] = 0
+			}
+		}
+	} else {
+		if a.p.index >= 0 && a.p.index < len(tm.queue) && tm.queue[a.p.index] == a.p {
+			heap.Remove(&tm.queue, a.p.index)
+		}
+		tm.returnClaimsLocked(a.p)
+	}
+	tm.grantLocked()
+	tm.mu.Unlock()
+}
+
+// ReserveAsync enqueues a reservation and returns immediately with a
+// handle; no preemption loop is spawned. The claim participates in the
+// normal FIFO grant order and accrues freed capacity incrementally like
+// any other waiter. The caller must Release it exactly as with Reserve.
+func (tm *TaskManager) ReserveAsync(gpus []int, bytes int64, owner string) (*AsyncReservation, error) {
+	if bytes < 0 {
+		return nil, fmt.Errorf("core: negative reservation %d", bytes)
+	}
+	gpus = normalizeGPUs(gpus)
+	for _, id := range gpus {
+		d, err := tm.topo.Device(id)
+		if err != nil {
+			return nil, err
+		}
+		if bytes > d.Total() {
+			return nil, fmt.Errorf("%w: need %d on gpu %d with capacity %d",
+				ErrNoCapacity, bytes, id, d.Total())
+		}
+	}
+	p := &pending{gpus: gpus, bytes: bytes, owner: owner, granted: make(chan struct{})}
+	tm.mu.Lock()
+	tm.seq++
+	p.seq = tm.seq
+	heap.Push(&tm.queue, p)
+	tm.grantLocked()
+	tm.mu.Unlock()
+	return &AsyncReservation{tm: tm, p: p}, nil
 }

@@ -84,11 +84,11 @@ func (w *worker) forward(item *queuedRequest) {
 			}
 			continue
 		}
-		w.b.active.Add(1)
+		w.b.incActive()
 		w.b.evictMu.RUnlock()
 
 		w.relay(item)
-		w.b.active.Add(-1)
+		w.b.decActive()
 		w.b.lastFinished.Store(w.clock.Now().UnixNano())
 		return
 	}

@@ -8,12 +8,15 @@
 //
 // Checkpoint copies the process's device allocations into a host-memory
 // image (freeing GPU capacity for other workloads); Restore re-allocates
-// device memory and copies the image back. Transfer times follow the
-// calibrated PCIe model in internal/perfmodel, enacted on the simulation
-// clock.
+// device memory and copies the image back. Transfers move in chunks
+// (see chunk.go) that release or claim GPU capacity incrementally, so a
+// restore can pipeline against a concurrent checkpoint over the
+// full-duplex PCIe link. Transfer times follow the calibrated PCIe
+// model in internal/perfmodel, enacted on the simulation clock.
 package cudackpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +25,7 @@ import (
 	"swapservellm/internal/chaos"
 	"swapservellm/internal/gpu"
 	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/retry"
 	"swapservellm/internal/simclock"
 )
 
@@ -60,15 +64,17 @@ var (
 // proc tracks one registered CUDA process (one entry covers every
 // tensor-parallel shard of the workload).
 type proc struct {
-	pid         string
-	devices     []*gpu.Device
-	engine      perfmodel.EngineKind
-	weightBytes int64
-	state       State
-	hostImage   int64   // total bytes held in the host image when checkpointed
-	shardBytes  []int64 // per-device bytes captured at checkpoint time
-	loc         ImageLocation
-	lastUsed    time.Time
+	pid          string
+	devices      []*gpu.Device
+	engine       perfmodel.EngineKind
+	weightBytes  int64
+	state        State
+	hostImage    int64   // bytes currently held in the host image
+	shardBytes   []int64 // per-device bytes captured at checkpoint time
+	loc          ImageLocation
+	lastUsed     time.Time
+	transferring bool  // a chunked checkpoint/restore is in flight
+	transferGoal int64 // total bytes the in-flight transfer moves
 }
 
 // Driver simulates the per-node checkpoint driver. All methods are safe
@@ -78,15 +84,19 @@ type Driver struct {
 	clock   simclock.Clock
 	testbed perfmodel.Testbed
 
-	mu       sync.Mutex
-	procs    map[string]*proc
-	hostUsed int64
-	hostCap  int64 // 0 = unlimited
-	spill    bool  // spill LRU images to disk instead of failing on the cap
-	diskUsed int64
-	spills   int64
-	chaosInj *chaos.Injector
-	trace    *chaos.Trace
+	mu          sync.Mutex
+	procs       map[string]*proc
+	hostUsed    int64
+	hostPledged int64 // in-flight checkpoint bytes pledged against the cap
+	hostCap     int64 // 0 = unlimited
+	spill       bool  // spill LRU images to disk instead of failing on the cap
+	diskUsed    int64
+	spills      int64
+	chunkBytes  int64
+	links       map[int]*perfmodel.PCIeLink // device ID -> PCIe link
+	chunkHooks  []func(ChunkEvent)
+	chaosInj    *chaos.Injector
+	trace       *chaos.Trace
 }
 
 // NewDriver creates a driver that times transfers against tb on clock.
@@ -94,10 +104,12 @@ type Driver struct {
 // images (0 means unlimited).
 func NewDriver(clock simclock.Clock, tb perfmodel.Testbed, hostCapBytes int64) *Driver {
 	return &Driver{
-		clock:   clock,
-		testbed: tb,
-		procs:   make(map[string]*proc),
-		hostCap: hostCapBytes,
+		clock:      clock,
+		testbed:    tb,
+		procs:      make(map[string]*proc),
+		hostCap:    hostCapBytes,
+		chunkBytes: DefaultChunkBytes,
+		links:      make(map[int]*perfmodel.PCIeLink),
 	}
 }
 
@@ -136,6 +148,9 @@ func (d *Driver) Unregister(pid string) error {
 	p, ok := d.procs[pid]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
+	}
+	if p.transferring {
+		return fmt.Errorf("%w: unregister of %q mid-transfer", ErrBadState, pid)
 	}
 	if p.loc == LocDisk {
 		d.diskUsed -= p.hostImage
@@ -229,8 +244,10 @@ func (d *Driver) Unlock(pid string) error {
 }
 
 // Checkpoint copies a locked process's device state into a host image and
-// frees its GPU memory (cuda-checkpoint --action checkpoint). Returns the
-// image size.
+// frees its GPU memory (cuda-checkpoint --action checkpoint). The copy
+// moves chunk by chunk, releasing device capacity and accumulating host
+// image bytes incrementally — a concurrent restore can claim the freed
+// capacity before the checkpoint finishes. Returns the image size.
 func (d *Driver) Checkpoint(pid string) (int64, error) {
 	d.mu.Lock()
 	p, err := d.get(pid)
@@ -238,9 +255,10 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		d.mu.Unlock()
 		return 0, err
 	}
-	if p.state != StateLocked {
+	if p.state != StateLocked || p.transferring {
+		st := p.state
 		d.mu.Unlock()
-		return 0, fmt.Errorf("%w: checkpoint from %v", ErrBadState, p.state)
+		return 0, fmt.Errorf("%w: checkpoint from %v", ErrBadState, st)
 	}
 	if err := d.takeFaultLocked(chaos.SiteCkptCheckpoint); err != nil {
 		d.mu.Unlock()
@@ -254,7 +272,7 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		bytes += shard[i]
 	}
 	var spillSleep time.Duration
-	if d.hostCap > 0 && d.hostUsed+bytes > d.hostCap {
+	if d.hostCap > 0 && d.hostUsed+d.hostPledged+bytes > d.hostCap {
 		if !d.spill {
 			d.mu.Unlock()
 			return 0, fmt.Errorf("%w: need %d, used %d of %d", ErrHostMemory, bytes, d.hostUsed, d.hostCap)
@@ -267,48 +285,106 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 				ErrHostMemory, bytes, d.hostUsed, d.hostCap)
 		}
 	}
-	d.hostUsed += bytes
+	// The whole image is pledged against the host cap up front; each
+	// committed chunk converts its share of the pledge into real usage.
+	d.hostPledged += bytes
+	p.transferring = true
+	p.transferGoal = bytes
+	p.loc = LocRAM
+	total := d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock
+	chunk := d.chunkBytes
+	links := d.linksLocked(p)
 	d.mu.Unlock()
 	d.clock.Sleep(spillSleep)
 
-	// D2H copies outside the driver lock so distinct processes checkpoint
-	// concurrently; shards transfer in parallel over their own PCIe
-	// links, so the slowest (largest) shard dominates. Injected PCIe
-	// congestion stretches the transfer.
-	d.clock.Sleep(d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock + pcie)
+	// D2H copies run outside the driver lock so distinct processes
+	// checkpoint concurrently; shards transfer in parallel over their own
+	// PCIe links, so the slowest (largest) shard dominates the calibrated
+	// full-transfer duration, which chunkShare splits across chunks by
+	// byte share. Injected PCIe congestion charges on the first chunk.
+	rem := append([]int64(nil), shard...)
+	var done int64
+	rollForward := false
+	for done < bytes {
+		c := min(chunk, bytes-done)
+		share := chunkShare(total, done, done+c, bytes)
+		var extra time.Duration
+		if done == 0 {
+			extra = pcie
+		}
+		if !rollForward {
+			if ferr := d.chunkFault(links, perfmodel.DirD2H, share); ferr != nil {
+				if d.rollbackCheckpoint(p, shard, rem, done, bytes) {
+					return 0, fmt.Errorf("cudackpt: checkpoint of %q aborted at %d/%d bytes: %w",
+						pid, done, bytes, ferr)
+				}
+				// The freed capacity was already claimed (a pipelined
+				// restore is moving in), so the device memory cannot be
+				// given back: roll forward and finish the checkpoint,
+				// skipping further fault consultation.
+				rollForward = true
+				continue
+			}
+		}
+		d.sleepContended(links, perfmodel.DirD2H, share+extra)
+		d.mu.Lock()
+		d.hostPledged -= c
+		d.hostUsed += c
+		p.hostImage += c
+		drainDevices(p, rem, c)
+		d.mu.Unlock()
+		done += c
+		d.emitChunk(ChunkEvent{PID: pid, Dir: perfmodel.DirD2H, Done: done, Total: bytes})
+	}
+	if bytes == 0 {
+		d.clock.Sleep(total + pcie)
+	}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	for i, dev := range p.devices {
-		if _, err := dev.FreeOwner(p.pid); err != nil && shard[i] > 0 {
-			// Accounting drift between snapshot and free is a programming error.
-			d.hostUsed -= bytes
-			return 0, fmt.Errorf("cudackpt: freeing device state: %v", err)
-		}
+	for _, dev := range p.devices {
+		// Clear any zero-byte owner entry left behind by the engine.
+		dev.Resize(p.pid, 0)
 	}
-	p.hostImage = bytes
 	p.shardBytes = shard
 	p.state = StateCheckpointed
-	p.loc = LocRAM
+	p.transferring = false
+	p.transferGoal = 0
 	p.lastUsed = d.clock.Now()
 	d.recordLocked(pid, StateLocked, StateCheckpointed)
 	return bytes, nil
 }
 
 // Restore re-allocates a checkpointed process's device memory and copies
-// its host image back (cuda-checkpoint --action restore). The process is
-// left Locked; call Unlock to resume it. Fails with gpu.ErrOutOfMemory if
-// the device cannot fit the image.
+// its host image back (cuda-checkpoint --action restore), chunk by
+// chunk. The process is left Locked; call Unlock to resume it. Fails
+// fast with gpu.ErrOutOfMemory if the devices cannot fit the image at
+// call time — eviction policy belongs to the caller.
 func (d *Driver) Restore(pid string) error {
+	return d.restore(context.Background(), pid, false)
+}
+
+// RestoreWait is the pipelined-exchange variant of Restore: instead of
+// failing fast when the devices cannot fit the image, each chunk waits
+// for device capacity to appear (typically a concurrent checkpoint
+// freeing memory chunk by chunk) or for ctx to be cancelled, in which
+// case the partial transfer rolls back and the process stays
+// Checkpointed.
+func (d *Driver) RestoreWait(ctx context.Context, pid string) error {
+	return d.restore(ctx, pid, true)
+}
+
+func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 	d.mu.Lock()
 	p, err := d.get(pid)
 	if err != nil {
 		d.mu.Unlock()
 		return err
 	}
-	if p.state != StateCheckpointed {
+	if p.state != StateCheckpointed || p.transferring {
+		st := p.state
 		d.mu.Unlock()
-		return fmt.Errorf("%w: restore from %v", ErrBadState, p.state)
+		return fmt.Errorf("%w: restore from %v", ErrBadState, st)
 	}
 	if err := d.takeFaultLocked(chaos.SiteCkptRestore); err != nil {
 		d.mu.Unlock()
@@ -316,43 +392,105 @@ func (d *Driver) Restore(pid string) error {
 	}
 	pcie := d.pcieDelayLocked()
 	bytes := p.hostImage
-	shard := p.shardBytes
+	shard := append([]int64(nil), p.shardBytes...)
 	fromDisk := p.loc == LocDisk
-	for i, dev := range p.devices {
-		if err := dev.Alloc(p.pid, shard[i]); err != nil {
-			for _, prev := range p.devices[:i] {
-				prev.FreeOwner(p.pid)
+	if !wait {
+		for i, dev := range p.devices {
+			if free := dev.Free(); free < shard[i] {
+				d.mu.Unlock()
+				return fmt.Errorf("%w: need %d, free %d on gpu %d",
+					gpu.ErrOutOfMemory, shard[i], free, dev.ID())
 			}
-			d.mu.Unlock()
-			return err
 		}
 	}
+	p.transferring = true
+	p.transferGoal = bytes
+	// H2D copies and first-touch run outside the lock; parallel shards
+	// mean the largest one dominates. The engine-resume overhead is
+	// charged by the caller (engine controller), not here. A
+	// disk-resident image additionally pays the disk read, spread across
+	// the chunk pipeline.
+	perShardWeights := p.weightBytes / int64(len(p.devices))
+	total := d.testbed.CheckpointRestore(maxShard(shard), perShardWeights, p.engine) -
+		d.testbed.CkptLock - perfmodel.EngineResumeOverhead(p.engine)
+	if fromDisk {
+		total += d.testbed.StorageReadTime(perfmodel.TierDisk, bytes)
+	}
+	chunk := d.chunkBytes
+	links := d.linksLocked(p)
 	d.mu.Unlock()
 
-	// A disk-resident image must be read back before the device copy —
-	// the slow path the host-memory snapshot avoids.
-	if fromDisk {
-		d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
+	var freed chan struct{}
+	if wait {
+		freed = make(chan struct{}, 1)
+		for _, dev := range p.devices {
+			dev.Watch(freed)
+			defer dev.Unwatch(freed)
+		}
 	}
-	// H2D copies and first-touch outside the lock; parallel shards mean
-	// the largest one dominates. The engine-resume overhead is charged by
-	// the caller (engine controller), not here.
-	perShardWeights := p.weightBytes / int64(len(p.devices))
-	dur := d.testbed.CheckpointRestore(maxShard(shard), perShardWeights, p.engine) -
-		d.testbed.CkptLock - perfmodel.EngineResumeOverhead(p.engine)
-	d.clock.Sleep(dur + pcie)
+
+	alloced := make([]int64, len(shard))
+	var done int64
+	for done < bytes {
+		c := min(chunk, bytes-done)
+		share := chunkShare(total, done, done+c, bytes)
+		var extra time.Duration
+		if done == 0 {
+			extra = pcie
+		}
+		// The fault check runs before the chunk claims capacity, so an
+		// aborted restore never leaves a half-claimed chunk behind.
+		if ferr := d.chunkFault(links, perfmodel.DirH2D, share); ferr != nil {
+			d.rollbackRestore(p, done, fromDisk)
+			return fmt.Errorf("cudackpt: restore of %q aborted at %d/%d bytes: %w",
+				pid, done, bytes, ferr)
+		}
+		for {
+			d.mu.Lock()
+			cerr := claimChunk(p, shard, alloced, c)
+			if cerr == nil {
+				// The chunk's bytes leave the host image the moment its
+				// device copy begins, keeping device+image conservation
+				// exact at every chunk boundary.
+				if fromDisk {
+					d.diskUsed -= c
+				} else {
+					d.hostUsed -= c
+				}
+				p.hostImage -= c
+				d.mu.Unlock()
+				break
+			}
+			d.mu.Unlock()
+			if !wait {
+				d.rollbackRestore(p, done, fromDisk)
+				return fmt.Errorf("cudackpt: restore of %q aborted at %d/%d bytes: %w",
+					pid, done, bytes, cerr)
+			}
+			select {
+			case <-freed:
+			case <-ctx.Done():
+				d.rollbackRestore(p, done, fromDisk)
+				return fmt.Errorf("cudackpt: restore of %q cancelled at %d/%d bytes: %w",
+					pid, done, bytes, ctx.Err())
+			}
+		}
+		done += c
+		d.sleepContended(links, perfmodel.DirH2D, share+extra)
+		d.emitChunk(ChunkEvent{PID: pid, Dir: perfmodel.DirH2D, Done: done, Total: bytes})
+	}
+	if bytes == 0 {
+		d.clock.Sleep(total + pcie)
+	}
 
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if fromDisk {
-		d.diskUsed -= bytes
-	} else {
-		d.hostUsed -= bytes
-	}
 	p.hostImage = 0
 	p.loc = LocRAM
 	p.lastUsed = d.clock.Now()
 	p.state = StateLocked
+	p.transferring = false
+	p.transferGoal = 0
 	d.recordLocked(pid, StateCheckpointed, StateLocked)
 	return nil
 }
@@ -366,15 +504,13 @@ func (d *Driver) Suspend(pid string) (int64, error) {
 	bytes, err := d.Checkpoint(pid)
 	if err != nil {
 		// Roll the lock back so the process is usable again. Unlock can
-		// itself hit a transient injected fault; retry a few times so a
-		// single chaos firing doesn't wedge the process in Locked.
-		var uerr error
-		for attempt := 0; attempt < 4; attempt++ {
-			if uerr = d.Unlock(pid); uerr == nil {
-				return 0, err
-			}
+		// itself hit a transient injected fault; the shared bounded-retry
+		// policy keeps a single chaos firing from wedging the process in
+		// Locked.
+		if uerr := retry.Transient(func() error { return d.Unlock(pid) }); uerr != nil {
+			return 0, errors.Join(err, uerr)
 		}
-		return 0, errors.Join(err, uerr)
+		return 0, err
 	}
 	return bytes, nil
 }

@@ -61,12 +61,23 @@ type ProcInfo struct {
 	PID string
 	// State is the current checkpoint state.
 	State State
-	// ImageBytes is the host image size (zero unless checkpointed).
+	// ImageBytes is the host image size (zero unless checkpointed or
+	// mid-transfer).
 	ImageBytes int64
 	// Loc is where the image resides when checkpointed.
 	Loc ImageLocation
 	// DeviceIDs are the GPU indices the process spans.
 	DeviceIDs []int
+	// Transferring reports a chunked checkpoint/restore in flight.
+	Transferring bool
+	// TransferGoal is the total bytes the in-flight transfer moves
+	// (zero when not transferring). While transferring, DeviceBytes +
+	// ImageBytes == TransferGoal at every chunk boundary.
+	TransferGoal int64
+	// DeviceBytes is the process's summed device allocation, captured
+	// under the driver lock so it is consistent with ImageBytes even
+	// while other transfers are in flight.
+	DeviceBytes int64
 }
 
 // ProcInfos returns an audit snapshot of every registered process,
@@ -75,14 +86,60 @@ type ProcInfo struct {
 func (d *Driver) ProcInfos() []ProcInfo {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	return d.procInfosLocked()
+}
+
+func (d *Driver) procInfosLocked() []ProcInfo {
 	out := make([]ProcInfo, 0, len(d.procs))
 	for pid, p := range d.procs {
-		info := ProcInfo{PID: pid, State: p.state, ImageBytes: p.hostImage, Loc: p.loc}
+		info := ProcInfo{
+			PID:          pid,
+			State:        p.state,
+			ImageBytes:   p.hostImage,
+			Loc:          p.loc,
+			Transferring: p.transferring,
+			TransferGoal: p.transferGoal,
+		}
 		for _, dev := range p.devices {
 			info.DeviceIDs = append(info.DeviceIDs, dev.ID())
+			info.DeviceBytes += dev.OwnerUsage(pid)
 		}
 		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].PID < out[j].PID })
 	return out
+}
+
+// AuditSnapshot is a single consistent view of the driver's bookkeeping:
+// every field is captured under one hold of the driver lock, so the
+// invariant checker can reconcile processes against the usage totals
+// even while chunked transfers are committing on other goroutines.
+type AuditSnapshot struct {
+	Procs       []ProcInfo
+	HostUsed    int64
+	HostPledged int64
+	DiskUsed    int64
+}
+
+// Audit returns a consistent audit snapshot. All transfer mutations
+// (device allocation, image bytes, host/disk totals, pledges) commit
+// atomically under the driver lock, so the snapshot is exact at any
+// chunk boundary.
+func (d *Driver) Audit() AuditSnapshot {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return AuditSnapshot{
+		Procs:       d.procInfosLocked(),
+		HostUsed:    d.hostUsed,
+		HostPledged: d.hostPledged,
+		DiskUsed:    d.diskUsed,
+	}
+}
+
+// HostPledged returns the host-memory bytes pledged (but not yet
+// consumed) by in-flight chunked checkpoints. Zero at quiescence.
+func (d *Driver) HostPledged() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hostPledged
 }

@@ -76,7 +76,7 @@ func (d *Driver) Demote(pid string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
 	}
-	if p.state != StateCheckpointed || p.hostImage == 0 {
+	if p.state != StateCheckpointed || p.hostImage == 0 || p.transferring {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: demote of %q in state %v", ErrBadState, pid, p.state)
 	}
@@ -105,7 +105,7 @@ func (d *Driver) Promote(pid string) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: %q", ErrUnknownProcess, pid)
 	}
-	if p.state != StateCheckpointed || p.hostImage == 0 {
+	if p.state != StateCheckpointed || p.hostImage == 0 || p.transferring {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: promote of %q in state %v", ErrBadState, pid, p.state)
 	}
@@ -114,7 +114,7 @@ func (d *Driver) Promote(pid string) error {
 		return nil
 	}
 	bytes := p.hostImage
-	if d.hostCap > 0 && d.hostUsed+bytes > d.hostCap {
+	if d.hostCap > 0 && d.hostUsed+d.hostPledged+bytes > d.hostCap {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: need %d, used %d of %d", ErrHostMemory, bytes, d.hostUsed, d.hostCap)
 	}
@@ -140,7 +140,7 @@ func (d *Driver) Snapshots() []SnapshotInfo {
 	defer d.mu.Unlock()
 	var out []SnapshotInfo
 	for pid, p := range d.procs {
-		if p.state != StateCheckpointed || p.hostImage == 0 {
+		if p.state != StateCheckpointed || p.hostImage == 0 || p.transferring {
 			continue
 		}
 		out = append(out, SnapshotInfo{PID: pid, Bytes: p.hostImage, Loc: p.loc, LastUsed: p.lastUsed})
@@ -155,7 +155,7 @@ func (d *Driver) Snapshots() []SnapshotInfo {
 // whether enough space was freed. Caller holds d.mu.
 func (d *Driver) spillUntilLocked(need int64, exceptPid string) (time.Duration, bool) {
 	var sleep time.Duration
-	for d.hostCap > 0 && d.hostUsed+need > d.hostCap {
+	for d.hostCap > 0 && d.hostUsed+d.hostPledged+need > d.hostCap {
 		victim := d.lruResidentLocked(exceptPid)
 		if victim == nil {
 			return sleep, false
@@ -175,7 +175,8 @@ func (d *Driver) spillUntilLocked(need int64, exceptPid string) (time.Duration, 
 func (d *Driver) lruResidentLocked(exceptPid string) *proc {
 	var victim *proc
 	for pid, p := range d.procs {
-		if pid == exceptPid || p.state != StateCheckpointed || p.loc != LocRAM || p.hostImage == 0 {
+		if pid == exceptPid || p.state != StateCheckpointed || p.loc != LocRAM ||
+			p.hostImage == 0 || p.transferring {
 			continue
 		}
 		if victim == nil || p.lastUsed.Before(victim.lastUsed) {

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 	"time"
 
 	"swapservellm/internal/chaos"
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
+	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/engine"
 	"swapservellm/internal/invariant"
 	"swapservellm/internal/openai"
@@ -39,11 +41,13 @@ type ChaosRow struct {
 }
 
 // NodeChaosRules is the default single-node soak schedule: moderate
-// error probabilities on every checkpoint/cgroup transition, a lossy
-// PCIe link, and a degraded disk. The seed is swept per trial.
+// error probabilities on every checkpoint/cgroup transition and on
+// individual transfer chunks, a lossy PCIe link, and a degraded disk.
+// The seed is swept per trial.
 const NodeChaosRules = "cudackpt.lock: p=0.08" +
 	"; cudackpt.checkpoint: p=0.1" +
 	"; cudackpt.restore: p=0.12" +
+	"; cudackpt.chunk: p=0.02" +
 	"; cudackpt.pcie: p=0.25 delay=25ms" +
 	"; cgroup.freeze: p=0.08" +
 	"; cgroup.thaw: p=0.08" +
@@ -94,6 +98,22 @@ func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
 	s.Freezer().SetChaos(inj)
 	s.Store().SetChaos(inj)
 
+	// Audit the driver's accounting at every committed transfer chunk,
+	// not just at quiescence: the conservation and pledge invariants
+	// must hold mid-pipeline even while faults abort and roll back
+	// transfers. Violations fold into the trial's report.
+	var rep invariant.Report
+	var repMu sync.Mutex
+	s.Driver().OnChunk(func(cudackpt.ChunkEvent) {
+		var chunkRep invariant.Report
+		invariant.CheckDriver(&chunkRep, s.Driver(), s.Topology())
+		if !chunkRep.Ok() {
+			repMu.Lock()
+			rep.Violations = append(rep.Violations, chunkRep.Violations...)
+			repMu.Unlock()
+		}
+	})
+
 	row := ChaosRow{Scope: "node", Seed: seed}
 	led := invariant.NewLedger()
 	cli := openai.NewClient(s.URL())
@@ -118,7 +138,6 @@ func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
 		led.Finish(id)
 	}
 
-	var rep invariant.Report
 	invariant.CheckServer(&rep, s)
 	invariant.CheckCkptTrace(&rep, tr)
 	led.Check(&rep)

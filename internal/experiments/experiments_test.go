@@ -363,6 +363,10 @@ func TestPrintersProduceOutput(t *testing.T) {
 }
 
 func TestAblationElasticity(t *testing.T) {
+	// The memory-integral economics drift with race-detector overhead
+	// (scheduling time leaks into the scaled clock during transfers) and
+	// the hot-swap-vs-warm margins are only a few percent.
+	skipAnchorsUnderRace(t)
 	if testing.Short() {
 		t.Skip("multi-strategy trial is slow")
 	}

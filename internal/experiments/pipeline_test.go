@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAblationPipelinedSwap asserts the headline property of the
+// full-duplex exchange: for every 80 GiB-class vLLM pair in the sweep,
+// the pipelined model switch (victim swap-out start to target serving)
+// is at least 25% faster than the sequential baseline, because the D2H
+// checkpoint and H2D restore overlap on the full-duplex PCIe link.
+func TestAblationPipelinedSwap(t *testing.T) {
+	skipAnchorsUnderRace(t)
+	if testing.Short() {
+		t.Skip("ten-server A/B sweep is slow")
+	}
+	rows, err := AblationPipelinedSwap(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Figure6Models) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Figure6Models))
+	}
+	for _, r := range rows {
+		// vLLM pools ~90% of the 80 GiB device regardless of weights.
+		within(t, r.Model+" gpu mem", r.GPUMemGiB, 72, 0.03)
+		if r.PipelinedSec >= r.SequentialSec {
+			t.Errorf("%s: pipelined %.2fs not faster than sequential %.2fs",
+				r.Model, r.PipelinedSec, r.SequentialSec)
+		}
+		if r.ImprovementPct < 25 {
+			t.Errorf("%s: improvement %.1f%%, want >= 25%%", r.Model, r.ImprovementPct)
+		}
+	}
+}
+
+func TestPipelinePrinterAndCSV(t *testing.T) {
+	rows := []PipelineRow{{
+		Model: "llama3.1:8b-fp16", DisplayName: "L3.1-8B",
+		GPUMemGiB: 72, SequentialSec: 10.2, PipelinedSec: 6.5, ImprovementPct: 36.3,
+	}}
+	var sb strings.Builder
+	PrintPipeline(&sb, rows)
+	if !strings.Contains(sb.String(), "pipelined") || !strings.Contains(sb.String(), "L3.1-8B") {
+		t.Fatalf("printer output unexpected:\n%s", sb.String())
+	}
+	h, csv := PipelineCSV(rows)
+	if !strings.HasPrefix(h, "model,") || len(csv) != 1 {
+		t.Fatalf("csv unexpected: %q %v", h, csv)
+	}
+	if !strings.Contains(csv[0], "llama3.1:8b-fp16") {
+		t.Fatalf("csv row unexpected: %q", csv[0])
+	}
+}

@@ -1,0 +1,88 @@
+package gpu
+
+import (
+	"testing"
+
+	"swapservellm/internal/perfmodel"
+)
+
+func TestWatchSignalsOnFree(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 100)
+	ch := make(chan struct{}, 1)
+	d.Watch(ch)
+
+	if err := d.Alloc("a", 40); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("Alloc must not signal watchers")
+	default:
+	}
+
+	if _, err := d.FreeOwner("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("FreeOwner did not signal watcher")
+	}
+}
+
+func TestWatchSignalsOnShrinkOnly(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 100)
+	ch := make(chan struct{}, 1)
+	d.Watch(ch)
+
+	if err := d.Resize("a", 50); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("growing resize must not signal watchers")
+	default:
+	}
+
+	if err := d.Resize("a", 20); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("shrinking resize did not signal watcher")
+	}
+}
+
+func TestUnwatchStopsSignals(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 100)
+	ch := make(chan struct{}, 1)
+	d.Watch(ch)
+	d.Unwatch(ch)
+	if err := d.Alloc("a", 10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.FreeOwner("a"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ch:
+		t.Fatal("unwatched channel still signaled")
+	default:
+	}
+}
+
+func TestWatchSendNeverBlocks(t *testing.T) {
+	d := NewDevice(0, perfmodel.GPUH100, 100)
+	ch := make(chan struct{}, 1)
+	d.Watch(ch)
+	for i := 0; i < 3; i++ { // repeated frees coalesce into the buffer
+		if err := d.Alloc("a", 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.FreeOwner("a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-ch
+}

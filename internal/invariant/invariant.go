@@ -65,24 +65,42 @@ func (r *Report) String() string {
 // the GPU devices: a checkpointed process holds no device memory and
 // its image is charged to exactly one tier; a resident process holds no
 // image; the host/disk usage totals equal the sum over images; no
-// device is over-committed.
+// device is over-committed. A process mid-chunked-transfer is instead
+// held to the conservation rule — its device allocation plus its image
+// must equal the transfer's total at every chunk boundary — and the
+// host pledge must equal the un-transferred remainder of every in-flight
+// checkpoint. The whole driver view comes from one consistent snapshot,
+// so the check is safe to run concurrently with in-flight transfers.
 func CheckDriver(r *Report, d *cudackpt.Driver, topo *gpu.Topology) {
-	var wantHost, wantDisk int64
-	for _, p := range d.ProcInfos() {
-		if p.State == cudackpt.StateCheckpointed {
-			for _, id := range p.DeviceIDs {
-				dev, err := topo.Device(id)
-				if err != nil {
-					r.Addf("driver.devices", p.PID, "device %d: %v", id, err)
-					continue
-				}
-				if got := dev.OwnerUsage(p.PID); got != 0 {
-					r.Addf("driver.accounting", p.PID,
-						"checkpointed but still holds %d bytes on device %d", got, id)
-				}
+	snap := d.Audit()
+	var wantHost, wantDisk, wantPledged int64
+	for _, p := range snap.Procs {
+		if p.ImageBytes < 0 {
+			r.Addf("driver.accounting", p.PID, "negative image size %d", p.ImageBytes)
+		}
+		if p.Transferring {
+			if p.DeviceBytes+p.ImageBytes != p.TransferGoal {
+				r.Addf("driver.conservation", p.PID,
+					"mid-transfer device bytes %d + image bytes %d != transfer goal %d",
+					p.DeviceBytes, p.ImageBytes, p.TransferGoal)
 			}
-			if p.ImageBytes < 0 {
-				r.Addf("driver.accounting", p.PID, "negative image size %d", p.ImageBytes)
+			// In-flight image bytes are charged to the image's tier; a
+			// checkpoint in flight (Locked) additionally pledges the
+			// un-transferred remainder against the host cap.
+			if p.Loc == cudackpt.LocDisk {
+				wantDisk += p.ImageBytes
+			} else {
+				wantHost += p.ImageBytes
+			}
+			if p.State == cudackpt.StateLocked {
+				wantPledged += p.TransferGoal - p.ImageBytes
+			}
+			continue
+		}
+		if p.State == cudackpt.StateCheckpointed {
+			if p.DeviceBytes != 0 {
+				r.Addf("driver.accounting", p.PID,
+					"checkpointed but still holds %d device bytes", p.DeviceBytes)
 			}
 			if p.Loc == cudackpt.LocDisk {
 				wantDisk += p.ImageBytes
@@ -94,34 +112,35 @@ func CheckDriver(r *Report, d *cudackpt.Driver, topo *gpu.Topology) {
 				"state %v but holds a %d-byte image", p.State, p.ImageBytes)
 		}
 	}
-	if got := d.HostUsed(); got != wantHost {
+	if snap.HostUsed != wantHost {
 		r.Addf("driver.accounting", "host",
-			"HostUsed=%d but checkpointed RAM images sum to %d", got, wantHost)
+			"HostUsed=%d but checkpointed RAM images sum to %d", snap.HostUsed, wantHost)
 	}
-	if got := d.DiskUsed(); got != wantDisk {
+	if snap.DiskUsed != wantDisk {
 		r.Addf("driver.accounting", "disk",
-			"DiskUsed=%d but spilled images sum to %d", got, wantDisk)
+			"DiskUsed=%d but spilled images sum to %d", snap.DiskUsed, wantDisk)
+	}
+	if snap.HostPledged != wantPledged {
+		r.Addf("driver.pledge", "host",
+			"HostPledged=%d but in-flight checkpoints still owe %d", snap.HostPledged, wantPledged)
 	}
 	for _, dev := range topo.Devices() {
-		used := dev.Used()
+		// One Owners() snapshot keeps the per-device view consistent even
+		// while transfers resize allocations concurrently.
+		var used int64
+		for _, o := range dev.Owners() {
+			if o.Bytes < 0 {
+				r.Addf("gpu.accounting", fmt.Sprintf("gpu%d", dev.ID()),
+					"owner %s holds negative bytes %d", o.Name, o.Bytes)
+			}
+			used += o.Bytes
+		}
 		if used < 0 {
 			r.Addf("gpu.accounting", fmt.Sprintf("gpu%d", dev.ID()), "negative usage %d", used)
 		}
 		if used > dev.Total() {
 			r.Addf("gpu.accounting", fmt.Sprintf("gpu%d", dev.ID()),
 				"used %d exceeds capacity %d", used, dev.Total())
-		}
-		var sum int64
-		for _, o := range dev.Owners() {
-			if o.Bytes < 0 {
-				r.Addf("gpu.accounting", fmt.Sprintf("gpu%d", dev.ID()),
-					"owner %s holds negative bytes %d", o.Name, o.Bytes)
-			}
-			sum += o.Bytes
-		}
-		if sum != used {
-			r.Addf("gpu.accounting", fmt.Sprintf("gpu%d", dev.ID()),
-				"owner sum %d != device used %d", sum, used)
 		}
 	}
 }

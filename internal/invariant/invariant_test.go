@@ -126,3 +126,39 @@ func TestLedger(t *testing.T) {
 		t.Fatalf("violations = %d (%s), want 3 (b twice, c never, ghost orphan)", len(r.Violations), r.String())
 	}
 }
+
+func TestCheckDriverMidTransferConservation(t *testing.T) {
+	// The conservation rule must hold at every chunk boundary of an
+	// in-flight checkpoint and restore: device bytes + image bytes ==
+	// transfer goal, with the host pledge equal to the un-transferred
+	// remainder. The check runs from the chunk hook, i.e. genuinely
+	// mid-transfer.
+	d, topo := newDriver(t)
+	dev, _ := topo.Device(0)
+	dev.Alloc("p", 10*gib)
+	d.Register("p", dev, perfmodel.EngineVLLM, gib)
+
+	boundaries := 0
+	var failures []string
+	d.OnChunk(func(ev cudackpt.ChunkEvent) {
+		boundaries++
+		var r Report
+		CheckDriver(&r, d, topo)
+		if !r.Ok() {
+			failures = append(failures, r.String())
+		}
+	})
+
+	if _, err := d.Suspend("p"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Resume("p"); err != nil {
+		t.Fatal(err)
+	}
+	if boundaries < 20 {
+		t.Fatalf("expected >= 20 chunk boundaries for a 10 GiB round trip, got %d", boundaries)
+	}
+	if len(failures) > 0 {
+		t.Fatalf("invariants violated mid-transfer:\n%s", strings.Join(failures, "\n"))
+	}
+}

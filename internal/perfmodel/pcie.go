@@ -1,0 +1,66 @@
+// PCIe link contention model for chunked checkpoint transfers.
+//
+// PCIe is full duplex: a device-to-host (D2H) checkpoint stream and a
+// host-to-device (H2D) restore stream cross the same link without
+// slowing each other down, which is what makes pipelined model
+// exchange profitable (ServerlessLLM, arXiv:2401.14351). Two streams
+// in the *same* direction, however, share the link's bandwidth. The
+// checkpoint driver registers every in-flight chunk on its device's
+// link and stretches the chunk's transfer time by the number of
+// concurrent same-direction streams sampled when the chunk starts.
+package perfmodel
+
+import "sync"
+
+// Direction is a PCIe transfer direction.
+type Direction int
+
+const (
+	// DirD2H is device-to-host (checkpoint save).
+	DirD2H Direction = iota
+	// DirH2D is host-to-device (checkpoint restore).
+	DirH2D
+)
+
+// String returns the conventional CUDA name for the direction.
+func (d Direction) String() string {
+	if d == DirD2H {
+		return "d2h"
+	}
+	return "h2d"
+}
+
+// PCIeLink tracks the in-flight transfer streams on one device's PCIe
+// link, one counter per direction. The zero value is ready to use.
+type PCIeLink struct {
+	mu     sync.Mutex
+	active [2]int
+}
+
+// Begin registers a transfer stream in dir and returns the resulting
+// number of concurrent same-direction streams (including the new one).
+// The caller multiplies its chunk transfer time by the returned factor:
+// same-direction streams split the link's bandwidth evenly, while the
+// opposite direction is unaffected (full duplex).
+func (l *PCIeLink) Begin(dir Direction) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.active[dir]++
+	return l.active[dir]
+}
+
+// End deregisters a stream previously registered with Begin.
+func (l *PCIeLink) End(dir Direction) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.active[dir] > 0 {
+		l.active[dir]--
+	}
+}
+
+// Active returns the number of in-flight streams in dir.
+func (l *PCIeLink) Active(dir Direction) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.active[dir]
+}

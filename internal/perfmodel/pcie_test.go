@@ -1,0 +1,52 @@
+package perfmodel
+
+import "testing"
+
+func TestPCIeLinkSameDirectionContends(t *testing.T) {
+	var l PCIeLink
+	if got := l.Begin(DirD2H); got != 1 {
+		t.Fatalf("first D2H stream factor = %d, want 1", got)
+	}
+	if got := l.Begin(DirD2H); got != 2 {
+		t.Fatalf("second D2H stream factor = %d, want 2", got)
+	}
+	l.End(DirD2H)
+	if got := l.Active(DirD2H); got != 1 {
+		t.Fatalf("active after End = %d, want 1", got)
+	}
+	l.End(DirD2H)
+	if got := l.Active(DirD2H); got != 0 {
+		t.Fatalf("active after both End = %d, want 0", got)
+	}
+}
+
+func TestPCIeLinkFullDuplex(t *testing.T) {
+	var l PCIeLink
+	l.Begin(DirD2H)
+	// An opposite-direction stream sees an uncontended link.
+	if got := l.Begin(DirH2D); got != 1 {
+		t.Fatalf("H2D factor with D2H active = %d, want 1 (full duplex)", got)
+	}
+	if got := l.Active(DirD2H); got != 1 {
+		t.Fatalf("D2H active = %d, want 1", got)
+	}
+	l.End(DirH2D)
+	l.End(DirD2H)
+}
+
+func TestPCIeLinkEndClampsAtZero(t *testing.T) {
+	var l PCIeLink
+	l.End(DirH2D) // spurious End must not underflow
+	if got := l.Active(DirH2D); got != 0 {
+		t.Fatalf("active = %d, want 0", got)
+	}
+	if got := l.Begin(DirH2D); got != 1 {
+		t.Fatalf("factor after spurious End = %d, want 1", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if DirD2H.String() != "d2h" || DirH2D.String() != "h2d" {
+		t.Fatalf("direction names = %q, %q", DirD2H, DirH2D)
+	}
+}

@@ -1,0 +1,35 @@
+// Package retry provides the small bounded-retry policy shared by the
+// control plane and the checkpoint driver for operations whose failures
+// are transient by construction (chaos-injected faults, races with
+// concurrent reclaim). Both the controller's swap orchestration and
+// Driver.Suspend's unlock rollback previously hand-rolled the same
+// four-attempt loop; this package is the single home for it.
+package retry
+
+// DefaultAttempts is the bounded number of tries for a transient
+// operation. Four attempts absorbs the fault rates used by the chaos
+// soak (p <= 0.25 per site) with negligible residual failure
+// probability while still terminating quickly when a failure is
+// persistent.
+const DefaultAttempts = 4
+
+// Transient runs op up to DefaultAttempts times, returning nil on the
+// first success or the last error once attempts are exhausted.
+func Transient(op func() error) error {
+	return N(DefaultAttempts, op)
+}
+
+// N runs op up to attempts times (minimum one), returning nil on the
+// first success or the last error.
+func N(attempts int, op func() error) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+	}
+	return err
+}

@@ -1,0 +1,49 @@
+package retry
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTransientSucceedsAfterFaults(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Transient(func() error {
+		calls++
+		if calls < 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Transient = %v, want nil", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3", calls)
+	}
+}
+
+func TestTransientExhaustsAttempts(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := Transient(func() error {
+		calls++
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Transient = %v, want %v", err, boom)
+	}
+	if calls != DefaultAttempts {
+		t.Fatalf("calls = %d, want %d", calls, DefaultAttempts)
+	}
+}
+
+func TestNClampsToOneAttempt(t *testing.T) {
+	calls := 0
+	if err := N(0, func() error { calls++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1", calls)
+	}
+}
