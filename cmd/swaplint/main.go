@@ -1,0 +1,208 @@
+// Command swaplint runs the repository's custom static-analysis suite
+// (internal/lint): clockcheck, lockcheck, sitecheck, statecheck, and
+// errwrap.
+//
+// Standalone:
+//
+//	go run ./cmd/swaplint ./...
+//
+// exits 0 when clean, 1 when findings are reported, 2 on usage or load
+// errors. As a vet tool:
+//
+//	go vet -vettool=$(which swaplint) ./...
+//
+// it speaks the cmd/vet unit-checker protocol: -V=full for the build
+// cache key, -flags for flag discovery, and a single *.cfg argument per
+// package, analyzing just that compilation unit against the export data
+// the go command already built.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"swapservellm/internal/lint"
+	"swapservellm/internal/lint/clockcheck"
+	"swapservellm/internal/lint/errwrap"
+	"swapservellm/internal/lint/lockcheck"
+	"swapservellm/internal/lint/sitecheck"
+	"swapservellm/internal/lint/statecheck"
+)
+
+const version = "v1"
+
+func analyzers() []*lint.Analyzer {
+	return []*lint.Analyzer{
+		clockcheck.New(),
+		lockcheck.New(),
+		sitecheck.New(),
+		statecheck.New(),
+		errwrap.New(),
+	}
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// Vet-tool protocol entry points.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "--V=full":
+			// The go command hashes this line into the build cache key.
+			fmt.Printf("swaplint version %s\n", version)
+			return
+		case args[0] == "-flags" || args[0] == "--flags":
+			// No tool-specific flags.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(runVet(args[0]))
+		}
+	}
+
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			fmt.Fprintf(os.Stderr, "usage: swaplint [packages]\n")
+			os.Exit(2)
+		}
+	}
+
+	fset, pkgs, err := lint.Load(".", args)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.NewRunner(analyzers()...).Run(fset, pkgs)
+	for _, d := range diags {
+		fmt.Println(relativize(d))
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// relativize shortens absolute filenames to the working directory for
+// readable output.
+func relativize(d lint.Diagnostic) string {
+	if wd, err := os.Getwd(); err == nil && d.Pos.Filename != "" {
+		if rel, rerr := filepath.Rel(wd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+	}
+	return d.String()
+}
+
+// vetConfig is the JSON the go command hands a vet tool for one
+// compilation unit (see cmd/go/internal/work and
+// x/tools/go/analysis/unitchecker for the de-facto schema).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// runVet analyzes the single package described by cfgPath and returns
+// the process exit code.
+func runVet(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "swaplint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+
+	// swaplint keeps no cross-package facts; the vetx output only needs
+	// to exist for the build cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if !filepath.IsAbs(name) {
+			name = filepath.Join(cfg.Dir, name)
+		}
+		af, perr := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if perr != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintf(os.Stderr, "swaplint: %v\n", perr)
+			return 1
+		}
+		files = append(files, af)
+	}
+
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canonical, ok := cfg.ImportMap[path]; ok {
+			path = canonical
+		}
+		f, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	pkg := &lint.Package{ImportPath: cfg.ImportPath, Dir: cfg.Dir, Files: files}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{
+		Importer: importer.ForCompiler(fset, cfg.Compiler, lookup),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, cerr := conf.Check(cfg.ImportPath, fset, files, info)
+	if cerr != nil && tpkg == nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "swaplint: typecheck %s: %v\n", cfg.ImportPath, cerr)
+		return 1
+	}
+	pkg.Types = tpkg
+	pkg.Info = info
+
+	// Single-unit mode: whole-program Finish checks (dead fault sites)
+	// run only in standalone mode, where every package is visible.
+	diags := lint.NewRunner(analyzers()...).Run(fset, []*lint.Package{pkg})
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d.String())
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSmoke builds the swaplint binary and runs it against the seeded
+// fixture module in testdata/badmod, which contains exactly one
+// violation per analyzer. The binary must exit 1 and report all five.
+func TestSmoke(t *testing.T) {
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go tool not on PATH")
+	}
+	bin := filepath.Join(t.TempDir(), "swaplint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building swaplint: %v\n%s", err, out)
+	}
+
+	fixture, err := filepath.Abs(filepath.Join("testdata", "badmod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(fixture, "go.mod")); err != nil {
+		t.Fatalf("fixture module missing: %v", err)
+	}
+
+	cmd := exec.Command(bin, "./...")
+	cmd.Dir = fixture
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want exit error (findings), got err=%v\n%s", err, out)
+	}
+	if code := exit.ExitCode(); code != 1 {
+		t.Fatalf("want exit code 1, got %d\n%s", code, out)
+	}
+	for _, analyzer := range []string{"clockcheck", "errwrap", "lockcheck", "statecheck", "sitecheck"} {
+		if !strings.Contains(string(out), "["+analyzer+"]") {
+			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
+		}
+	}
+}

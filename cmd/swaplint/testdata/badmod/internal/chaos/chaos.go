@@ -1,0 +1,11 @@
+// Package chaos is the smoke-test fixture's fault-site registry.
+package chaos
+
+// Site names one fault-injection point.
+type Site string
+
+// SiteGood is consulted by internal/core.
+const SiteGood Site = "core.good"
+
+// Sites lists every registered site.
+func Sites() []Site { return []Site{SiteGood} }

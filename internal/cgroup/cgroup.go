@@ -44,8 +44,10 @@ var (
 // Freezer is a simulated freezer hierarchy rooted at "/". It is safe for
 // concurrent use.
 type Freezer struct {
-	mu       sync.RWMutex
-	groups   map[string]SelfState
+	mu sync.RWMutex
+	// groups mutates only through the lifecycle entry points that
+	// validate the hierarchy (parent exists, no orphaned children).
+	groups   map[string]SelfState //swaplint:state allow=NewFreezer,Create,Remove,setState
 	chaosInj *chaos.Injector
 }
 

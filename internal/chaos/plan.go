@@ -125,7 +125,7 @@ func ParsePlan(text string) (Plan, error) {
 			}
 			seed, err := strconv.ParseInt(strings.TrimPrefix(clause, "seed="), 10, 64)
 			if err != nil {
-				return Plan{}, fmt.Errorf("chaos: bad seed in %q: %v", clause, err)
+				return Plan{}, fmt.Errorf("chaos: bad seed in %q: %w", clause, err)
 			}
 			plan.Seed = seed
 			seenSeed = true
@@ -156,7 +156,7 @@ func ParsePlan(text string) (Plan, error) {
 				return Plan{}, fmt.Errorf("chaos: %s: unknown key %q", rule.Site, key)
 			}
 			if err != nil {
-				return Plan{}, fmt.Errorf("chaos: %s: bad %s value %q: %v", rule.Site, key, val, err)
+				return Plan{}, fmt.Errorf("chaos: %s: bad %s value %q: %w", rule.Site, key, val, err)
 			}
 		}
 		if err := rule.validate(); err != nil {

@@ -76,7 +76,7 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 	}
 	clock := opts.Clock
 	if clock == nil {
-		clock = simclock.NewScaled(time.Now(), simclock.DefaultScale)
+		clock = simclock.NewScaledFromWall(simclock.DefaultScale)
 	}
 	reg := opts.Registry
 	if reg == nil {

@@ -60,7 +60,9 @@ type Node struct {
 	id  string
 	srv *core.Server
 
-	state  atomic.Int32
+	// state advances only via transition (legal-edge CAS + trace record)
+	// after the initial Store in newNode.
+	state  atomic.Int32 //swaplint:state allow=newNode,transition
 	missed atomic.Int32
 
 	// trace, when set, receives every committed state transition as a

@@ -131,7 +131,7 @@ func (c *Container) WaitReady(ctx context.Context) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.initErr != nil {
-		return fmt.Errorf("%w: %v", ErrInitError, c.initErr)
+		return fmt.Errorf("%w: %w", ErrInitError, c.initErr)
 	}
 	return nil
 }

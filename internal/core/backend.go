@@ -68,7 +68,7 @@ type Backend struct {
 	ctr   *container.Container
 	queue chan *queuedRequest
 
-	state atomic.Int32
+	state atomic.Int32 //swaplint:state allow=setState
 
 	// evictMu is the per-backend write lock of §3.5: workers hold the read
 	// side while forwarding; the controller takes the write side during

@@ -157,7 +157,7 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
 		// unusable and must be marked failed rather than Running.
 		if uerr := retryTransient(func() error { return ct.rt.Unpause(b.ctr) }); uerr != nil {
 			b.setState(BackendFailed)
-			return fmt.Errorf("core: checkpointing GPU state: %w (rollback thaw failed: %v)", err, uerr)
+			return fmt.Errorf("core: checkpointing GPU state: %w (rollback thaw failed: %w)", err, uerr)
 		}
 		ct.wakeIfSlept(ctx, b, eng)
 		b.setState(BackendRunning)
@@ -263,7 +263,7 @@ func (ct *Controller) failBack(b *Backend, stage string, cause error) error {
 	}
 	if rbErr != nil {
 		b.setState(BackendFailed)
-		return fmt.Errorf("core: %s: %w (rollback failed: %v)", stage, cause, rbErr)
+		return fmt.Errorf("core: %s: %w (rollback failed: %w)", stage, cause, rbErr)
 	}
 	b.setState(BackendSwappedOut)
 	// The device capacity the failed swap-in had claimed is free again.

@@ -155,7 +155,7 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 		if victimErr != nil {
 			// The victim's failure is the root cause; the restore only
 			// aborted because the exchange cancelled it.
-			return fmt.Errorf("core: checkpointing GPU state: %w (target restore aborted: %v)", victimErr, restoreErr)
+			return fmt.Errorf("core: checkpointing GPU state: %w (target restore aborted: %w)", victimErr, restoreErr)
 		}
 		return ferr
 	}

@@ -60,7 +60,7 @@ const maxBodyBytes = 1 << 20
 func validateChat(body []byte) (string, error) {
 	var req openai.ChatCompletionRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %v", err)
+		return "", fmt.Errorf("malformed JSON: %w", err)
 	}
 	if err := req.Validate(); err != nil {
 		return "", err
@@ -73,7 +73,7 @@ func validateChat(body []byte) (string, error) {
 func validateCompletion(body []byte) (string, error) {
 	var req openai.CompletionRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %v", err)
+		return "", fmt.Errorf("malformed JSON: %w", err)
 	}
 	if err := req.Validate(); err != nil {
 		return "", err

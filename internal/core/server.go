@@ -90,7 +90,7 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 
 	clock := opts.Clock
 	if clock == nil {
-		clock = simclock.NewScaled(time.Now(), simclock.DefaultScale)
+		clock = simclock.NewScaledFromWall(simclock.DefaultScale)
 	}
 	reg := opts.Registry
 	if reg == nil {

@@ -64,11 +64,13 @@ var (
 // proc tracks one registered CUDA process (one entry covers every
 // tensor-parallel shard of the workload).
 type proc struct {
-	pid          string
-	devices      []*gpu.Device
-	engine       perfmodel.EngineKind
-	weightBytes  int64
-	state        State
+	pid         string
+	devices     []*gpu.Device
+	engine      perfmodel.EngineKind
+	weightBytes int64
+	// state only changes through transitionLocked so every edge lands
+	// in the audit trace.
+	state        State   //swaplint:state allow=transitionLocked,RegisterSharded
 	hostImage    int64   // bytes currently held in the host image
 	shardBytes   []int64 // per-device bytes captured at checkpoint time
 	loc          ImageLocation
@@ -130,13 +132,14 @@ func (d *Driver) RegisterSharded(pid string, devices []*gpu.Device, engine perfm
 	if _, dup := d.procs[pid]; dup {
 		return fmt.Errorf("%w: %q", ErrAlreadyExists, pid)
 	}
-	d.procs[pid] = &proc{
+	p := &proc{
 		pid:         pid,
 		devices:     devices,
 		engine:      engine,
 		weightBytes: weightBytes,
-		state:       StateRunning,
 	}
+	p.state = StateRunning
+	d.procs[pid] = p
 	return nil
 }
 
@@ -217,8 +220,7 @@ func (d *Driver) Lock(pid string) error {
 		d.mu.Unlock()
 		return err
 	}
-	p.state = StateLocked
-	d.recordLocked(pid, StateRunning, StateLocked)
+	d.transitionLocked(p, StateRunning, StateLocked)
 	d.mu.Unlock()
 	d.clock.Sleep(d.testbed.CkptLock)
 	return nil
@@ -238,8 +240,7 @@ func (d *Driver) Unlock(pid string) error {
 	if err := d.takeFaultLocked(chaos.SiteCkptUnlock); err != nil {
 		return err
 	}
-	p.state = StateRunning
-	d.recordLocked(pid, StateLocked, StateRunning)
+	d.transitionLocked(p, StateLocked, StateRunning)
 	return nil
 }
 
@@ -347,11 +348,10 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		dev.Resize(p.pid, 0)
 	}
 	p.shardBytes = shard
-	p.state = StateCheckpointed
+	d.transitionLocked(p, StateLocked, StateCheckpointed)
 	p.transferring = false
 	p.transferGoal = 0
 	p.lastUsed = d.clock.Now()
-	d.recordLocked(pid, StateLocked, StateCheckpointed)
 	return bytes, nil
 }
 
@@ -488,10 +488,9 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 	p.hostImage = 0
 	p.loc = LocRAM
 	p.lastUsed = d.clock.Now()
-	p.state = StateLocked
+	d.transitionLocked(p, StateCheckpointed, StateLocked)
 	p.transferring = false
 	p.transferGoal = 0
-	d.recordLocked(pid, StateCheckpointed, StateLocked)
 	return nil
 }
 

@@ -1,0 +1,14 @@
+package clockcheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestClockcheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(),
+		"swapservellm/internal/core",
+		"example.com/free",
+	)
+}

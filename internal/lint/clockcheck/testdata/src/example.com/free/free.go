@@ -1,0 +1,10 @@
+// Package free is clockcheck testdata for a package outside the
+// deterministic set: wall-clock use is allowed.
+package free
+
+import "time"
+
+func fine() {
+	_ = time.Now()
+	time.Sleep(time.Millisecond)
+}

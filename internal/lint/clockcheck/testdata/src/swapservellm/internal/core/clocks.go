@@ -1,0 +1,41 @@
+// Package core is clockcheck testdata masquerading as a deterministic
+// package (import-path suffix internal/core).
+package core
+
+import (
+	"time"
+
+	"swapservellm/internal/simclock"
+)
+
+type server struct {
+	clock simclock.Clock
+}
+
+func bad(s *server) {
+	_ = time.Now()                             // want `direct wall-clock call time\.Now`
+	time.Sleep(time.Second)                    // want `direct wall-clock call time\.Sleep`
+	<-time.After(time.Millisecond)             // want `direct wall-clock call time\.After`
+	_ = time.Since(time.Time{})                // want `direct wall-clock call time\.Since`
+	_ = time.NewTimer(time.Second)             // want `direct wall-clock call time\.NewTimer`
+	_ = time.NewTicker(time.Second)            // want `direct wall-clock call time\.NewTicker`
+	_ = time.Tick(time.Second)                 // want `direct wall-clock call time\.Tick`
+	_ = time.AfterFunc(time.Second, func() {}) // want `direct wall-clock call time\.AfterFunc`
+	_ = time.Until(time.Time{})                // want `direct wall-clock call time\.Until`
+}
+
+func good(s *server) {
+	_ = s.clock.Now()
+	s.clock.Sleep(time.Second) // durations and types are fine
+	<-s.clock.After(3 * time.Millisecond)
+	_ = s.clock.Since(time.Time{})
+	var d time.Duration = 5 * time.Second
+	_ = d.String()
+	_, _ = time.ParseDuration("1s") // not a wall-clock call
+}
+
+func ignored() {
+	_ = time.Now() //swaplint:ignore clockcheck wall time feeds the scaled clock origin only
+	//swaplint:ignore clockcheck directive on the preceding line also suppresses
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,194 @@
+// Package errwrap enforces error wrapping and comparison hygiene:
+//
+//   - fmt.Errorf calls whose operands include an error must format it
+//     with %w, so call chains stay inspectable with errors.Is/As (the
+//     invariant checkers and the retry helper classify failures by
+//     unwrapping to sentinels like chaos.ErrInjected).
+//   - error values must not be compared with == or != (except against
+//     nil); use errors.Is, which sees through wrapping.
+//
+// Formats using explicit argument indexes (%[1]v) are beyond the
+// analyzer and are skipped.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"swapservellm/internal/lint"
+)
+
+// New returns the errwrap analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf error operands use %w; error comparisons use errors.Is",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkErrorf(pass, n)
+				case *ast.BinaryExpr:
+					checkComparison(pass, n)
+				case *ast.SwitchStmt:
+					checkSwitch(pass, n)
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkErrorf flags fmt.Errorf("...%v...", err) where err should be %w.
+func checkErrorf(pass *lint.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "fmt" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	verbs, ok := parseVerbs(format)
+	if !ok {
+		return // indexed arguments: out of scope
+	}
+	operands := call.Args[1:]
+	for i, v := range verbs {
+		if i >= len(operands) {
+			break
+		}
+		if v == 'w' || v == 'T' {
+			continue
+		}
+		opType := pass.Info.Types[operands[i]].Type
+		if opType == nil || !implementsError(opType) {
+			continue
+		}
+		pass.Reportf(operands[i].Pos(),
+			"error operand of fmt.Errorf formatted with %%%c: use %%w so the cause stays unwrappable (or errors.Is-able)", v)
+	}
+}
+
+// parseVerbs returns the verb letter consuming each successive operand.
+// The bool result is false when the format uses explicit indexes.
+func parseVerbs(format string) ([]byte, bool) {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		// flags
+		for i < len(format) && strings.IndexByte("+-# 0", format[i]) >= 0 {
+			i++
+		}
+		// width (a * consumes an operand)
+		for i < len(format) {
+			if format[i] == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if format[i] == '[' {
+				return nil, false
+			}
+			if format[i] >= '0' && format[i] <= '9' || format[i] == '.' {
+				i++
+				continue
+			}
+			break
+		}
+		if i < len(format) {
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs, true
+}
+
+// checkComparison flags err == target / err != target for error-typed
+// non-nil operands.
+func checkComparison(pass *lint.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	if isNil(pass, be.X) || isNil(pass, be.Y) {
+		return
+	}
+	xt := pass.Info.Types[be.X].Type
+	yt := pass.Info.Types[be.Y].Type
+	if xt == nil || yt == nil || !implementsError(xt) || !implementsError(yt) {
+		return
+	}
+	op := "errors.Is(err, target)"
+	if be.Op == token.NEQ {
+		op = "!errors.Is(err, target)"
+	}
+	pass.Reportf(be.Pos(),
+		"error compared with %s: use %s, which sees through %%w wrapping", be.Op, op)
+}
+
+// checkSwitch flags `switch err { case sentinel: }` over error values.
+func checkSwitch(pass *lint.Pass, sw *ast.SwitchStmt) {
+	if sw.Tag == nil {
+		return
+	}
+	tagType := pass.Info.Types[sw.Tag].Type
+	if tagType == nil || !implementsError(tagType) {
+		return
+	}
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			if isNil(pass, e) {
+				continue
+			}
+			if t := pass.Info.Types[e].Type; t != nil && implementsError(t) {
+				pass.Reportf(e.Pos(),
+					"error switched against %s with ==: use errors.Is, which sees through %%w wrapping",
+					strconv.Quote(lint.ExprString(e)))
+			}
+		}
+	}
+}
+
+// isNil reports whether e is the predeclared nil.
+func isNil(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.IsNil()
+}
+
+// implementsError reports whether t implements the error interface.
+func implementsError(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, errType)
+}

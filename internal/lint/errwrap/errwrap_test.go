@@ -1,0 +1,11 @@
+package errwrap
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "example.com/wrap")
+}

@@ -1,0 +1,63 @@
+// Package wrap is errwrap testdata.
+package wrap
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+var errSentinel = errors.New("sentinel")
+
+type apiError struct{ code int }
+
+func (e *apiError) Error() string { return "api" }
+
+func badWrap(err error) {
+	_ = fmt.Errorf("failed: %v", err)            // want `error operand of fmt\.Errorf formatted with %v`
+	_ = fmt.Errorf("failed: %s", err)            // want `error operand of fmt\.Errorf formatted with %s`
+	_ = fmt.Errorf("op %s failed: %v", "x", err) // want `error operand of fmt\.Errorf formatted with %v`
+	ae := &apiError{}
+	_ = fmt.Errorf("api said %v", ae) // want `error operand of fmt\.Errorf formatted with %v`
+}
+
+func goodWrap(err error) {
+	_ = fmt.Errorf("failed: %w", err)
+	_ = fmt.Errorf("%w: extra context %d", err, 7)
+	_ = fmt.Errorf("op %q failed: %w", "x", err)
+	_ = fmt.Errorf("no error operands %d %s", 1, "x")
+	_ = fmt.Errorf("type only: %T", err)
+	_ = fmt.Errorf("widths %*d and %w", 3, 7, err)
+	_ = fmt.Errorf("indexed formats are skipped: %[1]v", err)
+	_ = fmt.Errorf("percent literal 100%% then %w", err)
+}
+
+func badCompare(err error) bool {
+	if err == io.EOF { // want `error compared with ==: use errors\.Is`
+		return true
+	}
+	if err != errSentinel { // want `error compared with !=: use !errors\.Is`
+		return false
+	}
+	switch err {
+	case io.EOF: // want `error switched against "io\.EOF" with ==`
+		return true
+	}
+	return false
+}
+
+func goodCompare(err error) bool {
+	if err == nil || nil != err {
+		return true
+	}
+	if errors.Is(err, io.EOF) {
+		return true
+	}
+	var target *apiError
+	return errors.As(err, &target)
+}
+
+func ignoredCompare(err error) bool {
+	//swaplint:ignore errwrap identity comparison is intentional here
+	return err == errSentinel
+}

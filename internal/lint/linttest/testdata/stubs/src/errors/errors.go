@@ -1,0 +1,16 @@
+// Package errors is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package errors
+
+func New(text string) error {
+	return &errorString{text}
+}
+
+type errorString struct{ s string }
+
+func (e *errorString) Error() string { return e.s }
+
+func Is(err, target error) bool     { return false }
+func As(err error, target any) bool { return false }
+func Join(errs ...error) error      { return nil }
+func Unwrap(err error) error        { return nil }

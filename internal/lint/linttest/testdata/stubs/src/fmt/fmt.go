@@ -1,0 +1,9 @@
+// Package fmt is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package fmt
+
+func Errorf(format string, a ...any) error        { return nil }
+func Sprintf(format string, a ...any) string      { return "" }
+func Printf(format string, a ...any) (int, error) { return 0, nil }
+func Println(a ...any) (int, error)               { return 0, nil }
+func Sprint(a ...any) string                      { return "" }

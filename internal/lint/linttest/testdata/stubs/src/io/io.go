@@ -1,0 +1,11 @@
+// Package io is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package io
+
+import "errors"
+
+var EOF = errors.New("EOF")
+
+type Reader interface {
+	Read(p []byte) (n int, err error)
+}

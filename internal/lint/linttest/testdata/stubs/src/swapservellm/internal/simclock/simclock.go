@@ -1,0 +1,12 @@
+// Package simclock is a source stub of the repository's clock
+// abstraction, sufficient for type-checking swaplint testdata.
+package simclock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+	Since(t time.Time) time.Duration
+}

@@ -1,0 +1,25 @@
+// Package atomic is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package atomic
+
+type Int32 struct{ v int32 }
+
+func (x *Int32) Load() int32                        { return x.v }
+func (x *Int32) Store(val int32)                    { x.v = val }
+func (x *Int32) Swap(new int32) int32               { return 0 }
+func (x *Int32) Add(delta int32) int32              { return 0 }
+func (x *Int32) CompareAndSwap(old, new int32) bool { return false }
+
+type Int64 struct{ v int64 }
+
+func (x *Int64) Load() int64                        { return x.v }
+func (x *Int64) Store(val int64)                    { x.v = val }
+func (x *Int64) Swap(new int64) int64               { return 0 }
+func (x *Int64) Add(delta int64) int64              { return 0 }
+func (x *Int64) CompareAndSwap(old, new int64) bool { return false }
+
+type Bool struct{ v uint32 }
+
+func (x *Bool) Load() bool         { return false }
+func (x *Bool) Store(val bool)     {}
+func (x *Bool) Swap(new bool) bool { return false }

@@ -1,0 +1,28 @@
+// Package sync is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package sync
+
+type Mutex struct{ state int32 }
+
+func (m *Mutex) Lock()         {}
+func (m *Mutex) Unlock()       {}
+func (m *Mutex) TryLock() bool { return false }
+
+type RWMutex struct{ state int32 }
+
+func (m *RWMutex) Lock()          {}
+func (m *RWMutex) Unlock()        {}
+func (m *RWMutex) RLock()         {}
+func (m *RWMutex) RUnlock()       {}
+func (m *RWMutex) TryLock() bool  { return false }
+func (m *RWMutex) TryRLock() bool { return false }
+
+type WaitGroup struct{ state int64 }
+
+func (wg *WaitGroup) Add(delta int) {}
+func (wg *WaitGroup) Done()         {}
+func (wg *WaitGroup) Wait()         {}
+
+type Once struct{ done uint32 }
+
+func (o *Once) Do(f func()) {}

@@ -1,0 +1,50 @@
+// Package time is a tiny source stub of the standard library package,
+// sufficient for type-checking swaplint testdata.
+package time
+
+type Duration int64
+
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+)
+
+func (d Duration) String() string { return "" }
+
+type Time struct{ wall uint64 }
+
+func (t Time) Add(d Duration) Time { return t }
+func (t Time) Sub(u Time) Duration { return 0 }
+func (t Time) Before(u Time) bool  { return false }
+func (t Time) After(u Time) bool   { return false }
+func (t Time) UnixNano() int64     { return 0 }
+func (t Time) IsZero() bool        { return true }
+func (t Time) Equal(u Time) bool   { return false }
+func (t Time) String() string      { return "" }
+
+func Now() Time                                { return Time{} }
+func Sleep(d Duration)                         {}
+func Since(t Time) Duration                    { return 0 }
+func Until(t Time) Duration                    { return 0 }
+func After(d Duration) <-chan Time             { return nil }
+func Tick(d Duration) <-chan Time              { return nil }
+func ParseDuration(s string) (Duration, error) { return 0, nil }
+
+type Timer struct{ C <-chan Time }
+
+func (t *Timer) Stop() bool            { return false }
+func (t *Timer) Reset(d Duration) bool { return false }
+
+func NewTimer(d Duration) *Timer            { return &Timer{} }
+func AfterFunc(d Duration, f func()) *Timer { return &Timer{} }
+
+type Ticker struct{ C <-chan Time }
+
+func (t *Ticker) Stop()            {}
+func (t *Ticker) Reset(d Duration) {}
+
+func NewTicker(d Duration) *Ticker { return &Ticker{} }

@@ -1,0 +1,563 @@
+// Package lockcheck enforces the repository's *Locked calling
+// convention and basic mutex hygiene, statically:
+//
+//   - A function or method whose name ends in "Locked" asserts that its
+//     caller already holds the relevant mutex. Calling one without a
+//     preceding mu.Lock()/RLock() in scope (or from within another
+//     *Locked function) is a forgotten-lock bug.
+//   - Conversely, calling a non-Locked method that itself acquires the
+//     receiver's mutex while that mutex is already held is a guaranteed
+//     deadlock (sync.Mutex is not reentrant) — the static double-lock.
+//   - Every mu.Lock()/RLock() must be paired with a defer mu.Unlock()
+//     or an explicit unlock later in the same function; a function that
+//     can return with the mutex held wedges every future locker.
+//
+// The lock-state tracking is a per-function structural walk: locks and
+// unlocks at one nesting level update the state in source order, while
+// changes inside conditionally-executed blocks (if/for/switch/select
+// bodies) are checked with a copy and discarded — the common
+// lock-check-unlock-early-return shape analyzes exactly; exotic flows
+// can annotate //swaplint:ignore lockcheck <reason>.
+//
+// Goroutine bodies (`go func(){...}` and `go x.f()`) never inherit the
+// caller's lock state.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"swapservellm/internal/lint"
+)
+
+// New returns the lockcheck analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "lockcheck",
+		Doc:  "enforce the *Locked suffix convention, detect double locks, and require Lock/Unlock pairing",
+	}
+	a.Run = run
+	return a
+}
+
+// mutexOp classifies one sync.(RW)Mutex method call.
+type mutexOp int
+
+const (
+	opNone mutexOp = iota
+	opLock
+	opRLock
+	opUnlock
+	opRUnlock
+)
+
+var opByName = map[string]mutexOp{
+	"Lock":    opLock,
+	"RLock":   opRLock,
+	"Unlock":  opUnlock,
+	"RUnlock": opRUnlock,
+}
+
+// acquireKey identifies which mutex a method acquires, relative to its
+// receiver: "field:mu" (receiver field), "self" (embedded mutex locked
+// via the receiver), or "global:mu" (package-level mutex variable).
+type acquireKey = string
+
+func run(pass *lint.Pass) error {
+	s := &scanner{pass: pass, acquires: collectAcquires(pass)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			s.scanFunc(fd)
+		}
+	}
+	return nil
+}
+
+// collectAcquires maps every function in the package to the mutexes its
+// body (excluding nested function literals) acquires.
+func collectAcquires(pass *lint.Pass) map[*types.Func][]acquireKey {
+	out := make(map[*types.Func][]acquireKey)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := receiverName(fd)
+			var keys []acquireKey
+			seen := map[acquireKey]bool{}
+			inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				key, op := lockCall(pass, call)
+				if key == "" || (op != opLock && op != opRLock) {
+					return
+				}
+				var ak acquireKey
+				switch {
+				case recv != "" && key == recv:
+					ak = "self"
+				case recv != "" && strings.HasPrefix(key, recv+"."):
+					ak = "field:" + strings.TrimPrefix(key, recv+".")
+				case isGlobalMutex(pass, key):
+					ak = "global:" + key
+				default:
+					return
+				}
+				if !seen[ak] {
+					seen[ak] = true
+					keys = append(keys, ak)
+				}
+			})
+			if len(keys) > 0 {
+				out[obj] = keys
+			}
+		}
+	}
+	return out
+}
+
+// isGlobalMutex reports whether key names a package-level mutex var.
+func isGlobalMutex(pass *lint.Pass, key string) bool {
+	if strings.Contains(key, ".") {
+		return false
+	}
+	obj := pass.Pkg.Scope().Lookup(key)
+	v, ok := obj.(*types.Var)
+	return ok && lint.IsMutexType(v.Type())
+}
+
+// lockCall classifies call as a mutex operation, returning the rendered
+// mutex expression ("d.mu"; the container for promoted embedded calls)
+// and the operation.
+func lockCall(pass *lint.Pass, call *ast.CallExpr) (string, mutexOp) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", opNone
+	}
+	op, ok := opByName[sel.Sel.Name]
+	if !ok {
+		return "", opNone
+	}
+	// The selected method must belong to sync.Mutex / sync.RWMutex —
+	// via the selection's receiver (covers embedded promotion) or the
+	// type of the selected expression.
+	isMutexMethod := false
+	if selInfo, ok := pass.Info.Selections[sel]; ok {
+		if fn, ok := selInfo.Obj().(*types.Func); ok {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && lint.IsMutexType(recv.Type()) {
+				isMutexMethod = true
+			}
+		}
+	}
+	if !isMutexMethod {
+		if tv, ok := pass.Info.Types[sel.X]; ok && tv.Type != nil && lint.IsMutexType(tv.Type) {
+			isMutexMethod = true
+		}
+	}
+	if !isMutexMethod {
+		return "", opNone
+	}
+	return lint.ExprString(sel.X), op
+}
+
+// inspectSkippingFuncLits visits every node under root except the
+// bodies of nested function literals.
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		fn(n)
+		return true
+	})
+}
+
+// lockEvent records one Lock/RLock for the pairing check.
+type lockEvent struct {
+	key  string
+	read bool
+	pos  token.Pos
+}
+
+type scanner struct {
+	pass     *lint.Pass
+	acquires map[*types.Func][]acquireKey
+
+	// per-function state
+	lockedFn bool
+	recv     string
+	locks    []lockEvent
+	unlocks  []lockEvent // explicit unlocks (pos = unlock site)
+	deferred []lockEvent // deferred unlocks (incl. inside deferred closures)
+}
+
+// scanFunc analyzes one function declaration.
+func (s *scanner) scanFunc(fd *ast.FuncDecl) {
+	s.lockedFn = strings.HasSuffix(fd.Name.Name, "Locked")
+	s.recv = receiverName(fd)
+	s.locks, s.unlocks, s.deferred = nil, nil, nil
+
+	held := make(map[string]bool)
+	if s.lockedFn && s.recv != "" {
+		for _, key := range receiverMutexKeys(s.pass, fd, s.recv) {
+			held[key] = true
+		}
+	}
+	s.scanStmts(fd.Body.List, held)
+	s.checkPairing()
+}
+
+// scanFuncLit analyzes a nested function literal as an independent
+// function (it may run on any goroutine at any time): no inherited lock
+// state, its own pairing scope.
+func (s *scanner) scanFuncLit(lit *ast.FuncLit) {
+	saved := *s
+	s.lockedFn = false
+	s.locks, s.unlocks, s.deferred = nil, nil, nil
+	s.scanStmts(lit.Body.List, make(map[string]bool))
+	s.checkPairing()
+	litUnlocks := append(s.unlocks, s.deferred...)
+	s.lockedFn, s.recv = saved.lockedFn, saved.recv
+	s.locks, s.unlocks, s.deferred = saved.locks, saved.unlocks, saved.deferred
+	// Unlocks inside the literal may satisfy the enclosing function's
+	// pairing (the `defer func() { ...; mu.Unlock() }()` shape).
+	s.deferred = append(s.deferred, litUnlocks...)
+}
+
+// receiverName returns the receiver identifier of a method ("" for
+// functions and anonymous receivers).
+func receiverName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// receiverMutexKeys lists the held-state keys a *Locked method's
+// convention implies: one per mutex field of the receiver's struct
+// ("r.mu"), plus "r" itself for an embedded mutex.
+func receiverMutexKeys(pass *lint.Pass, fd *ast.FuncDecl, recv string) []string {
+	obj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	var keys []string
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !lint.IsMutexType(f.Type()) {
+			continue
+		}
+		if f.Embedded() {
+			keys = append(keys, recv)
+		} else {
+			keys = append(keys, recv+"."+f.Name())
+		}
+	}
+	return keys
+}
+
+// scanStmts walks one statement list, updating held in source order.
+// Conditionally-executed nested blocks are scanned against a copy.
+func (s *scanner) scanStmts(stmts []ast.Stmt, held map[string]bool) {
+	for _, stmt := range stmts {
+		s.scanStmt(stmt, held)
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}
+
+func (s *scanner) scanStmt(stmt ast.Stmt, held map[string]bool) {
+	switch stmt := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := stmt.X.(*ast.CallExpr); ok {
+			if key, op := lockCall(s.pass, call); key != "" && op != opNone {
+				switch op {
+				case opLock, opRLock:
+					held[key] = true
+					s.locks = append(s.locks, lockEvent{key: key, read: op == opRLock, pos: call.Pos()})
+				case opUnlock, opRUnlock:
+					delete(held, key)
+					s.unlocks = append(s.unlocks, lockEvent{key: key, read: op == opRUnlock, pos: call.Pos()})
+				}
+				// Arguments of mutex calls are trivial; done.
+				return
+			}
+		}
+		s.checkExpr(stmt.X, held)
+	case *ast.DeferStmt:
+		if key, op := lockCall(s.pass, stmt.Call); key != "" && (op == opUnlock || op == opRUnlock) {
+			s.deferred = append(s.deferred, lockEvent{key: key, read: op == opRUnlock, pos: stmt.Pos()})
+			return
+		}
+		s.checkExpr(stmt.Call, held)
+	case *ast.GoStmt:
+		// A spawned goroutine does not inherit the caller's lock state.
+		s.checkExpr(stmt.Call, make(map[string]bool))
+	case *ast.IfStmt:
+		if stmt.Init != nil {
+			s.scanStmt(stmt.Init, held)
+		}
+		s.checkExpr(stmt.Cond, held)
+		s.scanStmts(stmt.Body.List, copyHeld(held))
+		if stmt.Else != nil {
+			s.scanStmt(stmt.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if stmt.Init != nil {
+			s.scanStmt(stmt.Init, held)
+		}
+		if stmt.Cond != nil {
+			s.checkExpr(stmt.Cond, held)
+		}
+		inner := copyHeld(held)
+		if stmt.Post != nil {
+			s.scanStmt(stmt.Post, inner)
+		}
+		s.scanStmts(stmt.Body.List, inner)
+	case *ast.RangeStmt:
+		s.checkExpr(stmt.X, held)
+		s.scanStmts(stmt.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if stmt.Init != nil {
+			s.scanStmt(stmt.Init, held)
+		}
+		if stmt.Tag != nil {
+			s.checkExpr(stmt.Tag, held)
+		}
+		for _, clause := range stmt.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				for _, e := range cc.List {
+					s.checkExpr(e, held)
+				}
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if stmt.Init != nil {
+			s.scanStmt(stmt.Init, held)
+		}
+		for _, clause := range stmt.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range stmt.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					s.scanStmt(cc.Comm, copyHeld(held))
+				}
+				s.scanStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		s.scanStmts(stmt.List, held)
+	case *ast.LabeledStmt:
+		s.scanStmt(stmt.Stmt, held)
+	case *ast.AssignStmt:
+		for _, e := range stmt.Rhs {
+			s.checkExpr(e, held)
+		}
+		for _, e := range stmt.Lhs {
+			s.checkExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range stmt.Results {
+			s.checkExpr(e, held)
+		}
+	case *ast.DeclStmt:
+		s.checkExpr(stmt.Decl, held)
+	case *ast.SendStmt:
+		s.checkExpr(stmt.Chan, held)
+		s.checkExpr(stmt.Value, held)
+	case *ast.IncDecStmt:
+		s.checkExpr(stmt.X, held)
+	}
+}
+
+// checkExpr inspects an expression (or decl) subtree for calls, applying
+// the *Locked-convention and double-lock checks against held. Function
+// literals are analyzed independently.
+func (s *scanner) checkExpr(root ast.Node, held map[string]bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			s.scanFuncLit(lit)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Expression-position lock calls (rare) still update held so
+		// subsequent statements see them.
+		if key, op := lockCall(s.pass, call); key != "" && op != opNone {
+			switch op {
+			case opLock, opRLock:
+				held[key] = true
+				s.locks = append(s.locks, lockEvent{key: key, read: op == opRLock, pos: call.Pos()})
+			case opUnlock, opRUnlock:
+				delete(held, key)
+				s.unlocks = append(s.unlocks, lockEvent{key: key, read: op == opRUnlock, pos: call.Pos()})
+			}
+			return true
+		}
+		s.checkLockedCall(call, held)
+		s.checkDoubleLock(call, held)
+		return true
+	})
+}
+
+// checkLockedCall enforces that *Locked callees see their mutex held.
+func (s *scanner) checkLockedCall(call *ast.CallExpr, held map[string]bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if !strings.HasSuffix(fun.Name, "Locked") {
+			return
+		}
+		if s.lockedFn || len(held) > 0 {
+			return
+		}
+		s.pass.Reportf(call.Pos(),
+			"call to %s without any mutex held: the *Locked suffix requires the caller to hold the lock", fun.Name)
+	case *ast.SelectorExpr:
+		if !strings.HasSuffix(fun.Sel.Name, "Locked") {
+			return
+		}
+		// Package-qualified call: treat like a plain function call.
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if _, isPkg := s.pass.Info.Uses[id].(*types.PkgName); isPkg {
+				if s.lockedFn || len(held) > 0 {
+					return
+				}
+				s.pass.Reportf(call.Pos(),
+					"call to %s without any mutex held: the *Locked suffix requires the caller to hold the lock",
+					lint.ExprString(fun))
+				return
+			}
+		}
+		recvStr := lint.ExprString(fun.X)
+		if recvStr == "" {
+			return // dynamic receiver; out of scope
+		}
+		if held[recvStr] {
+			return
+		}
+		for key := range held {
+			if strings.HasPrefix(key, recvStr+".") {
+				return
+			}
+		}
+		// A *Locked method calling a sibling *Locked method on its own
+		// receiver is covered by the seeded held keys; reaching here
+		// means no lock on recvStr's mutexes is in scope.
+		s.pass.Reportf(call.Pos(),
+			"call to %s.%s without holding %s's mutex: the *Locked suffix requires the caller to hold it",
+			recvStr, fun.Sel.Name, recvStr)
+	}
+}
+
+// checkDoubleLock flags calls into methods that acquire a mutex the
+// caller already holds.
+func (s *scanner) checkDoubleLock(call *ast.CallExpr, held map[string]bool) {
+	if len(held) == 0 {
+		return
+	}
+	var calleeObj types.Object
+	var recvStr string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		calleeObj = s.pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		calleeObj = s.pass.Info.Uses[fun.Sel]
+		recvStr = lint.ExprString(fun.X)
+	}
+	fn, ok := calleeObj.(*types.Func)
+	if !ok {
+		return
+	}
+	for _, ak := range s.acquires[fn] {
+		var key string
+		switch {
+		case ak == "self":
+			key = recvStr
+		case strings.HasPrefix(ak, "field:"):
+			if recvStr == "" {
+				continue
+			}
+			key = recvStr + "." + strings.TrimPrefix(ak, "field:")
+		case strings.HasPrefix(ak, "global:"):
+			key = strings.TrimPrefix(ak, "global:")
+		}
+		if key != "" && held[key] {
+			s.pass.Reportf(call.Pos(),
+				"%s acquires %s which is already held here: guaranteed deadlock (sync mutexes are not reentrant)",
+				fn.Name(), key)
+		}
+	}
+}
+
+// checkPairing requires every recorded Lock/RLock to have a matching
+// deferred or later explicit unlock in the same function.
+func (s *scanner) checkPairing() {
+	for _, l := range s.locks {
+		ok := false
+		for _, d := range s.deferred {
+			if d.key == l.key && d.read == l.read {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			for _, u := range s.unlocks {
+				if u.key == l.key && u.read == l.read && u.pos > l.pos {
+					ok = true
+					break
+				}
+			}
+		}
+		if !ok {
+			verb := "Lock"
+			unlock := "Unlock"
+			if l.read {
+				verb, unlock = "RLock", "RUnlock"
+			}
+			s.pass.Reportf(l.pos,
+				"%s.%s() has no matching defer %s.%s() or later %s() in this function: a return path leaks the lock",
+				l.key, verb, l.key, unlock, unlock)
+		}
+	}
+}

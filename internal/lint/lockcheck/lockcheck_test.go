@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestLockcheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "example.com/locks")
+}

@@ -1,0 +1,246 @@
+// Package sitecheck pins chaos fault-site strings to the declared
+// registry in internal/chaos.
+//
+// Fault injection is consulted by Site name; a typo'd site string
+// compiles fine and silently never injects, which defeats the chaos
+// soak without failing anything. sitecheck reports:
+//
+//   - any string literal used as a chaos.Site — whether or not the
+//     value matches a registered site, code must reference the declared
+//     constant (chaos.SiteCkptLock, ...) so typos cannot survive;
+//   - declared Site constants missing from the chaos.Sites() registry
+//     listing;
+//   - declared Site constants never consulted by any analyzed package
+//     outside internal/chaos (dead sites) — reported only on full-tree
+//     runs that load both the registry and at least one consumer.
+//
+// The chaos package's own files (including its tests, which exercise
+// the engine with synthetic sites) are exempt from the literal rule.
+package sitecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"swapservellm/internal/lint"
+)
+
+const chaosPkgSuffix = "internal/chaos"
+
+type siteDecl struct {
+	name  string
+	value string
+	pos   token.Pos
+}
+
+type literalUse struct {
+	value string
+	pos   token.Pos
+}
+
+type checker struct {
+	declared     map[string]siteDecl // constant name -> decl
+	declaredVals map[string]string   // site value -> constant name
+	fromSource   bool                // declared came from analyzed chaos source
+	literals     []literalUse
+	usedConsts   map[string]bool // constant names referenced outside chaos
+	sitesFn      *sitesFnInfo
+}
+
+type sitesFnInfo struct {
+	pos        token.Pos
+	referenced map[string]bool
+}
+
+// New returns the sitecheck analyzer.
+func New() *lint.Analyzer {
+	c := &checker{
+		declared:     make(map[string]siteDecl),
+		declaredVals: make(map[string]string),
+		usedConsts:   make(map[string]bool),
+	}
+	a := &lint.Analyzer{
+		Name: "sitecheck",
+		Doc:  "chaos fault-site strings must be declared chaos.Site constants; report unused or unregistered sites",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if lint.PkgPathHasSuffix(pass.Pkg.Path(), chaosPkgSuffix) {
+			c.collectDecls(pass)
+			c.checkSitesFn(pass)
+			return nil
+		}
+		c.collectUses(pass)
+		return nil
+	}
+	a.Finish = func(pass *lint.Pass) error {
+		c.finish(pass)
+		return nil
+	}
+	return a
+}
+
+// collectDecls records every Site constant declared in the chaos
+// package's source.
+func (c *checker) collectDecls(pass *lint.Pass) {
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		cst, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !lint.NamedTypeIn(cst.Type(), chaosPkgSuffix, "Site") {
+			continue
+		}
+		value := strings.Trim(cst.Val().ExactString(), `"`)
+		c.declared[name] = siteDecl{name: name, value: value, pos: cst.Pos()}
+		c.declaredVals[value] = name
+		c.fromSource = true
+	}
+}
+
+// checkSitesFn verifies the Sites() registry listing references every
+// declared constant.
+func (c *checker) checkSitesFn(pass *lint.Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Sites" || fd.Recv != nil {
+				continue
+			}
+			info := &sitesFnInfo{pos: fd.Pos(), referenced: make(map[string]bool)}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				if cst, ok := pass.Info.Uses[id].(*types.Const); ok &&
+					lint.NamedTypeIn(cst.Type(), chaosPkgSuffix, "Site") {
+					info.referenced[cst.Name()] = true
+				}
+				return true
+			})
+			c.sitesFn = info
+		}
+	}
+}
+
+// collectUses records Site-typed string literals and Site constant
+// references in a non-chaos package.
+func (c *checker) collectUses(pass *lint.Pass) {
+	// ensureDeclared falls back to the imported chaos package when the
+	// registry source is not among the analyzed packages (partial runs).
+	ensureDeclared := func(t types.Type) {
+		if len(c.declared) > 0 {
+			return
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Pkg() == nil {
+			return
+		}
+		scope := named.Obj().Pkg().Scope()
+		for _, name := range scope.Names() {
+			if cst, ok := scope.Lookup(name).(*types.Const); ok &&
+				lint.NamedTypeIn(cst.Type(), chaosPkgSuffix, "Site") {
+				value := strings.Trim(cst.Val().ExactString(), `"`)
+				c.declared[name] = siteDecl{name: name, value: value, pos: cst.Pos()}
+				c.declaredVals[value] = name
+			}
+		}
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.Ident:
+				if cst, ok := pass.Info.Uses[n].(*types.Const); ok &&
+					lint.NamedTypeIn(cst.Type(), chaosPkgSuffix, "Site") {
+					c.usedConsts[cst.Name()] = true
+				}
+			case *ast.BasicLit:
+				if n.Kind != token.STRING {
+					return true
+				}
+				tv, ok := pass.Info.Types[n]
+				if !ok || tv.Type == nil || !lint.NamedTypeIn(tv.Type, chaosPkgSuffix, "Site") {
+					return true
+				}
+				ensureDeclared(tv.Type)
+				c.literals = append(c.literals, literalUse{
+					value: strings.Trim(n.Value, `"`+"`"),
+					pos:   n.Pos(),
+				})
+			case *ast.CallExpr:
+				// Explicit conversion chaos.Site("...") — the literal keeps
+				// type string, so catch it at the conversion.
+				if len(n.Args) != 1 {
+					return true
+				}
+				tv, ok := pass.Info.Types[n.Fun]
+				if !ok || !tv.IsType() || !lint.NamedTypeIn(tv.Type, chaosPkgSuffix, "Site") {
+					return true
+				}
+				lit, ok := n.Args[0].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					return true
+				}
+				ensureDeclared(tv.Type)
+				c.literals = append(c.literals, literalUse{
+					value: strings.Trim(lit.Value, `"`+"`"),
+					pos:   lit.Pos(),
+				})
+			}
+			return true
+		})
+	}
+}
+
+// finish reports literal misuse, registry listing gaps, and dead sites.
+func (c *checker) finish(pass *lint.Pass) {
+	for _, use := range c.literals {
+		if name, ok := c.declaredVals[use.value]; ok {
+			pass.Reportf(use.pos,
+				"string literal %q used as chaos.Site: reference the declared constant chaos.%s so typos cannot disable injection",
+				use.value, name)
+		} else {
+			pass.Reportf(use.pos,
+				"site %q does not resolve to any declared chaos.Site constant in internal/chaos",
+				use.value)
+		}
+	}
+	if c.sitesFn != nil {
+		var missing []string
+		for name := range c.declared {
+			if !c.sitesFn.referenced[name] {
+				missing = append(missing, name)
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			pass.Reportf(c.sitesFn.pos,
+				"site constant %s is missing from the Sites() registry listing", name)
+		}
+	}
+	// A literal that names a registered site still consults it at
+	// runtime: count it as a use so one defect yields one finding (the
+	// literal), not a cascading dead-site report as well.
+	for _, use := range c.literals {
+		if name, ok := c.declaredVals[use.value]; ok {
+			c.usedConsts[name] = true
+		}
+	}
+	// Dead sites: only judged when the registry source and at least one
+	// consumer were both in the analyzed set, so partial runs stay quiet.
+	if c.fromSource && len(c.usedConsts) > 0 {
+		var unused []string
+		for name := range c.declared {
+			if !c.usedConsts[name] {
+				unused = append(unused, name)
+			}
+		}
+		sort.Strings(unused)
+		for _, name := range unused {
+			pass.Reportf(c.declared[name].pos,
+				"site constant %s is declared but no analyzed package consults it (dead fault site)", name)
+		}
+	}
+}

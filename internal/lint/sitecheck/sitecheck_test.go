@@ -1,0 +1,14 @@
+package sitecheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestSitecheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(),
+		"swapservellm/internal/chaos",
+		"example.com/user",
+	)
+}

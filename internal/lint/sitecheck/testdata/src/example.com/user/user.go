@@ -1,0 +1,21 @@
+// Package user is sitecheck testdata: a consumer of the fake registry.
+package user
+
+import "swapservellm/internal/chaos"
+
+func consult(s chaos.Site) {}
+
+func uses() {
+	consult(chaos.SiteAlpha) // the right way
+
+	consult("alpha.one")       // want `string literal "alpha.one" used as chaos\.Site: reference the declared constant chaos\.SiteAlpha`
+	_ = chaos.Site("beta.two") // want `string literal "beta.two" used as chaos\.Site: reference the declared constant chaos\.SiteBeta`
+
+	consult("bogus.site") // want `site "bogus.site" does not resolve to any declared chaos\.Site constant`
+
+	var s chaos.Site = "nope.either" // want `site "nope.either" does not resolve to any declared chaos\.Site constant`
+	_ = s
+
+	//swaplint:ignore sitecheck exercising an unregistered site on purpose
+	consult("deliberate.unregistered")
+}

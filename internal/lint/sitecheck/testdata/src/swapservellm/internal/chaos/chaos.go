@@ -1,0 +1,21 @@
+// Package chaos is sitecheck testdata: a fake site registry.
+package chaos
+
+type Site string
+
+const (
+	SiteAlpha Site = "alpha.one"
+	SiteBeta  Site = "beta.two"
+	SiteDead  Site = "dead.site" // want `site constant SiteDead is declared but no analyzed package consults it`
+	SiteGone  Site = "gone.site" // want `site constant SiteGone is declared but no analyzed package consults it`
+)
+
+func Sites() []Site { // want `site constant SiteGone is missing from the Sites\(\) registry listing`
+	return []Site{SiteAlpha, SiteBeta, SiteDead}
+}
+
+// Synthetic sites inside the chaos package itself are exempt from the
+// literal rule (the engine's own tests use them).
+func selfTest() Site {
+	return Site("synthetic.site")
+}

@@ -1,0 +1,222 @@
+// Package statecheck confines writes to annotated state-machine fields
+// to their declared transition functions.
+//
+// The repository has several hand-rolled state machines (the cudackpt
+// process lifecycle, the cgroup freezer hierarchy, the cluster node
+// registry, the backend serving state). Each guards its invariants —
+// legal edges, trace recording, CAS discipline — inside one or two
+// transition functions; an ad-hoc assignment elsewhere bypasses all of
+// it silently. A state field opts in with a directive on its
+// declaration:
+//
+//	state atomic.Int32 //swaplint:state allow=transition,newNode
+//
+// statecheck then reports every write to the field — plain or compound
+// assignment, ++/--, map-entry assignment or delete on a map-typed
+// field, atomic Store/Swap/CompareAndSwap/Add calls, and composite
+// literal initialization — from any function (in the field's package)
+// whose name is not in the allow list. The check is package-local:
+// annotated fields should be unexported.
+package statecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"swapservellm/internal/lint"
+)
+
+// atomicWriters are methods of sync/atomic box types that mutate.
+var atomicWriters = map[string]bool{
+	"Store":          true,
+	"Swap":           true,
+	"Add":            true,
+	"CompareAndSwap": true,
+}
+
+// New returns the statecheck analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "statecheck",
+		Doc:  "annotated state-machine fields may only be written by their declared transition functions",
+	}
+	a.Run = run
+	return a
+}
+
+type annotation struct {
+	allow map[string]bool
+	field *types.Var
+}
+
+func run(pass *lint.Pass) error {
+	annotated := collectAnnotations(pass)
+	if len(annotated) == 0 {
+		return nil
+	}
+
+	fieldOf := func(e ast.Expr) *types.Var {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil
+		}
+		obj := pass.Info.Uses[sel.Sel]
+		if obj == nil {
+			obj = pass.Info.Defs[sel.Sel]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || !v.IsField() {
+			return nil
+		}
+		return v
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fnName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						target := ast.Unparen(lhs)
+						// f.groups[k] = v writes the annotated map field.
+						if idx, ok := target.(*ast.IndexExpr); ok {
+							target = ast.Unparen(idx.X)
+						}
+						if v := fieldOf(target); v != nil {
+							flag(pass, annotated, fnName, n.Pos(), v, "assigned")
+						}
+					}
+				case *ast.IncDecStmt:
+					if v := fieldOf(n.X); v != nil {
+						flag(pass, annotated, fnName, n.Pos(), v, "assigned")
+					}
+				case *ast.CallExpr:
+					// delete(f.groups, k)
+					if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "delete" && len(n.Args) == 2 {
+						if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+							if v := fieldOf(n.Args[0]); v != nil {
+								flag(pass, annotated, fnName, n.Pos(), v, "mutated with delete")
+							}
+						}
+					}
+					// field.Store(x) / Swap / CompareAndSwap / Add
+					if sel, ok := n.Fun.(*ast.SelectorExpr); ok && atomicWriters[sel.Sel.Name] {
+						if v := fieldOf(sel.X); v != nil {
+							flag(pass, annotated, fnName, n.Pos(), v, "written via "+sel.Sel.Name)
+						}
+					}
+				case *ast.CompositeLit:
+					tv, ok := pass.Info.Types[n]
+					if !ok || tv.Type == nil {
+						return true
+					}
+					st, ok := tv.Type.Underlying().(*types.Struct)
+					if !ok {
+						return true
+					}
+					for i, elt := range n.Elts {
+						if kv, ok := elt.(*ast.KeyValueExpr); ok {
+							if key, ok := kv.Key.(*ast.Ident); ok {
+								if v, ok := pass.Info.Uses[key].(*types.Var); ok && v.IsField() {
+									flag(pass, annotated, fnName, kv.Pos(), v, "initialized in composite literal")
+								}
+							}
+							continue
+						}
+						// positional literal
+						if i < st.NumFields() {
+							flag(pass, annotated, fnName, elt.Pos(), st.Field(i), "initialized in composite literal")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// flag reports a write to an annotated field from a disallowed function.
+func flag(pass *lint.Pass, annotated map[*types.Var]annotation, fnName string, pos token.Pos, v *types.Var, how string) {
+	ann, ok := annotated[v]
+	if !ok || ann.allow[fnName] {
+		return
+	}
+	allowed := make([]string, 0, len(ann.allow))
+	for name := range ann.allow {
+		allowed = append(allowed, name)
+	}
+	sort.Strings(allowed)
+	pass.Reportf(pos,
+		"state field %s %s outside its transition functions (allowed: %s)",
+		v.Name(), how, strings.Join(allowed, ", "))
+}
+
+// collectAnnotations finds //swaplint:state directives on struct fields.
+func collectAnnotations(pass *lint.Pass) map[*types.Var]annotation {
+	out := make(map[*types.Var]annotation)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				text := commentText(field)
+				idx := strings.Index(text, "swaplint:state")
+				if idx < 0 {
+					continue
+				}
+				rest := strings.Fields(text[idx+len("swaplint:state"):])
+				allow := make(map[string]bool)
+				bad := len(rest) == 0
+				for _, tok := range rest {
+					if !strings.HasPrefix(tok, "allow=") {
+						bad = true
+						break
+					}
+					for _, name := range strings.Split(strings.TrimPrefix(tok, "allow="), ",") {
+						if name != "" {
+							allow[name] = true
+						}
+					}
+				}
+				if bad || len(allow) == 0 {
+					pass.Reportf(field.Pos(), "malformed directive: want //swaplint:state allow=<func>[,<func>...]")
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[v] = annotation{allow: allow, field: v}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// commentText concatenates a field's doc and trailing comments. Raw
+// comment text is used because CommentGroup.Text() strips
+// directive-style comments — exactly the //swaplint:state ones.
+func commentText(field *ast.Field) string {
+	var sb strings.Builder
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			sb.WriteString(strings.TrimPrefix(c.Text, "//"))
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,11 @@
+package statecheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestStatecheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "example.com/machine")
+}

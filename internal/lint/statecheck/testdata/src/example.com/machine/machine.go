@@ -1,0 +1,87 @@
+// Package machine is statecheck testdata: three annotated state
+// machines (plain field, atomic field, map field).
+package machine
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type procState int
+
+const (
+	running procState = iota
+	locked
+)
+
+type proc struct {
+	mu    sync.Mutex
+	state procState //swaplint:state allow=transition,newProc
+	other int
+}
+
+func newProc() *proc {
+	return &proc{state: running}
+}
+
+func (p *proc) transition(to procState) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.state = to
+}
+
+func (p *proc) badDirect() {
+	p.state = locked // want `state field state assigned outside its transition functions \(allowed: newProc, transition\)`
+	p.other = 7      // unannotated fields are free
+}
+
+func badLiteral() *proc {
+	return &proc{state: locked} // want `state field state initialized in composite literal outside its transition functions`
+}
+
+func badPositional() proc {
+	return proc{sync.Mutex{}, locked, 0} // want `state field state initialized in composite literal outside its transition functions`
+}
+
+type node struct {
+	state atomic.Int32 //swaplint:state allow=cas
+}
+
+func (n *node) cas(from, to int32) bool {
+	return n.state.CompareAndSwap(from, to)
+}
+
+func (n *node) badStore() {
+	n.state.Store(3) // want `state field state written via Store outside its transition functions \(allowed: cas\)`
+	_ = n.state.Load()
+}
+
+type freezer struct {
+	groups map[string]int //swaplint:state allow=setState,remove
+}
+
+func (f *freezer) setState(k string, v int) {
+	f.groups[k] = v
+}
+
+func (f *freezer) remove(k string) {
+	delete(f.groups, k)
+}
+
+func (f *freezer) badWrite(k string) {
+	f.groups[k] = 9     // want `state field groups assigned outside its transition functions \(allowed: remove, setState\)`
+	delete(f.groups, k) // want `state field groups mutated with delete outside its transition functions \(allowed: remove, setState\)`
+	_ = f.groups[k]     // reads are fine
+}
+
+func (f *freezer) ignored(k string) {
+	//swaplint:ignore statecheck test fixture resets state directly
+	f.groups[k] = 1
+}
+
+type malformed struct {
+	//swaplint:state
+	state int // want `malformed directive: want //swaplint:state allow=`
+}
+
+var _ = malformed{}

@@ -2,6 +2,7 @@ package openai
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"testing"
 )
@@ -39,7 +40,7 @@ func BenchmarkSSERoundTrip(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := NewSSEReader(bytes.NewReader(stream))
 		for {
-			if _, err := r.Next(); err == io.EOF {
+			if _, err := r.Next(); errors.Is(err, io.EOF) {
 				break
 			} else if err != nil {
 				b.Fatal(err)

@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"time"
+
+	"swapservellm/internal/simclock"
 )
 
 // Client is a minimal OpenAI-compatible HTTP client used by the model
@@ -19,6 +22,10 @@ type Client struct {
 	// HTTPClient defaults to a client with no timeout (streams can be
 	// long-lived); set one to bound request duration.
 	HTTPClient *http.Client
+	// Clock paces health-check polling; defaults to the real clock. Tests
+	// and simulations inject a scaled clock so WaitHealthy intervals
+	// compress with the rest of the timeline.
+	Clock simclock.Clock
 }
 
 // NewClient returns a client for the given base URL.
@@ -31,6 +38,13 @@ func (c *Client) httpClient() *http.Client {
 		return c.HTTPClient
 	}
 	return http.DefaultClient
+}
+
+func (c *Client) clock() simclock.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return simclock.Real{}
 }
 
 // post issues a JSON POST and returns the raw response.
@@ -90,7 +104,7 @@ func (c *Client) ChatCompletionStream(ctx context.Context, req *ChatCompletionRe
 	r := NewSSEReader(resp.Body)
 	for {
 		chunk, err := r.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return nil
 		}
 		if err != nil {
@@ -141,7 +155,7 @@ func (c *Client) WaitHealthy(ctx context.Context, interval time.Duration) error 
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(interval):
+		case <-c.clock().After(interval):
 		}
 	}
 }

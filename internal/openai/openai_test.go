@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -74,7 +75,7 @@ func TestSSERoundTrip(t *testing.T) {
 	var got []*ChatCompletionChunk
 	for {
 		c, err := r.Next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			break
 		}
 		if err != nil {
@@ -100,7 +101,7 @@ func TestSSEReaderSkipsCommentsAndBlank(t *testing.T) {
 	if err != nil || c.ID != "x" {
 		t.Fatalf("Next = %+v, %v", c, err)
 	}
-	if _, err := r.Next(); err != io.EOF {
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("expected EOF after [DONE], got %v", err)
 	}
 }
@@ -114,7 +115,7 @@ func TestSSEReaderMalformed(t *testing.T) {
 
 func TestSSEReaderEOFWithoutDone(t *testing.T) {
 	r := NewSSEReader(strings.NewReader(""))
-	if _, err := r.Next(); err != io.EOF {
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
 		t.Fatalf("empty stream: %v", err)
 	}
 }

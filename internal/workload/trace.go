@@ -54,7 +54,7 @@ func ReadTrace(r io.Reader) ([]Request, error) {
 		}
 		at, err := time.Parse(time.RFC3339Nano, fields[0])
 		if err != nil {
-			return nil, fmt.Errorf("workload: trace line %d: bad timestamp: %v", line, err)
+			return nil, fmt.Errorf("workload: trace line %d: bad timestamp: %w", line, err)
 		}
 		in, err := strconv.Atoi(fields[3])
 		if err != nil || in < 0 {
