@@ -18,11 +18,12 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|chaos|all")
-		scale  = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
-		seed   = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
-		seeds  = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
-		csvDir = flag.String("csv", "", "also write each experiment's rows as CSV under this directory")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|chaos|all")
+		scale    = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
+		seed     = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
+		seeds    = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
+		csvDir   = flag.String("csv", "", "also write each experiment's rows as CSV under this directory")
+		traceDir = flag.String("trace", "", "write a Chrome trace_event JSON (<exp>.trace.json) of the swap lifecycle under this directory (supported: pipeline)")
 	)
 	flag.Parse()
 
@@ -166,8 +167,20 @@ func main() {
 	}
 	if run("pipeline") {
 		any = true
-		rows, err := experiments.AblationPipelinedSwap(pick(1000))
-		fail(err)
+		var rows []experiments.PipelineRow
+		var err error
+		if *traceDir != "" {
+			path := *traceDir + "/pipeline.trace.json"
+			f, ferr := os.Create(path)
+			fail(ferr)
+			rows, err = experiments.AblationPipelinedSwapTraced(pick(1000), f)
+			f.Close()
+			fail(err)
+			fmt.Fprintln(os.Stderr, "swapbench: wrote", path)
+		} else {
+			rows, err = experiments.AblationPipelinedSwap(pick(1000))
+			fail(err)
+		}
 		experiments.PrintPipeline(out, rows)
 		h, csv := experiments.PipelineCSV(rows)
 		writeCSV("pipeline", h, csv)

@@ -21,6 +21,7 @@ import (
 
 	"swapservellm/internal/cluster"
 	"swapservellm/internal/config"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -46,10 +47,13 @@ func main() {
 		cfg.Listen = *listen
 	}
 
-	c, err := cluster.New(cfg, cluster.Options{
-		Clock: simclock.NewScaled(time.Now(), *scale),
-		Seed:  *seed,
-	})
+	clock := simclock.NewScaled(time.Now(), *scale)
+	tracer := obs.NewTracer(clock)
+	c, err := cluster.New(cfg,
+		cluster.WithClock(clock),
+		cluster.WithSeed(*seed),
+		cluster.WithTracer(tracer),
+	)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,6 @@
 // Command swaplint runs the repository's custom static-analysis suite
-// (internal/lint): clockcheck, lockcheck, sitecheck, statecheck, and
-// errwrap.
+// (internal/lint): clockcheck, ctxcheck, lockcheck, sitecheck,
+// statecheck, and errwrap.
 //
 // Standalone:
 //
@@ -32,17 +32,19 @@ import (
 
 	"swapservellm/internal/lint"
 	"swapservellm/internal/lint/clockcheck"
+	"swapservellm/internal/lint/ctxcheck"
 	"swapservellm/internal/lint/errwrap"
 	"swapservellm/internal/lint/lockcheck"
 	"swapservellm/internal/lint/sitecheck"
 	"swapservellm/internal/lint/statecheck"
 )
 
-const version = "v1"
+const version = "v2"
 
 func analyzers() []*lint.Analyzer {
 	return []*lint.Analyzer{
 		clockcheck.New(),
+		ctxcheck.New(),
 		lockcheck.New(),
 		sitecheck.New(),
 		statecheck.New(),

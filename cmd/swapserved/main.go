@@ -19,6 +19,7 @@ import (
 
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -43,8 +44,12 @@ func main() {
 		cfg.Listen = *listen
 	}
 
+	clock := simclock.NewScaled(time.Now(), *scale)
 	s, err := core.New(cfg, core.Options{
-		Clock: simclock.NewScaled(time.Now(), *scale),
+		Clock: clock,
+		// Swap-lifecycle spans, served at /debug/trace as Chrome
+		// trace_event JSON (open in Perfetto / chrome://tracing).
+		Tracer: obs.NewTracer(clock),
 	})
 	if err != nil {
 		fatal(err)

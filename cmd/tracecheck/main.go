@@ -1,0 +1,40 @@
+// Command tracecheck schema-validates Chrome trace_event JSON files
+// emitted by the swap-lifecycle tracer (swapbench -trace, or saved from
+// the /debug/trace endpoints of swapserved and swapgateway): every
+// event must carry a name and a known phase, complete ("X") events must
+// have non-negative durations and unique span IDs, and every parent
+// reference must resolve. CI runs it against the benchmark trace
+// artifact so a broken exporter fails the build, not the first person
+// who opens the trace in Perfetto.
+//
+//	swapbench -exp pipeline -trace /tmp/traces
+//	tracecheck /tmp/traces/pipeline.trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"swapservellm/internal/obs"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [trace.json ...]")
+		os.Exit(2)
+	}
+	code := 0
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = obs.ValidateTraceEvents(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			code = 1
+			continue
+		}
+		fmt.Printf("tracecheck: %s: ok\n", path)
+	}
+	os.Exit(code)
+}

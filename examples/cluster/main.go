@@ -47,7 +47,7 @@ func main() {
 	}
 
 	clock := simclock.NewScaled(time.Now(), 2000)
-	c, err := cluster.New(cfg, cluster.Options{Clock: clock, Seed: 7})
+	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithSeed(7))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package cgroup
 
 import (
+	"context"
 	"fmt"
 	"testing"
 )
@@ -10,8 +11,8 @@ func BenchmarkFreezeThaw(b *testing.B) {
 	f.Create("/bench")
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		f.Freeze("/bench")
-		f.Thaw("/bench")
+		f.Freeze(context.Background(), "/bench")
+		f.Thaw(context.Background(), "/bench")
 	}
 }
 

@@ -6,13 +6,14 @@
 package cgroup
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/obs"
 )
 
 // SelfState is a cgroup's own freezer state (what is written to
@@ -32,14 +33,6 @@ func (s SelfState) String() string {
 	}
 	return "THAWED"
 }
-
-// Errors returned by the freezer.
-var (
-	ErrNotFound      = errors.New("cgroup: no such cgroup")
-	ErrExists        = errors.New("cgroup: cgroup already exists")
-	ErrHasChildren   = errors.New("cgroup: cgroup has children")
-	ErrParentMissing = errors.New("cgroup: parent cgroup does not exist")
-)
 
 // Freezer is a simulated freezer hierarchy rooted at "/". It is safe for
 // concurrent use.
@@ -135,18 +128,25 @@ func (f *Freezer) Remove(path string) error {
 }
 
 // Freeze sets path's self-state to FROZEN. All tasks in the cgroup and its
-// descendants stop being scheduled.
-func (f *Freezer) Freeze(path string) error {
-	return f.setState(path, Frozen)
+// descendants stop being scheduled. ctx carries the active trace span.
+func (f *Freezer) Freeze(ctx context.Context, path string) error {
+	return f.setState(ctx, path, Frozen)
 }
 
 // Thaw sets path's self-state to THAWED. Descendants remain effectively
-// frozen if any ancestor is still frozen.
-func (f *Freezer) Thaw(path string) error {
-	return f.setState(path, Thawed)
+// frozen if any ancestor is still frozen. ctx carries the active trace
+// span.
+func (f *Freezer) Thaw(ctx context.Context, path string) error {
+	return f.setState(ctx, path, Thawed)
 }
 
-func (f *Freezer) setState(path string, s SelfState) error {
+func (f *Freezer) setState(ctx context.Context, path string, s SelfState) (err error) {
+	name := "cgroup.freeze"
+	if s == Thawed {
+		name = "cgroup.thaw"
+	}
+	ctx, span := obs.Start(ctx, name, obs.String("path", path))
+	defer func() { span.EndErr(err) }()
 	p, err := normalize(path)
 	if err != nil {
 		return err
@@ -161,6 +161,7 @@ func (f *Freezer) setState(path string, s SelfState) error {
 		site = chaos.SiteCgroupThaw
 	}
 	if ferr := f.chaosInj.At(site).Err; ferr != nil {
+		obs.AnnotateFault(ctx, string(site), ferr)
 		return fmt.Errorf("cgroup: writing %v to %s: %w", s, p, ferr)
 	}
 	f.groups[p] = s

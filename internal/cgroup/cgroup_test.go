@@ -1,6 +1,7 @@
 package cgroup
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -51,7 +52,7 @@ func TestCreateErrors(t *testing.T) {
 func TestFreezeThaw(t *testing.T) {
 	f := NewFreezer()
 	f.Create("/c1")
-	if err := f.Freeze("/c1"); err != nil {
+	if err := f.Freeze(context.Background(), "/c1"); err != nil {
 		t.Fatal(err)
 	}
 	if s, _ := f.SelfState("/c1"); s != Frozen {
@@ -60,7 +61,7 @@ func TestFreezeThaw(t *testing.T) {
 	if frozen, _ := f.EffectivelyFrozen("/c1"); !frozen {
 		t.Fatal("frozen cgroup not effectively frozen")
 	}
-	if err := f.Thaw("/c1"); err != nil {
+	if err := f.Thaw(context.Background(), "/c1"); err != nil {
 		t.Fatal(err)
 	}
 	if frozen, _ := f.EffectivelyFrozen("/c1"); frozen {
@@ -74,18 +75,18 @@ func TestNestedFreezeSemantics(t *testing.T) {
 	f := NewFreezer()
 	f.Create("/pod")
 	f.Create("/pod/ctr")
-	f.Freeze("/pod")
+	f.Freeze(context.Background(), "/pod")
 	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); !frozen {
 		t.Fatal("child of frozen parent not effectively frozen")
 	}
 	if s, _ := f.SelfState("/pod/ctr"); s != Thawed {
 		t.Fatal("child self-state should remain THAWED")
 	}
-	f.Thaw("/pod/ctr") // no-op for effective state
+	f.Thaw(context.Background(), "/pod/ctr") // no-op for effective state
 	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); !frozen {
 		t.Fatal("child thaw escaped frozen ancestor")
 	}
-	f.Thaw("/pod")
+	f.Thaw(context.Background(), "/pod")
 	if frozen, _ := f.EffectivelyFrozen("/pod/ctr"); frozen {
 		t.Fatal("child still frozen after ancestor thaw")
 	}
@@ -93,7 +94,7 @@ func TestNestedFreezeSemantics(t *testing.T) {
 
 func TestFreezeUnknown(t *testing.T) {
 	f := NewFreezer()
-	if err := f.Freeze("/nope"); !errors.Is(err, ErrNotFound) {
+	if err := f.Freeze(context.Background(), "/nope"); !errors.Is(err, ErrNotFound) {
 		t.Fatalf("Freeze unknown: %v", err)
 	}
 	if _, err := f.SelfState("/nope"); !errors.Is(err, ErrNotFound) {
@@ -151,10 +152,10 @@ func TestEffectiveFreezeProperty(t *testing.T) {
 		for _, op := range ops {
 			lvl := int(op.Level) % depth
 			if op.Freeze {
-				fr.Freeze(paths[lvl])
+				fr.Freeze(context.Background(), paths[lvl])
 				frozen[lvl] = true
 			} else {
-				fr.Thaw(paths[lvl])
+				fr.Thaw(context.Background(), paths[lvl])
 				frozen[lvl] = false
 			}
 		}

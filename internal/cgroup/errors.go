@@ -1,0 +1,18 @@
+package cgroup
+
+import "errors"
+
+// The freezer's error vocabulary. Every error this package returns
+// wraps one of these sentinels (or, for an injected freezer-write
+// failure, chaos.ErrInjected), so callers branch with errors.Is:
+//
+//   - ErrNotFound: the path does not name an existing cgroup.
+//   - ErrExists: Create on a path that already exists.
+//   - ErrHasChildren: Remove on a cgroup with descendants.
+//   - ErrParentMissing: Create under a nonexistent parent.
+var (
+	ErrNotFound      = errors.New("cgroup: no such cgroup")
+	ErrExists        = errors.New("cgroup: cgroup already exists")
+	ErrHasChildren   = errors.New("cgroup: cgroup has children")
+	ErrParentMissing = errors.New("cgroup: parent cgroup does not exist")
+)

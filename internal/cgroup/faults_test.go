@@ -1,6 +1,7 @@
 package cgroup
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -15,25 +16,25 @@ func TestFreezeThawFaults(t *testing.T) {
 
 	// A freeze fault leaves the cgroup thawed.
 	f.SetChaos(chaos.FailNext(chaos.SiteCgroupFreeze, 1))
-	if err := f.Freeze("/pod"); !errors.Is(err, chaos.ErrInjected) {
+	if err := f.Freeze(context.Background(), "/pod"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Freeze = %v, want injected", err)
 	}
 	if s, _ := f.SelfState("/pod"); s != Thawed {
 		t.Fatalf("state after freeze fault = %v", s)
 	}
-	if err := f.Freeze("/pod"); err != nil {
+	if err := f.Freeze(context.Background(), "/pod"); err != nil {
 		t.Fatalf("Freeze after fault cleared: %v", err)
 	}
 
 	// A thaw fault leaves it frozen.
 	f.SetChaos(chaos.FailNext(chaos.SiteCgroupThaw, 1))
-	if err := f.Thaw("/pod"); !errors.Is(err, chaos.ErrInjected) {
+	if err := f.Thaw(context.Background(), "/pod"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Thaw = %v, want injected", err)
 	}
 	if s, _ := f.SelfState("/pod"); s != Frozen {
 		t.Fatalf("state after thaw fault = %v", s)
 	}
-	if err := f.Thaw("/pod"); err != nil {
+	if err := f.Thaw(context.Background(), "/pod"); err != nil {
 		t.Fatalf("Thaw after fault cleared: %v", err)
 	}
 	if s, _ := f.SelfState("/pod"); s != Thawed {

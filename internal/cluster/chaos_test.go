@@ -19,7 +19,7 @@ import (
 // and transition trace installed at construction.
 func startChaosCluster(t *testing.T, cfg config.Cluster, scale float64, inj *chaos.Injector, tr *chaos.Trace) *Cluster {
 	t.Helper()
-	c, err := New(cfg, Options{
+	c, err := NewWithOptions(cfg, Options{
 		Clock: simclock.NewScaled(testEpoch, scale),
 		Chaos: inj,
 		Trace: tr,
@@ -227,7 +227,7 @@ func TestRebalancerRechecksStateAtCommit(t *testing.T) {
 	drvA, drvB := nodeA.Server().Driver(), nodeB.Server().Driver()
 	bA1, _ := nodeA.Server().Backend("llama3.2:1b-fp16")
 	bB1, _ := nodeB.Server().Backend("llama3.2:1b-fp16")
-	if err := drvB.Demote(bB1.Container().ID()); err != nil {
+	if err := drvB.Demote(context.Background(), bB1.Container().ID()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -237,7 +237,7 @@ func TestRebalancerRechecksStateAtCommit(t *testing.T) {
 	// migration commits.
 	rb.testHookBeforeCommit = func(dst *Node) { dst.transition(NodeDown) }
 
-	if got := rb.Sweep(); got != 0 {
+	if got := rb.Sweep(context.Background()); got != 0 {
 		t.Fatalf("sweep migrated %d images onto a node that died pre-commit", got)
 	}
 	if loc, _ := drvA.ImageLocation(bA1.Container().ID()); loc.String() != "ram" {
@@ -255,7 +255,7 @@ func TestRebalancerRechecksStateAtCommit(t *testing.T) {
 	if !nodeB.transition(NodeHealthy) {
 		t.Fatal("node-b could not rejoin")
 	}
-	if got := rb.Sweep(); got != 1 {
+	if got := rb.Sweep(context.Background()); got != 1 {
 		t.Fatalf("post-rejoin sweep migrated %d images, want 1", got)
 	}
 	if loc, _ := drvB.ImageLocation(bB1.Container().ID()); loc.String() != "ram" {

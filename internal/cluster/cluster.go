@@ -13,6 +13,7 @@ import (
 	"swapservellm/internal/core"
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/models"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -38,7 +39,40 @@ type Options struct {
 	// Trace, when set, receives node and checkpoint state transitions
 	// for invariant checking.
 	Trace *chaos.Trace
+	// Tracer, when set, records swap-lifecycle spans cluster-wide: the
+	// gateway, the rebalancer, and every node share it, so one trace
+	// shows a request's placement, failover, and node-side swap work.
+	// Exported at the gateway's /debug/trace.
+	Tracer *obs.Tracer
 }
+
+// Option mutates Options during New (the functional mirror of
+// core.ControllerOption).
+type Option func(*Options)
+
+// WithClock sets the shared simulation clock.
+func WithClock(clock simclock.Clock) Option { return func(o *Options) { o.Clock = clock } }
+
+// WithRegistry sets the cluster/gateway metrics registry.
+func WithRegistry(reg *metrics.Registry) Option { return func(o *Options) { o.Registry = reg } }
+
+// WithPolicy overrides the configured placement policy.
+func WithPolicy(p Policy) Option { return func(o *Options) { o.Policy = p } }
+
+// WithSeed seeds the random placement baseline.
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithCatalog overrides the model catalog.
+func WithCatalog(cat *models.Catalog) Option { return func(o *Options) { o.Catalog = cat } }
+
+// WithChaos installs the shared fault injector.
+func WithChaos(inj *chaos.Injector) Option { return func(o *Options) { o.Chaos = inj } }
+
+// WithTrace installs the state-transition audit log.
+func WithTrace(tr *chaos.Trace) Option { return func(o *Options) { o.Trace = tr } }
+
+// WithTracer installs the cluster-wide lifecycle tracer.
+func WithTracer(t *obs.Tracer) Option { return func(o *Options) { o.Tracer = t } }
 
 // Cluster is the assembled multi-node deployment: the member nodes
 // (each a full core.Server on its own simulated hardware), the node
@@ -51,6 +85,7 @@ type Cluster struct {
 	policy   Policy
 	client   *http.Client
 	chaosInj *chaos.Injector
+	tracer   *obs.Tracer
 
 	registry   *NodeRegistry
 	nodes      []*Node
@@ -64,9 +99,21 @@ type Cluster struct {
 	started bool
 }
 
-// New builds a cluster from its configuration. Nodes are constructed
-// but not started.
-func New(cfg config.Cluster, opts Options) (*Cluster, error) {
+// New builds a cluster from its configuration, applying functional
+// options. Nodes are constructed but not started.
+func New(cfg config.Cluster, opts ...Option) (*Cluster, error) {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return NewWithOptions(cfg, o)
+}
+
+// NewWithOptions is the compatibility constructor taking the Options
+// struct directly; New is the preferred entry point.
+func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 	catalog := opts.Catalog
 	if catalog == nil {
 		catalog = models.Default()
@@ -90,7 +137,7 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 		}
 		p, ok := PolicyByName(cfg.Cluster.Placement, seed)
 		if !ok {
-			return nil, fmt.Errorf("cluster: unknown placement policy %q", cfg.Cluster.Placement)
+			return nil, fmt.Errorf("%w %q", ErrUnknownPolicy, cfg.Cluster.Placement)
 		}
 		policy = p
 	}
@@ -102,6 +149,7 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 		policy:     policy,
 		client:     &http.Client{},
 		chaosInj:   opts.Chaos,
+		tracer:     opts.Tracer,
 		retryLimit: cfg.Cluster.RetryLimit,
 		registry:   NewNodeRegistry(clock, reg, cfg.Heartbeat(), cfg.Cluster.HeartbeatMissLimit),
 	}
@@ -116,6 +164,7 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 			GPUCount: nc.GPUCount,
 			Chaos:    opts.Chaos,
 			Trace:    opts.Trace,
+			Tracer:   opts.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %q: %w", nc.Name, err)
@@ -135,6 +184,7 @@ func New(cfg config.Cluster, opts Options) (*Cluster, error) {
 // backends), then the heartbeat loop, the rebalancer, and finally the
 // gateway listener.
 func (c *Cluster) Start(ctx context.Context) error {
+	ctx = c.traceCtx(ctx)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.started {
@@ -220,6 +270,18 @@ func (c *Cluster) Clock() simclock.Clock { return c.clock }
 // Registry returns the cluster/gateway metrics registry.
 func (c *Cluster) Registry() *metrics.Registry { return c.reg }
 
+// Tracer returns the cluster-wide lifecycle tracer (nil when off).
+func (c *Cluster) Tracer() *obs.Tracer { return c.tracer }
+
+// traceCtx installs the cluster's tracer on ctx so spans started in the
+// gateway and rebalancer (and in the nodes they call into) record.
+func (c *Cluster) traceCtx(ctx context.Context) context.Context {
+	if c.tracer == nil || obs.TracerFrom(ctx) != nil {
+		return ctx
+	}
+	return obs.WithTracer(ctx, c.tracer)
+}
+
 // NodeRegistry returns the membership registry.
 func (c *Cluster) NodeRegistry() *NodeRegistry { return c.registry }
 
@@ -234,11 +296,11 @@ func (c *Cluster) Policy() Policy { return c.policy }
 
 // Rebalance forces one rebalancer sweep (0 if the rebalancer is
 // disabled), for tests and operator tooling.
-func (c *Cluster) Rebalance() int {
+func (c *Cluster) Rebalance(ctx context.Context) int {
 	if c.rebal == nil {
 		return 0
 	}
-	return c.rebal.Sweep()
+	return c.rebal.Sweep(ctx)
 }
 
 // KillNode abruptly shuts a node's server down without touching its
@@ -247,7 +309,7 @@ func (c *Cluster) Rebalance() int {
 func (c *Cluster) KillNode(id string) error {
 	n, ok := c.registry.Node(id)
 	if !ok {
-		return fmt.Errorf("cluster: unknown node %q", id)
+		return fmt.Errorf("%w %q", ErrUnknownNode, id)
 	}
 	n.Server().Shutdown()
 	return nil

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/openai"
 )
 
@@ -56,6 +57,7 @@ func (g *gateway) handler() http.Handler {
 	mux.HandleFunc("/cluster/undrain", g.auth(g.drain(false)))
 	mux.HandleFunc("/metrics", g.auth(g.metricsProm))
 	mux.HandleFunc("/metrics.csv", g.auth(g.metricsCSV))
+	mux.Handle("/debug/trace", g.c.tracer.Handler())
 	return mux
 }
 
@@ -125,6 +127,12 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 
 	g.c.reg.Counter("gateway_requests_total").Inc()
 
+	ctx := g.c.traceCtx(r.Context())
+	var span *obs.Span
+	ctx, span = obs.Start(ctx, "gateway.request",
+		obs.String("model", model), obs.String("path", path))
+	defer span.End()
+
 	// stream tracks SSE delivery across attempts so a failover resumes
 	// where the dead node stopped.
 	stream := &sseRelay{w: w, inj: g.c.chaosInj}
@@ -137,6 +145,8 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			break
 		}
 		tried[id] = true
+		span.Event("place", obs.String("node", id),
+			obs.Bool("warm", warm), obs.Int("attempt", attempt))
 		if attempt == 0 {
 			g.recordPlacement(id, warm)
 		} else {
@@ -146,7 +156,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		if !ok {
 			continue
 		}
-		outcome, errMsg := g.forward(r.Context(), node, path, body, r.Header.Get("Authorization"), stream)
+		outcome, errMsg := g.forward(ctx, node, path, body, r.Header.Get("Authorization"), stream)
 		switch outcome {
 		case outcomeDone:
 			if attempt > 0 {
@@ -154,13 +164,16 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			}
 			return
 		case outcomeFatal:
+			span.Fail(fmt.Errorf("%s", errMsg))
 			return
 		}
+		span.Event("failover", obs.String("node", id), obs.String("error", errMsg))
 		lastErr = errMsg
 	}
 
 	// Every eligible node was tried (or none existed).
 	g.c.reg.Counter("gateway_unrouteable").Inc()
+	span.Fail(fmt.Errorf("unrouteable after %d attempts", len(tried)))
 	if stream.started {
 		// Mid-stream with no replica left: all we can do is end the
 		// stream; the missing [DONE] tells the client it was truncated.
@@ -238,6 +251,7 @@ func (g *gateway) forward(ctx context.Context, node *Node, path string, body []b
 			g.c.clock.Sleep(out.Delay)
 		}
 		if out.Err != nil {
+			obs.AnnotateFault(ctx, string(chaos.SiteProxy), out.Err)
 			g.c.registry.ReportFailure(node.ID())
 			return outcomeRetry, fmt.Sprintf("node %s: %v", node.ID(), out.Err)
 		}
@@ -260,7 +274,7 @@ func (g *gateway) forward(ctx context.Context, node *Node, path string, body []b
 	}
 
 	if strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
-		return stream.relay(node, resp)
+		return stream.relay(ctx, node, resp)
 	}
 
 	// Buffered (non-streaming) response: read it fully before touching
@@ -309,7 +323,7 @@ type sseRelay struct {
 // relay pipes one node's SSE response to the client. On a clean [DONE]
 // it reports outcomeDone; on a mid-stream read failure it reports
 // outcomeRetry so the caller can resume on another node.
-func (s *sseRelay) relay(node *Node, resp *http.Response) (proxyOutcome, string) {
+func (s *sseRelay) relay(ctx context.Context, node *Node, resp *http.Response) (proxyOutcome, string) {
 	if !s.started {
 		copyHeaders(s.w.Header(), resp.Header)
 		s.w.WriteHeader(resp.StatusCode)
@@ -329,6 +343,7 @@ func (s *sseRelay) relay(node *Node, resp *http.Response) (proxyOutcome, string)
 		// the node died between two events. The event just read is
 		// discarded — the replica re-sends it at the same position.
 		if ferr := s.inj.At(chaos.SiteSSE).Err; ferr != nil {
+			obs.AnnotateFault(ctx, string(chaos.SiteSSE), ferr)
 			return outcomeRetry, fmt.Sprintf("node %s: stream cut after %d events: %v", node.ID(), s.delivered, ferr)
 		}
 		done := strings.TrimSpace(strings.TrimPrefix(event, "data:")) == openai.DoneSentinel

@@ -1,9 +1,11 @@
 package cluster
 
 import (
+	"context"
 	"time"
 
 	"swapservellm/internal/core"
+	"swapservellm/internal/obs"
 )
 
 // rebalancer is the cluster's background snapshot-placement optimizer.
@@ -60,7 +62,7 @@ func (rb *rebalancer) run() {
 		case <-rb.stop:
 			return
 		case <-rb.c.clock.After(rb.interval):
-			rb.Sweep()
+			rb.Sweep(rb.c.traceCtx(context.Background()))
 		}
 	}
 }
@@ -82,11 +84,14 @@ func (rb *rebalancer) halt() {
 // when the sweep began; the Promote/Demote commit then re-validates
 // both ends against live state and aborts if either has since left
 // healthy.
-func (rb *rebalancer) Sweep() int {
+func (rb *rebalancer) Sweep(ctx context.Context) int {
 	rb.c.reg.Counter("rebalance_sweeps").Inc()
 	if rb.capBytes <= 0 {
 		return 0
 	}
+	ctx = rb.c.traceCtx(ctx)
+	ctx, span := obs.Start(ctx, "rebalance.sweep")
+	defer span.End()
 	snaps := make([]nodeSnap, 0)
 	for _, n := range rb.c.registry.Nodes() {
 		snaps = append(snaps, nodeSnap{
@@ -104,20 +109,21 @@ func (rb *rebalancer) Sweep() int {
 		if hot.hostUsed <= hi {
 			continue
 		}
-		if rb.migrateFrom(hot.node, snaps, hi) {
+		if rb.migrateFrom(ctx, hot.node, snaps, hi) {
 			migrated++
 		}
 	}
 	if migrated > 0 {
 		rb.c.reg.Counter("rebalance_migrations").Add(float64(migrated))
 	}
+	span.SetAttr(obs.Int("migrated", migrated))
 	return migrated
 }
 
 // migrateFrom moves one image's RAM residency off the hot node. It
 // walks the node's swapped-out, RAM-resident, idle backends from
 // coldest to warmest and takes the first with a willing destination.
-func (rb *rebalancer) migrateFrom(hot *Node, snaps []nodeSnap, hi int64) bool {
+func (rb *rebalancer) migrateFrom(ctx context.Context, hot *Node, snaps []nodeSnap, hi int64) bool {
 	for _, b := range coldestFirst(hot.Server()) {
 		dst, ok := rb.destinationFor(hot, snaps, b, hi)
 		if !ok {
@@ -138,12 +144,15 @@ func (rb *rebalancer) migrateFrom(hot *Node, snaps []nodeSnap, hi int64) bool {
 		}
 		// Promote the replica first: if it fails (raced past the headroom
 		// check), the hot node keeps its RAM copy and nothing is lost.
-		if err := dst.Server().Driver().Promote(db.Container().ID()); err != nil {
+		if err := dst.Server().Driver().Promote(ctx, db.Container().ID()); err != nil {
 			continue
 		}
-		if err := hot.Server().Driver().Demote(b.Container().ID()); err != nil {
+		if err := hot.Server().Driver().Demote(ctx, b.Container().ID()); err != nil {
 			continue
 		}
+		obs.AddEvent(ctx, "migrate",
+			obs.String("model", b.Name()),
+			obs.String("from", hot.ID()), obs.String("to", dst.ID()))
 		rb.c.reg.Counter("rebalance_promotions_" + dst.ID()).Inc()
 		rb.c.reg.Counter("rebalance_demotions_" + hot.ID()).Inc()
 		return true

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -37,7 +38,7 @@ func TestRebalancerMigratesColdSnapshot(t *testing.T) {
 
 	// Init leaves every backend swapped out with a RAM image; push
 	// node-b's replica to disk so it is a promotion candidate.
-	if err := drvB.Demote(bB1.Container().ID()); err != nil {
+	if err := drvB.Demote(context.Background(), bB1.Container().ID()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -46,7 +47,7 @@ func TestRebalancerMigratesColdSnapshot(t *testing.T) {
 	capBytes := drvA.HostUsed()
 	rb := newRebalancer(c, time.Second, 0.75, capBytes)
 
-	if got := rb.Sweep(); got != 1 {
+	if got := rb.Sweep(context.Background()); got != 1 {
 		t.Fatalf("first sweep migrated %d images, want 1", got)
 	}
 	// The smaller/colder 1b image moved: node-a now disk, node-b now RAM.
@@ -66,7 +67,7 @@ func TestRebalancerMigratesColdSnapshot(t *testing.T) {
 
 	// Node-a dropped below the high-water mark; a second sweep is a
 	// no-op.
-	if got := rb.Sweep(); got != 0 {
+	if got := rb.Sweep(context.Background()); got != 0 {
 		t.Fatalf("second sweep migrated %d images, want 0", got)
 	}
 
@@ -90,7 +91,7 @@ func TestRebalancerMigratesColdSnapshot(t *testing.T) {
 func TestRebalancerDisabledWithoutCap(t *testing.T) {
 	c := startCluster(t, twoNodeConfig("llama3.2:1b-fp16"), 5000)
 	rb := newRebalancer(c, time.Second, 0.75, 0)
-	if got := rb.Sweep(); got != 0 {
+	if got := rb.Sweep(context.Background()); got != 0 {
 		t.Fatalf("capless sweep migrated %d images", got)
 	}
 }
@@ -103,7 +104,7 @@ func TestRebalancerNeedsReplicaOnDisk(t *testing.T) {
 	c := startCluster(t, twoNodeConfig("llama3.2:1b-fp16"), 5000)
 	nodeA, _ := c.Node("node-a")
 	rb := newRebalancer(c, time.Second, 0.5, nodeA.Server().Driver().HostUsed())
-	if got := rb.Sweep(); got != 0 {
+	if got := rb.Sweep(context.Background()); got != 0 {
 		t.Fatalf("sweep migrated %d images without a disk-resident replica", got)
 	}
 }

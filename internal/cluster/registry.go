@@ -214,7 +214,7 @@ func (r *NodeRegistry) ReportFailure(id string) {
 func (r *NodeRegistry) Drain(id string) error {
 	n, ok := r.Node(id)
 	if !ok {
-		return fmt.Errorf("cluster: unknown node %q", id)
+		return fmt.Errorf("%w %q", ErrUnknownNode, id)
 	}
 	if n.State() == NodeHealthy {
 		n.transition(NodeDraining)
@@ -226,7 +226,7 @@ func (r *NodeRegistry) Drain(id string) error {
 func (r *NodeRegistry) Undrain(id string) error {
 	n, ok := r.Node(id)
 	if !ok {
-		return fmt.Errorf("cluster: unknown node %q", id)
+		return fmt.Errorf("%w %q", ErrUnknownNode, id)
 	}
 	if n.State() == NodeDraining {
 		n.transition(NodeHealthy)

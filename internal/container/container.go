@@ -20,6 +20,7 @@ import (
 	"swapservellm/internal/cgroup"
 	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/engine"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/simclock"
 )
@@ -198,7 +199,10 @@ func (rt *Runtime) Driver() *cudackpt.Driver { return rt.driver }
 
 // Create creates a container from spec: allocates an identity, a cgroup,
 // and the engine workload. The engine does not initialize until Start.
-func (rt *Runtime) Create(spec Spec) (*Container, error) {
+// ctx carries the active trace span.
+func (rt *Runtime) Create(ctx context.Context, spec Spec) (ctr *Container, err error) {
+	_, span := obs.Start(ctx, "ctr.create", obs.String("name", spec.Name))
+	defer func() { span.EndErr(err) }()
 	if spec.Name == "" {
 		return nil, errors.New("container: spec missing Name")
 	}
@@ -250,7 +254,9 @@ func (rt *Runtime) Create(spec Spec) (*Container, error) {
 // Start launches the container: publishes the engine API on a host port
 // and begins engine initialization in the background. Use WaitReady to
 // block until the engine is serving.
-func (rt *Runtime) Start(ctx context.Context, c *Container) error {
+func (rt *Runtime) Start(ctx context.Context, c *Container) (err error) {
+	_, span := obs.Start(ctx, "ctr.start", obs.String("id", c.ID()))
+	defer func() { span.EndErr(err) }()
 	c.mu.Lock()
 	// Only freshly created containers start: a stopped container's engine
 	// process is gone, so (as with `podman run --rm` workloads) it must
@@ -307,8 +313,11 @@ func (rt *Runtime) Start(ctx context.Context, c *Container) error {
 
 // Pause freezes the container's cgroup: the engine stops making
 // progress. The lifecycle state commits only after the freezer write
-// succeeds, so a failed freeze leaves the container Running.
-func (rt *Runtime) Pause(c *Container) error {
+// succeeds, so a failed freeze leaves the container Running. ctx
+// carries the active trace span.
+func (rt *Runtime) Pause(ctx context.Context, c *Container) (err error) {
+	ctx, span := obs.Start(ctx, "ctr.pause", obs.String("id", c.ID()))
+	defer func() { span.EndErr(err) }()
 	c.mu.Lock()
 	if c.state != StateRunning {
 		s := c.state
@@ -319,7 +328,7 @@ func (rt *Runtime) Pause(c *Container) error {
 	cg := c.cgPath
 	c.mu.Unlock()
 
-	if err := rt.freezer.Freeze(cg); err != nil {
+	if err := rt.freezer.Freeze(ctx, cg); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -333,7 +342,10 @@ func (rt *Runtime) Pause(c *Container) error {
 // Unpause thaws the container's cgroup. As with Pause, the state
 // commits only after the freezer write succeeds: a failed thaw leaves
 // the container Paused (and still frozen), so the caller can retry.
-func (rt *Runtime) Unpause(c *Container) error {
+// ctx carries the active trace span.
+func (rt *Runtime) Unpause(ctx context.Context, c *Container) (err error) {
+	ctx, span := obs.Start(ctx, "ctr.unpause", obs.String("id", c.ID()))
+	defer func() { span.EndErr(err) }()
 	c.mu.Lock()
 	if c.state != StatePaused {
 		s := c.state
@@ -344,7 +356,7 @@ func (rt *Runtime) Unpause(c *Container) error {
 	cg := c.cgPath
 	c.mu.Unlock()
 
-	if err := rt.freezer.Thaw(cg); err != nil {
+	if err := rt.freezer.Thaw(ctx, cg); err != nil {
 		return err
 	}
 	c.mu.Lock()
@@ -355,8 +367,11 @@ func (rt *Runtime) Unpause(c *Container) error {
 	return nil
 }
 
-// Stop terminates the container's workload and closes its published port.
-func (rt *Runtime) Stop(c *Container) error {
+// Stop terminates the container's workload and closes its published
+// port. ctx carries the active trace span.
+func (rt *Runtime) Stop(ctx context.Context, c *Container) (err error) {
+	ctx, span := obs.Start(ctx, "ctr.stop", obs.String("id", c.ID()))
+	defer func() { span.EndErr(err) }()
 	c.mu.Lock()
 	if c.state != StateRunning && c.state != StatePaused {
 		s := c.state
@@ -373,7 +388,7 @@ func (rt *Runtime) Stop(c *Container) error {
 	c.mu.Unlock()
 
 	if wasPaused {
-		rt.freezer.Thaw(cg)
+		rt.freezer.Thaw(ctx, cg)
 		eng.Gate().Resume()
 	}
 	rt.clock.Sleep(rt.testbed.ContainerStop)
@@ -429,12 +444,13 @@ func (rt *Runtime) List() []*Container {
 	return out
 }
 
-// Shutdown stops and removes every container.
+// Shutdown stops and removes every container. It always runs to
+// completion, so it uses a background context rather than taking one.
 func (rt *Runtime) Shutdown() {
 	for _, c := range rt.List() {
 		switch c.State() {
 		case StateRunning, StatePaused:
-			rt.Stop(c)
+			rt.Stop(context.Background(), c)
 		}
 		if s := c.State(); s == StateStopped || s == StateCreated {
 			rt.Remove(c)

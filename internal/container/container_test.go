@@ -66,7 +66,7 @@ func (r *rig) spec(t *testing.T, name, modelName string) Spec {
 // startReady creates, starts, and waits for a container.
 func (r *rig) startReady(t *testing.T, name, modelName string) *Container {
 	t.Helper()
-	c, err := r.rt.Create(r.spec(t, name, modelName))
+	c, err := r.rt.Create(context.Background(), r.spec(t, name, modelName))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,7 +83,7 @@ func (r *rig) startReady(t *testing.T, name, modelName string) *Container {
 
 func TestCreateAssignsIdentity(t *testing.T) {
 	r := newRig(t)
-	c, err := r.rt.Create(r.spec(t, "backend-a", "llama3.2:1b-fp16"))
+	c, err := r.rt.Create(context.Background(), r.spec(t, "backend-a", "llama3.2:1b-fp16"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,14 +101,14 @@ func TestCreateAssignsIdentity(t *testing.T) {
 
 func TestCreateValidation(t *testing.T) {
 	r := newRig(t)
-	if _, err := r.rt.Create(Spec{Name: "", Engine: func(string) (engine.Engine, error) { return nil, nil }}); err == nil {
+	if _, err := r.rt.Create(context.Background(), Spec{Name: "", Engine: func(string) (engine.Engine, error) { return nil, nil }}); err == nil {
 		t.Error("empty name accepted")
 	}
-	if _, err := r.rt.Create(Spec{Name: "x"}); err == nil {
+	if _, err := r.rt.Create(context.Background(), Spec{Name: "x"}); err == nil {
 		t.Error("missing engine factory accepted")
 	}
-	r.rt.Create(r.spec(t, "dup", "llama3.2:1b-fp16"))
-	if _, err := r.rt.Create(r.spec(t, "dup", "llama3.2:1b-fp16")); !errors.Is(err, ErrExists) {
+	r.rt.Create(context.Background(), r.spec(t, "dup", "llama3.2:1b-fp16"))
+	if _, err := r.rt.Create(context.Background(), r.spec(t, "dup", "llama3.2:1b-fp16")); !errors.Is(err, ErrExists) {
 		t.Errorf("duplicate name: %v", err)
 	}
 }
@@ -145,7 +145,7 @@ func TestStartRegistersWithDriver(t *testing.T) {
 
 func TestWaitReadyBeforeStart(t *testing.T) {
 	r := newRig(t)
-	c, _ := r.rt.Create(r.spec(t, "pre", "llama3.2:1b-fp16"))
+	c, _ := r.rt.Create(context.Background(), r.spec(t, "pre", "llama3.2:1b-fp16"))
 	if err := c.WaitReady(context.Background()); !errors.Is(err, ErrBadState) {
 		t.Fatalf("WaitReady before start: %v", err)
 	}
@@ -154,7 +154,7 @@ func TestWaitReadyBeforeStart(t *testing.T) {
 func TestPauseBlocksServing(t *testing.T) {
 	r := newRig(t)
 	c := r.startReady(t, "backend-p", "llama3.2:1b-fp16")
-	if err := r.rt.Pause(c); err != nil {
+	if err := r.rt.Pause(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if c.State() != StatePaused {
@@ -183,7 +183,7 @@ func TestPauseBlocksServing(t *testing.T) {
 		t.Fatalf("request against paused container returned: %v", err)
 	case <-time.After(50 * time.Millisecond):
 	}
-	if err := r.rt.Unpause(c); err != nil {
+	if err := r.rt.Unpause(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -198,21 +198,21 @@ func TestPauseBlocksServing(t *testing.T) {
 
 func TestPauseStateMachine(t *testing.T) {
 	r := newRig(t)
-	c, _ := r.rt.Create(r.spec(t, "sm", "llama3.2:1b-fp16"))
-	if err := r.rt.Pause(c); !errors.Is(err, ErrBadState) {
+	c, _ := r.rt.Create(context.Background(), r.spec(t, "sm", "llama3.2:1b-fp16"))
+	if err := r.rt.Pause(context.Background(), c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("pause created container: %v", err)
 	}
-	if err := r.rt.Unpause(c); !errors.Is(err, ErrBadState) {
+	if err := r.rt.Unpause(context.Background(), c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("unpause created container: %v", err)
 	}
 	r.rt.Start(context.Background(), c)
 	c.WaitReady(context.Background())
-	r.rt.Pause(c)
-	if err := r.rt.Pause(c); !errors.Is(err, ErrBadState) {
+	r.rt.Pause(context.Background(), c)
+	if err := r.rt.Pause(context.Background(), c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("double pause: %v", err)
 	}
-	r.rt.Unpause(c)
-	if err := r.rt.Unpause(c); !errors.Is(err, ErrBadState) {
+	r.rt.Unpause(context.Background(), c)
+	if err := r.rt.Unpause(context.Background(), c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("double unpause: %v", err)
 	}
 }
@@ -223,7 +223,7 @@ func TestStopReleasesResources(t *testing.T) {
 	if r.device.Used() == 0 {
 		t.Fatal("expected GPU usage while running")
 	}
-	if err := r.rt.Stop(c); err != nil {
+	if err := r.rt.Stop(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if c.State() != StateStopped {
@@ -241,8 +241,8 @@ func TestStopReleasesResources(t *testing.T) {
 func TestStopPausedContainer(t *testing.T) {
 	r := newRig(t)
 	c := r.startReady(t, "backend-sp", "llama3.2:1b-fp16")
-	r.rt.Pause(c)
-	if err := r.rt.Stop(c); err != nil {
+	r.rt.Pause(context.Background(), c)
+	if err := r.rt.Stop(context.Background(), c); err != nil {
 		t.Fatal(err)
 	}
 	if c.State() != StateStopped {
@@ -256,7 +256,7 @@ func TestRemove(t *testing.T) {
 	if err := r.rt.Remove(c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("remove running container: %v", err)
 	}
-	r.rt.Stop(c)
+	r.rt.Stop(context.Background(), c)
 	if err := r.rt.Remove(c); err != nil {
 		t.Fatal(err)
 	}
@@ -271,8 +271,8 @@ func TestRemove(t *testing.T) {
 
 func TestGetAndList(t *testing.T) {
 	r := newRig(t)
-	r.rt.Create(r.spec(t, "zeta", "llama3.2:1b-fp16"))
-	r.rt.Create(r.spec(t, "alpha", "deepseek-r1:1.5b-q4"))
+	r.rt.Create(context.Background(), r.spec(t, "zeta", "llama3.2:1b-fp16"))
+	r.rt.Create(context.Background(), r.spec(t, "alpha", "deepseek-r1:1.5b-q4"))
 	list := r.rt.List()
 	if len(list) != 2 || list[0].Name() != "alpha" || list[1].Name() != "zeta" {
 		t.Fatalf("List = %v", list)
@@ -302,7 +302,7 @@ func TestShutdownStopsEverything(t *testing.T) {
 	r := newRig(t)
 	r.startReady(t, "a", "llama3.2:1b-fp16")
 	b := r.startReady(t, "b", "deepseek-r1:1.5b-q4")
-	r.rt.Pause(b)
+	r.rt.Pause(context.Background(), b)
 	r.rt.Shutdown()
 	if len(r.rt.List()) != 0 {
 		t.Fatalf("containers remain after shutdown: %v", r.rt.List())
@@ -314,7 +314,7 @@ func TestShutdownStopsEverything(t *testing.T) {
 
 func TestStartTakesSimulatedTime(t *testing.T) {
 	r := newRig(t)
-	c, _ := r.rt.Create(r.spec(t, "timing", "llama3.2:1b-fp16"))
+	c, _ := r.rt.Create(context.Background(), r.spec(t, "timing", "llama3.2:1b-fp16"))
 	t0 := r.clock.Now()
 	r.rt.Start(context.Background(), c)
 	c.WaitReady(context.Background())
@@ -329,7 +329,7 @@ func TestEngineInitFailureSurfaced(t *testing.T) {
 	r := newRig(t)
 	// Fill the GPU so init fails with OOM.
 	r.device.Alloc("squatter", 79*(int64(1)<<30))
-	c, err := r.rt.Create(r.spec(t, "oom", "deepseek-r1:14b-fp16"))
+	c, err := r.rt.Create(context.Background(), r.spec(t, "oom", "deepseek-r1:14b-fp16"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestStoppedContainerCannotRestart(t *testing.T) {
 	// remove and recreate instead.
 	r := newRig(t)
 	c := r.startReady(t, "norestart", "llama3.2:1b-fp16")
-	r.rt.Stop(c)
+	r.rt.Stop(context.Background(), c)
 	if err := r.rt.Start(context.Background(), c); !errors.Is(err, ErrBadState) {
 		t.Fatalf("restart of stopped container: %v", err)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +10,7 @@ import (
 	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/engine"
 	"swapservellm/internal/metrics"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/openai"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/retry"
@@ -29,6 +29,7 @@ type Controller struct {
 	tm      *TaskManager
 	policy  PreemptionPolicy
 	reg     *metrics.Registry
+	tracer  *obs.Tracer
 
 	// backends enumerates swap candidates; installed by the server.
 	mu       sync.Mutex
@@ -46,26 +47,86 @@ type Controller struct {
 	pipelined bool
 }
 
-// NewController builds a controller. The server registers backends as it
+// ControllerOption configures a Controller at construction.
+type ControllerOption func(*Controller)
+
+// WithTestbed sets the calibrated hardware profile the controller times
+// operations against.
+func WithTestbed(tb perfmodel.Testbed) ControllerOption {
+	return func(ct *Controller) { ct.testbed = tb }
+}
+
+// WithRuntime sets the container runtime the controller drives.
+func WithRuntime(rt *container.Runtime) ControllerOption {
+	return func(ct *Controller) { ct.rt = rt }
+}
+
+// WithTaskManager sets the GPU-memory reservation manager.
+func WithTaskManager(tm *TaskManager) ControllerOption {
+	return func(ct *Controller) { ct.tm = tm }
+}
+
+// WithPolicy sets the preemption policy (default DemandAwarePolicy).
+func WithPolicy(p PreemptionPolicy) ControllerOption {
+	return func(ct *Controller) {
+		if p != nil {
+			ct.policy = p
+		}
+	}
+}
+
+// WithRegistry sets the metrics registry (default: a fresh one).
+func WithRegistry(reg *metrics.Registry) ControllerOption {
+	return func(ct *Controller) {
+		if reg != nil {
+			ct.reg = reg
+		}
+	}
+}
+
+// WithTracer sets the swap-lifecycle tracer. Swap operations entered
+// with a context that carries no tracer are recorded against this one,
+// so admin-triggered and reaper-triggered swaps appear in /debug/trace
+// alongside request-triggered ones.
+func WithTracer(tr *obs.Tracer) ControllerOption {
+	return func(ct *Controller) { ct.tracer = tr }
+}
+
+// NewController builds a controller from its clock plus functional
+// options — the dependency set grew past the point where positional
+// parameters stayed readable. The server registers backends as it
 // creates them.
-func NewController(clock simclock.Clock, tb perfmodel.Testbed, rt *container.Runtime,
-	tm *TaskManager, policy PreemptionPolicy, reg *metrics.Registry) *Controller {
-	if policy == nil {
-		policy = DemandAwarePolicy{}
-	}
-	if reg == nil {
-		reg = metrics.NewRegistry()
-	}
-	return &Controller{
+func NewController(clock simclock.Clock, opts ...ControllerOption) *Controller {
+	ct := &Controller{
 		clock:       clock,
-		testbed:     tb,
-		rt:          rt,
-		tm:          tm,
-		policy:      policy,
-		reg:         reg,
+		policy:      DemandAwarePolicy{},
+		reg:         metrics.NewRegistry(),
 		backends:    make(map[string]*Backend),
 		evictSerial: make(map[int]*sync.Mutex),
 	}
+	for _, opt := range opts {
+		opt(ct)
+	}
+	return ct
+}
+
+// NewControllerDeps is the positional compatibility constructor kept
+// for tests that predate the options API. New code should use
+// NewController with options.
+func NewControllerDeps(clock simclock.Clock, tb perfmodel.Testbed, rt *container.Runtime,
+	tm *TaskManager, policy PreemptionPolicy, reg *metrics.Registry) *Controller {
+	return NewController(clock,
+		WithTestbed(tb), WithRuntime(rt), WithTaskManager(tm),
+		WithPolicy(policy), WithRegistry(reg))
+}
+
+// traceCtx installs the controller's configured tracer on ctx when the
+// caller did not bring one, so every swap entry point is traceable.
+func (ct *Controller) traceCtx(ctx context.Context) context.Context {
+	if ct.tracer != nil && obs.TracerFrom(ctx) == nil {
+		return obs.WithTracer(ctx, ct.tracer)
+	}
+	return ctx
 }
 
 // SetPipelined selects between the sequential swap path (checkpoint the
@@ -111,7 +172,10 @@ func (ct *Controller) Policy() PreemptionPolicy { return ct.policy }
 // it against new requests, drain in-flight ones, apply the sleep-mode
 // optimization when available, freeze the container's cgroup, and create
 // the in-memory GPU snapshot, freeing device capacity.
-func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
+func (ct *Controller) SwapOut(ctx context.Context, b *Backend) (err error) {
+	ctx = ct.traceCtx(ctx)
+	ctx, span := obs.Start(ctx, "swap.out", obs.String("model", b.name))
+	defer func() { span.EndErr(err) }()
 	// The write lock stops workers from forwarding new requests (§3.5).
 	b.evictMu.Lock()
 	defer b.evictMu.Unlock()
@@ -143,19 +207,21 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) error {
 	}
 
 	// Freeze CPU execution, then checkpoint the GPU state.
-	if err := ct.rt.Pause(b.ctr); err != nil {
+	if err := ct.rt.Pause(ctx, b.ctr); err != nil {
 		ct.wakeIfSlept(ctx, b, eng)
 		b.setState(BackendRunning)
 		return fmt.Errorf("core: pausing container: %w", err)
 	}
 	t0 := ct.clock.Now()
-	saved, err := ct.rt.Driver().Suspend(b.ctr.ID())
+	saved, err := ct.rt.Driver().Suspend(ctx, b.ctr.ID())
 	if err != nil {
 		// Roll back to a serving backend: thaw the container (retrying
 		// past transient faults) and undo the sleep-mode offload. A thaw
 		// that keeps failing leaves the engine frozen, so the backend is
-		// unusable and must be marked failed rather than Running.
-		if uerr := retryTransient(func() error { return ct.rt.Unpause(b.ctr) }); uerr != nil {
+		// unusable and must be marked failed rather than Running. The
+		// rollback runs even when ctx was the cause of the abort.
+		rbCtx := context.WithoutCancel(ctx)
+		if uerr := retryTransient(func() error { return ct.rt.Unpause(rbCtx, b.ctr) }); uerr != nil {
 			b.setState(BackendFailed)
 			return fmt.Errorf("core: checkpointing GPU state: %w (rollback thaw failed: %w)", err, uerr)
 		}
@@ -186,7 +252,10 @@ func (ct *Controller) drain(ctx context.Context, b *Backend) error {
 // from the host snapshot, thaw the cgroup, apply the engine wake-up, and
 // verify the engine API is live. The caller must hold a memory
 // reservation covering RequiredBytes.
-func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
+func (ct *Controller) SwapIn(ctx context.Context, b *Backend) (err error) {
+	ctx = ct.traceCtx(ctx)
+	ctx, span := obs.Start(ctx, "swap.in", obs.String("model", b.name))
+	defer func() { span.EndErr(err) }()
 	if s := b.State(); s != BackendSwappedOut {
 		return fmt.Errorf("core: swap-in of backend %s in state %v", b.name, s)
 	}
@@ -194,19 +263,19 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 	t0 := ct.clock.Now()
 
 	// Restore device state and resume the CUDA process.
-	if err := ct.rt.Driver().Resume(b.ctr.ID()); err != nil {
-		return ct.failBack(b, "restoring GPU state", err)
+	if err := ct.rt.Driver().Resume(ctx, b.ctr.ID()); err != nil {
+		return ct.failBack(ctx, b, "restoring GPU state", err)
 	}
 	// Thaw the container. A failed thaw leaves it paused, so retrying is
 	// safe and far cheaper than rolling the whole restore back.
-	if err := retryTransient(func() error { return ct.rt.Unpause(b.ctr) }); err != nil {
-		return ct.failBack(b, "unpausing container", err)
+	if err := retryTransient(func() error { return ct.rt.Unpause(ctx, b.ctr) }); err != nil {
+		return ct.failBack(ctx, b, "unpausing container", err)
 	}
 	// Engine-specific wake-up after a sleep-mode swap-out.
 	if b.sleepUsed.Load() {
 		if sleeper, ok := b.ctr.Engine().(engine.Sleeper); ok {
 			if err := sleeper.Wake(ctx); err != nil {
-				return ct.failBack(b, "waking engine", err)
+				return ct.failBack(ctx, b, "waking engine", err)
 			}
 		}
 		b.sleepUsed.Store(false)
@@ -214,7 +283,7 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 	// Engine resume overhead (API liveness verification, §3.3 ⑩).
 	ct.clock.Sleep(perfmodel.EngineResumeOverhead(b.engine))
 	if err := ct.verifyAPI(ctx, b); err != nil {
-		return ct.failBack(b, "engine API not live after swap-in", err)
+		return ct.failBack(ctx, b, "engine API not live after swap-in", err)
 	}
 
 	ct.reg.Histogram("swap_in_latency").Observe(ct.clock.Since(t0))
@@ -232,8 +301,12 @@ func (ct *Controller) SwapIn(ctx context.Context, b *Backend) error {
 // resumed but a later step failed) — each needs a different path back
 // to Checkpointed. The rollback is what keeps the system's two views
 // consistent: a backend reported SwappedOut must have its image in host
-// memory, not its state on the device.
-func (ct *Controller) failBack(b *Backend, stage string, cause error) error {
+// memory, not its state on the device. The rollback ignores ctx's
+// cancellation (it must run precisely when ctx is what failed the
+// swap-in) but keeps its trace span, so aborted swaps show their
+// rollback steps.
+func (ct *Controller) failBack(ctx context.Context, b *Backend, stage string, cause error) error {
+	rbCtx := context.WithoutCancel(ctx)
 	id := b.ctr.ID()
 	st, serr := ct.rt.Driver().State(id)
 	var rbErr error
@@ -245,17 +318,17 @@ func (ct *Controller) failBack(b *Backend, stage string, cause error) error {
 			// Nothing moved; already consistent.
 		case cudackpt.StateLocked:
 			rbErr = retryTransient(func() error {
-				_, err := ct.rt.Driver().Checkpoint(id)
+				_, err := ct.rt.Driver().Checkpoint(rbCtx, id)
 				return err
 			})
 		case cudackpt.StateRunning:
 			// Refreeze the CPU side if it was thawed, then re-suspend.
 			if b.ctr.State() == container.StateRunning {
-				rbErr = retryTransient(func() error { return ct.rt.Pause(b.ctr) })
+				rbErr = retryTransient(func() error { return ct.rt.Pause(rbCtx, b.ctr) })
 			}
 			if rbErr == nil {
 				rbErr = retryTransient(func() error {
-					_, err := ct.rt.Driver().Suspend(id)
+					_, err := ct.rt.Driver().Suspend(rbCtx, id)
 					return err
 				})
 			}
@@ -355,6 +428,3 @@ func backendOnGPU(b *Backend, gpuID int) bool {
 	}
 	return false
 }
-
-// errBackendFailed marks permanently failed backends.
-var errBackendFailed = errors.New("core: backend failed to initialize")

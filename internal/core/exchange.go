@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"swapservellm/internal/engine"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 )
 
@@ -23,11 +24,17 @@ import (
 // via SetPipelined and the sequential swap-out-then-swap-in baseline
 // otherwise. The reported "swap_exchange_latency" histogram measures
 // victim swap-out start to target serving.
-func (ct *Controller) SwapExchange(ctx context.Context, victim, target *Backend) error {
+func (ct *Controller) SwapExchange(ctx context.Context, victim, target *Backend) (err error) {
 	if victim == target || victim.name == target.name {
 		return fmt.Errorf("core: swap-exchange of %s with itself", victim.name)
 	}
-	if ct.Pipelined() {
+	ctx = ct.traceCtx(ctx)
+	pipelined := ct.Pipelined()
+	ctx, span := obs.Start(ctx, "swap.exchange",
+		obs.String("victim", victim.name), obs.String("target", target.name),
+		obs.Bool("pipelined", pipelined))
+	defer func() { span.EndErr(err) }()
+	if pipelined {
 		return ct.swapExchangePipelined(ctx, victim, target)
 	}
 	return ct.swapExchangeSequential(ctx, victim, target)
@@ -93,7 +100,7 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 			victim.sleepUsed.Store(true)
 		}
 	}
-	if err := ct.rt.Pause(victim.ctr); err != nil {
+	if err := ct.rt.Pause(ctx, victim.ctr); err != nil {
 		ct.wakeIfSlept(ctx, victim, eng)
 		victim.setState(BackendRunning)
 		return fmt.Errorf("core: pausing container: %w", err)
@@ -101,7 +108,7 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 
 	target.setState(BackendSwapping)
 	perDevice := target.RequiredBytes() / int64(len(target.gpus))
-	barrier, err := ct.tm.ReserveAsync(target.gpus, perDevice, target.name)
+	barrier, err := ct.tm.ReserveAsync(ctx, target.gpus, perDevice, target.name)
 	if err != nil {
 		ct.recoverVictim(ctx, victim, eng)
 		target.setState(BackendSwappedOut)
@@ -120,7 +127,7 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 	}
 	suspended := make(chan suspendResult, 1)
 	go func() {
-		saved, serr := ct.rt.Driver().Suspend(victim.ctr.ID())
+		saved, serr := ct.rt.Driver().Suspend(ctx, victim.ctr.ID())
 		if serr != nil {
 			cancel()
 		}
@@ -129,7 +136,10 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 
 	restoreErr := ct.rt.Driver().RestoreWait(rctx, target.ctr.ID())
 	if restoreErr == nil {
-		restoreErr = retryTransient(func() error { return ct.rt.Driver().Unlock(target.ctr.ID()) })
+		// The restore landed; the unlock must not be skipped by a
+		// cancellation arriving now.
+		ulCtx := context.WithoutCancel(ctx)
+		restoreErr = retryTransient(func() error { return ct.rt.Driver().Unlock(ulCtx, target.ctr.ID()) })
 	}
 	sres := <-suspended
 
@@ -151,7 +161,7 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 	// Checkpointed (or left it Locked after an unlock failure), so
 	// failBack restores the SwappedOut contract.
 	if restoreErr != nil {
-		ferr := ct.failBack(target, "restoring GPU state", restoreErr)
+		ferr := ct.failBack(ctx, target, "restoring GPU state", restoreErr)
 		if victimErr != nil {
 			// The victim's failure is the root cause; the restore only
 			// aborted because the exchange cancelled it.
@@ -159,20 +169,20 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 		}
 		return ferr
 	}
-	if err := retryTransient(func() error { return ct.rt.Unpause(target.ctr) }); err != nil {
-		return ct.failBack(target, "unpausing container", err)
+	if err := retryTransient(func() error { return ct.rt.Unpause(ctx, target.ctr) }); err != nil {
+		return ct.failBack(ctx, target, "unpausing container", err)
 	}
 	if target.sleepUsed.Load() {
 		if sleeper, ok := target.ctr.Engine().(engine.Sleeper); ok {
 			if err := sleeper.Wake(ctx); err != nil {
-				return ct.failBack(target, "waking engine", err)
+				return ct.failBack(ctx, target, "waking engine", err)
 			}
 		}
 		target.sleepUsed.Store(false)
 	}
 	ct.clock.Sleep(perfmodel.EngineResumeOverhead(target.engine))
 	if err := ct.verifyAPI(ctx, target); err != nil {
-		return ct.failBack(target, "engine API not live after swap-in", err)
+		return ct.failBack(ctx, target, "engine API not live after swap-in", err)
 	}
 	target.lastReady.Store(ct.clock.Now().UnixNano())
 	target.setState(BackendRunning)
@@ -192,9 +202,11 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 // recoverVictim thaws a frozen victim back to a serving state after a
 // failed exchange, reporting whether the thaw succeeded. A thaw that
 // keeps failing leaves the engine frozen, so the backend is marked
-// failed.
+// failed. The thaw ignores ctx's cancellation — it is the rollback of
+// an exchange ctx may have aborted — but keeps the trace span.
 func (ct *Controller) recoverVictim(ctx context.Context, victim *Backend, eng engine.Engine) bool {
-	if err := retryTransient(func() error { return ct.rt.Unpause(victim.ctr) }); err != nil {
+	rbCtx := context.WithoutCancel(ctx)
+	if err := retryTransient(func() error { return ct.rt.Unpause(rbCtx, victim.ctr) }); err != nil {
 		victim.setState(BackendFailed)
 		return false
 	}

@@ -298,7 +298,7 @@ func TestIncrementalGrantBeforeCheckpointFinishes(t *testing.T) {
 
 	suspended := make(chan error, 1)
 	go func() {
-		_, err := drv.Suspend("victim")
+		_, err := drv.Suspend(context.Background(), "victim")
 		suspended <- err
 	}()
 
@@ -365,7 +365,7 @@ func TestReserveAsyncBarrier(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	ar, err := tm.ReserveAsync([]int{0}, 40*gib, "t")
+	ar, err := tm.ReserveAsync(context.Background(), []int{0}, 40*gib, "t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -413,7 +413,7 @@ func TestReserveAsyncReleaseReturnsPartialClaims(t *testing.T) {
 	if err := dev.Alloc("squatter", 80*gib); err != nil {
 		t.Fatal(err)
 	}
-	ar, err := tm.ReserveAsync([]int{0}, 40*gib, "t")
+	ar, err := tm.ReserveAsync(context.Background(), []int{0}, 40*gib, "t")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strings"
 
+	"swapservellm/internal/obs"
 	"swapservellm/internal/openai"
 )
 
@@ -34,6 +35,7 @@ func (rt *router) handler() http.Handler {
 	mux.HandleFunc("/admin/swap-out", rt.auth(rt.adminSwap(false)))
 	mux.HandleFunc("/metrics", rt.auth(rt.metricsProm))
 	mux.HandleFunc("/metrics.csv", rt.auth(rt.metricsCSV))
+	mux.Handle("/debug/trace", rt.s.tracer.Handler())
 	return mux
 }
 
@@ -122,7 +124,11 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	rt.s.reg.Counter("requests_total").Inc()
 	rt.s.reg.Counter("requests_" + b.name).Inc()
 
-	ctx := r.Context()
+	ctx := rt.s.traceCtx(r.Context())
+	var span *obs.Span
+	ctx, span = obs.Start(ctx, "request",
+		obs.String("model", model), obs.String("path", path))
+	defer span.End()
 	if timeout := rt.s.cfg.ResponseTimeout(); timeout > 0 {
 		// The response timeout is expressed in simulated seconds; convert
 		// to wall time via the clock scale for the context deadline.
@@ -140,6 +146,7 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	case b.queue <- item:
 	default:
 		rt.s.reg.Counter("rejected_queue_full").Inc()
+		span.Fail(fmt.Errorf("queue full"))
 		openai.WriteError(w, http.StatusTooManyRequests, "queue_full",
 			fmt.Sprintf("request queue for %q is full", model))
 		return
@@ -147,11 +154,13 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 
 	select {
 	case <-ctx.Done():
+		span.Fail(ctx.Err())
 		openai.WriteError(w, http.StatusGatewayTimeout, "timeout", "request timed out or was cancelled")
 		return
 	case res := <-item.result:
 		if res.err != nil {
 			rt.s.reg.Counter("forward_errors").Inc()
+			span.Fail(res.err)
 			openai.WriteError(w, http.StatusBadGateway, "backend_error", res.err.Error())
 			return
 		}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swapservellm/internal/metrics"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -31,10 +32,12 @@ func NewScheduler(clock simclock.Clock, tm *TaskManager, ctrl *Controller, reg *
 // running, otherwise a full swap-in with memory reservation. Concurrent
 // calls for the same backend collapse onto one swap-in (per-model
 // synchronization, §4.1).
-func (s *Scheduler) EnsureRunning(ctx context.Context, b *Backend) error {
+func (s *Scheduler) EnsureRunning(ctx context.Context, b *Backend) (err error) {
 	if b.State() == BackendRunning {
 		return nil
 	}
+	ctx, span := obs.Start(ctx, "ensure.running", obs.String("model", b.name))
+	defer func() { span.EndErr(err) }()
 	b.swapMu.Lock()
 	defer b.swapMu.Unlock()
 	// A reaper- or preemption-initiated swap-out may be mid-flight; wait
@@ -60,17 +63,14 @@ func (s *Scheduler) EnsureRunning(ctx context.Context, b *Backend) error {
 	// RequiredBytes is the backend's total footprint; tensor-parallel
 	// backends need an even share on each device of their topology.
 	perDevice := b.RequiredBytes() / int64(len(b.gpus))
-	res, err := s.tm.Reserve(ctx, b.gpus, perDevice, b.name)
-	if err != nil {
-		return fmt.Errorf("core: reserving %d bytes for %s: %w", b.RequiredBytes(), b.name, err)
+	res, rerr := s.tm.Reserve(ctx, b.gpus, perDevice, b.name)
+	if rerr != nil {
+		return fmt.Errorf("core: reserving %d bytes for %s: %w", b.RequiredBytes(), b.name, rerr)
 	}
 	s.reg.Histogram("reservation_wait").Observe(s.clock.Since(t0))
 	// The reservation's headroom is handed back once the restore's real
 	// allocation has landed (scoped acquire-release, §6).
 	defer res.Release()
 
-	if err := s.ctrl.SwapIn(ctx, b); err != nil {
-		return err
-	}
-	return nil
+	return s.ctrl.SwapIn(ctx, b)
 }

@@ -17,6 +17,7 @@ import (
 	"swapservellm/internal/gpu"
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/models"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/simclock"
 	"swapservellm/internal/storage"
@@ -47,6 +48,10 @@ type Options struct {
 	// Trace, when set, receives the driver's state-transition audit log
 	// for invariant checking.
 	Trace *chaos.Trace
+	// Tracer, when set, records swap-lifecycle spans; requests and swaps
+	// started under this server install it on their contexts. Exported at
+	// /debug/trace as Chrome trace_event JSON.
+	Tracer *obs.Tracer
 }
 
 // Server is the assembled SwapServeLLM deployment: substrates, backends,
@@ -56,6 +61,7 @@ type Server struct {
 	clock   simclock.Clock
 	testbed perfmodel.Testbed
 	reg     *metrics.Registry
+	tracer  *obs.Tracer
 
 	topo    *gpu.Topology
 	freezer *cgroup.Freezer
@@ -133,8 +139,20 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 		driver.SetTrace(opts.Trace)
 	}
 
+	tracer := opts.Tracer
+	if tracer != nil {
+		tracer.SetRegistry(reg)
+	}
+
 	tm := NewTaskManager(clock, topo)
-	ctrl := NewController(clock, tb, rt, tm, opts.Policy, reg)
+	ctrl := NewController(clock,
+		WithTestbed(tb),
+		WithRuntime(rt),
+		WithTaskManager(tm),
+		WithPolicy(opts.Policy),
+		WithRegistry(reg),
+		WithTracer(tracer),
+	)
 	ctrl.SetPipelined(cfg.Global.PipelinedSwap)
 	tm.SetEvictor(ctrl)
 	sched := NewScheduler(clock, tm, ctrl, reg)
@@ -152,6 +170,7 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 		clock:    clock,
 		testbed:  tb,
 		reg:      reg,
+		tracer:   tracer,
 		topo:     topo,
 		freezer:  freezer,
 		driver:   driver,
@@ -173,6 +192,19 @@ func (s *Server) Clock() simclock.Clock { return s.clock }
 
 // Registry returns the metrics registry.
 func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Tracer returns the lifecycle tracer (nil when tracing is off).
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// traceCtx installs the server's tracer on ctx so spans started below
+// (scheduler, controller, driver) are recorded. A no-op without a
+// tracer or when ctx already carries one.
+func (s *Server) traceCtx(ctx context.Context) context.Context {
+	if s.tracer == nil || obs.TracerFrom(ctx) != nil {
+		return ctx
+	}
+	return obs.WithTracer(ctx, s.tracer)
+}
 
 // Testbed returns the hardware profile.
 func (s *Server) Testbed() perfmodel.Testbed { return s.testbed }
@@ -227,6 +259,7 @@ func (s *Server) Backends() []*Backend {
 // initialization, snapshot the GPU state, and leave each backend paused
 // (unless keep-warm). Then the request handler and router begin serving.
 func (s *Server) Start(ctx context.Context) error {
+	ctx = s.traceCtx(ctx)
 	s.mu.Lock()
 	if s.started {
 		s.mu.Unlock()
@@ -321,7 +354,7 @@ func (s *Server) initBackend(ctx context.Context, mc *config.Model) error {
 			})
 		},
 	}
-	ctr, err := s.rt.Create(spec)
+	ctr, err := s.rt.Create(ctx, spec)
 	if err != nil {
 		return err
 	}

@@ -3,13 +3,13 @@ package core
 import (
 	"container/heap"
 	"context"
-	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"time"
 
 	"swapservellm/internal/gpu"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -22,10 +22,6 @@ type Evictor interface {
 	// nothing is evictable.
 	EvictOne(ctx context.Context, gpuID int, exclude map[string]bool) (freed int64, ok bool)
 }
-
-// ErrNoCapacity is returned when a reservation can never be satisfied:
-// the request exceeds device capacity.
-var ErrNoCapacity = errors.New("core: reservation exceeds device capacity")
 
 // Reservation is a granted claim on GPU memory with scoped
 // acquire-release semantics (§6): the holder performs its swap-in, the
@@ -157,7 +153,10 @@ func (tm *TaskManager) PendingCount() int {
 // blocks — preempting running backends when needed — until the claim is
 // granted, the context is cancelled, or the claim is impossible.
 // owner names the requesting backend so preemption excludes it.
-func (tm *TaskManager) Reserve(ctx context.Context, gpus []int, bytes int64, owner string) (*Reservation, error) {
+func (tm *TaskManager) Reserve(ctx context.Context, gpus []int, bytes int64, owner string) (res *Reservation, err error) {
+	ctx, span := obs.Start(ctx, "reserve",
+		obs.String("owner", owner), obs.Int64("bytes", bytes))
+	defer func() { span.EndErr(err) }()
 	if bytes < 0 {
 		return nil, fmt.Errorf("core: negative reservation %d", bytes)
 	}
@@ -440,7 +439,12 @@ func (a *AsyncReservation) Release() {
 // handle; no preemption loop is spawned. The claim participates in the
 // normal FIFO grant order and accrues freed capacity incrementally like
 // any other waiter. The caller must Release it exactly as with Reserve.
-func (tm *TaskManager) ReserveAsync(gpus []int, bytes int64, owner string) (*AsyncReservation, error) {
+// ctx carries the active trace span (the enqueue is recorded as an
+// event on it); the handle itself does not block, so cancellation is
+// the caller's to honor via Release.
+func (tm *TaskManager) ReserveAsync(ctx context.Context, gpus []int, bytes int64, owner string) (*AsyncReservation, error) {
+	obs.AddEvent(ctx, "reserve.enqueue",
+		obs.String("owner", owner), obs.Int64("bytes", bytes))
 	if bytes < 0 {
 		return nil, fmt.Errorf("core: negative reservation %d", bytes)
 	}

@@ -1,10 +1,12 @@
 package cudackpt
 
 import (
+	"context"
 	"math"
 	"time"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/retry"
 )
@@ -122,10 +124,12 @@ func (d *Driver) sleepContended(links []*perfmodel.PCIeLink, dir perfmodel.Direc
 
 // chunkFault consults the per-chunk fault site, retrying a bounded
 // number of times. A failed attempt burned its transfer time before the
-// fault surfaced, so each retry recharges the chunk's share. Returns
-// the last fault when retries are exhausted — the caller aborts the
-// transfer and rolls back.
-func (d *Driver) chunkFault(links []*perfmodel.PCIeLink, dir perfmodel.Direction, share time.Duration) error {
+// fault surfaced, so each retry recharges the chunk's share. Every
+// injected firing is annotated onto ctx's active span so the trace
+// shows the retries, not just the final abort. Returns the last fault
+// when retries are exhausted — the caller aborts the transfer and rolls
+// back.
+func (d *Driver) chunkFault(ctx context.Context, links []*perfmodel.PCIeLink, dir perfmodel.Direction, share time.Duration) error {
 	for attempt := 0; ; attempt++ {
 		d.mu.Lock()
 		err := d.takeFaultLocked(chaos.SiteCkptChunk)
@@ -133,6 +137,7 @@ func (d *Driver) chunkFault(links []*perfmodel.PCIeLink, dir perfmodel.Direction
 		if err == nil {
 			return nil
 		}
+		obs.AnnotateFault(ctx, string(chaos.SiteCkptChunk), err)
 		if attempt+1 >= chunkFaultRetries {
 			return err
 		}

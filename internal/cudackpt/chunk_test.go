@@ -51,10 +51,10 @@ func TestChunkedAccountingBalancedAtEveryBoundary(t *testing.T) {
 		}
 	})
 
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -87,10 +87,10 @@ func TestMonolithicChunkSizeMatchesChunkedTiming(t *testing.T) {
 		events := 0
 		d.OnChunk(func(ChunkEvent) { events++ })
 		start := clock.Now()
-		if _, err := d.Suspend("p"); err != nil {
+		if _, err := d.Suspend(context.Background(), "p"); err != nil {
 			t.Fatal(err)
 		}
-		if err := d.Resume("p"); err != nil {
+		if err := d.Resume(context.Background(), "p"); err != nil {
 			t.Fatal(err)
 		}
 		return clock.Now().Sub(start), events
@@ -127,7 +127,7 @@ func TestChunkFaultAbortsCheckpoint(t *testing.T) {
 	d.SetChaos(chaos.NewInjector(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
 		{Site: chaos.SiteCkptChunk, P: 1},
 	}}))
-	_, err := d.Suspend("p")
+	_, err := d.Suspend(context.Background(), "p")
 	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Suspend = %v, want injected chunk fault", err)
 	}
@@ -156,7 +156,7 @@ func TestChunkFaultAbortsRestore(t *testing.T) {
 	if err := d.Register("p", dev, perfmodel.EngineOllama, gib); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	// Abort partway through: the first two chunks commit, then the
@@ -164,7 +164,7 @@ func TestChunkFaultAbortsRestore(t *testing.T) {
 	d.SetChaos(chaos.NewInjector(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
 		{Site: chaos.SiteCkptChunk, P: 1, After: 2},
 	}}))
-	err := d.Resume("p")
+	err := d.Resume(context.Background(), "p")
 	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Resume = %v, want injected chunk fault", err)
 	}
@@ -182,7 +182,7 @@ func TestChunkFaultAbortsRestore(t *testing.T) {
 	}
 	// The image is still restorable once the fault clears.
 	d.SetChaos(nil)
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatalf("Resume after rollback: %v", err)
 	}
 }
@@ -214,7 +214,7 @@ func TestCheckpointRollsForwardWhenCapacityClaimed(t *testing.T) {
 	d.SetChaos(chaos.NewInjector(chaos.Plan{Seed: 1, Rules: []chaos.Rule{
 		{Site: chaos.SiteCkptChunk, P: 1, After: 1},
 	}}))
-	img, err := d.Suspend("p")
+	img, err := d.Suspend(context.Background(), "p")
 	if err != nil {
 		t.Fatalf("Suspend rolled back instead of forward: %v", err)
 	}
@@ -246,7 +246,7 @@ func TestPipelinedExchangeOverlapsTransfers(t *testing.T) {
 	if err := d.Register("target", dev, perfmodel.EngineVLLM, 16*gib); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Suspend("target"); err != nil {
+	if _, err := d.Suspend(context.Background(), "target"); err != nil {
 		t.Fatal(err)
 	}
 	// Victim now occupies the device.
@@ -265,7 +265,7 @@ func TestPipelinedExchangeOverlapsTransfers(t *testing.T) {
 	start := clock.Now()
 	suspendErr := make(chan error, 1)
 	go func() {
-		_, err := d.Suspend("victim")
+		_, err := d.Suspend(context.Background(), "victim")
 		suspendErr <- err
 	}()
 	if err := d.RestoreWait(context.Background(), "target"); err != nil {
@@ -290,7 +290,7 @@ func TestPipelinedExchangeOverlapsTransfers(t *testing.T) {
 		t.Fatalf("pipelined exchange took %v, impossibly faster than slower leg %v", elapsed, slower)
 	}
 
-	if err := d.Unlock("target"); err != nil {
+	if err := d.Unlock(context.Background(), "target"); err != nil {
 		t.Fatal(err)
 	}
 	if got := dev.OwnerUsage("target"); got != 72*gib {
@@ -314,7 +314,7 @@ func TestRestoreWaitCancelRollsBack(t *testing.T) {
 	if err := d.Register("p", dev, perfmodel.EngineVLLM, 16*gib); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	// A squatter leaves only 5 GiB free: the restore claims five chunks
@@ -358,7 +358,7 @@ func TestSuspendUnlockRetryExhausted(t *testing.T) {
 		{Site: chaos.SiteCkptCheckpoint, P: 1, Times: 1},
 		{Site: chaos.SiteCkptUnlock, P: 1, Times: 4},
 	}}))
-	_, err := d.Suspend("p")
+	_, err := d.Suspend(context.Background(), "p")
 	if !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Suspend = %v, want injected fault", err)
 	}
@@ -366,7 +366,7 @@ func TestSuspendUnlockRetryExhausted(t *testing.T) {
 		t.Fatalf("state after exhausted unlock retries = %v, want locked", st)
 	}
 	// A later unlock (fault budget spent) recovers the process.
-	if err := d.Unlock("p"); err != nil {
+	if err := d.Unlock(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	if st, _ := d.State("p"); st != StateRunning {

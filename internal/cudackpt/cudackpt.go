@@ -24,6 +24,7 @@ import (
 
 	"swapservellm/internal/chaos"
 	"swapservellm/internal/gpu"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/retry"
 	"swapservellm/internal/simclock"
@@ -52,14 +53,6 @@ func (s State) String() string {
 		return fmt.Sprintf("state(%d)", int(s))
 	}
 }
-
-// Errors returned by the driver.
-var (
-	ErrUnknownProcess = errors.New("cudackpt: unknown process")
-	ErrBadState       = errors.New("cudackpt: invalid state transition")
-	ErrHostMemory     = errors.New("cudackpt: host memory exhausted")
-	ErrAlreadyExists  = errors.New("cudackpt: process already registered")
-)
 
 // proc tracks one registered CUDA process (one entry covers every
 // tensor-parallel shard of the workload).
@@ -204,8 +197,12 @@ func (d *Driver) get(pid string) (*proc, error) {
 }
 
 // Lock quiesces a running process's CUDA activity (cuda-checkpoint
-// --action lock). It must be in the Running state.
-func (d *Driver) Lock(pid string) error {
+// --action lock). It must be in the Running state. ctx carries the
+// active trace span; the lock itself is not interruptible (it models
+// one short driver ioctl).
+func (d *Driver) Lock(ctx context.Context, pid string) (err error) {
+	ctx, span := obs.Start(ctx, "ckpt.lock", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	p, err := d.get(pid)
 	if err != nil {
@@ -213,12 +210,14 @@ func (d *Driver) Lock(pid string) error {
 		return err
 	}
 	if p.state != StateRunning {
+		st := p.state
 		d.mu.Unlock()
-		return fmt.Errorf("%w: lock from %v", ErrBadState, p.state)
+		return fmt.Errorf("%w: lock from %v", ErrBadState, st)
 	}
-	if err := d.takeFaultLocked(chaos.SiteCkptLock); err != nil {
+	if ferr := d.takeFaultLocked(chaos.SiteCkptLock); ferr != nil {
 		d.mu.Unlock()
-		return err
+		obs.AnnotateFault(ctx, string(chaos.SiteCkptLock), ferr)
+		return ferr
 	}
 	d.transitionLocked(p, StateRunning, StateLocked)
 	d.mu.Unlock()
@@ -227,7 +226,9 @@ func (d *Driver) Lock(pid string) error {
 }
 
 // Unlock resumes a locked process (cuda-checkpoint --action unlock).
-func (d *Driver) Unlock(pid string) error {
+func (d *Driver) Unlock(ctx context.Context, pid string) (err error) {
+	ctx, span := obs.Start(ctx, "ckpt.unlock", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	p, err := d.get(pid)
@@ -237,8 +238,9 @@ func (d *Driver) Unlock(pid string) error {
 	if p.state != StateLocked {
 		return fmt.Errorf("%w: unlock from %v", ErrBadState, p.state)
 	}
-	if err := d.takeFaultLocked(chaos.SiteCkptUnlock); err != nil {
-		return err
+	if ferr := d.takeFaultLocked(chaos.SiteCkptUnlock); ferr != nil {
+		obs.AnnotateFault(ctx, string(chaos.SiteCkptUnlock), ferr)
+		return ferr
 	}
 	d.transitionLocked(p, StateLocked, StateRunning)
 	return nil
@@ -249,7 +251,15 @@ func (d *Driver) Unlock(pid string) error {
 // moves chunk by chunk, releasing device capacity and accumulating host
 // image bytes incrementally — a concurrent restore can claim the freed
 // capacity before the checkpoint finishes. Returns the image size.
-func (d *Driver) Checkpoint(pid string) (int64, error) {
+//
+// Cancelling ctx aborts the transfer at the next chunk boundary: the
+// partial image rolls back and the process stays Locked — unless a
+// pipelined restore already claimed the freed device capacity, in which
+// case the checkpoint rolls forward to completion (the memory cannot be
+// given back).
+func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err error) {
+	ctx, span := obs.Start(ctx, "ckpt.checkpoint", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	p, err := d.get(pid)
 	if err != nil {
@@ -261,17 +271,18 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		d.mu.Unlock()
 		return 0, fmt.Errorf("%w: checkpoint from %v", ErrBadState, st)
 	}
-	if err := d.takeFaultLocked(chaos.SiteCkptCheckpoint); err != nil {
+	if ferr := d.takeFaultLocked(chaos.SiteCkptCheckpoint); ferr != nil {
 		d.mu.Unlock()
-		return 0, err
+		obs.AnnotateFault(ctx, string(chaos.SiteCkptCheckpoint), ferr)
+		return 0, ferr
 	}
 	pcie := d.pcieDelayLocked()
 	shard := make([]int64, len(p.devices))
-	var bytes int64
 	for i, dev := range p.devices {
 		shard[i] = dev.OwnerUsage(p.pid)
 		bytes += shard[i]
 	}
+	span.SetAttr(obs.Int64("bytes", bytes))
 	var spillSleep time.Duration
 	if d.hostCap > 0 && d.hostUsed+d.hostPledged+bytes > d.hostCap {
 		if !d.spill {
@@ -314,7 +325,13 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 			extra = pcie
 		}
 		if !rollForward {
-			if ferr := d.chunkFault(links, perfmodel.DirD2H, share); ferr != nil {
+			// A cancelled ctx aborts exactly like a chunk fault: before
+			// this chunk commits any accounting.
+			ferr := ctx.Err()
+			if ferr == nil {
+				ferr = d.chunkFault(ctx, links, perfmodel.DirD2H, share)
+			}
+			if ferr != nil {
 				if d.rollbackCheckpoint(p, shard, rem, done, bytes) {
 					return 0, fmt.Errorf("cudackpt: checkpoint of %q aborted at %d/%d bytes: %w",
 						pid, done, bytes, ferr)
@@ -336,6 +353,9 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 		d.mu.Unlock()
 		done += c
 		d.emitChunk(ChunkEvent{PID: pid, Dir: perfmodel.DirD2H, Done: done, Total: bytes})
+		span.Event("chunk",
+			obs.String("dir", perfmodel.DirD2H.String()),
+			obs.Int64("done_bytes", done), obs.Int64("total_bytes", bytes))
 	}
 	if bytes == 0 {
 		d.clock.Sleep(total + pcie)
@@ -359,9 +379,11 @@ func (d *Driver) Checkpoint(pid string) (int64, error) {
 // its host image back (cuda-checkpoint --action restore), chunk by
 // chunk. The process is left Locked; call Unlock to resume it. Fails
 // fast with gpu.ErrOutOfMemory if the devices cannot fit the image at
-// call time — eviction policy belongs to the caller.
-func (d *Driver) Restore(pid string) error {
-	return d.restore(context.Background(), pid, false)
+// call time — eviction policy belongs to the caller. Cancelling ctx
+// aborts at the next chunk boundary: the partial transfer rolls back
+// and the process stays Checkpointed.
+func (d *Driver) Restore(ctx context.Context, pid string) error {
+	return d.restore(ctx, pid, false)
 }
 
 // RestoreWait is the pipelined-exchange variant of Restore: instead of
@@ -374,7 +396,10 @@ func (d *Driver) RestoreWait(ctx context.Context, pid string) error {
 	return d.restore(ctx, pid, true)
 }
 
-func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
+func (d *Driver) restore(ctx context.Context, pid string, wait bool) (err error) {
+	ctx, span := obs.Start(ctx, "ckpt.restore",
+		obs.String("pid", pid), obs.Bool("pipelined", wait))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	p, err := d.get(pid)
 	if err != nil {
@@ -386,12 +411,14 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 		d.mu.Unlock()
 		return fmt.Errorf("%w: restore from %v", ErrBadState, st)
 	}
-	if err := d.takeFaultLocked(chaos.SiteCkptRestore); err != nil {
+	if ferr := d.takeFaultLocked(chaos.SiteCkptRestore); ferr != nil {
 		d.mu.Unlock()
-		return err
+		obs.AnnotateFault(ctx, string(chaos.SiteCkptRestore), ferr)
+		return ferr
 	}
 	pcie := d.pcieDelayLocked()
 	bytes := p.hostImage
+	span.SetAttr(obs.Int64("bytes", bytes))
 	shard := append([]int64(nil), p.shardBytes...)
 	fromDisk := p.loc == LocDisk
 	if !wait {
@@ -438,9 +465,14 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 		if done == 0 {
 			extra = pcie
 		}
-		// The fault check runs before the chunk claims capacity, so an
-		// aborted restore never leaves a half-claimed chunk behind.
-		if ferr := d.chunkFault(links, perfmodel.DirH2D, share); ferr != nil {
+		// The fault and cancellation checks run before the chunk claims
+		// capacity, so an aborted restore never leaves a half-claimed
+		// chunk behind.
+		ferr := ctx.Err()
+		if ferr == nil {
+			ferr = d.chunkFault(ctx, links, perfmodel.DirH2D, share)
+		}
+		if ferr != nil {
 			d.rollbackRestore(p, done, fromDisk)
 			return fmt.Errorf("cudackpt: restore of %q aborted at %d/%d bytes: %w",
 				pid, done, bytes, ferr)
@@ -478,6 +510,9 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 		done += c
 		d.sleepContended(links, perfmodel.DirH2D, share+extra)
 		d.emitChunk(ChunkEvent{PID: pid, Dir: perfmodel.DirH2D, Done: done, Total: bytes})
+		span.Event("chunk",
+			obs.String("dir", perfmodel.DirH2D.String()),
+			obs.Int64("done_bytes", done), obs.Int64("total_bytes", bytes))
 	}
 	if bytes == 0 {
 		d.clock.Sleep(total + pcie)
@@ -496,17 +531,21 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) error {
 
 // Suspend is the convenience sequence Lock + Checkpoint used by the engine
 // controller's swap-out path. Returns the host image size.
-func (d *Driver) Suspend(pid string) (int64, error) {
-	if err := d.Lock(pid); err != nil {
+func (d *Driver) Suspend(ctx context.Context, pid string) (bytes int64, err error) {
+	ctx, span := obs.Start(ctx, "ckpt.suspend", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
+	if err := d.Lock(ctx, pid); err != nil {
 		return 0, err
 	}
-	bytes, err := d.Checkpoint(pid)
+	bytes, err = d.Checkpoint(ctx, pid)
 	if err != nil {
 		// Roll the lock back so the process is usable again. Unlock can
 		// itself hit a transient injected fault; the shared bounded-retry
 		// policy keeps a single chaos firing from wedging the process in
-		// Locked.
-		if uerr := retry.Transient(func() error { return d.Unlock(pid) }); uerr != nil {
+		// Locked. The rollback must run even when the checkpoint aborted
+		// on a cancelled ctx, so it uses a fresh context carrying only
+		// the trace span.
+		if uerr := retry.Transient(func() error { return d.Unlock(context.WithoutCancel(ctx), pid) }); uerr != nil {
 			return 0, errors.Join(err, uerr)
 		}
 		return 0, err
@@ -527,9 +566,13 @@ func maxShard(shard []int64) int64 {
 
 // Resume is the convenience sequence Restore + Unlock used by the engine
 // controller's swap-in path.
-func (d *Driver) Resume(pid string) error {
-	if err := d.Restore(pid); err != nil {
+func (d *Driver) Resume(ctx context.Context, pid string) (err error) {
+	ctx, span := obs.Start(ctx, "ckpt.resume", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
+	if err := d.Restore(ctx, pid); err != nil {
 		return err
 	}
-	return d.Unlock(pid)
+	// The restore completed; a cancellation arriving now must not leave
+	// the process wedged in Locked, so the unlock ignores it.
+	return d.Unlock(context.WithoutCancel(ctx), pid)
 }

@@ -1,6 +1,7 @@
 package cudackpt
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -42,7 +43,7 @@ func TestRegisterDuplicate(t *testing.T) {
 
 func TestUnknownProcess(t *testing.T) {
 	d, _, _ := newDriver(t, 0)
-	if err := d.Lock("ghost"); !errors.Is(err, ErrUnknownProcess) {
+	if err := d.Lock(context.Background(), "ghost"); !errors.Is(err, ErrUnknownProcess) {
 		t.Fatalf("Lock: %v", err)
 	}
 	if _, err := d.State("ghost"); !errors.Is(err, ErrUnknownProcess) {
@@ -66,7 +67,7 @@ func TestCheckpointRestoreCycle(t *testing.T) {
 	}
 
 	// Suspend: GPU memory moves to a host image.
-	img, err := d.Suspend("p1")
+	img, err := d.Suspend(context.Background(), "p1")
 	if err != nil {
 		t.Fatalf("Suspend: %v", err)
 	}
@@ -84,7 +85,7 @@ func TestCheckpointRestoreCycle(t *testing.T) {
 	}
 
 	// Resume: host image moves back to GPU.
-	if err := d.Resume("p1"); err != nil {
+	if err := d.Resume(context.Background(), "p1"); err != nil {
 		t.Fatalf("Resume: %v", err)
 	}
 	if dev.OwnerUsage("p1") != 30*gib {
@@ -104,27 +105,27 @@ func TestInvalidTransitions(t *testing.T) {
 	d.Register("p", dev, perfmodel.EngineVLLM, gib)
 
 	// Running: checkpoint, restore, and unlock are invalid.
-	if _, err := d.Checkpoint("p"); !errors.Is(err, ErrBadState) {
+	if _, err := d.Checkpoint(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("Checkpoint from running: %v", err)
 	}
-	if err := d.Restore("p"); !errors.Is(err, ErrBadState) {
+	if err := d.Restore(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("Restore from running: %v", err)
 	}
-	if err := d.Unlock("p"); !errors.Is(err, ErrBadState) {
+	if err := d.Unlock(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("Unlock from running: %v", err)
 	}
 
 	// Locked: lock again is invalid.
-	d.Lock("p")
-	if err := d.Lock("p"); !errors.Is(err, ErrBadState) {
+	d.Lock(context.Background(), "p")
+	if err := d.Lock(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("double Lock: %v", err)
 	}
 	// Checkpointed: lock and checkpoint are invalid.
-	d.Checkpoint("p")
-	if err := d.Lock("p"); !errors.Is(err, ErrBadState) {
+	d.Checkpoint(context.Background(), "p")
+	if err := d.Lock(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("Lock from checkpointed: %v", err)
 	}
-	if _, err := d.Checkpoint("p"); !errors.Is(err, ErrBadState) {
+	if _, err := d.Checkpoint(context.Background(), "p"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("double Checkpoint: %v", err)
 	}
 }
@@ -133,14 +134,14 @@ func TestRestoreOOM(t *testing.T) {
 	d, dev, _ := newDriver(t, 0)
 	dev.Alloc("p1", 50*gib)
 	d.Register("p1", dev, perfmodel.EngineVLLM, gib)
-	if _, err := d.Suspend("p1"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p1"); err != nil {
 		t.Fatal(err)
 	}
 	// Another tenant fills the GPU.
 	if err := dev.Alloc("p2", 60*gib); err != nil {
 		t.Fatal(err)
 	}
-	err := d.Restore("p1")
+	err := d.Restore(context.Background(), "p1")
 	if !errors.Is(err, gpu.ErrOutOfMemory) {
 		t.Fatalf("expected OOM on restore, got %v", err)
 	}
@@ -153,7 +154,7 @@ func TestRestoreOOM(t *testing.T) {
 	}
 	// After the tenant leaves, restore succeeds.
 	dev.FreeOwner("p2")
-	if err := d.Resume("p1"); err != nil {
+	if err := d.Resume(context.Background(), "p1"); err != nil {
 		t.Fatalf("Resume after space freed: %v", err)
 	}
 }
@@ -164,10 +165,10 @@ func TestHostMemoryCap(t *testing.T) {
 	dev.Alloc("p2", 20*gib)
 	d.Register("p1", dev, perfmodel.EngineVLLM, gib)
 	d.Register("p2", dev, perfmodel.EngineVLLM, gib)
-	if _, err := d.Suspend("p1"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p1"); err != nil {
 		t.Fatal(err)
 	}
-	_, err := d.Suspend("p2")
+	_, err := d.Suspend(context.Background(), "p2")
 	if !errors.Is(err, ErrHostMemory) {
 		t.Fatalf("expected ErrHostMemory, got %v", err)
 	}
@@ -185,7 +186,7 @@ func TestUnregisterReleasesImage(t *testing.T) {
 	d, dev, _ := newDriver(t, 0)
 	dev.Alloc("p", 10*gib)
 	d.Register("p", dev, perfmodel.EngineVLLM, gib)
-	d.Suspend("p")
+	d.Suspend(context.Background(), "p")
 	if d.HostUsed() != 10*gib {
 		t.Fatalf("host used = %d", d.HostUsed())
 	}
@@ -205,10 +206,10 @@ func TestSuspendTimingScalesWithSize(t *testing.T) {
 	d.Register("large", dev, perfmodel.EngineVLLM, gib)
 
 	t0 := clock.Now()
-	d.Suspend("small")
+	d.Suspend(context.Background(), "small")
 	smallDur := clock.Since(t0)
 	t1 := clock.Now()
-	d.Suspend("large")
+	d.Suspend(context.Background(), "large")
 	largeDur := clock.Since(t1)
 	if largeDur <= smallDur {
 		t.Fatalf("large suspend %v not slower than small %v", largeDur, smallDur)
@@ -234,11 +235,11 @@ func TestConcurrentSuspendResume(t *testing.T) {
 		pid := fmt.Sprintf("p%d", i)
 		go func() {
 			defer wg.Done()
-			if _, err := d.Suspend(pid); err != nil {
+			if _, err := d.Suspend(context.Background(), pid); err != nil {
 				errs <- err
 				return
 			}
-			if err := d.Resume(pid); err != nil {
+			if err := d.Resume(context.Background(), pid); err != nil {
 				errs <- err
 			}
 		}()
@@ -260,11 +261,11 @@ func TestZeroByteProcess(t *testing.T) {
 	// A process with no device allocations checkpoints to an empty image.
 	d, dev, _ := newDriver(t, 0)
 	d.Register("idle", dev, perfmodel.EngineVLLM, 0)
-	img, err := d.Suspend("idle")
+	img, err := d.Suspend(context.Background(), "idle")
 	if err != nil || img != 0 {
 		t.Fatalf("Suspend idle = %d, %v", img, err)
 	}
-	if err := d.Resume("idle"); err != nil {
+	if err := d.Resume(context.Background(), "idle"); err != nil {
 		t.Fatalf("Resume idle: %v", err)
 	}
 }

@@ -1,6 +1,7 @@
 package cudackpt
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -16,7 +17,7 @@ func TestChaosFaultLeavesStateIntact(t *testing.T) {
 
 	// Lock fault: process stays Running, device allocation untouched.
 	d.SetChaos(chaos.FailNext(chaos.SiteCkptLock, 1))
-	if err := d.Lock("p"); !errors.Is(err, chaos.ErrInjected) {
+	if err := d.Lock(context.Background(), "p"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Lock = %v, want injected", err)
 	}
 	if s, _ := d.State("p"); s != StateRunning {
@@ -25,10 +26,10 @@ func TestChaosFaultLeavesStateIntact(t *testing.T) {
 
 	// Checkpoint fault: stays Locked, no host usage charged.
 	d.SetChaos(chaos.FailNext(chaos.SiteCkptCheckpoint, 1))
-	if err := d.Lock("p"); err != nil {
+	if err := d.Lock(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Checkpoint("p"); !errors.Is(err, chaos.ErrInjected) {
+	if _, err := d.Checkpoint(context.Background(), "p"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Checkpoint = %v, want injected", err)
 	}
 	if s, _ := d.State("p"); s != StateLocked {
@@ -43,22 +44,22 @@ func TestChaosFaultLeavesStateIntact(t *testing.T) {
 
 	// Unlock fault: stays Locked; once the fault clears, unlock works.
 	d.SetChaos(chaos.FailNext(chaos.SiteCkptUnlock, 1))
-	if err := d.Unlock("p"); !errors.Is(err, chaos.ErrInjected) {
+	if err := d.Unlock(context.Background(), "p"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Unlock = %v, want injected", err)
 	}
 	if s, _ := d.State("p"); s != StateLocked {
 		t.Fatalf("state after unlock fault = %v", s)
 	}
-	if err := d.Unlock("p"); err != nil {
+	if err := d.Unlock(context.Background(), "p"); err != nil {
 		t.Fatalf("Unlock after fault cleared: %v", err)
 	}
 
 	// Restore fault: image and Checkpointed state survive.
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	d.SetChaos(chaos.FailNext(chaos.SiteCkptRestore, 1))
-	if err := d.Restore("p"); !errors.Is(err, chaos.ErrInjected) {
+	if err := d.Restore(context.Background(), "p"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Restore = %v, want injected", err)
 	}
 	if s, _ := d.State("p"); s != StateCheckpointed {
@@ -67,7 +68,7 @@ func TestChaosFaultLeavesStateIntact(t *testing.T) {
 	if img, _ := d.ImageBytes("p"); img != 10*gib {
 		t.Fatalf("image lost after restore fault: %d", img)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatalf("Resume after fault cleared: %v", err)
 	}
 }
@@ -83,7 +84,7 @@ func TestSuspendRetriesUnlockRollback(t *testing.T) {
 		{Site: chaos.SiteCkptCheckpoint, P: 1, Times: 1},
 		{Site: chaos.SiteCkptUnlock, P: 1, Times: 1},
 	}}))
-	if _, err := d.Suspend("p"); !errors.Is(err, chaos.ErrInjected) {
+	if _, err := d.Suspend(context.Background(), "p"); !errors.Is(err, chaos.ErrInjected) {
 		t.Fatalf("Suspend = %v, want injected", err)
 	}
 	if s, _ := d.State("p"); s != StateRunning {
@@ -99,10 +100,10 @@ func TestPCIeDelayStretchesTransfers(t *testing.T) {
 	d.Register("p", dev, perfmodel.EngineVLLM, gib)
 
 	t0 := clock.Now()
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	base := clock.Since(t0)
@@ -112,10 +113,10 @@ func TestPCIeDelayStretchesTransfers(t *testing.T) {
 		{Site: chaos.SiteCkptPCIe, Delay: extra},
 	}}))
 	t1 := clock.Now()
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	// Tolerance absorbs the scaled clock's real-time measurement jitter.
@@ -135,12 +136,12 @@ func TestTraceRecordsTransitions(t *testing.T) {
 	d.SetTrace(tr)
 
 	d.SetChaos(chaos.FailNext(chaos.SiteCkptLock, 1))
-	d.Lock("p") // faulted: no event
+	d.Lock(context.Background(), "p") // faulted: no event
 	d.SetChaos(nil)
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 

@@ -1,10 +1,12 @@
 package cudackpt
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 )
 
@@ -68,8 +70,11 @@ func (d *Driver) SpillCount() int64 {
 // Demote moves a checkpointed, RAM-resident image to disk, paying the
 // disk write at the storage tier's effective bandwidth. The cluster
 // rebalancer uses this to free host memory on a hot node after its
-// snapshot has been replicated elsewhere.
-func (d *Driver) Demote(pid string) error {
+// snapshot has been replicated elsewhere. ctx carries the active trace
+// span; the write itself is not interruptible.
+func (d *Driver) Demote(ctx context.Context, pid string) (err error) {
+	_, span := obs.Start(ctx, "ckpt.demote", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	p, ok := d.procs[pid]
 	if !ok {
@@ -98,7 +103,9 @@ func (d *Driver) Demote(pid string) error {
 // paying the disk read. It fails with ErrHostMemory when the image no
 // longer fits under the host cap — Promote never spills other images to
 // make room.
-func (d *Driver) Promote(pid string) error {
+func (d *Driver) Promote(ctx context.Context, pid string) (err error) {
+	_, span := obs.Start(ctx, "ckpt.promote", obs.String("pid", pid))
+	defer func() { span.EndErr(err) }()
 	d.mu.Lock()
 	p, ok := d.procs[pid]
 	if !ok {

@@ -1,6 +1,7 @@
 package cudackpt
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -27,14 +28,14 @@ func TestSpillEvictsLRUImage(t *testing.T) {
 	d.Register("old", dev, perfmodel.EngineOllama, gib)
 	d.Register("new", dev, perfmodel.EngineOllama, gib)
 
-	if _, err := d.Suspend("old"); err != nil {
+	if _, err := d.Suspend(context.Background(), "old"); err != nil {
 		t.Fatal(err)
 	}
 	if loc, _ := d.ImageLocation("old"); loc != LocRAM {
 		t.Fatalf("first image location = %v", loc)
 	}
 	// The second checkpoint must spill the first image to disk.
-	if _, err := d.Suspend("new"); err != nil {
+	if _, err := d.Suspend(context.Background(), "new"); err != nil {
 		t.Fatalf("Suspend with spill: %v", err)
 	}
 	if loc, _ := d.ImageLocation("old"); loc != LocDisk {
@@ -57,16 +58,16 @@ func TestSpillRestoreFromDiskSlower(t *testing.T) {
 	dev.Alloc("b", 30*gib)
 	d.Register("a", dev, perfmodel.EngineOllama, gib)
 	d.Register("b", dev, perfmodel.EngineOllama, gib)
-	d.Suspend("a")
-	d.Suspend("b") // spills a to disk
+	d.Suspend(context.Background(), "a")
+	d.Suspend(context.Background(), "b") // spills a to disk
 
 	t0 := clock.Now()
-	if err := d.Resume("a"); err != nil {
+	if err := d.Resume(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	diskRestore := clock.Since(t0)
 	t1 := clock.Now()
-	if err := d.Resume("b"); err != nil {
+	if err := d.Resume(context.Background(), "b"); err != nil {
 		t.Fatal(err)
 	}
 	ramRestore := clock.Since(t1)
@@ -85,7 +86,7 @@ func TestSpillExhausted(t *testing.T) {
 	d, dev, _ := newSpillDriver(t, 20*gib)
 	dev.Alloc("big", 30*gib)
 	d.Register("big", dev, perfmodel.EngineOllama, gib)
-	if _, err := d.Suspend("big"); !errors.Is(err, ErrHostMemory) {
+	if _, err := d.Suspend(context.Background(), "big"); !errors.Is(err, ErrHostMemory) {
 		t.Fatalf("expected ErrHostMemory, got %v", err)
 	}
 	// The rollback must leave the process running with its memory intact.
@@ -104,10 +105,10 @@ func TestSpillLRUOrder(t *testing.T) {
 		dev.Alloc(pid, 20*gib)
 		d.Register(pid, dev, perfmodel.EngineOllama, gib)
 	}
-	d.Suspend("p1") // oldest
-	d.Suspend("p2")
+	d.Suspend(context.Background(), "p1") // oldest
+	d.Suspend(context.Background(), "p2")
 	// p3 needs 20 GiB; 40 used of 50 -> spill p1 only.
-	if _, err := d.Suspend("p3"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p3"); err != nil {
 		t.Fatal(err)
 	}
 	loc1, _ := d.ImageLocation("p1")
@@ -124,8 +125,8 @@ func TestSpillUnregisterReleasesDisk(t *testing.T) {
 	dev.Alloc("b", 30*gib)
 	d.Register("a", dev, perfmodel.EngineOllama, gib)
 	d.Register("b", dev, perfmodel.EngineOllama, gib)
-	d.Suspend("a")
-	d.Suspend("b")
+	d.Suspend(context.Background(), "a")
+	d.Suspend(context.Background(), "b")
 	if err := d.Unregister("a"); err != nil { // disk-resident
 		t.Fatal(err)
 	}
@@ -144,12 +145,12 @@ func TestDemotePromoteRoundTrip(t *testing.T) {
 	d, dev, clock := newSpillDriver(t, 60*gib)
 	dev.Alloc("a", 20*gib)
 	d.Register("a", dev, perfmodel.EngineOllama, gib)
-	if _, err := d.Suspend("a"); err != nil {
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 
 	t0 := clock.Now()
-	if err := d.Demote("a"); err != nil {
+	if err := d.Demote(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	if clock.Since(t0) <= 0 {
@@ -162,11 +163,11 @@ func TestDemotePromoteRoundTrip(t *testing.T) {
 		t.Fatalf("accounting after demote: host=%d disk=%d", d.HostUsed(), d.DiskUsed())
 	}
 	// Demoting a disk image is a no-op.
-	if err := d.Demote("a"); err != nil {
+	if err := d.Demote(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 
-	if err := d.Promote("a"); err != nil {
+	if err := d.Promote(context.Background(), "a"); err != nil {
 		t.Fatal(err)
 	}
 	if loc, _ := d.ImageLocation("a"); loc != LocRAM {
@@ -189,11 +190,11 @@ func TestPromoteRespectsCap(t *testing.T) {
 	dev.Alloc("b", 30*gib)
 	d.Register("a", dev, perfmodel.EngineOllama, gib)
 	d.Register("b", dev, perfmodel.EngineOllama, gib)
-	d.Suspend("a")
-	d.Suspend("b") // spills a to disk
+	d.Suspend(context.Background(), "a")
+	d.Suspend(context.Background(), "b") // spills a to disk
 	// RAM holds b (30 of 40 GiB); promoting a (30 GiB) cannot fit and must
 	// not spill b to make room.
-	if err := d.Promote("a"); !errors.Is(err, ErrHostMemory) {
+	if err := d.Promote(context.Background(), "a"); !errors.Is(err, ErrHostMemory) {
 		t.Fatalf("promote over cap: %v", err)
 	}
 	if loc, _ := d.ImageLocation("b"); loc != LocRAM {
@@ -205,10 +206,10 @@ func TestDemoteBadState(t *testing.T) {
 	d, dev, _ := newSpillDriver(t, 0)
 	dev.Alloc("run", 5*gib)
 	d.Register("run", dev, perfmodel.EngineOllama, gib)
-	if err := d.Demote("run"); !errors.Is(err, ErrBadState) {
+	if err := d.Demote(context.Background(), "run"); !errors.Is(err, ErrBadState) {
 		t.Fatalf("demote of running process: %v", err)
 	}
-	if err := d.Demote("ghost"); !errors.Is(err, ErrUnknownProcess) {
+	if err := d.Demote(context.Background(), "ghost"); !errors.Is(err, ErrUnknownProcess) {
 		t.Fatalf("demote of unknown process: %v", err)
 	}
 }

@@ -165,7 +165,7 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 	inj := chaos.NewInjector(chaos.MustParsePlan(ClusterChaosRules).WithSeed(seed))
 	// The plan has only cluster.* rules, so arming at construction is
 	// safe: node startup consults none of them.
-	c, err := cluster.New(cfg, cluster.Options{Clock: clock, Chaos: inj, Trace: tr})
+	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithChaos(inj), cluster.WithTrace(tr))
 	if err != nil {
 		return ChaosRow{}, err
 	}

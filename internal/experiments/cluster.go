@@ -173,7 +173,7 @@ type clusterTrialResult struct {
 func runClusterTrial(policy string, scale float64, seed int64) (clusterTrialResult, error) {
 	cfg := clusterTrialConfig(policy)
 	clock := simclock.NewScaled(epoch, scale)
-	c, err := cluster.New(cfg, cluster.Options{Clock: clock, Seed: seed})
+	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithSeed(seed))
 	if err != nil {
 		return clusterTrialResult{}, err
 	}

@@ -67,7 +67,7 @@ func Figure2(scale float64) ([]Fig2Row, error) {
 					},
 				}
 				t0 := r.clock.Now()
-				ctr, err := rt.Create(spec)
+				ctr, err := rt.Create(context.Background(), spec)
 				if err != nil {
 					return nil, err
 				}
@@ -78,7 +78,7 @@ func Figure2(scale float64) ([]Fig2Row, error) {
 					return nil, fmt.Errorf("%s/%s: %w", kind, name, err)
 				}
 				samples = append(samples, r.clock.Since(t0))
-				if err := rt.Stop(ctr); err != nil {
+				if err := rt.Stop(context.Background(), ctr); err != nil {
 					return nil, err
 				}
 				rt.Remove(ctr)

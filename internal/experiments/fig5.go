@@ -91,12 +91,12 @@ func Figure5(scale float64) ([]Fig5Row, error) {
 		}
 		var samples []time.Duration
 		for rep := 0; rep < fig5Reps; rep++ {
-			if _, err := r.driver.Suspend(owner); err != nil {
+			if _, err := r.driver.Suspend(ctx, owner); err != nil {
 				return nil, err
 			}
 			eng.Gate().Pause()
 			t0 := r.clock.Now()
-			if err := r.driver.Resume(owner); err != nil {
+			if err := r.driver.Resume(ctx, owner); err != nil {
 				return nil, err
 			}
 			eng.Gate().Resume()

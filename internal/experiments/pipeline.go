@@ -9,6 +9,7 @@ import (
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
 	"swapservellm/internal/models"
+	"swapservellm/internal/obs"
 	"swapservellm/internal/simclock"
 )
 
@@ -36,14 +37,14 @@ const pipelinePartner = "deepseek-r1:8b-fp16"
 // snapshotted by the init sequence, plus the keep-warm partner victim)
 // and measures the median SwapExchange latency over repeated cycles,
 // with the pipelined fast path on or off.
-func exchangeThroughServer(modelName string, pipelined bool, scale float64) (latency time.Duration, gpuBytes int64, err error) {
+func exchangeThroughServer(modelName string, pipelined bool, scale float64, tracer *obs.Tracer) (latency time.Duration, gpuBytes int64, err error) {
 	cfg := config.Default()
 	cfg.Global.PipelinedSwap = pipelined
 	cfg.Models = []config.Model{
 		{Name: modelName, Engine: "vllm"},
 		{Name: pipelinePartner, Engine: "vllm", KeepWarm: true},
 	}
-	s, err := core.New(cfg, core.Options{Clock: simclock.NewScaled(epoch, scale)})
+	s, err := core.New(cfg, core.Options{Clock: simclock.NewScaled(epoch, scale), Tracer: tracer})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -95,15 +96,29 @@ func exchangeThroughServer(modelName string, pipelined bool, scale float64) (lat
 // switch completes in roughly the slower transfer's time instead of the
 // sum.
 func AblationPipelinedSwap(scale float64) ([]PipelineRow, error) {
+	return AblationPipelinedSwapTraced(scale, nil)
+}
+
+// AblationPipelinedSwapTraced is AblationPipelinedSwap with
+// swap-lifecycle tracing: when traceOut is non-nil, every trial runs
+// under one shared tracer and the combined Chrome trace_event JSON —
+// swap.exchange spans nesting the ckpt.* phases and their per-chunk
+// events, sequential and pipelined side by side — is written to
+// traceOut at the end.
+func AblationPipelinedSwapTraced(scale float64, traceOut io.Writer) ([]PipelineRow, error) {
+	var tracer *obs.Tracer
+	if traceOut != nil {
+		tracer = obs.NewTracer(simclock.NewScaled(epoch, scale))
+	}
 	cat := models.Default()
 	var rows []PipelineRow
 	for _, name := range Figure6Models {
 		m := cat.MustLookup(name)
-		seq, bytes, err := exchangeThroughServer(name, false, scale)
+		seq, bytes, err := exchangeThroughServer(name, false, scale, tracer)
 		if err != nil {
 			return nil, fmt.Errorf("sequential %s: %w", name, err)
 		}
-		pipe, _, err := exchangeThroughServer(name, true, scale)
+		pipe, _, err := exchangeThroughServer(name, true, scale, tracer)
 		if err != nil {
 			return nil, fmt.Errorf("pipelined %s: %w", name, err)
 		}
@@ -115,6 +130,11 @@ func AblationPipelinedSwap(scale float64) ([]PipelineRow, error) {
 			PipelinedSec:   pipe.Seconds(),
 			ImprovementPct: 100 * (1 - pipe.Seconds()/seq.Seconds()),
 		})
+	}
+	if traceOut != nil {
+		if err := tracer.WriteTraceEvents(traceOut); err != nil {
+			return nil, fmt.Errorf("writing trace: %w", err)
+		}
 	}
 	return rows, nil
 }

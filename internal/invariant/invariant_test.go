@@ -1,6 +1,7 @@
 package invariant
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -33,7 +34,7 @@ func TestCheckDriverCleanAndDirty(t *testing.T) {
 		t.Fatalf("clean running state flagged: %s", r.String())
 	}
 
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	r = Report{}
@@ -149,10 +150,10 @@ func TestCheckDriverMidTransferConservation(t *testing.T) {
 		}
 	})
 
-	if _, err := d.Suspend("p"); err != nil {
+	if _, err := d.Suspend(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
-	if err := d.Resume("p"); err != nil {
+	if err := d.Resume(context.Background(), "p"); err != nil {
 		t.Fatal(err)
 	}
 	if boundaries < 20 {

@@ -40,6 +40,7 @@ var deterministicPkgs = []string{
 	"internal/container",
 	"internal/storage",
 	"internal/invariant",
+	"internal/obs",
 }
 
 // forbidden lists the wall-clock entry points of package time.

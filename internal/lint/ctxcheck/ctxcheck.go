@@ -1,0 +1,148 @@
+// Package ctxcheck enforces the context-first convention in the traced
+// packages of the swap lifecycle.
+//
+// Lifecycle spans and cancellation both propagate through
+// context.Context (internal/obs stores the tracer and the current span
+// on the context), so the convention only works if every public entry
+// point actually threads a context — and threads it in the standard
+// position. ctxcheck reports two violations:
+//
+//   - an exported function, method, or interface method whose signature
+//     includes a context.Context anywhere but the first parameter
+//     (variadic tails, trailing options, and ctx-less getters are fine:
+//     only a misplaced ctx is flagged);
+//   - a struct field of type context.Context. Contexts are
+//     call-scoped: storing one in a struct detaches its lifetime from
+//     the call tree, leaks the span parentage across requests, and is
+//     the canonical way cancellation stops working (go.dev/blog/context:
+//     "do not store Contexts inside a struct type").
+//
+// Test files are exempt: test helpers legitimately close over contexts.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"swapservellm/internal/lint"
+)
+
+// tracedPkgs lists the import-path suffixes of packages whose public
+// surfaces must follow the context-first convention. (Matched by suffix
+// so testdata fakes qualify too.)
+var tracedPkgs = []string{
+	"internal/core",
+	"internal/cluster",
+	"internal/cudackpt",
+	"internal/cgroup",
+	"internal/container",
+	"internal/obs",
+}
+
+// New returns the ctxcheck analyzer.
+func New() *lint.Analyzer {
+	a := &lint.Analyzer{
+		Name: "ctxcheck",
+		Doc:  "exported functions in traced packages take context.Context first; no context.Context struct fields",
+	}
+	a.Run = func(pass *lint.Pass) error {
+		if !traced(pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			if pass.IsTestFile(f.Pos()) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Name.IsExported() {
+						checkParams(pass, n.Name.Name, n.Type)
+					}
+				case *ast.TypeSpec:
+					switch t := n.Type.(type) {
+					case *ast.StructType:
+						checkStruct(pass, n.Name.Name, t)
+					case *ast.InterfaceType:
+						checkInterface(pass, t)
+					}
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// checkParams reports a context.Context parameter that is not first.
+func checkParams(pass *lint.Pass, name string, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter
+		}
+		if isCtxExpr(pass, field.Type) && idx != 0 {
+			pass.Reportf(field.Type.Pos(),
+				"%s: context.Context must be the first parameter", name)
+		}
+		idx += n
+	}
+}
+
+// checkStruct reports fields of type context.Context.
+func checkStruct(pass *lint.Pass, typeName string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if isCtxExpr(pass, field.Type) {
+			pass.Reportf(field.Type.Pos(),
+				"%s: context.Context stored in a struct field; pass it per call instead", typeName)
+		}
+	}
+}
+
+// checkInterface applies the parameter rule to exported interface
+// methods, so the convention holds for implementations too.
+func checkInterface(pass *lint.Pass, it *ast.InterfaceType) {
+	for _, m := range it.Methods.List {
+		ft, ok := m.Type.(*ast.FuncType)
+		if !ok || len(m.Names) == 0 {
+			continue // embedded interface
+		}
+		if m.Names[0].IsExported() {
+			checkParams(pass, m.Names[0].Name, ft)
+		}
+	}
+}
+
+// isCtxExpr reports whether the expression's type is context.Context.
+func isCtxExpr(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok {
+		return false
+	}
+	return isCtxType(tv.Type)
+}
+
+// isCtxType reports whether t is the named type context.Context.
+func isCtxType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// traced reports whether the package path is in the enforced set.
+func traced(path string) bool {
+	for _, suffix := range tracedPkgs {
+		if lint.PkgPathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,11 @@
+package ctxcheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestCtxcheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "swapservellm/internal/core", "example.com/free")
+}

@@ -1,0 +1,12 @@
+// Package free is not a traced package: ctxcheck leaves it alone.
+package free
+
+import "context"
+
+type holder struct {
+	ctx context.Context // untraced package: allowed
+}
+
+func Late(name string, ctx context.Context) error { return nil }
+
+var _ = holder{}

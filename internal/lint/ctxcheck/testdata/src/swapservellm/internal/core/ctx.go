@@ -1,0 +1,38 @@
+// Package core is ctxcheck testdata masquerading as a traced package
+// (import-path suffix internal/core).
+package core
+
+import "context"
+
+type Backend struct{}
+
+// SwapIn follows the convention: ctx first.
+func SwapIn(ctx context.Context, b *Backend) error { return nil }
+
+// Name takes no context: getters are fine.
+func (b *Backend) Name() string { return "" }
+
+// SwapOut misplaces ctx.
+func SwapOut(b *Backend, ctx context.Context) error { return nil } // want `SwapOut: context\.Context must be the first parameter`
+
+// Drain misplaces ctx in a method signature.
+func (b *Backend) Drain(name string, ctx context.Context) error { return nil } // want `Drain: context\.Context must be the first parameter`
+
+// reserve is unexported: internal helpers may order params freely.
+func reserve(owner string, ctx context.Context) error { return nil }
+
+// worker stores a context in a field — the canonical leak.
+type worker struct {
+	ctx context.Context // want `worker: context\.Context stored in a struct field`
+	b   *Backend
+}
+
+// Evictor's interface methods follow the same rule.
+type Evictor interface {
+	Evict(ctx context.Context, bytes int64) error
+	Preempt(bytes int64, ctx context.Context) error // want `Preempt: context\.Context must be the first parameter`
+}
+
+// use silences unused-declaration noise in the stub type-checker.
+var _ = reserve
+var _ = worker{}

@@ -5,6 +5,9 @@
 //
 //   - clockcheck: no direct wall-clock calls in deterministic packages
 //     (use internal/simclock).
+//   - ctxcheck: exported functions in traced packages take
+//     context.Context as the first parameter; contexts are never stored
+//     in struct fields.
 //   - lockcheck: the *Locked calling convention, double-lock detection,
 //     and Lock/Unlock pairing.
 //   - sitecheck: chaos fault-site strings must resolve to registered

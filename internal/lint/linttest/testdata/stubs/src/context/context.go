@@ -1,0 +1,19 @@
+// Package context is a tiny source replica of the standard library's
+// context package, sufficient for type-checking analyzer testdata.
+package context
+
+// Context is the stub interface; analyzers match it by the named type
+// context.Context, so the method set is irrelevant.
+type Context interface {
+	Err() error
+}
+
+type CancelFunc func()
+
+func Background() Context { return nil }
+
+func TODO() Context { return nil }
+
+func WithCancel(parent Context) (Context, CancelFunc) { return parent, func() {} }
+
+func WithoutCancel(parent Context) Context { return parent }

@@ -1,0 +1,65 @@
+package obs
+
+import "context"
+
+// context keys are unexported struct types so no other package can
+// collide with them.
+type tracerKey struct{}
+type spanKey struct{}
+
+// WithTracer returns a context carrying t; every Start under it records
+// into t. A nil tracer returns ctx unchanged (tracing stays off).
+func WithTracer(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, tracerKey{}, t)
+}
+
+// TracerFrom returns the tracer carried by ctx, or nil.
+func TracerFrom(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerKey{}).(*Tracer)
+	return t
+}
+
+// SpanFrom returns the innermost span carried by ctx, or nil.
+func SpanFrom(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a span named name as a child of ctx's current span (a
+// root when there is none) and returns a context carrying the new span.
+// With no tracer on ctx it returns (ctx, nil) — and since all Span
+// methods are nil-safe the caller's instrumentation runs unchanged.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	t := TracerFrom(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if p := SpanFrom(ctx); p != nil {
+		parent = p.id
+	}
+	s := t.start(parent, name, attrs)
+	if s == nil { // retention cap reached
+		return ctx, nil
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// AddEvent records a point event on ctx's current span (no-op without
+// one). Convenience for call sites that have a ctx but no span handle.
+func AddEvent(ctx context.Context, name string, attrs ...Attr) {
+	SpanFrom(ctx).Event(name, attrs...)
+}
+
+// AnnotateFault records a chaos-injected fault as a "fault" event on
+// ctx's current span, so a failing seed's timeline names the site and
+// error that broke it. No-op when err is nil or no span is active.
+func AnnotateFault(ctx context.Context, site string, err error) {
+	if err == nil {
+		return
+	}
+	SpanFrom(ctx).Event("fault", String("site", site), String("error", err.Error()))
+}

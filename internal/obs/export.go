@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// traceEvent is one entry in the Chrome trace_event JSON array. Field
+// names follow the trace-event format spec so Perfetto and
+// chrome://tracing load the file directly.
+type traceEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    int64          `json:"ts"`            // microseconds since trace origin
+	Dur   *int64         `json:"dur,omitempty"` // microseconds, "X" events only
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"` // instant-event scope
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the trace_event JSON envelope.
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// WriteTraceEvents writes the trace as Chrome/Perfetto trace_event JSON
+// ("X" complete events per span, "i" instant events per span event).
+// Timestamps are microseconds of simulated time since the trace origin.
+// Each span renders on the track (tid) of its root span, so one
+// request's or one swap's whole subtree nests in a single Perfetto
+// lane. Spans still open at export time get their live duration and an
+// in_progress arg.
+func (t *Tracer) WriteTraceEvents(w io.Writer) error {
+	if t == nil {
+		return json.NewEncoder(w).Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}})
+	}
+	spans := t.Snapshot()
+	t.mu.Lock()
+	origin := t.origin
+	t.mu.Unlock()
+	now := t.clock.Now()
+
+	// Resolve each span's root for track assignment.
+	parent := make(map[int64]int64, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	rootOf := func(id int64) int64 {
+		for parent[id] != 0 {
+			id = parent[id]
+		}
+		return id
+	}
+
+	events := make([]traceEvent, 0, len(spans)*2)
+	for _, s := range spans {
+		tid := rootOf(s.ID)
+		end := s.End
+		args := map[string]any{"span_id": s.ID}
+		if s.Parent != 0 {
+			args["parent"] = s.Parent
+		}
+		if !s.Ended {
+			end = now
+			args["in_progress"] = true
+		}
+		if s.Status != "" {
+			args["status"] = s.Status
+		}
+		for _, a := range s.Attrs {
+			args[a.Key] = a.Value
+		}
+		dur := micros(end.Sub(s.Start))
+		if dur < 0 {
+			dur = 0
+		}
+		events = append(events, traceEvent{
+			Name:  s.Name,
+			Cat:   "swap",
+			Phase: "X",
+			TS:    micros(s.Start.Sub(origin)),
+			Dur:   &dur,
+			PID:   1,
+			TID:   tid,
+			Args:  args,
+		})
+		for _, ev := range s.Events {
+			eargs := map[string]any{"span_id": s.ID}
+			for _, a := range ev.Attrs {
+				eargs[a.Key] = a.Value
+			}
+			events = append(events, traceEvent{
+				Name:  ev.Name,
+				Cat:   "swap",
+				Phase: "i",
+				TS:    micros(ev.Time.Sub(origin)),
+				PID:   1,
+				TID:   tid,
+				Scope: "t",
+				Args:  eargs,
+			})
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: events})
+}
+
+func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// ValidateTraceEvents checks that data is well-formed trace_event JSON
+// as this package emits it: a traceEvents array whose entries carry a
+// name, a known phase, non-negative timestamps, non-negative durations
+// on "X" events, unique span_ids, and parent references that resolve.
+// CI uses it to schema-validate benchmark trace artifacts.
+func ValidateTraceEvents(data []byte) error {
+	var f struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if f.TraceEvents == nil {
+		return fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	ids := make(map[int64]bool)
+	type parentRef struct {
+		span   int64
+		parent int64
+	}
+	var refs []parentRef
+	for i, ev := range f.TraceEvents {
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return fmt.Errorf("obs: event %d missing name", i)
+		}
+		ph, _ := ev["ph"].(string)
+		switch ph {
+		case "X", "i", "M":
+		default:
+			return fmt.Errorf("obs: event %d (%s) has unknown phase %q", i, name, ph)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			return fmt.Errorf("obs: event %d (%s) has invalid ts", i, name)
+		}
+		args, _ := ev["args"].(map[string]any)
+		if ph == "X" {
+			dur, ok := ev["dur"].(float64)
+			if !ok || dur < 0 {
+				return fmt.Errorf("obs: span event %d (%s) has invalid dur", i, name)
+			}
+			id, ok := args["span_id"].(float64)
+			if !ok {
+				return fmt.Errorf("obs: span event %d (%s) missing span_id", i, name)
+			}
+			if ids[int64(id)] {
+				return fmt.Errorf("obs: duplicate span_id %d", int64(id))
+			}
+			ids[int64(id)] = true
+			if p, ok := args["parent"].(float64); ok {
+				refs = append(refs, parentRef{span: int64(id), parent: int64(p)})
+			}
+		}
+	}
+	for _, r := range refs {
+		if !ids[r.parent] {
+			return fmt.Errorf("obs: span %d references unknown parent %d", r.span, r.parent)
+		}
+	}
+	return nil
+}
+
+// WriteTree writes the trace as a deterministic indented span tree:
+// names, attributes, events, and failure status — no timestamps, IDs,
+// or durations — with children in start order. Two runs of the same
+// seed and config produce byte-identical output, which is what the
+// golden-trace test pins.
+func (t *Tracer) WriteTree(w io.Writer) error {
+	spans := t.Snapshot()
+	children := make(map[int64][]SpanData)
+	var roots []SpanData
+	for _, s := range spans {
+		if s.Parent == 0 {
+			roots = append(roots, s)
+		} else {
+			children[s.Parent] = append(children[s.Parent], s)
+		}
+	}
+	var write func(s SpanData, depth int) error
+	write = func(s SpanData, depth int) error {
+		if err := writeTreeLine(w, depth, "- "+s.Name, s.Attrs, s.Status); err != nil {
+			return err
+		}
+		for _, ev := range s.Events {
+			if err := writeTreeLine(w, depth+1, "* "+ev.Name, ev.Attrs, ""); err != nil {
+				return err
+			}
+		}
+		for _, c := range children[s.ID] {
+			if err := write(c, depth+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range roots {
+		if err := write(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTreeLine emits one "  - name k=v k=v [!status]" line.
+func writeTreeLine(w io.Writer, depth int, head string, attrs []Attr, status string) error {
+	for i := 0; i < depth; i++ {
+		if _, err := io.WriteString(w, "  "); err != nil {
+			return err
+		}
+	}
+	if _, err := io.WriteString(w, head); err != nil {
+		return err
+	}
+	for _, a := range attrs {
+		if _, err := fmt.Fprintf(w, " %s=%s", a.Key, a.Value); err != nil {
+			return err
+		}
+	}
+	if status != "" {
+		if _, err := fmt.Fprintf(w, " !error=%q", status); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Handler serves the trace as trace_event JSON — the /debug/trace
+// endpoint of swapserved and swapgateway. Safe on a nil tracer (serves
+// an empty trace).
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteTraceEvents(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
