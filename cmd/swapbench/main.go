@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|chaos|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|slo|chaos|all")
 		scale    = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
 		seed     = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
 		seeds    = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
@@ -195,6 +195,18 @@ func main() {
 		writeCSV("cluster", h, csv)
 		fmt.Fprintln(out)
 	}
+	if run("slo") {
+		any = true
+		res := experiments.SLOAblation(*seed)
+		experiments.PrintSLO(out, res)
+		h, csv := experiments.SLOCSV(res)
+		writeCSV("slo", h, csv)
+		if err := os.WriteFile("BENCH_slo.json", []byte(experiments.SLOBenchJSON(res)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "swapbench: wrote BENCH_slo.json")
+		fmt.Fprintln(out)
+	}
 	if run("chaos") {
 		any = true
 		rows, err := experiments.ChaosSweep(*seed, *seeds, pick(4000))
@@ -202,6 +214,9 @@ func main() {
 		clusterRows, err := experiments.ChaosClusterSweep(*seed, *seeds, pick(4000))
 		fail(err)
 		rows = append(rows, clusterRows...)
+		schedRows, err := experiments.ChaosSchedSweep(*seed, *seeds, pick(4000))
+		fail(err)
+		rows = append(rows, schedRows...)
 		experiments.PrintChaos(out, rows)
 		h, csv := experiments.ChaosCSV(rows)
 		writeCSV("chaos", h, csv)
@@ -210,7 +225,7 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "chaos"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "slo", "chaos"}, " "))
 		os.Exit(2)
 	}
 }

@@ -58,6 +58,18 @@ const (
 	// SiteSSE cuts a relayed SSE stream between events, modelling a
 	// node dying (or its connection dropping) mid-stream.
 	SiteSSE Site = "cluster.sse"
+	// SiteSchedAdmit flips a gateway admission decision: an admit
+	// becomes a shed and a shed becomes an admit, modelling a
+	// mis-estimated queue delay.
+	SiteSchedAdmit Site = "sched.admit"
+	// SiteSchedPrefetch suppresses a predictive pre-warm the demand
+	// predictor asked for, modelling a misprediction ahead of a ramp
+	// (the prefetch is skipped; the ramp then pays the cold swap).
+	SiteSchedPrefetch Site = "sched.prefetch"
+	// SiteSchedEvict inverts a keep-alive/TTL eviction decision in the
+	// reaper: a keep becomes an evict (premature reclaim) and an evict
+	// becomes a keep (leaked residency), modelling a mispredicted TTL.
+	SiteSchedEvict Site = "sched.evict"
 )
 
 // Sites lists every built-in site in sorted order.
@@ -67,6 +79,7 @@ func Sites() []Site {
 		SiteCkptPCIe, SiteCkptChunk, SiteCgroupFreeze, SiteCgroupThaw,
 		SiteStorageRead, SiteStorageWrite,
 		SiteHeartbeat, SiteProxy, SiteSSE,
+		SiteSchedAdmit, SiteSchedPrefetch, SiteSchedEvict,
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

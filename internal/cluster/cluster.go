@@ -90,6 +90,7 @@ type Cluster struct {
 	registry   *NodeRegistry
 	nodes      []*Node
 	rebal      *rebalancer
+	sched      *schedState
 	retryLimit int
 
 	httpServer *http.Server
@@ -156,6 +157,18 @@ func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 	c.registry.SetChaos(opts.Chaos)
 	c.registry.SetTrace(opts.Trace)
 
+	// Predictive scheduling (nil when no classes are declared). Built
+	// before the nodes so the TTL policy reaches each node's reaper.
+	schedSt, err := buildSched(cfg, catalog, c)
+	if err != nil {
+		return nil, err
+	}
+	c.sched = schedSt
+
+	var ttl core.TTLPolicy
+	if schedSt != nil {
+		ttl = schedSt.ttl
+	}
 	capBytes := int64(cfg.Global.SnapshotHostCapGiB * (1 << 30))
 	for i := range cfg.Nodes {
 		nc := cfg.Nodes[i]
@@ -165,6 +178,7 @@ func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 			Chaos:    opts.Chaos,
 			Trace:    opts.Trace,
 			Tracer:   opts.Tracer,
+			TTL:      ttl,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("cluster: node %q: %w", nc.Name, err)
@@ -212,9 +226,15 @@ func (c *Cluster) Start(ctx context.Context) error {
 	if c.rebal != nil {
 		go c.rebal.run()
 	}
+	if c.sched != nil && c.sched.pw != nil {
+		c.sched.pw.Run(c.clock)
+	}
 
 	ln, err := net.Listen("tcp", c.cfg.Listen)
 	if err != nil {
+		if c.sched != nil && c.sched.pw != nil {
+			c.sched.pw.Halt()
+		}
 		c.registry.Stop()
 		if c.rebal != nil {
 			c.rebal.halt()
@@ -240,6 +260,9 @@ func (c *Cluster) Shutdown() {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	c.httpServer.Shutdown(ctx)
+	if c.sched != nil && c.sched.pw != nil {
+		c.sched.pw.Halt()
+	}
 	if c.rebal != nil {
 		c.rebal.halt()
 	}

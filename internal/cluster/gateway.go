@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"time"
 
 	"swapservellm/internal/chaos"
 	"swapservellm/internal/obs"
@@ -124,14 +126,47 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
 		return
 	}
+	class, err := g.c.classFor(model, r.Header.Get("X-Priority-Class"))
+	if err != nil {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		return
+	}
 
 	g.c.reg.Counter("gateway_requests_total").Inc()
 
 	ctx := g.c.traceCtx(r.Context())
 	var span *obs.Span
 	ctx, span = obs.Start(ctx, "gateway.request",
-		obs.String("model", model), obs.String("path", path))
+		obs.String("model", model), obs.String("path", path),
+		obs.String("class", class))
 	defer span.End()
+
+	// Predictive scheduling: feed the demand predictor with every
+	// offered arrival, then run admission control. A shed is a 429 with
+	// Retry-After — the client's cue to back off until the class's
+	// guaranteed share refills.
+	if sc := g.c.sched; sc != nil {
+		now := g.c.clock.Now()
+		sc.pred.Observe(model, now)
+		if sc.adm != nil {
+			wait := sc.adm.PredictedWait(class)
+			dec := sc.adm.Decide(class, wait, now)
+			if !dec.Admit {
+				span.Fail(fmt.Errorf("shed class %s (%s): predicted wait %s", class, dec.Reason, wait))
+				retry := int(dec.RetryAfter / time.Second)
+				if retry < 1 {
+					retry = 1
+				}
+				w.Header().Set("Retry-After", strconv.Itoa(retry))
+				openai.WriteError(w, http.StatusTooManyRequests, "rate_limit_exceeded",
+					fmt.Sprintf("class %q shed under load: predicted wait %s exceeds the class SLO; retry after %ds", class, wait.Round(time.Millisecond), retry))
+				return
+			}
+			sc.adm.NoteStart(class)
+			t0 := now
+			defer func() { sc.adm.NoteDone(class, g.c.clock.Since(t0)) }()
+		}
+	}
 
 	// stream tracks SSE delivery across attempts so a failover resumes
 	// where the dead node stopped.
@@ -149,6 +184,9 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			obs.Bool("warm", warm), obs.Int("attempt", attempt))
 		if attempt == 0 {
 			g.recordPlacement(id, warm)
+			if sc := g.c.sched; sc != nil && sc.pw != nil {
+				sc.pw.NotePlacement(model, warm, g.c.clock.Now())
+			}
 		} else {
 			g.c.reg.Counter("cross_node_retries").Inc()
 		}
@@ -156,7 +194,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		if !ok {
 			continue
 		}
-		outcome, errMsg := g.forward(ctx, node, path, body, r.Header.Get("Authorization"), stream)
+		outcome, errMsg := g.forward(ctx, node, path, body, r.Header.Get("Authorization"), class, stream)
 		switch outcome {
 		case outcomeDone:
 			if attempt > 0 {
@@ -234,7 +272,7 @@ func (g *gateway) recordPlacement(nodeID string, warm bool) {
 
 // forward sends the request to one node and relays its response. The
 // error string is only meaningful for outcomeRetry.
-func (g *gateway) forward(ctx context.Context, node *Node, path string, body []byte, authHeader string, stream *sseRelay) (proxyOutcome, string) {
+func (g *gateway) forward(ctx context.Context, node *Node, path string, body []byte, authHeader, class string, stream *sseRelay) (proxyOutcome, string) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL()+path, bytes.NewReader(body))
 	if err != nil {
 		return outcomeRetry, err.Error()
@@ -242,6 +280,11 @@ func (g *gateway) forward(ctx context.Context, node *Node, path string, body []b
 	req.Header.Set("Content-Type", "application/json")
 	if authHeader != "" {
 		req.Header.Set("Authorization", authHeader)
+	}
+	if class != "" {
+		// Thread the resolved priority class through the request
+		// envelope so node-side tooling can attribute work to classes.
+		req.Header.Set("X-Priority-Class", class)
 	}
 	// An injected proxy fault is indistinguishable from a refused
 	// connection: fence the node and try a replica. A delay-only outcome

@@ -64,6 +64,9 @@ type Cluster struct {
 	Global Global `json:"global"`
 	// Cluster holds gateway-level parameters.
 	Cluster ClusterGlobal `json:"cluster"`
+	// Scheduling configures predictive SLO-aware scheduling and
+	// admission control (empty = reactive fleet, as before).
+	Scheduling SchedCfg `json:"scheduling,omitempty"`
 	// Nodes lists the cluster members.
 	Nodes []Node `json:"nodes"`
 }
@@ -151,6 +154,9 @@ func (c *Cluster) Validate(catalog *models.Catalog) error {
 	if c.Cluster.RetryLimit == 0 {
 		c.Cluster.RetryLimit = 2
 	}
+	if err := c.Scheduling.validate(c.Global.KeepAliveSec); err != nil {
+		return err
+	}
 	if len(c.Nodes) == 0 {
 		return errors.New("config: at least one node required")
 	}
@@ -176,6 +182,18 @@ func (c *Cluster) Validate(catalog *models.Catalog) error {
 		}
 		// Validate fills per-model defaults; copy them back.
 		n.Models = nodeCfg.Models
+		for j := range n.Models {
+			m := &n.Models[j]
+			if m.Class == "" {
+				continue
+			}
+			if !c.Scheduling.Enabled() {
+				return fmt.Errorf("config: node %q model %q names class %q but no scheduling classes are declared", n.Name, m.Name, m.Class)
+			}
+			if _, ok := c.Scheduling.Class(m.Class); !ok {
+				return fmt.Errorf("config: node %q model %q names undeclared class %q", n.Name, m.Name, m.Class)
+			}
+		}
 	}
 	return nil
 }

@@ -89,6 +89,9 @@ type Model struct {
 	// KeepWarm leaves the backend running after initialization instead of
 	// snapshotting and pausing it.
 	KeepWarm bool `json:"keep_warm,omitempty"`
+	// Class assigns the model to a scheduling priority class declared in
+	// the cluster's scheduling section. Empty means the default class.
+	Class string `json:"class,omitempty"`
 }
 
 // Config is the full deployment configuration.

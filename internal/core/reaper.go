@@ -4,12 +4,34 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"swapservellm/internal/chaos"
 )
+
+// TTLPolicy decides whether an idle backend's residency should be
+// reclaimed, replacing the reaper's fixed keep-alive comparison.
+// internal/sched provides fixed, hit-rate-adaptive, and
+// predictor-informed implementations; the interface lives here so core
+// does not import sched.
+type TTLPolicy interface {
+	// Name identifies the policy in metrics and experiment rows.
+	Name() string
+	// ShouldEvict reports whether a backend for model, idle for idleFor
+	// at time now, may be swapped out.
+	ShouldEvict(model string, idleFor time.Duration, now time.Time) bool
+	// NoteEvict records that model was evicted at now.
+	NoteEvict(model string, now time.Time)
+	// NoteAccess records that model was demanded while not resident (a
+	// reactive swap-in) at now.
+	NoteAccess(model string, now time.Time)
+}
 
 // reaper is the keep-alive idle reclaimer: backends that have served no
 // request for the configured window are proactively swapped out, freeing
 // GPU memory before demand forces a preemption. This generalizes
-// Ollama's keep_alive behaviour (§2.3) to every engine.
+// Ollama's keep_alive behaviour (§2.3) to every engine. With a TTLPolicy
+// installed the eviction choice is delegated to the policy; the fixed
+// keep-alive window remains the fallback.
 type reaper struct {
 	s         *Server
 	keepAlive time.Duration
@@ -65,7 +87,19 @@ func (r *reaper) sweep() {
 				idleSince = at
 			}
 		}
-		if now.Sub(idleSince) < r.keepAlive {
+		idle := now.Sub(idleSince)
+		evict := idle >= r.keepAlive
+		if r.s.ttl != nil {
+			evict = r.s.ttl.ShouldEvict(b.name, idle, now)
+		}
+		// Chaos: a fired sched.evict inverts the decision — a premature
+		// reclaim or a leaked residency, depending on which way it flips.
+		// Only the idle-time judgement is invertible; busy backends were
+		// already excluded above.
+		if out := r.s.chaosInj.At(chaos.SiteSchedEvict); out.Err != nil {
+			evict = !evict
+		}
+		if !evict {
 			continue
 		}
 		// Best effort: a losing race with an arriving request just means
@@ -73,6 +107,9 @@ func (r *reaper) sweep() {
 		// the backend back in.
 		if err := r.s.ctrl.SwapOut(context.Background(), b); err == nil {
 			r.s.reg.Counter("idle_reaps").Inc()
+			if r.s.ttl != nil {
+				r.s.ttl.NoteEvict(b.name, now)
+			}
 		}
 	}
 }

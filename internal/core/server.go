@@ -52,6 +52,11 @@ type Options struct {
 	// started under this server install it on their contexts. Exported at
 	// /debug/trace as Chrome trace_event JSON.
 	Tracer *obs.Tracer
+	// TTL, when set, replaces the reaper's fixed keep-alive comparison
+	// with a scheduling policy (internal/sched provides fixed, adaptive,
+	// and predictive implementations). The reaper runs whenever TTL is
+	// set, even with keep_alive_sec unset.
+	TTL TTLPolicy
 }
 
 // Server is the assembled SwapServeLLM deployment: substrates, backends,
@@ -72,6 +77,9 @@ type Server struct {
 	tm    *TaskManager
 	ctrl  *Controller
 	sched *Scheduler
+
+	ttl      TTLPolicy
+	chaosInj *chaos.Injector
 
 	mu        sync.Mutex
 	backends  map[string]*Backend // the model-name index of §3.2
@@ -179,8 +187,11 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 		tm:       tm,
 		ctrl:     ctrl,
 		sched:    sched,
+		ttl:      opts.TTL,
+		chaosInj: opts.Chaos,
 		backends: make(map[string]*Backend),
 	}
+	sched.ttl = opts.TTL
 	if cfg.Global.CompileCache {
 		s.initCache = engine.NewInitCache()
 	}
@@ -288,8 +299,9 @@ func (s *Server) Start(ctx context.Context) error {
 		}
 	}
 
-	// Start the idle reaper when keep-alive is configured.
-	if ka := s.cfg.KeepAlive(); ka > 0 {
+	// Start the idle reaper when keep-alive is configured or a TTL
+	// policy is installed (the policy then owns the eviction choice).
+	if ka := s.cfg.KeepAlive(); ka > 0 || s.ttl != nil {
 		interval := ka / 4
 		if interval < time.Second {
 			interval = time.Second

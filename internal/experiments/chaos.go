@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,6 +61,15 @@ const NodeChaosRules = "cudackpt.lock: p=0.08" +
 const ClusterChaosRules = "cluster.heartbeat: p=0.15" +
 	"; cluster.proxy: p=0.1" +
 	"; cluster.sse: p=0.04"
+
+// SchedChaosRules is the predictive-scheduling soak schedule: forced
+// admission mispredictions (sched.admit inverts each decision),
+// suppressed pre-warms (sched.prefetch swallows the restore the
+// predictor asked for), and inverted eviction verdicts (sched.evict
+// flips the reaper's keep/evict call).
+const SchedChaosRules = "sched.admit: p=0.25" +
+	"; sched.prefetch: p=0.5" +
+	"; sched.evict: p=0.3"
 
 // chaosSoakRequests is the workload length of one trial.
 const chaosSoakRequests = 16
@@ -233,6 +244,167 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 	return row, nil
 }
 
+// ChaosSchedSoak runs one seeded scheduling-subsystem trial: a two-node
+// cluster with classes, admission, pre-warm, and a TTL policy active
+// serves a sequential workload while sched.admit flips admission
+// decisions, sched.prefetch suppresses pre-warms, and sched.evict
+// inverts reaper verdicts. The soak asserts that mispredictions degrade
+// only into well-formed sheds (every 429 carries Retry-After and is
+// mirrored by a shed counter) and retriable latency — never into
+// invariant violations.
+func ChaosSchedSoak(seed int64, scale float64) (ChaosRow, error) {
+	modelsUsed := []string{"llama3.2:1b-fp16", "llama3.2:3b-fp16"}
+	cfg := config.DefaultCluster()
+	cfg.Cluster.HeartbeatSec = 3600
+	cfg.Scheduling = config.SchedCfg{
+		Classes: []config.SchedClass{
+			{Name: "interactive", Priority: 0, SLOSec: 30, RatePerSec: 5},
+			{Name: "batch", Priority: 1, SLOSec: 30, RatePerSec: 5},
+		},
+		Admission:          true,
+		Prewarm:            true,
+		PrewarmIntervalSec: 5,
+		PrewarmThreshold:   0.01,
+		TTLPolicy:          "fixed",
+		TTLSec:             5,
+	}
+	nodeModels := []config.Model{
+		{Name: modelsUsed[0], Engine: "ollama", Class: "interactive"},
+		{Name: modelsUsed[1], Engine: "ollama", Class: "batch"},
+	}
+	cfg.Nodes = []config.Node{
+		{Name: "node-a", Models: nodeModels},
+		{Name: "node-b", Models: nodeModels},
+	}
+
+	clock := simclock.NewScaled(epoch, scale)
+	inj := chaos.NewInjector(chaos.MustParsePlan(SchedChaosRules).WithSeed(seed))
+	// The plan has only sched.* rules: startup consults none of them
+	// (the reaper and pre-warm loops begin with Start, after arming).
+	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithChaos(inj))
+	if err != nil {
+		return ChaosRow{}, err
+	}
+	defer c.Shutdown()
+	if err := c.Start(context.Background()); err != nil {
+		return ChaosRow{}, err
+	}
+
+	row := ChaosRow{Scope: "sched", Seed: seed}
+	var rep invariant.Report
+	led := invariant.NewLedger()
+	var recoveries []time.Duration
+	sheds429 := 0
+	attempt := func(model string) error {
+		status, retryAfter, err := chatOnceHTTP(c.URL(), model, seed)
+		if err != nil {
+			return err
+		}
+		switch status {
+		case 200:
+			return nil
+		case 429:
+			sheds429++
+			// A shed must always be well-formed: machine-readable backoff.
+			if n, convErr := strconv.Atoi(retryAfter); convErr != nil || n < 1 {
+				rep.Addf("sched.shed", model, "429 with malformed Retry-After %q", retryAfter)
+			}
+			return fmt.Errorf("shed with Retry-After %s", retryAfter)
+		default:
+			return fmt.Errorf("unexpected HTTP %d", status)
+		}
+	}
+	for i := 0; i < chaosSoakRequests; i++ {
+		model := modelsUsed[i%len(modelsUsed)]
+		id := fmt.Sprintf("sched-req-%d", i)
+		led.Accept(id)
+		row.Requests++
+		if attempt(model) == nil {
+			led.Finish(id)
+			continue
+		}
+		row.Failed++
+		tFail := clock.Now()
+		if retryUntilOK(func() error { return attempt(model) }) {
+			row.Recovered++
+			recoveries = append(recoveries, clock.Since(tFail))
+		} else {
+			row.Unrecovered++
+		}
+		led.Finish(id)
+	}
+
+	// Quiesce before the audit: halt the pre-warm loop (with requests
+	// stopped, nothing re-warms a model again) and let the short-TTL
+	// reaper drain every backend to SwappedOut. Without this the
+	// background pre-warm/evict churn keeps some backend legitimately
+	// mid-swap at any instant the audit could run.
+	if _, _, pw := c.Sched(); pw != nil {
+		pw.Halt()
+	}
+	for waited := time.Duration(0); waited < 240*time.Second; waited += time.Second {
+		drained := true
+		for _, n := range c.Nodes() {
+			for _, b := range n.Server().Backends() {
+				if b.State() != core.BackendSwappedOut {
+					drained = false
+				}
+			}
+		}
+		if drained {
+			break
+		}
+		clock.Sleep(time.Second)
+	}
+
+	// Every client-visible 429 must be mirrored by exactly one shed
+	// counter increment — admission accounting cannot drift.
+	var counted float64
+	for _, class := range []string{"interactive", "batch"} {
+		counted += c.Registry().Counter("sched_shed_" + class).Value()
+	}
+	if int(counted) != sheds429 {
+		rep.Addf("sched.accounting", "gateway",
+			"shed counters %d != observed 429s %d", int(counted), sheds429)
+	}
+
+	for _, n := range c.Nodes() {
+		invariant.CheckServer(&rep, n.Server())
+	}
+	led.Check(&rep)
+	fillChaosRow(&row, &rep, inj, recoveries)
+	return row, nil
+}
+
+// chatOnceHTTP issues one non-streaming request at the HTTP layer,
+// returning the status code and Retry-After header so shed responses
+// can be audited rather than folded into a client error.
+func chatOnceHTTP(url, model string, seed int64) (int, string, error) {
+	body := fmt.Sprintf(`{"model":%q,"messages":[{"role":"user","content":"soak"}],"max_tokens":4,"seed":%d}`, model, seed)
+	resp, err := http.Post(url+"/v1/chat/completions", "application/json", strings.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+		return 0, "", err
+	}
+	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+}
+
+// ChaosSchedSweep runs the scheduling soak over n consecutive seeds.
+func ChaosSchedSweep(start int64, n int, scale float64) ([]ChaosRow, error) {
+	var rows []ChaosRow
+	for seed := start; seed < start+int64(n); seed++ {
+		row, err := ChaosSchedSoak(seed, scale)
+		if err != nil {
+			return rows, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // ChaosSweep runs the single-node soak over n consecutive seeds
 // starting at start — the property-style loop: same rules, swept seed.
 func ChaosSweep(start int64, n int, scale float64) ([]ChaosRow, error) {
@@ -362,6 +534,7 @@ func PrintChaos(w io.Writer, rows []ChaosRow) {
 	fprintf(w, "Chaos soak: seeded fault schedules vs system-wide invariants\n")
 	fprintf(w, "node rules:    %s\n", NodeChaosRules)
 	fprintf(w, "cluster rules: %s\n", ClusterChaosRules)
+	fprintf(w, "sched rules:   %s\n", SchedChaosRules)
 	fprintf(w, "%-8s %6s %5s %7s %10s %7s %11s %11s %11s\n",
 		"scope", "seed", "reqs", "failed", "recovered", "faults", "rec-p50(s)", "rec-max(s)", "violations")
 	var faults, violations int

@@ -103,6 +103,52 @@ func TestChaosClusterSoak(t *testing.T) {
 	}
 }
 
+// TestChaosSchedSoak sweeps the scheduling-subsystem schedule (forced
+// admission mispredictions, suppressed pre-warms, inverted eviction
+// verdicts): every shed must stay well-formed (Retry-After present,
+// counters matching client-observed 429s) and the node invariants must
+// hold at quiescence. Mispredictions may cost latency, never
+// correctness.
+func TestChaosSchedSoak(t *testing.T) {
+	if *chaosSeed != 0 {
+		row, err := ChaosSchedSoak(*chaosSeed, chaosScale)
+		if err != nil {
+			t.Fatalf("seed %d: %v", *chaosSeed, err)
+		}
+		t.Logf("replay seed %d: %+v", *chaosSeed, row)
+		if row.Violations != 0 {
+			t.Fatalf("seed %d: %d invariant violations:\n%s",
+				*chaosSeed, row.Violations, row.ViolationText)
+		}
+		return
+	}
+
+	seeds := *chaosSeeds
+	if seeds > 10 {
+		seeds = 10
+	}
+	var failing []int64
+	var faults int
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		row, err := ChaosSchedSoak(seed, chaosScale)
+		if err != nil {
+			t.Fatalf("seed %d: trial error: %v", seed, err)
+		}
+		faults += row.FaultsInjected
+		if row.Violations != 0 {
+			failing = append(failing, seed)
+			t.Errorf("seed %d: %d invariant violations:\n%s",
+				seed, row.Violations, row.ViolationText)
+		}
+	}
+	if len(failing) > 0 {
+		t.Fatalf("failing seeds %v — replay each with -chaos.seed=<n>", failing)
+	}
+	if faults == 0 {
+		t.Fatal("sched soak injected no faults")
+	}
+}
+
 // TestChaosSoakDeterministic: the same seed must produce the same fault
 // schedule and the same workload outcome — the property that makes
 // failing seeds replayable. (Latency fields carry real-clock jitter and

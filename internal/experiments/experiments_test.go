@@ -1,13 +1,43 @@
 package experiments
 
 import (
+	"fmt"
 	"math"
 	"strings"
+	"sync"
 	"testing"
 
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/workload"
 )
+
+// heavyMu serializes the heaviest scaled-clock trials (the Figure 6b
+// ten-server sweep, the pipelined-swap A/B sweep, and the headline
+// claims that re-run both). Running them concurrently under `go test`
+// parallelism makes real scheduler overhead leak into the scaled clocks
+// and shifts measured latencies — the historical source of wall-clock
+// flakes in these tests.
+var heavyMu sync.Mutex
+
+// retryMeasured runs a wall-clock-sensitive measurement trial up to
+// twice: check returns the list of assertion failures, and a clean
+// second run absolves a first run distorted by transient machine load
+// (a scheduling hiccup of ε wall-seconds inside a measured interval
+// reads as ε×scale simulated seconds). Persistent failures — real
+// regressions — fail both attempts and are reported from the last.
+func retryMeasured(t *testing.T, check func() []string) {
+	t.Helper()
+	var errs []string
+	for attempt := 0; attempt < 2; attempt++ {
+		errs = check()
+		if len(errs) == 0 {
+			return
+		}
+	}
+	for _, e := range errs {
+		t.Error(e)
+	}
+}
 
 // close enough: |got-want| <= tol*want.
 func within(t *testing.T, name string, got, want, tol float64) {
@@ -168,57 +198,90 @@ func TestFigure6aShape(t *testing.T) {
 }
 
 func TestFigure6bShape(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := Figure6b(1000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	byName := make(map[string]Fig6bRow)
-	for _, r := range rows {
-		byName[r.Model] = r
-		if r.SwapInSec >= r.OllamaLoadSec {
-			t.Errorf("%s: swap-in %.2f not faster than Ollama load %.2f",
-				r.Model, r.SwapInSec, r.OllamaLoadSec)
+	heavyMu.Lock()
+	defer heavyMu.Unlock()
+	// No skip-under-race gate: the sweep is serialized against the other
+	// heavy trials and retried once (retryMeasured) to absorb a transient
+	// scheduling hiccup leaking into the scaled clock; under race only
+	// the relative properties are asserted — instrumentation inflates
+	// absolute latencies several-fold.
+	retryMeasured(t, func() []string {
+		rows, err := Figure6b(1200)
+		if err != nil {
+			t.Fatal(err)
 		}
-	}
-	// §5.3 anchors: 1B swap-in ~0.75s at ~3.6 GB; 14B ~4.6s at ~30.5 GB.
-	small := byName["llama3.2:1b-fp16"]
-	within(t, "1B gpu mem", small.GPUMemGiB, 3.6, 0.15)
-	if small.SwapInSec < 0.5 || small.SwapInSec > 1.3 {
-		t.Errorf("1B swap-in = %.2f, want ~0.75", small.SwapInSec)
-	}
-	large := byName["deepseek-r1:14b-fp16"]
-	within(t, "14B gpu mem", large.GPUMemGiB, 30.5, 0.1)
-	if large.SwapInSec < 3.5 || large.SwapInSec > 5.6 {
-		t.Errorf("14B swap-in = %.2f, want ~4.6", large.SwapInSec)
-	}
+		var errs []string
+		byName := make(map[string]Fig6bRow)
+		for _, r := range rows {
+			byName[r.Model] = r
+			if r.SwapInSec >= r.OllamaLoadSec {
+				errs = append(errs, fmt.Sprintf("%s: swap-in %.2f not faster than Ollama load %.2f",
+					r.Model, r.SwapInSec, r.OllamaLoadSec))
+			}
+		}
+		// GPU memory is counted, not timed, so it holds under any overhead.
+		small := byName["llama3.2:1b-fp16"]
+		if math.Abs(small.GPUMemGiB-3.6) > 0.15*3.6 {
+			errs = append(errs, fmt.Sprintf("1B gpu mem = %.2f, want ~3.6", small.GPUMemGiB))
+		}
+		large := byName["deepseek-r1:14b-fp16"]
+		if math.Abs(large.GPUMemGiB-30.5) > 0.1*30.5 {
+			errs = append(errs, fmt.Sprintf("14B gpu mem = %.2f, want ~30.5", large.GPUMemGiB))
+		}
+		// Relative ordering: swap-in grows with model size.
+		if small.SwapInSec >= large.SwapInSec {
+			errs = append(errs, fmt.Sprintf("1B swap-in %.2f not below 14B swap-in %.2f",
+				small.SwapInSec, large.SwapInSec))
+		}
+		if raceEnabled {
+			return errs
+		}
+		// §5.3 anchors: 1B swap-in ~0.75s at ~3.6 GB; 14B ~4.6s at ~30.5 GB.
+		if small.SwapInSec < 0.5 || small.SwapInSec > 1.3 {
+			errs = append(errs, fmt.Sprintf("1B swap-in = %.2f, want ~0.75", small.SwapInSec))
+		}
+		if large.SwapInSec < 3.5 || large.SwapInSec > 5.6 {
+			errs = append(errs, fmt.Sprintf("14B swap-in = %.2f, want ~4.6", large.SwapInSec))
+		}
+		return errs
+	})
 }
 
 func TestHeadlineClaims(t *testing.T) {
 	skipAnchorsUnderRace(t)
-	a, err := Figure6a(1000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Figure6b(1000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	h := Headline(a, b)
-	// Speedups over vLLM cold starts: the paper reports 18-31x against its
-	// (longer) measured cold starts; our Figure 2-style cold starts give a
-	// lower but still dramatic band.
-	if h.VLLMSpeedupMin < 5 || h.VLLMSpeedupMax < h.VLLMSpeedupMin {
-		t.Errorf("vLLM speedups = %.1f-%.1f", h.VLLMSpeedupMin, h.VLLMSpeedupMax)
-	}
-	// ~2.6x for the 1B model over Ollama.
-	if h.OllamaSmallSpeedup < 1.7 || h.OllamaSmallSpeedup > 3.8 {
-		t.Errorf("Ollama small speedup = %.2f, want ~2.6", h.OllamaSmallSpeedup)
-	}
-	// ~29% for the 14B model.
-	if h.OllamaLargeImprovement < 0.10 || h.OllamaLargeImprovement > 0.45 {
-		t.Errorf("Ollama large improvement = %.0f%%, want ~29%%", 100*h.OllamaLargeImprovement)
-	}
+	heavyMu.Lock()
+	defer heavyMu.Unlock()
+	// A slower clock than swapbench's default 1000: the headline numbers
+	// are ratios of measured latencies, and a fixed wall-clock scheduling
+	// hiccup inside a measured swap converts to scale× simulated seconds
+	// of error — halving the scale halves the distortion under load.
+	retryMeasured(t, func() []string {
+		a, err := Figure6a(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Figure6b(500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := Headline(a, b)
+		var errs []string
+		// Speedups over vLLM cold starts: the paper reports 18-31x against
+		// its (longer) measured cold starts; our Figure 2-style cold starts
+		// give a lower but still dramatic band.
+		if h.VLLMSpeedupMin < 5 || h.VLLMSpeedupMax < h.VLLMSpeedupMin {
+			errs = append(errs, fmt.Sprintf("vLLM speedups = %.1f-%.1f", h.VLLMSpeedupMin, h.VLLMSpeedupMax))
+		}
+		// ~2.6x for the 1B model over Ollama.
+		if h.OllamaSmallSpeedup < 1.7 || h.OllamaSmallSpeedup > 3.8 {
+			errs = append(errs, fmt.Sprintf("Ollama small speedup = %.2f, want ~2.6", h.OllamaSmallSpeedup))
+		}
+		// ~29% for the 14B model.
+		if h.OllamaLargeImprovement < 0.10 || h.OllamaLargeImprovement > 0.45 {
+			errs = append(errs, fmt.Sprintf("Ollama large improvement = %.0f%%, want ~29%%", 100*h.OllamaLargeImprovement))
+		}
+		return errs
+	})
 }
 
 func TestFigure1Shape(t *testing.T) {

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"math"
 	"strings"
 	"testing"
 )
@@ -11,28 +13,46 @@ import (
 // is at least 25% faster than the sequential baseline, because the D2H
 // checkpoint and H2D restore overlap on the full-duplex PCIe link.
 func TestAblationPipelinedSwap(t *testing.T) {
-	skipAnchorsUnderRace(t)
 	if testing.Short() {
 		t.Skip("ten-server A/B sweep is slow")
 	}
-	rows, err := AblationPipelinedSwap(2000)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) != len(Figure6Models) {
-		t.Fatalf("rows = %d, want %d", len(rows), len(Figure6Models))
-	}
-	for _, r := range rows {
-		// vLLM pools ~90% of the 80 GiB device regardless of weights.
-		within(t, r.Model+" gpu mem", r.GPUMemGiB, 72, 0.03)
-		if r.PipelinedSec >= r.SequentialSec {
-			t.Errorf("%s: pipelined %.2fs not faster than sequential %.2fs",
-				r.Model, r.PipelinedSec, r.SequentialSec)
+	heavyMu.Lock()
+	defer heavyMu.Unlock()
+	// No skip-under-race gate: serialized against the other heavy sweeps
+	// and retried once to absorb a transient load hiccup; under race only
+	// the relative A/B property is asserted.
+	retryMeasured(t, func() []string {
+		rows, err := AblationPipelinedSwap(3000)
+		if err != nil {
+			t.Fatal(err)
 		}
-		if r.ImprovementPct < 25 {
-			t.Errorf("%s: improvement %.1f%%, want >= 25%%", r.Model, r.ImprovementPct)
+		if len(rows) != len(Figure6Models) {
+			t.Fatalf("rows = %d, want %d", len(rows), len(Figure6Models))
 		}
-	}
+		var errs []string
+		for _, r := range rows {
+			// vLLM pools ~90% of the 80 GiB device regardless of weights —
+			// a byte count, immune to timing overhead.
+			if math.Abs(r.GPUMemGiB-72) > 0.03*72 {
+				errs = append(errs, fmt.Sprintf("%s gpu mem = %.2f, want ~72", r.Model, r.GPUMemGiB))
+			}
+			// The headline property is relative (both arms run on the same
+			// clock), so it holds under race instrumentation too.
+			if r.PipelinedSec >= r.SequentialSec {
+				errs = append(errs, fmt.Sprintf("%s: pipelined %.2fs not faster than sequential %.2fs",
+					r.Model, r.PipelinedSec, r.SequentialSec))
+			}
+			if raceEnabled {
+				continue
+			}
+			// The ≥25% margin depends on absolute transfer timing and only
+			// holds without instrumentation overhead.
+			if r.ImprovementPct < 25 {
+				errs = append(errs, fmt.Sprintf("%s: improvement %.1f%%, want >= 25%%", r.Model, r.ImprovementPct))
+			}
+		}
+		return errs
+	})
 }
 
 func TestPipelinePrinterAndCSV(t *testing.T) {

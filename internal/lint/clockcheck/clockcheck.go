@@ -29,6 +29,7 @@ import (
 // testdata fakes qualify too.)
 var deterministicPkgs = []string{
 	"internal/core",
+	"internal/sched",
 	"internal/cudackpt",
 	"internal/cgroup",
 	"internal/chaos",

@@ -136,6 +136,20 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 	return sorted[idx]
 }
 
+// CountBelow returns how many observations are at or under d — the
+// numerator of an SLO-attainment ratio.
+func (h *Histogram) CountBelow(d time.Duration) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, o := range h.obs {
+		if o <= d {
+			n++
+		}
+	}
+	return n
+}
+
 // Min returns the smallest observation (zero when empty).
 func (h *Histogram) Min() time.Duration { return h.Quantile(0) }
 

@@ -56,6 +56,12 @@ func Bool(key string, value bool) Attr {
 	return Attr{Key: key, Value: fmt.Sprintf("%t", value)}
 }
 
+// Float64 builds a floating-point attribute (predicted rates,
+// attainment ratios). %g keeps the rendering compact and stable.
+func Float64(key string, value float64) Attr {
+	return Attr{Key: key, Value: fmt.Sprintf("%g", value)}
+}
+
 // Event is a point-in-time annotation inside a span (a committed
 // transfer chunk, an injected fault, a failover attempt).
 type Event struct {
