@@ -205,16 +205,18 @@ func (c *Cluster) Start(ctx context.Context) error {
 		return fmt.Errorf("cluster: already started")
 	}
 
+	gate := simclock.GateFor(c.clock)
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.nodes))
 	for i, n := range c.nodes {
 		wg.Add(1)
-		go func(i int, n *Node) {
+		i, n := i, n
+		gate.Go(func() {
 			defer wg.Done()
 			errs[i] = n.Server().Start(ctx)
-		}(i, n)
+		})
 	}
-	wg.Wait()
+	gate.Block(wg.Wait)
 	for i, err := range errs {
 		if err != nil {
 			c.shutdownNodesLocked()
@@ -224,7 +226,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 
 	c.registry.Start()
 	if c.rebal != nil {
-		go c.rebal.run()
+		gate.Go(c.rebal.run)
 	}
 	if c.sched != nil && c.sched.pw != nil {
 		c.sched.pw.Run(c.clock)

@@ -6,6 +6,7 @@ import (
 
 	"swapservellm/internal/core"
 	"swapservellm/internal/obs"
+	"swapservellm/internal/simclock"
 )
 
 // rebalancer is the cluster's background snapshot-placement optimizer.
@@ -57,13 +58,9 @@ func newRebalancer(c *Cluster, interval time.Duration, highWater float64, capByt
 
 func (rb *rebalancer) run() {
 	defer close(rb.done)
-	for {
-		select {
-		case <-rb.stop:
-			return
-		case <-rb.c.clock.After(rb.interval):
-			rb.Sweep(rb.c.traceCtx(context.Background()))
-		}
+	gate := simclock.GateFor(rb.c.clock)
+	for gate.Wait(rb.interval, rb.stop) < 0 {
+		rb.Sweep(rb.c.traceCtx(context.Background()))
 	}
 }
 

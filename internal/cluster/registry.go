@@ -113,7 +113,7 @@ func (r *NodeRegistry) Nodes() []*Node {
 // nodes that are already serving join immediately.
 func (r *NodeRegistry) Start() {
 	r.Sweep()
-	go r.run()
+	simclock.GateFor(r.clock).Go(r.run)
 }
 
 // Stop halts the heartbeat loop and waits for it to exit.
@@ -124,13 +124,9 @@ func (r *NodeRegistry) Stop() {
 
 func (r *NodeRegistry) run() {
 	defer close(r.done)
-	for {
-		select {
-		case <-r.stop:
-			return
-		case <-r.clock.After(r.interval):
-			r.Sweep()
-		}
+	gate := simclock.GateFor(r.clock)
+	for gate.Wait(r.interval, r.stop) < 0 {
+		r.Sweep()
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/sched"
+	"swapservellm/internal/simclock"
 )
 
 // schedState is the cluster's predictive-scheduling runtime: the demand
@@ -154,13 +155,13 @@ func (c *Cluster) prewarmModel(model string) bool {
 	if !ok {
 		return false
 	}
-	go func() {
+	simclock.GateFor(c.clock).Go(func() {
 		ctx := c.traceCtx(context.Background())
 		ctx, span := obs.Start(ctx, "sched.prewarm",
 			obs.String("model", model), obs.String("node", n.ID()))
 		err := n.Server().Scheduler().EnsureRunning(ctx, b)
 		span.EndErr(err)
-	}()
+	})
 	return true
 }
 

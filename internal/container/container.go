@@ -124,10 +124,16 @@ func (c *Container) WaitReady(ctx context.Context) error {
 	if ready == nil {
 		return fmt.Errorf("%w: container %s not started", ErrBadState, c.name)
 	}
-	select {
-	case <-ctx.Done():
+	cancelled := false
+	simclock.GateFor(c.rt.clock).Block(func() {
+		select {
+		case <-ctx.Done():
+			cancelled = true
+		case <-ready:
+		}
+	})
+	if cancelled {
 		return ctx.Err()
-	case <-ready:
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -301,13 +307,13 @@ func (rt *Runtime) Start(ctx context.Context, c *Container) (err error) {
 		}
 	}
 
-	go func() {
+	simclock.GateFor(rt.clock).Go(func() {
 		_, initErr := eng.Init(context.Background())
 		c.mu.Lock()
 		c.initErr = initErr
 		c.mu.Unlock()
 		close(ready)
-	}()
+	})
 	return nil
 }
 

@@ -16,6 +16,7 @@ import (
 	"swapservellm/internal/container"
 	"swapservellm/internal/models"
 	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
 )
 
 // BackendState is a backend's serving state.
@@ -181,8 +182,9 @@ func (b *Backend) decActive() {
 // awaitIdle blocks until the backend has no in-flight requests or ctx is
 // done. It is the event-driven replacement for polling Active() in a
 // sleep loop: the waiter channel is (re)armed under idleMu and re-checked
-// after each wake, so a request racing in between checks is caught.
-func (b *Backend) awaitIdle(ctx context.Context) error {
+// after each wake, so a request racing in between checks is caught. The
+// wait runs under gate.Block so a Virtual clock treats it as idle time.
+func (b *Backend) awaitIdle(ctx context.Context, gate *simclock.Gate) error {
 	for {
 		b.idleMu.Lock()
 		if b.active.Load() == 0 {
@@ -194,9 +196,15 @@ func (b *Backend) awaitIdle(ctx context.Context) error {
 		}
 		ch := b.idleWait
 		b.idleMu.Unlock()
-		select {
-		case <-ch:
-		case <-ctx.Done():
+		cancelled := false
+		gate.Block(func() {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				cancelled = true
+			}
+		})
+		if cancelled {
 			return ctx.Err()
 		}
 	}

@@ -177,7 +177,9 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) (err error) {
 	ctx, span := obs.Start(ctx, "swap.out", obs.String("model", b.name))
 	defer func() { span.EndErr(err) }()
 	// The write lock stops workers from forwarding new requests (§3.5).
-	b.evictMu.Lock()
+	// Acquired through the gate: the current holder may be asleep on the
+	// clock, and a blocked write-lock waiter must not freeze virtual time.
+	simclock.GateFor(ct.clock).Block(b.evictMu.Lock)
 	defer b.evictMu.Unlock()
 
 	if s := b.State(); s != BackendRunning {
@@ -245,7 +247,7 @@ func (ct *Controller) SwapOut(ctx context.Context, b *Backend) (err error) {
 // (Backend.decActive), so there is no polling interval between the final
 // response and the start of the checkpoint.
 func (ct *Controller) drain(ctx context.Context, b *Backend) error {
-	return b.awaitIdle(ctx)
+	return b.awaitIdle(ctx, simclock.GateFor(ct.clock))
 }
 
 // SwapIn resumes a swapped-out backend (§3.3 ⑨): restore the GPU state
@@ -366,6 +368,7 @@ func (ct *Controller) wakeIfSlept(ctx context.Context, b *Backend, eng engine.En
 // verifyAPI polls the engine's health endpoint until it responds.
 func (ct *Controller) verifyAPI(ctx context.Context, b *Backend) error {
 	cli := openai.NewClient(b.ctr.BaseURL())
+	cli.Clock = ct.clock
 	hctx, cancel := context.WithTimeout(ctx, 10*time.Second)
 	defer cancel()
 	return cli.WaitHealthy(hctx, 2*time.Millisecond)
@@ -375,7 +378,9 @@ func (ct *Controller) verifyAPI(ctx context.Context, b *Backend) error {
 // running backends on the device and swap it out.
 func (ct *Controller) EvictOne(ctx context.Context, gpuID int, exclude map[string]bool) (int64, bool) {
 	lock := ct.evictLock(gpuID)
-	lock.Lock()
+	// Held across SwapOut's simulated transfer, so acquire through the
+	// gate: a waiter must not pin virtual time while the holder sleeps.
+	simclock.GateFor(ct.clock).Block(lock.Lock)
 	defer lock.Unlock()
 
 	cand, ok := ct.selectCandidate(gpuID, exclude)

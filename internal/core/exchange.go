@@ -7,6 +7,7 @@ import (
 	"swapservellm/internal/engine"
 	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
 )
 
 // This file implements the swap-exchange fast path: replacing one
@@ -43,7 +44,7 @@ func (ct *Controller) SwapExchange(ctx context.Context, victim, target *Backend)
 // swapExchangeSequential is the A/B baseline: a full SwapOut, then a
 // blocking reservation of the target's footprint, then a full SwapIn.
 func (ct *Controller) swapExchangeSequential(ctx context.Context, victim, target *Backend) error {
-	target.swapMu.Lock()
+	simclock.GateFor(ct.clock).Block(target.swapMu.Lock)
 	defer target.swapMu.Unlock()
 	if s := target.State(); s != BackendSwappedOut {
 		return fmt.Errorf("core: swap-exchange target %s in state %v", target.name, s)
@@ -74,13 +75,13 @@ func (ct *Controller) swapExchangeSequential(ctx context.Context, victim, target
 // capacity accrues to the target rather than a third party — the restore
 // itself never waits for the full grant.
 func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target *Backend) error {
-	target.swapMu.Lock()
+	simclock.GateFor(ct.clock).Block(target.swapMu.Lock)
 	defer target.swapMu.Unlock()
 	if s := target.State(); s != BackendSwappedOut {
 		return fmt.Errorf("core: swap-exchange target %s in state %v", target.name, s)
 	}
 
-	victim.evictMu.Lock()
+	simclock.GateFor(ct.clock).Block(victim.evictMu.Lock)
 	defer victim.evictMu.Unlock()
 	if s := victim.State(); s != BackendRunning {
 		return fmt.Errorf("core: swap-exchange victim %s in state %v", victim.name, s)
@@ -126,13 +127,14 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 		err   error
 	}
 	suspended := make(chan suspendResult, 1)
-	go func() {
+	gate := simclock.GateFor(ct.clock)
+	gate.Go(func() {
 		saved, serr := ct.rt.Driver().Suspend(ctx, victim.ctr.ID())
 		if serr != nil {
 			cancel()
 		}
 		suspended <- suspendResult{saved: saved, err: serr}
-	}()
+	})
 
 	restoreErr := ct.rt.Driver().RestoreWait(rctx, target.ctr.ID())
 	if restoreErr == nil {
@@ -141,7 +143,8 @@ func (ct *Controller) swapExchangePipelined(ctx context.Context, victim, target 
 		ulCtx := context.WithoutCancel(ctx)
 		restoreErr = retryTransient(func() error { return ct.rt.Driver().Unlock(ulCtx, target.ctr.ID()) })
 	}
-	sres := <-suspended
+	var sres suspendResult
+	gate.Block(func() { sres = <-suspended })
 
 	// Victim leg: on success it is swapped out; on failure thaw it back
 	// to a serving state (mirroring SwapOut's rollback). Either way the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"swapservellm/internal/simclock"
 )
 
 // gpuMonitorLoop is the continuous GPU monitoring of §3.2: the server
@@ -34,12 +36,8 @@ func newGPUMonitorLoop(s *Server, interval time.Duration) *gpuMonitorLoop {
 // run is the sampling loop; terminate with halt.
 func (m *gpuMonitorLoop) run() {
 	defer close(m.done)
-	for {
-		select {
-		case <-m.stop:
-			return
-		case <-m.s.clock.After(m.interval):
-		}
+	gate := simclock.GateFor(m.s.clock)
+	for gate.Wait(m.interval, m.stop) < 0 {
 		now := m.s.clock.Now()
 		for _, st := range m.s.tm.Monitor().Sample() {
 			m.s.reg.Series(fmt.Sprintf("gpu%d_used_gib", st.ID)).

@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"swapservellm/internal/simclock"
 )
 
 // Prefetcher is the predictive half of the autoscaling pair (§2.1): the
@@ -36,12 +38,8 @@ func newPrefetcher(s *Server, interval time.Duration) *prefetcher {
 // run is the prefetch loop; terminate with halt.
 func (p *prefetcher) run() {
 	defer close(p.done)
-	for {
-		select {
-		case <-p.stop:
-			return
-		case <-p.s.clock.After(p.interval):
-		}
+	gate := simclock.GateFor(p.s.clock)
+	for gate.Wait(p.interval, p.stop) < 0 {
 		p.sweep()
 	}
 }
@@ -65,11 +63,12 @@ func (p *prefetcher) sweep() {
 		// window (or is already overdue by less than one period — bursty
 		// traffic often returns shortly after the EWMA point).
 		if predicted.Sub(now) <= est && now.Sub(predicted) < ewma {
-			go func(b *Backend) {
+			b := b
+			simclock.GateFor(p.s.clock).Go(func() {
 				if err := p.s.sched.EnsureRunning(context.Background(), b); err == nil {
 					p.s.reg.Counter("prefetch_swap_ins").Inc()
 				}
-			}(b)
+			})
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/simclock"
 )
 
 // TTLPolicy decides whether an idle backend's residency should be
@@ -57,12 +58,8 @@ func newReaper(s *Server, keepAlive, interval time.Duration) *reaper {
 // run is the reaper loop; terminate with halt.
 func (r *reaper) run() {
 	defer close(r.done)
-	for {
-		select {
-		case <-r.stop:
-			return
-		case <-r.s.clock.After(r.interval):
-		}
+	gate := simclock.GateFor(r.s.clock)
+	for gate.Wait(r.interval, r.stop) < 0 {
 		r.sweep()
 	}
 }

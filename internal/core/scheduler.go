@@ -39,7 +39,10 @@ func (s *Scheduler) EnsureRunning(ctx context.Context, b *Backend) (err error) {
 	}
 	ctx, span := obs.Start(ctx, "ensure.running", obs.String("model", b.name))
 	defer func() { span.EndErr(err) }()
-	b.swapMu.Lock()
+	// The lock may be held by a peer that is asleep on the clock (a
+	// swap mid-flight); acquire through the gate so a virtual clock can
+	// keep advancing while this worker waits.
+	simclock.GateFor(s.clock).Block(b.swapMu.Lock)
 	defer b.swapMu.Unlock()
 	// A reaper- or preemption-initiated swap-out may be mid-flight; wait
 	// for the transition to settle before deciding.

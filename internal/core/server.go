@@ -299,6 +299,10 @@ func (s *Server) Start(ctx context.Context) error {
 		}
 	}
 
+	// Background loops spawn through the clock's gate so a Virtual clock
+	// accounts for them; on Real/Scaled clocks the gate is a plain `go`.
+	gate := simclock.GateFor(s.clock)
+
 	// Start the idle reaper when keep-alive is configured or a TTL
 	// policy is installed (the policy then owns the eviction choice).
 	if ka := s.cfg.KeepAlive(); ka > 0 || s.ttl != nil {
@@ -307,19 +311,19 @@ func (s *Server) Start(ctx context.Context) error {
 			interval = time.Second
 		}
 		s.reap = newReaper(s, ka, interval)
-		go s.reap.run()
+		gate.Go(s.reap.run)
 	}
 
 	// Start the predictive prefetcher when configured.
 	if s.cfg.Global.Prefetch {
 		s.prefetch = newPrefetcher(s, 250*time.Millisecond)
-		go s.prefetch.run()
+		gate.Go(s.prefetch.run)
 	}
 
 	// Start the continuous GPU monitor when configured (§3.2).
 	if sec := s.cfg.Global.GPUMonitorSec; sec > 0 {
 		s.gpumon = newGPUMonitorLoop(s, time.Duration(sec*float64(time.Second)))
-		go s.gpumon.run()
+		gate.Go(s.gpumon.run)
 	}
 
 	// Start the router.
@@ -421,7 +425,7 @@ func (s *Server) initBackend(ctx context.Context, mc *config.Model) error {
 	s.mu.Lock()
 	s.workers = append(s.workers, w)
 	s.mu.Unlock()
-	go w.run()
+	simclock.GateFor(s.clock).Go(w.run)
 	return nil
 }
 
@@ -460,6 +464,14 @@ func (s *Server) Shutdown() {
 	s.mu.Unlock()
 	for _, w := range workers {
 		close(w.stop)
+	}
+	// Wait for the dispatch loops to exit so no registered goroutine of
+	// this server outlives Shutdown — experiments that run several
+	// servers against one shared Virtual clock depend on a clean slate
+	// between trials. The wait needs no clock advance: a closed stop
+	// channel makes every loop immediately runnable.
+	for _, w := range workers {
+		<-w.done
 	}
 	s.rt.Shutdown()
 }

@@ -184,14 +184,23 @@ func (tm *TaskManager) Reserve(ctx context.Context, gpus []int, bytes int64, own
 	// A waiter that was not granted immediately drives preemption for
 	// itself once it reaches the head of the queue; the evictor
 	// serializes actual evictions.
+	gate := simclock.GateFor(tm.clock)
 	if blocked && tm.evictor != nil {
-		go tm.reclaim(ctx, p)
+		gate.Go(func() { tm.reclaim(ctx, p) })
 	}
 
-	select {
-	case <-p.granted:
+	granted := false
+	gate.Block(func() {
+		select {
+		case <-p.granted:
+			granted = true
+		case <-ctx.Done():
+		}
+	})
+	if granted {
 		return &Reservation{tm: tm, gpus: gpus, bytes: bytes}, nil
-	case <-ctx.Done():
+	}
+	{
 		tm.mu.Lock()
 		select {
 		case <-p.granted:
@@ -308,15 +317,10 @@ func isClosed(ch chan struct{}) bool {
 // progress for everyone.
 func (tm *TaskManager) reclaim(ctx context.Context, p *pending) {
 	exclude := map[string]bool{p.owner: true}
+	gate := simclock.GateFor(tm.clock)
 	backoff := func() bool {
-		select {
-		case <-p.granted:
-			return false
-		case <-ctx.Done():
-			return false
-		case <-tm.clock.After(20 * time.Millisecond): // simulated time
-			return true
-		}
+		// Simulated-time backoff, cut short by a grant or cancellation.
+		return gate.Wait(20*time.Millisecond, p.granted, ctx.Done()) < 0
 	}
 	for {
 		select {

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bytes"
-	"context"
 	"fmt"
 	"net/http"
 
@@ -22,6 +21,7 @@ type worker struct {
 
 	client *http.Client
 	stop   chan struct{}
+	done   chan struct{}
 }
 
 // newWorker builds a worker for b.
@@ -33,35 +33,47 @@ func newWorker(b *Backend, sched *Scheduler, clock simclock.Clock, reg *metrics.
 		reg:    reg,
 		client: &http.Client{},
 		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
 	}
 }
 
-// run is the worker loop; terminate with close(w.stop).
+// run is the worker loop; terminate with close(w.stop). The queue wait
+// runs under the clock gate's Block so a Virtual clock knows the worker
+// is idle rather than computing.
 func (w *worker) run() {
+	defer close(w.done)
+	gate := simclock.GateFor(w.clock)
 	for {
-		select {
-		case <-w.stop:
+		var item *queuedRequest
+		stopped := false
+		gate.Block(func() {
+			select {
+			case <-w.stop:
+				stopped = true
+			case item = <-w.b.queue:
+			}
+		})
+		if stopped {
 			return
-		case item := <-w.b.queue:
-			w.b.pending.Add(1)
-			// Verify the client is still connected before doing any work
-			// (§4.1: cancellations and timeouts are handled here).
-			if item.ctx.Err() != nil {
-				item.result <- forwardResult{err: item.ctx.Err()}
+		}
+		w.b.pending.Add(1)
+		// Verify the client is still connected before doing any work
+		// (§4.1: cancellations and timeouts are handled here).
+		if item.ctx.Err() != nil {
+			item.result <- forwardResult{err: item.ctx.Err()}
+			w.b.pending.Add(-1)
+			continue
+		}
+		if w.b.State() != BackendRunning {
+			if err := w.sched.EnsureRunning(item.ctx, w.b); err != nil {
+				item.result <- forwardResult{err: err}
 				w.b.pending.Add(-1)
 				continue
 			}
-			if w.b.State() != BackendRunning {
-				if err := w.sched.EnsureRunning(item.ctx, w.b); err != nil {
-					item.result <- forwardResult{err: err}
-					w.b.pending.Add(-1)
-					continue
-				}
-			}
-			// Forward concurrently so the worker keeps draining the queue
-			// while long generations stream.
-			go w.forward(item)
 		}
+		// Forward concurrently so the worker keeps draining the queue
+		// while long generations stream.
+		gate.Go(func() { w.forward(item) })
 	}
 }
 
@@ -71,9 +83,12 @@ func (w *worker) run() {
 // in-flight accounting (§3.5).
 func (w *worker) forward(item *queuedRequest) {
 	defer w.b.pending.Add(-1)
+	gate := simclock.GateFor(w.clock)
 	const maxAttempts = 3
 	for attempt := 0; attempt < maxAttempts; attempt++ {
-		w.b.evictMu.RLock()
+		// A swap-out may hold the write lock while it sleeps on the
+		// clock; acquiring through the gate keeps virtual time moving.
+		gate.Block(w.b.evictMu.RLock)
 		if w.b.State() != BackendRunning {
 			w.b.evictMu.RUnlock()
 			// The backend was preempted between dequeue and forward;
@@ -97,6 +112,10 @@ func (w *worker) forward(item *queuedRequest) {
 
 // relay performs the engine HTTP call and keeps the in-flight accounting
 // alive until the router finishes streaming the response to the client.
+// Both waits cross real HTTP into unregistered net/http goroutines, so
+// under a Virtual clock they run as BlockIO: the clock may advance while
+// the engine generates, which is exactly what simulates generation
+// latency.
 func (w *worker) relay(item *queuedRequest) {
 	url := w.b.ctr.BaseURL() + item.path
 	req, err := http.NewRequestWithContext(item.ctx, http.MethodPost, url, bytes.NewReader(item.body))
@@ -105,7 +124,9 @@ func (w *worker) relay(item *queuedRequest) {
 		return
 	}
 	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client.Do(req)
+	gate := simclock.GateFor(w.clock)
+	var resp *http.Response
+	gate.BlockIO(func() { resp, err = w.client.Do(req) })
 	if err != nil {
 		item.result <- forwardResult{err: err}
 		return
@@ -113,11 +134,10 @@ func (w *worker) relay(item *queuedRequest) {
 	item.result <- forwardResult{resp: resp}
 	// Remain "in flight" until the response body has been fully relayed,
 	// so eviction drains genuinely live streams.
-	select {
-	case <-item.done:
-	case <-item.ctx.Done():
-	}
+	gate.BlockIO(func() {
+		select {
+		case <-item.done:
+		case <-item.ctx.Done():
+		}
+	})
 }
-
-// ensure context import is referenced in docs examples.
-var _ = context.Background

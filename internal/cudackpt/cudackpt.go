@@ -499,9 +499,17 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) (err error)
 				return fmt.Errorf("cudackpt: restore of %q aborted at %d/%d bytes: %w",
 					pid, done, bytes, cerr)
 			}
-			select {
-			case <-freed:
-			case <-ctx.Done():
+			// Idle wait for a capacity release; under a Virtual clock the
+			// Block lets the concurrent suspend's chunk timers fire.
+			cancelled := false
+			simclock.GateFor(d.clock).Block(func() {
+				select {
+				case <-freed:
+				case <-ctx.Done():
+					cancelled = true
+				}
+			})
+			if cancelled {
 				d.rollbackRestore(p, done, fromDisk)
 				return fmt.Errorf("cudackpt: restore of %q cancelled at %d/%d bytes: %w",
 					pid, done, bytes, ctx.Err())

@@ -12,7 +12,6 @@ import (
 	"swapservellm/internal/models"
 	"swapservellm/internal/openai"
 	"swapservellm/internal/perfmodel"
-	"swapservellm/internal/simclock"
 	"swapservellm/internal/workload"
 )
 
@@ -72,7 +71,9 @@ func runPolicyTrial(policyName string, scale float64, requests int, seed int64) 
 	for _, name := range ablationModels {
 		cfg.Models = append(cfg.Models, config.Model{Name: name, Engine: "ollama"})
 	}
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	s, err := core.New(cfg, core.Options{Clock: clock, Policy: policy})
 	if err != nil {
 		return PolicyAblationRow{}, err
@@ -96,6 +97,7 @@ func runPolicyTrial(policyName string, scale float64, requests int, seed int64) 
 	// evictions — the situation where demand-awareness matters.
 	gen := workload.NewGenerator(seed)
 	cli := openai.NewClient(s.URL())
+	cli.Clock = clock
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -128,15 +130,15 @@ func runPolicyTrial(policyName string, scale float64, requests int, seed int64) 
 	var wg sync.WaitGroup
 	for pump := 0; pump < 2; pump++ {
 		wg.Add(1)
-		go func() {
+		gate.Go(func() {
 			defer wg.Done()
 			for i := 0; i < hotN/2; i++ {
 				send(ablationModels[0], 120)
 			}
-		}()
+		})
 	}
 	wg.Add(1)
-	go func() {
+	gate.Go(func() {
 		defer wg.Done()
 		for i := 0; i < coldN; i++ {
 			_, outTok := gen.Tokens(workload.ClassConversational)
@@ -145,8 +147,8 @@ func runPolicyTrial(policyName string, scale float64, requests int, seed int64) 
 			}
 			send(ablationModels[1+i%3], outTok)
 		}
-	}()
-	wg.Wait()
+	})
+	gate.Block(wg.Wait)
 	elapsed := clock.Since(t0)
 
 	var swapIns, swapOuts, hotSwapOuts int64
@@ -211,51 +213,59 @@ type SleepModeAblationRow struct {
 // AblationSleepMode measures the vLLM sleep-mode optimization: snapshot
 // size and swap-out/swap-in latency with the fast path on and off.
 func AblationSleepMode(scale float64) ([]SleepModeAblationRow, error) {
+	_ = scale // virtual time; retained for interface stability
 	var rows []SleepModeAblationRow
 	for _, sleep := range []bool{false, true} {
-		cfg := config.Default()
-		cfg.Global.UseSleepMode = sleep
-		cfg.Models = []config.Model{{Name: "llama3.1:8b-fp16", Engine: "vllm"}}
-		clock := simclock.NewScaled(epoch, scale)
-		s, err := core.New(cfg, core.Options{Clock: clock})
+		row, err := runSleepModeTrial(sleep)
 		if err != nil {
 			return nil, err
 		}
-		if err := s.Start(context.Background()); err != nil {
-			s.Shutdown()
-			return nil, err
-		}
-		b, _ := s.Backend("llama3.1:8b-fp16")
-		ctx := context.Background()
-
-		var outSamples, inSamples []time.Duration
-		var snapshot float64
-		for rep := 0; rep < Reps; rep++ {
-			t0 := clock.Now()
-			if err := s.Scheduler().EnsureRunning(ctx, b); err != nil {
-				s.Shutdown()
-				return nil, err
-			}
-			inSamples = append(inSamples, clock.Since(t0))
-
-			t1 := clock.Now()
-			if err := s.Controller().SwapOut(ctx, b); err != nil {
-				s.Shutdown()
-				return nil, err
-			}
-			outSamples = append(outSamples, clock.Since(t1))
-			img, _ := s.Registry().Gauge("snapshot_bytes_"+b.Name()).Value(), error(nil)
-			snapshot = img / float64(1<<30)
-		}
-		s.Shutdown()
-		rows = append(rows, SleepModeAblationRow{
-			SleepMode:   sleep,
-			SnapshotGiB: snapshot,
-			SwapOutSec:  mean(outSamples),
-			SwapInSec:   mean(inSamples),
-		})
+		rows = append(rows, row)
 	}
 	return rows, nil
+}
+
+// runSleepModeTrial measures one sleep-mode setting on a fresh server.
+func runSleepModeTrial(sleep bool) (SleepModeAblationRow, error) {
+	cfg := config.Default()
+	cfg.Global.UseSleepMode = sleep
+	cfg.Models = []config.Model{{Name: "llama3.1:8b-fp16", Engine: "vllm"}}
+	clock, gate := virtualClock()
+	defer gate.Exit()
+	s, err := core.New(cfg, core.Options{Clock: clock})
+	if err != nil {
+		return SleepModeAblationRow{}, err
+	}
+	defer s.Shutdown()
+	if err := s.Start(context.Background()); err != nil {
+		return SleepModeAblationRow{}, err
+	}
+	b, _ := s.Backend("llama3.1:8b-fp16")
+	ctx := context.Background()
+
+	var outSamples, inSamples []time.Duration
+	var snapshot float64
+	for rep := 0; rep < Reps; rep++ {
+		t0 := clock.Now()
+		if err := s.Scheduler().EnsureRunning(ctx, b); err != nil {
+			return SleepModeAblationRow{}, err
+		}
+		inSamples = append(inSamples, clock.Since(t0))
+
+		t1 := clock.Now()
+		if err := s.Controller().SwapOut(ctx, b); err != nil {
+			return SleepModeAblationRow{}, err
+		}
+		outSamples = append(outSamples, clock.Since(t1))
+		img, _ := s.Registry().Gauge("snapshot_bytes_"+b.Name()).Value(), error(nil)
+		snapshot = img / float64(1<<30)
+	}
+	return SleepModeAblationRow{
+		SleepMode:   sleep,
+		SnapshotGiB: snapshot,
+		SwapOutSec:  mean(outSamples),
+		SwapInSec:   mean(inSamples),
+	}, nil
 }
 
 // PrintSleepModeAblation renders the sleep-mode comparison.

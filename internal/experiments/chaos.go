@@ -90,7 +90,9 @@ func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
 		cfg.Models = append(cfg.Models, config.Model{Name: m, Engine: "vllm"})
 	}
 
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	tr := chaos.NewTrace()
 	s, err := core.New(cfg, core.Options{Clock: clock, Trace: tr})
 	if err != nil {
@@ -128,6 +130,7 @@ func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
 	row := ChaosRow{Scope: "node", Seed: seed}
 	led := invariant.NewLedger()
 	cli := openai.NewClient(s.URL())
+	cli.Clock = clock
 	var recoveries []time.Duration
 	for i := 0; i < chaosSoakRequests; i++ {
 		model := modelsUsed[i%len(modelsUsed)]
@@ -171,7 +174,9 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 		{Name: "node-b", Models: []config.Model{{Name: model, Engine: "ollama"}}},
 	}
 
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	tr := chaos.NewTrace()
 	inj := chaos.NewInjector(chaos.MustParsePlan(ClusterChaosRules).WithSeed(seed))
 	// The plan has only cluster.* rules, so arming at construction is
@@ -196,7 +201,7 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 		led.Accept(id)
 		row.Requests++
 		attempt := func() error {
-			got, finished, err := streamOnce(c.URL(), model, reqSeed)
+			got, finished, err := streamOnce(c.URL(), model, reqSeed, clock)
 			if err != nil {
 				return err
 			}
@@ -277,7 +282,9 @@ func ChaosSchedSoak(seed int64, scale float64) (ChaosRow, error) {
 		{Name: "node-b", Models: nodeModels},
 	}
 
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	inj := chaos.NewInjector(chaos.MustParsePlan(SchedChaosRules).WithSeed(seed))
 	// The plan has only sched.* rules: startup consults none of them
 	// (the reaper and pre-warm loops begin with Start, after arming).
@@ -296,7 +303,7 @@ func ChaosSchedSoak(seed int64, scale float64) (ChaosRow, error) {
 	var recoveries []time.Duration
 	sheds429 := 0
 	attempt := func(model string) error {
-		status, retryAfter, err := chatOnceHTTP(c.URL(), model, seed)
+		status, retryAfter, err := chatOnceHTTP(c.URL(), model, seed, clock)
 		if err != nil {
 			return err
 		}
@@ -378,18 +385,25 @@ func ChaosSchedSoak(seed int64, scale float64) (ChaosRow, error) {
 
 // chatOnceHTTP issues one non-streaming request at the HTTP layer,
 // returning the status code and Retry-After header so shed responses
-// can be audited rather than folded into a client error.
-func chatOnceHTTP(url, model string, seed int64) (int, string, error) {
-	body := fmt.Sprintf(`{"model":%q,"messages":[{"role":"user","content":"soak"}],"max_tokens":4,"seed":%d}`, model, seed)
-	resp, err := http.Post(url+"/v1/chat/completions", "application/json", strings.NewReader(body))
-	if err != nil {
-		return 0, "", err
-	}
-	defer resp.Body.Close()
-	if _, err := io.Copy(io.Discard, resp.Body); err != nil {
-		return 0, "", err
-	}
-	return resp.StatusCode, resp.Header.Get("Retry-After"), nil
+// can be audited rather than folded into a client error. The round trip
+// is declared as external I/O to the virtual clock so the server's
+// handler goroutines can advance simulated time while this caller is
+// parked inside net/http.
+func chatOnceHTTP(url, model string, seed int64, clock simclock.Clock) (status int, retryAfter string, err error) {
+	simclock.GateFor(clock).BlockIO(func() {
+		body := fmt.Sprintf(`{"model":%q,"messages":[{"role":"user","content":"soak"}],"max_tokens":4,"seed":%d}`, model, seed)
+		var resp *http.Response
+		resp, err = http.Post(url+"/v1/chat/completions", "application/json", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		if _, err = io.Copy(io.Discard, resp.Body); err != nil {
+			return
+		}
+		status, retryAfter = resp.StatusCode, resp.Header.Get("Retry-After")
+	})
+	return status, retryAfter, err
 }
 
 // ChaosSchedSweep runs the scheduling soak over n consecutive seeds.
@@ -457,11 +471,13 @@ const (
 // completion text and whether the stream delivered its finish chunk —
 // the relayed stream ends silently at EOF when every replica was cut,
 // so only the finish marker distinguishes complete from truncated.
-func streamOnce(url, model string, seed int64) (string, bool, error) {
+func streamOnce(url, model string, seed int64, clock simclock.Clock) (string, bool, error) {
 	s := seed
 	var got strings.Builder
 	finished := false
-	err := openai.NewClient(url).ChatCompletionStream(context.Background(),
+	cli := openai.NewClient(url)
+	cli.Clock = clock
+	err := cli.ChatCompletionStream(context.Background(),
 		&openai.ChatCompletionRequest{
 			Model:     model,
 			Messages:  []openai.Message{{Role: "user", Content: "soak stream"}},

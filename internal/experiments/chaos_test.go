@@ -12,8 +12,10 @@ var (
 		"number of consecutive seeds in the chaos soak sweep")
 )
 
-// chaosScale keeps one trial around a hundred wall-milliseconds.
-const chaosScale = 4000
+// chaosScale is inert under the Virtual clock (trials run in virtual
+// time regardless); retained because the soak entry points keep their
+// scale parameter for interface stability.
+const chaosScale = 0
 
 // TestChaosSoak is the property-style randomized soak: the node fault
 // schedule replayed over a sweep of seeds (default 50, -chaos.seeds to

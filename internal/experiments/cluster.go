@@ -11,7 +11,6 @@ import (
 	"swapservellm/internal/cluster"
 	"swapservellm/internal/config"
 	"swapservellm/internal/openai"
-	"swapservellm/internal/simclock"
 	"swapservellm/internal/workload"
 )
 
@@ -172,7 +171,9 @@ type clusterTrialResult struct {
 // placement policy and measures streaming TTFT at the first chunk.
 func runClusterTrial(policy string, scale float64, seed int64) (clusterTrialResult, error) {
 	cfg := clusterTrialConfig(policy)
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithSeed(seed))
 	if err != nil {
 		return clusterTrialResult{}, err
@@ -184,6 +185,7 @@ func runClusterTrial(policy string, scale float64, seed int64) (clusterTrialResu
 
 	arrivals := clusterArrivals(seed)
 	cli := openai.NewClient(c.URL())
+	cli.Clock = clock
 	var (
 		mu    sync.Mutex
 		ttfts []time.Duration
@@ -194,7 +196,8 @@ func runClusterTrial(policy string, scale float64, seed int64) (clusterTrialResu
 	var wg sync.WaitGroup
 	for _, a := range arrivals {
 		wg.Add(1)
-		go func(a clusterArrival) {
+		a := a
+		gate.Go(func() {
 			defer wg.Done()
 			// Open-loop arrivals: wait for this request's slot in the
 			// compressed day, then fire regardless of earlier completions.
@@ -222,9 +225,9 @@ func runClusterTrial(policy string, scale float64, seed int64) (clusterTrialResu
 				errs++
 				mu.Unlock()
 			}
-		}(a)
+		})
 	}
-	wg.Wait()
+	gate.Block(wg.Wait)
 
 	reg := c.Registry()
 	res := clusterTrialResult{

@@ -23,6 +23,7 @@ type CompileCacheRow struct {
 // by the CUDA-graph capture and runtime setup it also skips.
 func AblationCompileCache(scale float64) ([]CompileCacheRow, error) {
 	r := newRig(perfmodel.H100(), scale)
+	defer r.done()
 	m := models.Default().MustLookup("llama3.1:8b-fp16")
 	r.stage(m, perfmodel.TierDisk)
 	cache := engine.NewInitCache()

@@ -10,7 +10,6 @@ import (
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
 	"swapservellm/internal/openai"
-	"swapservellm/internal/simclock"
 )
 
 // ElasticityRow quantifies the paper's cost-effectiveness claim for one
@@ -71,7 +70,9 @@ func runElasticityTrial(name string, keepWarm bool, keepAliveSec float64, prefet
 	for _, m := range elasticityModels {
 		cfg.Models = append(cfg.Models, config.Model{Name: m, Engine: "ollama", KeepWarm: keepWarm})
 	}
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	s, err := core.New(cfg, core.Options{Clock: clock})
 	if err != nil {
 		return ElasticityRow{}, err
@@ -95,6 +96,7 @@ func runElasticityTrial(name string, keepWarm bool, keepAliveSec float64, prefet
 	// period_i, until the horizon.
 	periods := []time.Duration{10 * time.Second, 25 * time.Second, 50 * time.Second}
 	cli := openai.NewClient(s.URL())
+	cli.Clock = clock
 	var (
 		mu        sync.Mutex
 		latencies []time.Duration
@@ -103,7 +105,8 @@ func runElasticityTrial(name string, keepWarm bool, keepAliveSec float64, prefet
 	var firstErr error
 	for i, model := range elasticityModels {
 		wg.Add(1)
-		go func(model string, period time.Duration) {
+		model, period := model, periods[i]
+		gate.Go(func() {
 			defer wg.Done()
 			for clock.Now().Before(horizon) {
 				for r := 0; r < 2; r++ {
@@ -129,9 +132,9 @@ func runElasticityTrial(name string, keepWarm bool, keepAliveSec float64, prefet
 				}
 				clock.Sleep(period)
 			}
-		}(model, periods[i])
+		})
 	}
-	wg.Wait()
+	gate.Block(wg.Wait)
 	memIntegral := dev.UsageIntegral() / float64(1<<30) // GiB * simulated seconds
 	if firstErr != nil {
 		return ElasticityRow{}, firstErr
@@ -185,7 +188,9 @@ func AblationSnapshotTiering(scale float64) ([]TieringRow, error) {
 	for _, m := range modelsUsed {
 		cfg.Models = append(cfg.Models, config.Model{Name: m, Engine: "ollama"})
 	}
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	s, err := core.New(cfg, core.Options{Clock: clock})
 	if err != nil {
 		return nil, err

@@ -1,8 +1,11 @@
 // Package experiments regenerates every table and figure from the
 // paper's evaluation (§5) against the simulated substrates: each
 // experiment drives the real code paths — container runtime, engines,
-// checkpoint driver, and the full SwapServeLLM server — on a scaled
-// simulation clock and reports the measured simulated latencies.
+// checkpoint driver, and the full SwapServeLLM server — on a virtual
+// discrete-event clock and reports the measured simulated latencies.
+// Time jumps straight to the next deadline whenever every participating
+// goroutine is idle, so the suite spends no wall time sleeping and the
+// direct-measurement experiments are byte-identical run to run.
 //
 // The per-experiment index in DESIGN.md maps each function here to the
 // paper element it reproduces; EXPERIMENTS.md records paper-vs-measured.
@@ -30,9 +33,12 @@ var epoch = time.Date(2025, 11, 16, 0, 0, 0, 0, time.UTC)
 // paper reports means over repeated runs.
 const Reps = 3
 
-// rig bundles the substrates for direct-measurement experiments.
+// rig bundles the substrates for direct-measurement experiments. The
+// rig runs on a Virtual clock with the calling goroutine registered as
+// a participant; callers must defer r.done().
 type rig struct {
-	clock   *simclock.Scaled
+	clock   *simclock.Virtual
+	gate    *simclock.Gate
 	tb      perfmodel.Testbed
 	device  *gpu.Device
 	store   *storage.ModelStore
@@ -40,18 +46,37 @@ type rig struct {
 	driver  *cudackpt.Driver
 }
 
-// newRig builds a single-GPU rig on the given testbed at the given clock
-// scale.
+// newRig builds a single-GPU rig on the given testbed. The scale
+// parameter is retained for interface stability but unused: the Virtual
+// clock advances by discrete-event jumps, so there is no wall-time
+// ratio to configure.
 func newRig(tb perfmodel.Testbed, scale float64) *rig {
-	clock := simclock.NewScaled(epoch, scale)
+	_ = scale
+	clock := simclock.NewVirtual(epoch)
+	gate := simclock.GateFor(clock)
+	gate.Enter()
 	return &rig{
 		clock:   clock,
+		gate:    gate,
 		tb:      tb,
 		device:  gpu.NewDevice(0, tb.GPU, tb.GPUMemBytes),
 		store:   storage.NewModelStore(clock, tb),
 		freezer: cgroup.NewFreezer(),
 		driver:  cudackpt.NewDriver(clock, tb, 0),
 	}
+}
+
+// done deregisters the calling goroutine from the rig's clock.
+func (r *rig) done() { r.gate.Exit() }
+
+// virtualClock builds the discrete-event clock server-driven experiments
+// run on, registering the calling goroutine as a participant. Callers
+// must defer gate.Exit().
+func virtualClock() (*simclock.Virtual, *simclock.Gate) {
+	clock := simclock.NewVirtual(epoch)
+	gate := simclock.GateFor(clock)
+	gate.Enter()
+	return clock, gate
 }
 
 // stage places a model's weights on the given tier, replacing any

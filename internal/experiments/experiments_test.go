@@ -1,43 +1,18 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
 	"strings"
-	"sync"
 	"testing"
 
 	"swapservellm/internal/perfmodel"
 	"swapservellm/internal/workload"
 )
 
-// heavyMu serializes the heaviest scaled-clock trials (the Figure 6b
-// ten-server sweep, the pipelined-swap A/B sweep, and the headline
-// claims that re-run both). Running them concurrently under `go test`
-// parallelism makes real scheduler overhead leak into the scaled clocks
-// and shifts measured latencies — the historical source of wall-clock
-// flakes in these tests.
-var heavyMu sync.Mutex
-
-// retryMeasured runs a wall-clock-sensitive measurement trial up to
-// twice: check returns the list of assertion failures, and a clean
-// second run absolves a first run distorted by transient machine load
-// (a scheduling hiccup of ε wall-seconds inside a measured interval
-// reads as ε×scale simulated seconds). Persistent failures — real
-// regressions — fail both attempts and are reported from the last.
-func retryMeasured(t *testing.T, check func() []string) {
-	t.Helper()
-	var errs []string
-	for attempt := 0; attempt < 2; attempt++ {
-		errs = check()
-		if len(errs) == 0 {
-			return
-		}
-	}
-	for _, e := range errs {
-		t.Error(e)
-	}
-}
+// The experiment harness runs on a Virtual discrete-event clock: every
+// trial is pure deadline arithmetic, so the calibration anchors below
+// are asserted unconditionally — under -race, under -count=N, under any
+// machine load. A drifting value is a real regression, never noise.
 
 // close enough: |got-want| <= tol*want.
 func within(t *testing.T, name string, got, want, tol float64) {
@@ -47,20 +22,8 @@ func within(t *testing.T, name string, got, want, tol float64) {
 	}
 }
 
-// skipAnchorsUnderRace skips tests that assert absolute simulated
-// latencies against the paper's anchors: race-detector instrumentation
-// leaks real scheduling overhead into the scaled clock and shifts the
-// measured values. Shape/ordering tests still run under -race.
-func skipAnchorsUnderRace(t *testing.T) {
-	t.Helper()
-	if raceEnabled {
-		t.Skip("calibration anchors drift under race-detector overhead")
-	}
-}
-
 func TestTable1MatchesPaper(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := Table1(2000)
+	rows, err := Table1(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,8 +58,7 @@ func TestTable1MatchesPaper(t *testing.T) {
 }
 
 func TestFigure2Shape(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := Figure2(500)
+	rows, err := Figure2(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,8 +92,7 @@ func TestFigure2Shape(t *testing.T) {
 }
 
 func TestFigure5Shape(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := Figure5(2000)
+	rows, err := Figure5(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,8 +132,7 @@ func TestFigure5Shape(t *testing.T) {
 }
 
 func TestFigure6aShape(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := Figure6a(1000)
+	rows, err := Figure6a(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,90 +158,85 @@ func TestFigure6aShape(t *testing.T) {
 }
 
 func TestFigure6bShape(t *testing.T) {
-	heavyMu.Lock()
-	defer heavyMu.Unlock()
-	// No skip-under-race gate: the sweep is serialized against the other
-	// heavy trials and retried once (retryMeasured) to absorb a transient
-	// scheduling hiccup leaking into the scaled clock; under race only
-	// the relative properties are asserted — instrumentation inflates
-	// absolute latencies several-fold.
-	retryMeasured(t, func() []string {
-		rows, err := Figure6b(1200)
-		if err != nil {
-			t.Fatal(err)
+	rows, err := Figure6b(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]Fig6bRow)
+	for _, r := range rows {
+		byName[r.Model] = r
+		if r.SwapInSec >= r.OllamaLoadSec {
+			t.Errorf("%s: swap-in %.2f not faster than Ollama load %.2f",
+				r.Model, r.SwapInSec, r.OllamaLoadSec)
 		}
-		var errs []string
-		byName := make(map[string]Fig6bRow)
-		for _, r := range rows {
-			byName[r.Model] = r
-			if r.SwapInSec >= r.OllamaLoadSec {
-				errs = append(errs, fmt.Sprintf("%s: swap-in %.2f not faster than Ollama load %.2f",
-					r.Model, r.SwapInSec, r.OllamaLoadSec))
-			}
-		}
-		// GPU memory is counted, not timed, so it holds under any overhead.
-		small := byName["llama3.2:1b-fp16"]
-		if math.Abs(small.GPUMemGiB-3.6) > 0.15*3.6 {
-			errs = append(errs, fmt.Sprintf("1B gpu mem = %.2f, want ~3.6", small.GPUMemGiB))
-		}
-		large := byName["deepseek-r1:14b-fp16"]
-		if math.Abs(large.GPUMemGiB-30.5) > 0.1*30.5 {
-			errs = append(errs, fmt.Sprintf("14B gpu mem = %.2f, want ~30.5", large.GPUMemGiB))
-		}
-		// Relative ordering: swap-in grows with model size.
-		if small.SwapInSec >= large.SwapInSec {
-			errs = append(errs, fmt.Sprintf("1B swap-in %.2f not below 14B swap-in %.2f",
-				small.SwapInSec, large.SwapInSec))
-		}
-		if raceEnabled {
-			return errs
-		}
-		// §5.3 anchors: 1B swap-in ~0.75s at ~3.6 GB; 14B ~4.6s at ~30.5 GB.
-		if small.SwapInSec < 0.5 || small.SwapInSec > 1.3 {
-			errs = append(errs, fmt.Sprintf("1B swap-in = %.2f, want ~0.75", small.SwapInSec))
-		}
-		if large.SwapInSec < 3.5 || large.SwapInSec > 5.6 {
-			errs = append(errs, fmt.Sprintf("14B swap-in = %.2f, want ~4.6", large.SwapInSec))
-		}
-		return errs
-	})
+	}
+	small := byName["llama3.2:1b-fp16"]
+	within(t, "1B gpu mem", small.GPUMemGiB, 3.6, 0.15)
+	large := byName["deepseek-r1:14b-fp16"]
+	within(t, "14B gpu mem", large.GPUMemGiB, 30.5, 0.1)
+	// Relative ordering: swap-in grows with model size.
+	if small.SwapInSec >= large.SwapInSec {
+		t.Errorf("1B swap-in %.2f not below 14B swap-in %.2f",
+			small.SwapInSec, large.SwapInSec)
+	}
+	// §5.3 anchors: 1B swap-in ~0.75s at ~3.6 GB; 14B ~4.6s at ~30.5 GB.
+	if small.SwapInSec < 0.5 || small.SwapInSec > 1.3 {
+		t.Errorf("1B swap-in = %.2f, want ~0.75", small.SwapInSec)
+	}
+	if large.SwapInSec < 3.5 || large.SwapInSec > 5.6 {
+		t.Errorf("14B swap-in = %.2f, want ~4.6", large.SwapInSec)
+	}
 }
 
 func TestHeadlineClaims(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	heavyMu.Lock()
-	defer heavyMu.Unlock()
-	// A slower clock than swapbench's default 1000: the headline numbers
-	// are ratios of measured latencies, and a fixed wall-clock scheduling
-	// hiccup inside a measured swap converts to scale× simulated seconds
-	// of error — halving the scale halves the distortion under load.
-	retryMeasured(t, func() []string {
-		a, err := Figure6a(500)
+	a, err := Figure6a(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure6b(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Headline(a, b)
+	// Speedups over vLLM cold starts: the paper reports 18-31x against
+	// its (longer) measured cold starts; our Figure 2-style cold starts
+	// give a lower but still dramatic band.
+	if h.VLLMSpeedupMin < 5 || h.VLLMSpeedupMax < h.VLLMSpeedupMin {
+		t.Errorf("vLLM speedups = %.1f-%.1f", h.VLLMSpeedupMin, h.VLLMSpeedupMax)
+	}
+	// ~2.6x for the 1B model over Ollama.
+	if h.OllamaSmallSpeedup < 1.7 || h.OllamaSmallSpeedup > 3.8 {
+		t.Errorf("Ollama small speedup = %.2f, want ~2.6", h.OllamaSmallSpeedup)
+	}
+	// ~29% for the 14B model.
+	if h.OllamaLargeImprovement < 0.10 || h.OllamaLargeImprovement > 0.45 {
+		t.Errorf("Ollama large improvement = %.0f%%, want ~29%%", 100*h.OllamaLargeImprovement)
+	}
+}
+
+// TestHeadlineDeterministic: the headline claims derive from Virtual-
+// clock trials, so two full runs must agree to the byte — not merely
+// within a band.
+func TestHeadlineDeterministic(t *testing.T) {
+	render := func() string {
+		a, err := Figure6a(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := Figure6b(500)
+		b, err := Figure6b(0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		h := Headline(a, b)
-		var errs []string
-		// Speedups over vLLM cold starts: the paper reports 18-31x against
-		// its (longer) measured cold starts; our Figure 2-style cold starts
-		// give a lower but still dramatic band.
-		if h.VLLMSpeedupMin < 5 || h.VLLMSpeedupMax < h.VLLMSpeedupMin {
-			errs = append(errs, fmt.Sprintf("vLLM speedups = %.1f-%.1f", h.VLLMSpeedupMin, h.VLLMSpeedupMax))
-		}
-		// ~2.6x for the 1B model over Ollama.
-		if h.OllamaSmallSpeedup < 1.7 || h.OllamaSmallSpeedup > 3.8 {
-			errs = append(errs, fmt.Sprintf("Ollama small speedup = %.2f, want ~2.6", h.OllamaSmallSpeedup))
-		}
-		// ~29% for the 14B model.
-		if h.OllamaLargeImprovement < 0.10 || h.OllamaLargeImprovement > 0.45 {
-			errs = append(errs, fmt.Sprintf("Ollama large improvement = %.0f%%, want ~29%%", 100*h.OllamaLargeImprovement))
-		}
-		return errs
-	})
+		var sb strings.Builder
+		PrintFigure6a(&sb, a)
+		PrintFigure6b(&sb, b)
+		PrintHeadline(&sb, Headline(a, b))
+		return sb.String()
+	}
+	first, second := render(), render()
+	if first != second {
+		t.Fatalf("headline output diverged across identical runs:\n%s\n--- vs ---\n%s", first, second)
+	}
 }
 
 func TestFigure1Shape(t *testing.T) {
@@ -340,7 +295,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestAblationSleepMode(t *testing.T) {
-	rows, err := AblationSleepMode(2000)
+	rows, err := AblationSleepMode(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,10 +333,7 @@ func TestAblationConsolidation(t *testing.T) {
 }
 
 func TestAblationPreemptionPolicy(t *testing.T) {
-	if testing.Short() {
-		t.Skip("multi-policy trial is slow")
-	}
-	rows, err := AblationPreemptionPolicy(1500, 48, 3)
+	rows, err := AblationPreemptionPolicy(0, 48, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -426,14 +378,7 @@ func TestPrintersProduceOutput(t *testing.T) {
 }
 
 func TestAblationElasticity(t *testing.T) {
-	// The memory-integral economics drift with race-detector overhead
-	// (scheduling time leaks into the scaled clock during transfers) and
-	// the hot-swap-vs-warm margins are only a few percent.
-	skipAnchorsUnderRace(t)
-	if testing.Short() {
-		t.Skip("multi-strategy trial is slow")
-	}
-	rows, err := AblationElasticity(2000, 3)
+	rows, err := AblationElasticity(0, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -449,9 +394,7 @@ func TestAblationElasticity(t *testing.T) {
 	if warm.SwapIns != 0 {
 		t.Errorf("always-warm performed %d swap-ins", warm.SwapIns)
 	}
-	// Always-warm latency must not be materially worse than hot-swap
-	// (it usually wins outright; allow measurement noise under CPU
-	// contention since hot-swap's advantage shows in memory, not speed).
+	// Always-warm latency must not be materially worse than hot-swap.
 	if warm.MeanSec > swap.MeanSec*1.5 {
 		t.Errorf("always-warm mean %.2f well above hot-swap %.2f", warm.MeanSec, swap.MeanSec)
 	}
@@ -466,7 +409,7 @@ func TestAblationElasticity(t *testing.T) {
 }
 
 func TestAblationSnapshotTiering(t *testing.T) {
-	rows, err := AblationSnapshotTiering(2000)
+	rows, err := AblationSnapshotTiering(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,8 +446,7 @@ func TestAblationSnapshotTiering(t *testing.T) {
 }
 
 func TestAblationCompileCache(t *testing.T) {
-	skipAnchorsUnderRace(t)
-	rows, err := AblationCompileCache(2000)
+	rows, err := AblationCompileCache(0)
 	if err != nil {
 		t.Fatal(err)
 	}

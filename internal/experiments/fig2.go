@@ -45,6 +45,7 @@ var Figure2Engines = []perfmodel.EngineKind{
 // the full cold-start path a serverless scale-out pays.
 func Figure2(scale float64) ([]Fig2Row, error) {
 	r := newRig(perfmodel.H100(), scale)
+	defer r.done()
 	rt := container.NewRuntime(r.clock, r.tb, r.freezer, r.driver)
 	cat := models.Default()
 

@@ -40,6 +40,7 @@ var Figure5Models = []string{
 // via the transparent GPU checkpoint driver.
 func Figure5(scale float64) ([]Fig5Row, error) {
 	r := newRig(perfmodel.A100(), scale)
+	defer r.done()
 	cat := models.Default()
 	ctx := context.Background()
 

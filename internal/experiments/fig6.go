@@ -10,7 +10,6 @@ import (
 	"swapservellm/internal/core"
 	"swapservellm/internal/models"
 	"swapservellm/internal/perfmodel"
-	"swapservellm/internal/simclock"
 )
 
 // Fig6aRow is one point of Figure 6a: on-demand swap-in latency with a
@@ -44,11 +43,17 @@ var Figure6Models = []string{
 
 // swapInThroughServer builds a single-backend SwapServeLLM server, lets
 // the init sequence snapshot it, and measures Reps full swap-in/swap-out
-// cycles through the scheduler/controller path.
+// cycles through the scheduler/controller path. The trial runs on its
+// own Virtual clock (scale is retained for interface stability but
+// unused), so the measured cycle is pure deadline arithmetic and
+// identical on every run.
 func swapInThroughServer(engineKind string, modelName string, scale float64) (swapIn time.Duration, gpuBytes int64, err error) {
+	_ = scale
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	cfg := config.Default()
 	cfg.Models = []config.Model{{Name: modelName, Engine: engineKind}}
-	s, err := core.New(cfg, core.Options{Clock: simclock.NewScaled(epoch, scale)})
+	s, err := core.New(cfg, core.Options{Clock: clock})
 	if err != nil {
 		return 0, 0, err
 	}

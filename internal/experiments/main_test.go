@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+// wallBudget is the wall-clock ceiling for one full pass of this
+// package's tests. Every trial runs on the Virtual discrete-event
+// clock, so a pass is pure bookkeeping: the dominant costs are the
+// chaos seed sweeps and the settle passes around real HTTP hand-offs.
+// Blowing this budget means wall waiting crept back in — a scaled
+// clock smuggled into a trial, a settle regression in simclock, or an
+// unregistered goroutine forcing the advancer into its slow path.
+var wallBudget = flag.Duration("experiments.wallbudget", 120*time.Second,
+	"wall-clock budget for one full pass of the experiments suite (0 disables)")
+
+// TestMain asserts the suite's headline operational property alongside
+// its functional ones: the whole package finishes within wallBudget of
+// wall time. The check only applies to full passes — when -test.run
+// filters the suite or -test.count repeats it, the elapsed time is not
+// comparable to the budget, so the check is skipped.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	start := time.Now()
+	code := m.Run()
+	elapsed := time.Since(start)
+
+	full := *wallBudget > 0 && !flag.Lookup("test.short").Value.(flag.Getter).Get().(bool)
+	if f := flag.Lookup("test.run"); f != nil && f.Value.String() != "" {
+		full = false
+	}
+	if f := flag.Lookup("test.count"); f != nil && f.Value.String() != "" && f.Value.String() != "1" {
+		full = false
+	}
+	if code == 0 && full && elapsed > *wallBudget {
+		fmt.Fprintf(os.Stderr,
+			"FAIL: experiments suite took %v of wall time, budget %v — wall waiting crept back into the virtual-time harness\n",
+			elapsed.Round(time.Millisecond), *wallBudget)
+		code = 1
+	}
+	os.Exit(code)
+}

@@ -36,15 +36,18 @@ const pipelinePartner = "deepseek-r1:8b-fp16"
 // exchangeThroughServer builds a two-backend server (the target model,
 // snapshotted by the init sequence, plus the keep-warm partner victim)
 // and measures the median SwapExchange latency over repeated cycles,
-// with the pipelined fast path on or off.
-func exchangeThroughServer(modelName string, pipelined bool, scale float64, tracer *obs.Tracer) (latency time.Duration, gpuBytes int64, err error) {
+// with the pipelined fast path on or off. The server runs on the
+// caller's shared Virtual clock — one timeline across every trial, so a
+// shared tracer sees a single consistent timebase — and the caller's
+// goroutine must already be registered with that clock's gate.
+func exchangeThroughServer(modelName string, pipelined bool, clock simclock.Clock, tracer *obs.Tracer) (latency time.Duration, gpuBytes int64, err error) {
 	cfg := config.Default()
 	cfg.Global.PipelinedSwap = pipelined
 	cfg.Models = []config.Model{
 		{Name: modelName, Engine: "vllm"},
 		{Name: pipelinePartner, Engine: "vllm", KeepWarm: true},
 	}
-	s, err := core.New(cfg, core.Options{Clock: simclock.NewScaled(epoch, scale), Tracer: tracer})
+	s, err := core.New(cfg, core.Options{Clock: clock, Tracer: tracer})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -106,19 +109,22 @@ func AblationPipelinedSwap(scale float64) ([]PipelineRow, error) {
 // events, sequential and pipelined side by side — is written to
 // traceOut at the end.
 func AblationPipelinedSwapTraced(scale float64, traceOut io.Writer) ([]PipelineRow, error) {
+	_ = scale // virtual time; retained for interface stability
+	clock, gate := virtualClock()
+	defer gate.Exit()
 	var tracer *obs.Tracer
 	if traceOut != nil {
-		tracer = obs.NewTracer(simclock.NewScaled(epoch, scale))
+		tracer = obs.NewTracer(clock)
 	}
 	cat := models.Default()
 	var rows []PipelineRow
 	for _, name := range Figure6Models {
 		m := cat.MustLookup(name)
-		seq, bytes, err := exchangeThroughServer(name, false, scale, tracer)
+		seq, bytes, err := exchangeThroughServer(name, false, clock, tracer)
 		if err != nil {
 			return nil, fmt.Errorf("sequential %s: %w", name, err)
 		}
-		pipe, _, err := exchangeThroughServer(name, true, scale, tracer)
+		pipe, _, err := exchangeThroughServer(name, true, clock, tracer)
 		if err != nil {
 			return nil, fmt.Errorf("pipelined %s: %w", name, err)
 		}

@@ -30,6 +30,7 @@ type Table1Row struct {
 // ten models on an H100 rig and reports the phase breakdown.
 func Table1(scale float64) ([]Table1Row, error) {
 	r := newRig(perfmodel.H100(), scale)
+	defer r.done()
 	cat := models.Default()
 	var rows []Table1Row
 	for i, name := range perfmodel.Table1Models() {

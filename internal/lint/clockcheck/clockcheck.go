@@ -15,6 +15,15 @@
 // themselves with real wall-clock timeouts, which is legitimate.
 // internal/simclock itself is the abstraction over the wall clock and
 // is not a deterministic package.
+//
+// The experiment harness carries one further rule, enforced in test
+// files too: internal/experiments must not construct scaled clocks
+// (simclock.NewScaled, simclock.NewScaledFromWall). Experiments run on
+// simclock.NewVirtual — the discrete-event clock whose runs are
+// deterministic and race-clean — and a scaled clock smuggled into one
+// trial reintroduces wall-clock waiting and timing-dependent results
+// for the whole suite. A genuinely exceptional site can carry a
+// //swaplint:ignore clockcheck <reason> directive.
 package clockcheck
 
 import (
@@ -44,6 +53,20 @@ var deterministicPkgs = []string{
 	"internal/obs",
 }
 
+// virtualOnlyPkgs lists import-path suffixes where constructing a
+// scaled clock is forbidden: these packages run on the Virtual
+// discrete-event clock exclusively.
+var virtualOnlyPkgs = []string{
+	"internal/experiments",
+}
+
+// scaledCtors lists the simclock constructors banned in virtual-only
+// packages.
+var scaledCtors = map[string]bool{
+	"NewScaled":         true,
+	"NewScaledFromWall": true,
+}
+
 // forbidden lists the wall-clock entry points of package time.
 var forbidden = map[string]bool{
 	"Now":       true,
@@ -64,19 +87,19 @@ func New() *lint.Analyzer {
 		Doc:  "forbid direct time.Now/Sleep/After/... in deterministic packages; use internal/simclock",
 	}
 	a.Run = func(pass *lint.Pass) error {
-		if !deterministic(pass.Pkg.Path()) {
+		wallClock := deterministic(pass.Pkg.Path())
+		virtOnly := virtualOnly(pass.Pkg.Path())
+		if !wallClock && !virtOnly {
 			return nil
 		}
 		for _, f := range pass.Files {
-			if pass.IsTestFile(f.Pos()) {
-				continue
-			}
+			// The wall-clock rule exempts test files; the virtual-only
+			// rule does not — a scaled clock in an experiment _test.go
+			// de-determinizes the suite just the same.
+			checkWall := wallClock && !pass.IsTestFile(f.Pos())
 			ast.Inspect(f, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
-					return true
-				}
-				if !forbidden[sel.Sel.Name] {
 					return true
 				}
 				ident, ok := sel.X.(*ast.Ident)
@@ -84,18 +107,38 @@ func New() *lint.Analyzer {
 					return true
 				}
 				pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
-				if !ok || pkgName.Imported().Path() != "time" {
+				if !ok {
 					return true
 				}
-				pass.Reportf(sel.Pos(),
-					"direct wall-clock call time.%s in deterministic package %s: use an injected simclock.Clock",
-					sel.Sel.Name, pass.Pkg.Name())
+				from := pkgName.Imported().Path()
+				if checkWall && from == "time" && forbidden[sel.Sel.Name] {
+					pass.Reportf(sel.Pos(),
+						"direct wall-clock call time.%s in deterministic package %s: use an injected simclock.Clock",
+						sel.Sel.Name, pass.Pkg.Name())
+					return true
+				}
+				if virtOnly && scaledCtors[sel.Sel.Name] &&
+					lint.PkgPathHasSuffix(from, "internal/simclock") {
+					pass.Reportf(sel.Pos(),
+						"scaled clock simclock.%s in virtual-only package %s: experiments run on simclock.NewVirtual",
+						sel.Sel.Name, pass.Pkg.Name())
+				}
 				return true
 			})
 		}
 		return nil
 	}
 	return a
+}
+
+// virtualOnly reports whether the package path is in the Virtual-only set.
+func virtualOnly(path string) bool {
+	for _, suffix := range virtualOnlyPkgs {
+		if lint.PkgPathHasSuffix(path, suffix) {
+			return true
+		}
+	}
+	return false
 }
 
 // deterministic reports whether the package path is in the enforced set.

@@ -9,6 +9,7 @@ import (
 func TestClockcheck(t *testing.T) {
 	linttest.Run(t, "testdata", New(),
 		"swapservellm/internal/core",
+		"swapservellm/internal/experiments",
 		"example.com/free",
 	)
 }

@@ -10,3 +10,22 @@ type Clock interface {
 	After(d time.Duration) <-chan time.Time
 	Since(t time.Time) time.Duration
 }
+
+type Scaled struct{}
+
+func (*Scaled) Now() time.Time                       { return time.Time{} }
+func (*Scaled) Sleep(time.Duration)                  {}
+func (*Scaled) After(time.Duration) <-chan time.Time { return nil }
+func (*Scaled) Since(time.Time) time.Duration        { return 0 }
+
+func NewScaled(origin time.Time, factor float64) *Scaled { return &Scaled{} }
+func NewScaledFromWall(factor float64) *Scaled           { return &Scaled{} }
+
+type Virtual struct{}
+
+func (*Virtual) Now() time.Time                       { return time.Time{} }
+func (*Virtual) Sleep(time.Duration)                  {}
+func (*Virtual) After(time.Duration) <-chan time.Time { return nil }
+func (*Virtual) Since(time.Time) time.Duration        { return 0 }
+
+func NewVirtual(origin time.Time) *Virtual { return &Virtual{} }

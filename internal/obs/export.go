@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -41,7 +42,7 @@ func (t *Tracer) WriteTraceEvents(w io.Writer) error {
 	if t == nil {
 		return json.NewEncoder(w).Encode(traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}})
 	}
-	spans := t.Snapshot()
+	spans := canonicalSpans(t.Snapshot())
 	t.mu.Lock()
 	origin := t.origin
 	t.mu.Unlock()
@@ -108,7 +109,28 @@ func (t *Tracer) WriteTraceEvents(w io.Writer) error {
 			})
 		}
 	}
-	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
+	// Total order: simulated timestamp, then track, then span, then
+	// phase/name. Canonical span IDs plus a total sort make the export a
+	// pure function of the simulated execution — byte-identical across
+	// runs regardless of how the goroutines interleaved in wall time.
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.TS != b.TS {
+			return a.TS < b.TS
+		}
+		if a.TID != b.TID {
+			return a.TID < b.TID
+		}
+		sa, _ := a.Args["span_id"].(int64)
+		sb, _ := b.Args["span_id"].(int64)
+		if sa != sb {
+			return sa < sb
+		}
+		if a.Phase != b.Phase {
+			return a.Phase < b.Phase
+		}
+		return a.Name < b.Name
+	})
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
@@ -116,6 +138,80 @@ func (t *Tracer) WriteTraceEvents(w io.Writer) error {
 }
 
 func micros(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// canonicalSpans renumbers span IDs in a wall-clock-independent order.
+// The tracer allocates IDs in Start wall order, which races for
+// concurrent spans (the pipelined exchange's ckpt.suspend and
+// ckpt.restore start in whichever order the goroutines happened to run),
+// so raw IDs differ run to run even when every simulated timestamp is
+// identical. Here the span forest is re-keyed by a deterministic DFS —
+// roots and siblings ordered by simulated start time, then name, then
+// end time, then attributes — and IDs are assigned in visit order.
+// Spans whose parent fell to the retention cap become roots. The result
+// is in visit order with ID and Parent rewritten, making every export a
+// pure function of the simulated execution.
+func canonicalSpans(spans []SpanData) []SpanData {
+	known := make(map[int64]bool, len(spans))
+	for _, s := range spans {
+		known[s.ID] = true
+	}
+	children := make(map[int64][]SpanData, len(spans))
+	var roots []SpanData
+	for _, s := range spans {
+		if s.Parent != 0 && known[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			s.Parent = 0
+			roots = append(roots, s)
+		}
+	}
+	attrKey := func(attrs []Attr) string {
+		var b strings.Builder
+		for _, a := range attrs {
+			b.WriteString(a.Key)
+			b.WriteByte('=')
+			b.WriteString(a.Value)
+			b.WriteByte(',')
+		}
+		return b.String()
+	}
+	sortSpans := func(list []SpanData) {
+		sort.SliceStable(list, func(i, j int) bool {
+			a, b := list[i], list[j]
+			if !a.Start.Equal(b.Start) {
+				return a.Start.Before(b.Start)
+			}
+			if a.Name != b.Name {
+				return a.Name < b.Name
+			}
+			if !a.End.Equal(b.End) {
+				return a.End.Before(b.End)
+			}
+			return attrKey(a.Attrs) < attrKey(b.Attrs)
+		})
+	}
+	sortSpans(roots)
+	for _, list := range children {
+		sortSpans(list)
+	}
+	out := make([]SpanData, 0, len(spans))
+	var next int64
+	var visit func(s SpanData, parent int64)
+	visit = func(s SpanData, parent int64) {
+		next++
+		id := next
+		kids := children[s.ID]
+		s.ID, s.Parent = id, parent
+		out = append(out, s)
+		for _, c := range kids {
+			visit(c, id)
+		}
+	}
+	for _, r := range roots {
+		visit(r, 0)
+	}
+	return out
+}
 
 // ValidateTraceEvents checks that data is well-formed trace_event JSON
 // as this package emits it: a traceEvents array whose entries carry a
@@ -182,11 +278,11 @@ func ValidateTraceEvents(data []byte) error {
 
 // WriteTree writes the trace as a deterministic indented span tree:
 // names, attributes, events, and failure status — no timestamps, IDs,
-// or durations — with children in start order. Two runs of the same
-// seed and config produce byte-identical output, which is what the
-// golden-trace test pins.
+// or durations — with children in canonical order (simulated start time,
+// then name). Two runs of the same seed and config produce
+// byte-identical output, which is what the golden-trace test pins.
 func (t *Tracer) WriteTree(w io.Writer) error {
-	spans := t.Snapshot()
+	spans := canonicalSpans(t.Snapshot())
 	children := make(map[int64][]SpanData)
 	var roots []SpanData
 	for _, s := range spans {

@@ -233,10 +233,12 @@ func TestWriteTreeDeterministic(t *testing.T) {
 	if a != b {
 		t.Fatalf("tree not timing-independent:\n%s\nvs\n%s", a, b)
 	}
+	// Both children start at the same simulated instant, so the canonical
+	// order falls back to the span name: swap.in sorts before swap.out.
 	want := "- exchange victim=a !error=\"injected\"\n" +
+		"  - swap.in\n" +
 		"  - swap.out\n" +
-		"    * fault site=ckpt_chunk\n" +
-		"  - swap.in\n"
+		"    * fault site=ckpt_chunk\n"
 	if a != want {
 		t.Fatalf("tree rendering changed:\n%q\nwant\n%q", a, want)
 	}

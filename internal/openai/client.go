@@ -71,8 +71,17 @@ func decodeError(resp *http.Response) error {
 	return &env.Error
 }
 
-// ChatCompletion issues a blocking chat completion.
-func (c *Client) ChatCompletion(ctx context.Context, req *ChatCompletionRequest) (*ChatCompletionResponse, error) {
+// ChatCompletion issues a blocking chat completion. The whole round trip
+// runs as gate-tracked IO on the installed clock: under a Virtual clock
+// simulated time may advance while the engine generates, which is what
+// simulates generation latency. With the default real clock the gate is
+// a no-op.
+func (c *Client) ChatCompletion(ctx context.Context, req *ChatCompletionRequest) (out *ChatCompletionResponse, err error) {
+	simclock.GateFor(c.clock()).BlockIO(func() { out, err = c.chatCompletion(ctx, req) })
+	return out, err
+}
+
+func (c *Client) chatCompletion(ctx context.Context, req *ChatCompletionRequest) (*ChatCompletionResponse, error) {
 	req.Stream = false
 	resp, err := c.post(ctx, "/v1/chat/completions", req)
 	if err != nil {
@@ -90,8 +99,15 @@ func (c *Client) ChatCompletion(ctx context.Context, req *ChatCompletionRequest)
 }
 
 // ChatCompletionStream issues a streaming chat completion, invoking fn for
-// every chunk. It returns after the [DONE] sentinel or on error.
-func (c *Client) ChatCompletionStream(ctx context.Context, req *ChatCompletionRequest, fn func(*ChatCompletionChunk) error) error {
+// every chunk. It returns after the [DONE] sentinel or on error. As with
+// ChatCompletion, the request and the full stream consumption run as
+// gate-tracked IO on the installed clock.
+func (c *Client) ChatCompletionStream(ctx context.Context, req *ChatCompletionRequest, fn func(*ChatCompletionChunk) error) (err error) {
+	simclock.GateFor(c.clock()).BlockIO(func() { err = c.chatCompletionStream(ctx, req, fn) })
+	return err
+}
+
+func (c *Client) chatCompletionStream(ctx context.Context, req *ChatCompletionRequest, fn func(*ChatCompletionChunk) error) error {
 	req.Stream = true
 	resp, err := c.post(ctx, "/v1/chat/completions", req)
 	if err != nil {
@@ -152,10 +168,8 @@ func (c *Client) WaitHealthy(ctx context.Context, interval time.Duration) error 
 				return nil
 			}
 		}
-		select {
-		case <-ctx.Done():
+		if simclock.GateFor(c.clock()).Wait(interval, ctx.Done()) == 0 {
 			return ctx.Err()
-		case <-c.clock().After(interval):
 		}
 	}
 }

@@ -84,17 +84,13 @@ func (p *Prewarmer) Run(clock simclock.Clock) {
 	p.clock = clock
 	p.halt = make(chan struct{})
 	p.done = make(chan struct{})
-	go func() {
+	gate := simclock.GateFor(clock)
+	gate.Go(func() {
 		defer close(p.done)
-		for {
-			select {
-			case <-p.halt:
-				return
-			case <-clock.After(p.interval):
-				p.Sweep(clock.Now())
-			}
+		for gate.Wait(p.interval, p.halt) < 0 {
+			p.Sweep(clock.Now())
 		}
-	}()
+	})
 }
 
 // Halt stops the sweep loop and waits for it to exit.

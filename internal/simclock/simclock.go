@@ -4,7 +4,7 @@
 // microseconds of wall time while reporting consistent simulated
 // timestamps.
 //
-// Three implementations are provided:
+// Four implementations are provided:
 //
 //   - Real: the system clock, for live deployments of the framework.
 //   - Scaled: simulated time runs Scale times faster than wall time; a
@@ -12,6 +12,10 @@
 //     by 87s. Concurrency interleavings remain realistic because all
 //     goroutines share the same compression factor.
 //   - Manual: a hand-advanced clock for deterministic unit tests.
+//   - Virtual: a discrete-event clock that jumps straight to the next
+//     deadline whenever the system is quiescent (see Gate). The
+//     experiment harness runs on it: zero wall waiting and
+//     byte-identical artifacts run-to-run.
 package simclock
 
 import (
@@ -130,10 +134,10 @@ func (c *Scaled) After(d time.Duration) <-chan time.Time {
 		return ch
 	}
 	wall := time.Duration(float64(d) / c.scale)
-	go func() {
-		time.Sleep(wall)
-		ch <- c.Now()
-	}()
+	// time.AfterFunc instead of a goroutine per call: an abandoned After
+	// (a reaper tick dropped at shutdown) leaves only a runtime timer
+	// that fires into a buffered channel, not a parked goroutine.
+	time.AfterFunc(wall, func() { ch <- c.Now() })
 	return ch
 }
 
