@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|slo|chaos|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|slo|ckptstore|chaos|all")
 		scale    = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
 		seed     = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
 		seeds    = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
@@ -207,6 +207,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swapbench: wrote BENCH_slo.json")
 		fmt.Fprintln(out)
 	}
+	if run("ckptstore") {
+		any = true
+		res, err := experiments.AblationCheckpointStore()
+		fail(err)
+		experiments.PrintCkptStore(out, res)
+		h, csv := experiments.CkptStoreCSV(res)
+		writeCSV("ckptstore", h, csv)
+		if err := os.WriteFile("BENCH_ckptstore.json", []byte(experiments.CkptStoreBenchJSON(res)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "swapbench: wrote BENCH_ckptstore.json")
+		fmt.Fprintln(out)
+	}
 	if run("chaos") {
 		any = true
 		rows, err := experiments.ChaosSweep(*seed, *seeds, pick(4000))
@@ -217,6 +230,9 @@ func main() {
 		schedRows, err := experiments.ChaosSchedSweep(*seed, *seeds, pick(4000))
 		fail(err)
 		rows = append(rows, schedRows...)
+		ckptRows, err := experiments.ChaosCkptStoreSweep(*seed, *seeds, pick(4000))
+		fail(err)
+		rows = append(rows, ckptRows...)
 		experiments.PrintChaos(out, rows)
 		h, csv := experiments.ChaosCSV(rows)
 		writeCSV("chaos", h, csv)
@@ -225,7 +241,7 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "slo", "chaos"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "slo", "ckptstore", "chaos"}, " "))
 		os.Exit(2)
 	}
 }

@@ -70,6 +70,15 @@ const (
 	// reaper: a keep becomes an evict (premature reclaim) and an evict
 	// becomes a keep (leaked residency), modelling a mispredicted TTL.
 	SiteSchedEvict Site = "sched.evict"
+	// SiteCkptFetch fails one chunk fetch in the checkpoint store's
+	// restore path (a torn disk read or a dropped peer connection). The
+	// store retries a bounded number of times, then falls back to the
+	// next-best restore source for that chunk.
+	SiteCkptFetch Site = "ckptstore.fetch"
+	// SiteCkptPromote fails one chunk fetch during a tier promotion
+	// (disk→RAM or peer→RAM), with the same bounded-retry fallback to
+	// the next-best source.
+	SiteCkptPromote Site = "ckptstore.promote"
 )
 
 // Sites lists every built-in site in sorted order.
@@ -80,6 +89,7 @@ func Sites() []Site {
 		SiteStorageRead, SiteStorageWrite,
 		SiteHeartbeat, SiteProxy, SiteSSE,
 		SiteSchedAdmit, SiteSchedPrefetch, SiteSchedEvict,
+		SiteCkptFetch, SiteCkptPromote,
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -1,0 +1,591 @@
+// Package ckptstore is the content-addressed, multi-tier checkpoint
+// substrate underneath the cuda-checkpoint driver (ServerlessLLM's
+// checkpoint store, PAPERS.md). Checkpoint images are decomposed into
+// fixed-size chunks identified by a content key: chunks shared across
+// models, versions, and repeated checkpoints of the same process are
+// stored once and refcounted. The store tracks two local tiers — host
+// RAM and disk — plus peer nodes' stores as remote restore sources, and
+// plans every restore per chunk against the perfmodel's tier/link
+// calibration: a chunk already in local host RAM is free, and a chunk
+// in a replica's host RAM across the fabric beats the local NVMe read.
+//
+// The store keeps the *physical* (deduplicated) ledger; the driver's
+// logical per-image accounting (host cap, disk usage, the invariant
+// checker's conservation sums) is unchanged. Physical usage is always
+// at most the logical usage for live images; chunks whose last
+// reference is released stay cached in their tier (LRU-evicted under
+// the host cap) which is what makes re-checkpointing a previously
+// swapped model a near-no-op: the unchanged chunks are still resident,
+// so the driver skips their D2H copy entirely (delta checkpoints).
+package ckptstore
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/obs"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// Tier identifies a local storage tier in the GPU→host→disk ladder
+// (the GPU end lives in the driver; the store manages the host and
+// disk rungs).
+type Tier int
+
+// Local tiers.
+const (
+	// TierHost: chunk bytes resident in host RAM — restore reads are
+	// free (the H2D copy is the only cost).
+	TierHost Tier = iota
+	// TierDisk: chunk bytes on local disk — restore pays the calibrated
+	// disk read.
+	TierDisk
+)
+
+// String returns the lowercase tier name.
+func (t Tier) String() string {
+	if t == TierDisk {
+		return "disk"
+	}
+	return "host"
+}
+
+// ChunkID is a content address: equal IDs mean equal chunk payloads, so
+// the store keeps one copy however many images reference it.
+type ChunkID string
+
+// ChunkKey derives a ChunkID from identity components (model content
+// key, region tag, chunk index, dirt generation). FNV-64a stands in for
+// the payload hash the real system computes — the simulation addresses
+// content by provenance, which is exact for the regions it models.
+func ChunkKey(parts ...string) ChunkID {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return ChunkID(fmt.Sprintf("%016x", h.Sum64()))
+}
+
+// ChunkRef is one chunk of an image manifest, in image order.
+type ChunkRef struct {
+	ID    ChunkID
+	Bytes int64
+}
+
+// chunk is the store's record of one content-addressed payload.
+type chunk struct {
+	id    ChunkID
+	bytes int64
+	// refs counts manifests (live images) referencing the chunk,
+	// whatever their residency. pins counts in-flight checkpoint plans
+	// that promised to skip this chunk's transfer — the host copy must
+	// survive until they commit or abort.
+	refs int
+	pins int
+	// hostRefs counts host-resident manifests referencing the chunk: a
+	// chunk with hostRefs > 0 is load-bearing for a RAM image and is
+	// never dropped from host RAM by demotion or cache trimming.
+	hostRefs int
+	inHost   bool
+	onDisk   bool
+	lastUsed time.Time
+	seq      int64 // LRU tiebreak, deterministic under the virtual clock
+}
+
+// manifest is one live checkpoint image: an ordered chunk list plus the
+// tier its restore reads from by default.
+type manifest struct {
+	key      string
+	chunks   []ChunkRef
+	resident Tier
+}
+
+// bytesTotal sums the manifest's logical size.
+func (m *manifest) bytesTotal() int64 {
+	var n int64
+	for _, c := range m.chunks {
+		n += c.Bytes
+	}
+	return n
+}
+
+// Peer is a remote restore source: another node's store (or any stand-in
+// implementing the lookup). Lookups are made without holding the calling
+// store's lock, so two stores may consult each other concurrently.
+type Peer interface {
+	// PeerID names the peer for traces and counters.
+	PeerID() string
+	// LookupChunk reports whether the peer holds id in host RAM and/or
+	// on disk.
+	LookupChunk(id ChunkID) (inHost, onDisk bool)
+}
+
+// pending is an in-flight checkpoint plan: the chunk set the driver is
+// transferring, with the clean (transfer-skipped) chunks pinned.
+type pending struct {
+	refs   []ChunkRef
+	pinned []ChunkID
+}
+
+// Store is one node's checkpoint store. All methods are safe for
+// concurrent use; simulated sleeps happen outside the lock.
+type Store struct {
+	clock  simclock.Clock
+	tb     perfmodel.Testbed
+	nodeID string
+	reg    *metrics.Registry
+	inj    *chaos.Injector
+
+	mu        sync.Mutex
+	chunks    map[ChunkID]*chunk
+	manifests map[string]*manifest
+	pendings  map[string]*pending
+	peers     []Peer
+	hostCap   int64
+	hostBytes int64 // physical bytes resident in host RAM
+	diskBytes int64 // physical bytes resident on disk
+	seq       int64
+}
+
+// Option configures a Store.
+type Option func(*Store)
+
+// WithRegistry publishes the store's per-tier byte counters into reg.
+func WithRegistry(reg *metrics.Registry) Option {
+	return func(s *Store) { s.reg = reg }
+}
+
+// WithChaos installs the fault injector consulted at the
+// ckptstore.fetch and ckptstore.promote sites.
+func WithChaos(inj *chaos.Injector) Option {
+	return func(s *Store) { s.inj = inj }
+}
+
+// WithNodeID names the store in traces and peer lookups.
+func WithNodeID(id string) Option {
+	return func(s *Store) { s.nodeID = id }
+}
+
+// WithHostCap bounds the physical host-RAM bytes the store caches;
+// unreferenced chunks are LRU-evicted beyond it (0 = unlimited).
+func WithHostCap(capBytes int64) Option {
+	return func(s *Store) { s.hostCap = capBytes }
+}
+
+// New builds a store timing tier moves against tb on clock.
+func New(clock simclock.Clock, tb perfmodel.Testbed, opts ...Option) *Store {
+	s := &Store{
+		clock:     clock,
+		tb:        tb,
+		nodeID:    "local",
+		chunks:    make(map[ChunkID]*chunk),
+		manifests: make(map[string]*manifest),
+		pendings:  make(map[string]*pending),
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry()
+	}
+	return s
+}
+
+// PeerID implements Peer so stores can be wired to each other directly.
+func (s *Store) PeerID() string { return s.nodeID }
+
+// LookupChunk implements Peer.
+func (s *Store) LookupChunk(id ChunkID) (inHost, onDisk bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.chunks[id]
+	if !ok {
+		return false, false
+	}
+	return c.inHost, c.onDisk
+}
+
+// SetPeers installs the remote restore sources consulted by restore and
+// promotion planning.
+func (s *Store) SetPeers(peers []Peer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.peers = peers
+}
+
+// SetChaos installs (or, with nil, removes) the fault injector.
+func (s *Store) SetChaos(inj *chaos.Injector) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.inj = inj
+}
+
+// PlanCheckpoint registers an in-flight checkpoint for key and reports,
+// per chunk, whether its content is already resident in local host RAM —
+// the driver skips the D2H transfer for those (delta checkpoint). Clean
+// chunks are pinned so concurrent demotion or cache trimming cannot drop
+// their host copy before the checkpoint commits. Every plan must be
+// closed by CommitCheckpoint or AbortCheckpoint.
+func (s *Store) PlanCheckpoint(key string, refs []ChunkRef) []bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := &pending{refs: append([]ChunkRef(nil), refs...)}
+	clean := make([]bool, len(refs))
+	for i, r := range refs {
+		c, ok := s.chunks[r.ID]
+		if ok && c.inHost {
+			clean[i] = true
+			c.pins++
+			p.pinned = append(p.pinned, r.ID)
+		}
+	}
+	s.pendings[key] = p
+	return clean
+}
+
+// AbortCheckpoint drops key's in-flight plan, unpinning its clean
+// chunks. The store is left exactly as before PlanCheckpoint.
+func (s *Store) AbortCheckpoint(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.abortLocked(key)
+}
+
+func (s *Store) abortLocked(key string) {
+	p, ok := s.pendings[key]
+	if !ok {
+		return
+	}
+	for _, id := range p.pinned {
+		if c, ok := s.chunks[id]; ok {
+			c.pins--
+		}
+	}
+	delete(s.pendings, key)
+}
+
+// PutStats reports a committed checkpoint's dedup outcome.
+type PutStats struct {
+	// NewBytes were not resident and landed via the driver's D2H copy.
+	NewBytes int64
+	// DedupBytes were already host-resident; their transfer was skipped.
+	DedupBytes int64
+	// Chunks is the manifest length.
+	Chunks int
+}
+
+// CommitCheckpoint finalizes key's in-flight plan into a host-resident
+// manifest, replacing any previous manifest under the same key (a
+// re-checkpoint). Returns the dedup stats and emits the ckpt.dedup span
+// plus the ckpt_dedup_bytes / ckpt_new_bytes counters.
+func (s *Store) CommitCheckpoint(ctx context.Context, key string) PutStats {
+	_, span := obs.Start(ctx, "ckpt.dedup",
+		obs.String("key", key), obs.String("node", s.nodeID))
+	s.mu.Lock()
+	p, ok := s.pendings[key]
+	if !ok {
+		// Put without a plan: treat every chunk as new.
+		p = &pending{}
+	}
+	s.abortLocked(key)
+	if old, ok := s.manifests[key]; ok {
+		s.releaseLocked(old)
+	}
+	var st PutStats
+	st.Chunks = len(p.refs)
+	now := s.clock.Now()
+	for _, r := range p.refs {
+		c, ok := s.chunks[r.ID]
+		if !ok {
+			c = &chunk{id: r.ID, bytes: r.Bytes}
+			s.chunks[r.ID] = c
+		}
+		if c.inHost {
+			st.DedupBytes += r.Bytes
+		} else {
+			c.inHost = true
+			s.hostBytes += r.Bytes
+			st.NewBytes += r.Bytes
+		}
+		c.refs++
+		c.hostRefs++
+		c.lastUsed = now
+		s.seq++
+		c.seq = s.seq
+	}
+	s.manifests[key] = &manifest{key: key, chunks: append([]ChunkRef(nil), p.refs...), resident: TierHost}
+	s.trimCacheLocked()
+	s.mu.Unlock()
+	span.SetAttr(
+		obs.Int64("new_bytes", st.NewBytes),
+		obs.Int64("dedup_bytes", st.DedupBytes),
+		obs.Int("chunks", st.Chunks))
+	span.End()
+	s.reg.Counter("ckpt_dedup_bytes").Add(float64(st.DedupBytes))
+	s.reg.Counter("ckpt_new_bytes").Add(float64(st.NewBytes))
+	return st
+}
+
+// Release drops key's manifest after its image left the store (the
+// restore completed, or the process unregistered). Chunk references are
+// decremented; fully unreferenced chunks stay cached in their tier —
+// the delta-checkpoint working set — until trimmed under the host cap.
+func (s *Store) Release(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[key]
+	if !ok {
+		return
+	}
+	s.releaseLocked(m)
+	delete(s.manifests, key)
+}
+
+func (s *Store) releaseLocked(m *manifest) {
+	for _, r := range m.chunks {
+		c, ok := s.chunks[r.ID]
+		if !ok {
+			continue
+		}
+		c.refs--
+		if m.resident == TierHost {
+			c.hostRefs--
+		}
+	}
+}
+
+// Demote moves key's manifest residency from host RAM to disk, dropping
+// the host copy of every chunk this manifest alone keeps hot. Chunks
+// shared with another host-resident manifest (or pinned by an in-flight
+// checkpoint) keep their host copy — the shared-chunk guarantee the
+// spill LRU relies on. Returns the bytes written to disk and the write
+// time the caller must sleep.
+func (s *Store) Demote(ctx context.Context, key string) (written int64, sleep time.Duration, err error) {
+	s.mu.Lock()
+	m, ok := s.manifests[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownManifest, key)
+	}
+	if m.resident == TierDisk {
+		s.mu.Unlock()
+		return 0, 0, nil
+	}
+	var dropped int64
+	for _, r := range m.chunks {
+		c := s.chunks[r.ID]
+		c.hostRefs--
+		if c.hostRefs > 0 || c.pins > 0 || !c.inHost {
+			continue
+		}
+		if !c.onDisk {
+			c.onDisk = true
+			s.diskBytes += c.bytes
+			written += c.bytes
+		}
+		c.inHost = false
+		s.hostBytes -= c.bytes
+		dropped += c.bytes
+	}
+	m.resident = TierDisk
+	s.mu.Unlock()
+	// Only the bytes actually written pay the disk-tier write; chunks
+	// already on disk (from an earlier demotion) are free.
+	sleep = s.tb.StorageReadTime(perfmodel.TierDisk, written)
+	s.reg.Counter("ckpt_demote_bytes").Add(float64(written))
+	s.reg.Counter("ckpt_demote_shared_kept_bytes").Add(float64(m.bytesTotal() - dropped))
+	return written, sleep, nil
+}
+
+// Resident reports where key's manifest restore reads from by default.
+func (s *Store) Resident(key string) (Tier, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[key]
+	if !ok {
+		return TierHost, false
+	}
+	return m.resident, true
+}
+
+// MissingHostBytes returns how many of key's manifest bytes are not in
+// local host RAM — what a promotion would actually move. Zero for a
+// fully host-resident (or unknown) manifest.
+func (s *Store) MissingHostBytes(key string) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[key]
+	if !ok {
+		return 0
+	}
+	var missing int64
+	for _, r := range m.chunks {
+		if c, ok := s.chunks[r.ID]; !ok || !c.inHost {
+			missing += r.Bytes
+		}
+	}
+	return missing
+}
+
+// HostChunkFrac returns the fraction of key's manifest bytes resident
+// in local host RAM (1 for fully hot, 0 for unknown or fully cold) —
+// the chunk-locality signal the cluster placement layer advertises.
+func (s *Store) HostChunkFrac(key string) float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.manifests[key]
+	if !ok {
+		return 0
+	}
+	total := m.bytesTotal()
+	if total == 0 {
+		return 1
+	}
+	var hot int64
+	for _, r := range m.chunks {
+		if c, ok := s.chunks[r.ID]; ok && c.inHost {
+			hot += r.Bytes
+		}
+	}
+	return float64(hot) / float64(total)
+}
+
+// Stats is a consistent snapshot of the store's physical ledger.
+type Stats struct {
+	// Manifests is the live image count; Chunks the distinct chunk count.
+	Manifests int
+	Chunks    int
+	// HostBytes / DiskBytes are physical (deduplicated) tier footprints.
+	HostBytes int64
+	DiskBytes int64
+	// LogicalBytes sums every live manifest's size — what the tiers
+	// would hold without dedup.
+	LogicalBytes int64
+	// UniqueBytes sums each referenced chunk once.
+	UniqueBytes int64
+}
+
+// DedupRatio is logical over unique bytes (1 = no sharing).
+func (st Stats) DedupRatio() float64 {
+	if st.UniqueBytes == 0 {
+		return 1
+	}
+	return float64(st.LogicalBytes) / float64(st.UniqueBytes)
+}
+
+// Stats returns the current physical ledger snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{Manifests: len(s.manifests), Chunks: len(s.chunks),
+		HostBytes: s.hostBytes, DiskBytes: s.diskBytes}
+	for _, m := range s.manifests {
+		st.LogicalBytes += m.bytesTotal()
+	}
+	for _, c := range s.chunks {
+		if c.refs > 0 {
+			st.UniqueBytes += c.bytes
+		}
+	}
+	return st
+}
+
+// trimCacheLocked LRU-evicts unreferenced, unpinned cached chunks from
+// host RAM until physical usage fits the cap. Chunks holding a live
+// image's only copy are never touched. Caller holds s.mu.
+func (s *Store) trimCacheLocked() {
+	if s.hostCap <= 0 || s.hostBytes <= s.hostCap {
+		return
+	}
+	var victims []*chunk
+	for _, c := range s.chunks {
+		if c.inHost && c.refs == 0 && c.pins == 0 {
+			victims = append(victims, c)
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if !victims[i].lastUsed.Equal(victims[j].lastUsed) {
+			return victims[i].lastUsed.Before(victims[j].lastUsed)
+		}
+		return victims[i].seq < victims[j].seq
+	})
+	for _, c := range victims {
+		if s.hostBytes <= s.hostCap {
+			return
+		}
+		c.inHost = false
+		s.hostBytes -= c.bytes
+		s.reg.Counter("ckpt_cache_evicted_bytes").Add(float64(c.bytes))
+		if !c.onDisk {
+			delete(s.chunks, c.id)
+		}
+	}
+}
+
+// SelfCheck verifies the store's internal invariants: tier byte totals
+// match the chunk flags, refcounts match the manifest lists, no count is
+// negative, and every live manifest's chunks are reachable from its
+// resident tier (host-resident ⇒ in host RAM; disk-resident ⇒ on disk
+// or still cached in RAM). The chaos soak calls this after every
+// operation.
+func (s *Store) SelfCheck() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var host, disk int64
+	refs := make(map[ChunkID]int)
+	hostRefs := make(map[ChunkID]int)
+	for id, c := range s.chunks {
+		if c.refs < 0 || c.hostRefs < 0 || c.pins < 0 {
+			return fmt.Errorf("ckptstore: chunk %s has negative counts refs=%d hostRefs=%d pins=%d",
+				id, c.refs, c.hostRefs, c.pins)
+		}
+		if c.inHost {
+			host += c.bytes
+		}
+		if c.onDisk {
+			disk += c.bytes
+		}
+		if !c.inHost && !c.onDisk {
+			return fmt.Errorf("ckptstore: chunk %s resident in no tier", id)
+		}
+	}
+	if host != s.hostBytes || disk != s.diskBytes {
+		return fmt.Errorf("ckptstore: tier totals host=%d disk=%d, chunks sum host=%d disk=%d",
+			s.hostBytes, s.diskBytes, host, disk)
+	}
+	for key, m := range s.manifests {
+		for _, r := range m.chunks {
+			c, ok := s.chunks[r.ID]
+			if !ok {
+				return fmt.Errorf("ckptstore: manifest %q references missing chunk %s", key, r.ID)
+			}
+			if c.bytes != r.Bytes {
+				return fmt.Errorf("ckptstore: manifest %q chunk %s size %d != stored %d", key, r.ID, r.Bytes, c.bytes)
+			}
+			refs[r.ID]++
+			if m.resident == TierHost {
+				hostRefs[r.ID]++
+				if !c.inHost {
+					return fmt.Errorf("ckptstore: host-resident manifest %q chunk %s not in host RAM", key, r.ID)
+				}
+			}
+		}
+	}
+	for id, c := range s.chunks {
+		if c.refs != refs[id] {
+			return fmt.Errorf("ckptstore: chunk %s refs=%d, manifests reference it %d times", id, c.refs, refs[id])
+		}
+		if c.hostRefs != hostRefs[id] {
+			return fmt.Errorf("ckptstore: chunk %s hostRefs=%d, host manifests reference it %d times", id, c.hostRefs, hostRefs[id])
+		}
+	}
+	return nil
+}

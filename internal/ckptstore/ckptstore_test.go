@@ -1,0 +1,389 @@
+package ckptstore
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"testing"
+	"time"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+var testEpoch = time.Date(2025, 11, 16, 0, 0, 0, 0, time.UTC)
+
+// testStore builds a store on a fast scaled clock (sleeps are ~free in
+// wall time but still advance the simulated clock deterministically).
+func testStore(t *testing.T, opts ...Option) *Store {
+	t.Helper()
+	clock := simclock.NewScaled(testEpoch, 20000)
+	tb, _ := perfmodel.TestbedByName("h100")
+	return New(clock, tb, opts...)
+}
+
+// refsFor builds an n-chunk manifest of size bytes each, keyed by name.
+func refsFor(name string, n int, bytes int64) []ChunkRef {
+	refs := make([]ChunkRef, n)
+	for i := range refs {
+		refs[i] = ChunkRef{ID: ChunkKey(name, "w", strconv.Itoa(i)), Bytes: bytes}
+	}
+	return refs
+}
+
+// checkpoint runs the full plan/commit protocol for key.
+func checkpoint(s *Store, key string, refs []ChunkRef) PutStats {
+	s.PlanCheckpoint(key, refs)
+	return s.CommitCheckpoint(context.Background(), key)
+}
+
+func mustSelfCheck(t *testing.T, s *Store) {
+	t.Helper()
+	if err := s.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkKeyDeterministicAndDistinct(t *testing.T) {
+	a := ChunkKey("model", "w", "0")
+	if a != ChunkKey("model", "w", "0") {
+		t.Fatal("equal parts produced different IDs")
+	}
+	for _, other := range [][]string{
+		{"model", "w", "1"},
+		{"model", "z", "0"},
+		{"model2", "w", "0"},
+		{"modelw", "0"}, // separator must prevent part-boundary collisions
+	} {
+		if ChunkKey(other...) == a {
+			t.Fatalf("parts %v collided with [model w 0]", other)
+		}
+	}
+}
+
+func TestCommitDedupAcrossKeys(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 4, 100)
+
+	st1 := checkpoint(s, "a", refs)
+	if st1.NewBytes != 400 || st1.DedupBytes != 0 {
+		t.Fatalf("first commit: %+v", st1)
+	}
+	// A second image with identical content stores nothing new.
+	st2 := checkpoint(s, "b", refs)
+	if st2.NewBytes != 0 || st2.DedupBytes != 400 {
+		t.Fatalf("second commit: %+v", st2)
+	}
+	stats := s.Stats()
+	if stats.HostBytes != 400 || stats.LogicalBytes != 800 || stats.UniqueBytes != 400 {
+		t.Fatalf("stats: %+v", stats)
+	}
+	if r := stats.DedupRatio(); r != 2 {
+		t.Fatalf("dedup ratio = %v, want 2", r)
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestPlanReportsCleanChunksAfterRelease(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 3, 50)
+	checkpoint(s, "a", refs)
+
+	// Restore completes: the manifest is released but the chunk payloads
+	// stay cached — the delta-checkpoint working set.
+	s.Release("a")
+	mustSelfCheck(t, s)
+
+	clean := s.PlanCheckpoint("a", refs)
+	for i, c := range clean {
+		if !c {
+			t.Fatalf("chunk %d not clean after release+replan", i)
+		}
+	}
+	st := s.CommitCheckpoint(context.Background(), "a")
+	if st.NewBytes != 0 || st.DedupBytes != 150 {
+		t.Fatalf("re-checkpoint after release: %+v", st)
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestDemoteKeepsSharedChunksHot(t *testing.T) {
+	s := testStore(t)
+	shared := refsFor("m", 2, 100)
+	extra := ChunkRef{ID: ChunkKey("a", "d", "0"), Bytes: 60}
+
+	checkpoint(s, "a", append(append([]ChunkRef(nil), shared...), extra))
+	checkpoint(s, "b", shared)
+
+	written, sleep, err := s.Demote(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only a's exclusive chunk goes to disk; the two chunks shared with
+	// host-resident b keep their host copies.
+	if written != 60 {
+		t.Fatalf("written = %d, want 60", written)
+	}
+	if sleep <= 0 {
+		t.Fatal("demote of non-empty exclusive set must cost time")
+	}
+	if tier, ok := s.Resident("a"); !ok || tier != TierDisk {
+		t.Fatalf("a resident = %v/%v", tier, ok)
+	}
+	for _, r := range shared {
+		if inHost, _ := s.LookupChunk(r.ID); !inHost {
+			t.Fatalf("shared chunk %s lost its host copy", r.ID)
+		}
+	}
+	if inHost, onDisk := s.LookupChunk(extra.ID); inHost || !onDisk {
+		t.Fatalf("exclusive chunk host=%v disk=%v, want disk only", inHost, onDisk)
+	}
+	mustSelfCheck(t, s)
+
+	// Promoting back moves only the exclusive chunk; shared bytes dedup.
+	moved, dedup, err := s.Promote(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 60 || dedup != 200 {
+		t.Fatalf("promote moved=%d dedup=%d, want 60/200", moved, dedup)
+	}
+	if tier, _ := s.Resident("a"); tier != TierHost {
+		t.Fatal("a not host-resident after promote")
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestPinPreventsDemotionDrop(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 2, 100)
+	checkpoint(s, "a", refs)
+
+	// An in-flight delta checkpoint of b pinned a's chunks as clean.
+	clean := s.PlanCheckpoint("b", refs)
+	if !clean[0] || !clean[1] {
+		t.Fatal("chunks not clean for b")
+	}
+	// Demoting a must not drop the pinned host copies.
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refs {
+		if inHost, _ := s.LookupChunk(r.ID); !inHost {
+			t.Fatalf("pinned chunk %s dropped from host RAM", r.ID)
+		}
+	}
+	s.CommitCheckpoint(context.Background(), "b")
+	mustSelfCheck(t, s)
+}
+
+func TestAbortCheckpointRestoresState(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 2, 100)
+	checkpoint(s, "a", refs)
+	s.PlanCheckpoint("b", refs)
+	s.AbortCheckpoint("b")
+	mustSelfCheck(t, s)
+	if _, ok := s.Resident("b"); ok {
+		t.Fatal("aborted checkpoint left a manifest")
+	}
+}
+
+func TestTrimCacheEvictsLRUUnreferenced(t *testing.T) {
+	s := testStore(t, WithHostCap(250))
+	// Two images, then both released: 200 bytes cached, under the cap.
+	checkpoint(s, "a", refsFor("ma", 1, 100))
+	checkpoint(s, "b", refsFor("mb", 1, 100))
+	s.Release("a")
+	s.Release("b")
+	// A third, live image pushes physical host bytes to 300 > 250: the
+	// LRU cached chunk (a's) must go; the live image must not.
+	checkpoint(s, "c", refsFor("mc", 1, 100))
+	mustSelfCheck(t, s)
+
+	if inHost, _ := s.LookupChunk(ChunkKey("ma", "w", "0")); inHost {
+		t.Fatal("oldest unreferenced chunk survived the trim")
+	}
+	if inHost, _ := s.LookupChunk(ChunkKey("mb", "w", "0")); !inHost {
+		t.Fatal("newer cached chunk evicted out of LRU order")
+	}
+	if inHost, _ := s.LookupChunk(ChunkKey("mc", "w", "0")); !inHost {
+		t.Fatal("live image chunk evicted")
+	}
+	if st := s.Stats(); st.HostBytes != 200 {
+		t.Fatalf("host bytes = %d, want 200", st.HostBytes)
+	}
+}
+
+// peerStub is a canned remote inventory.
+type peerStub struct {
+	id     string
+	inHost map[ChunkID]bool
+	onDisk map[ChunkID]bool
+}
+
+func (p *peerStub) PeerID() string { return p.id }
+func (p *peerStub) LookupChunk(id ChunkID) (bool, bool) {
+	return p.inHost[id], p.onDisk[id]
+}
+
+func TestRestorePlanRanksPeerRAMOverLocalDisk(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 2, 1<<30)
+	checkpoint(s, "a", refs)
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// A peer holds chunk 0 in host RAM; on the H100 testbed the fabric
+	// read from peer RAM beats the local NVMe read.
+	peer := &peerStub{id: "n2", inHost: map[ChunkID]bool{refs[0].ID: true}}
+	s.SetPeers([]Peer{peer})
+
+	sess, err := s.OpenRestore(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.FetchRange(0, 2<<30); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close(nil)
+	if got := sess.bySource[SrcPeerRAM]; got != 1<<30 {
+		t.Fatalf("peer RAM served %d bytes, want chunk 0 (%d)", got, 1<<30)
+	}
+	if got := sess.bySource[SrcLocalDisk]; got != 1<<30 {
+		t.Fatalf("local disk served %d bytes, want chunk 1 (%d)", got, 1<<30)
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestFetchFaultFallsBackToNextSource(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 1, 1<<20)
+	checkpoint(s, "a", refs)
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	peer := &peerStub{id: "n2", inHost: map[ChunkID]bool{refs[0].ID: true}}
+	s.SetPeers([]Peer{peer})
+	// Exhaust the peer-RAM source's entire retry budget: the fetch must
+	// fall back to local disk instead of failing the restore.
+	s.SetChaos(chaos.FailNext(chaos.SiteCkptFetch, fetchRetries))
+
+	sess, err := s.OpenRestore(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.FetchRange(0, 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	sess.Close(nil)
+	if sess.bySource[SrcLocalDisk] != 1<<20 {
+		t.Fatalf("bySource = %v, want local_disk fallback", sess.bySource)
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestFetchFailsWhenEverySourceFaults(t *testing.T) {
+	s := testStore(t)
+	refs := refsFor("m", 1, 1<<20)
+	checkpoint(s, "a", refs)
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	s.SetChaos(chaos.FailNext(chaos.SiteCkptFetch, fetchRetries))
+
+	sess, err := s.OpenRestore(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = sess.FetchRange(0, 1<<20)
+	if !errors.Is(err, ErrNoSource) {
+		t.Fatalf("err = %v, want ErrNoSource", err)
+	}
+	sess.Close(err)
+	mustSelfCheck(t, s)
+}
+
+func TestOpenRestoreUnknownManifest(t *testing.T) {
+	s := testStore(t)
+	if _, err := s.OpenRestore(context.Background(), "ghost"); !errors.Is(err, ErrUnknownManifest) {
+		t.Fatalf("err = %v, want ErrUnknownManifest", err)
+	}
+}
+
+func TestPromoteFromPeerWhenLocalDiskMissing(t *testing.T) {
+	// A manifest whose chunks exist only on a peer (e.g. advertised via
+	// the cluster registry) can still be promoted: every byte comes over
+	// the fabric.
+	s := testStore(t)
+	refs := refsFor("m", 2, 1<<20)
+	checkpoint(s, "a", refs)
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// Another image pushed a's exclusive chunks out... simulate the
+	// peer-only case by a second store demote + trim being the only copy
+	// holder: here we just verify peer fetch is used when it is cheapest.
+	peer := &peerStub{id: "n2", inHost: map[ChunkID]bool{refs[0].ID: true, refs[1].ID: true}}
+	s.SetPeers([]Peer{peer})
+	moved, dedup, err := s.Promote(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 2<<20 || dedup != 0 {
+		t.Fatalf("promote moved=%d dedup=%d", moved, dedup)
+	}
+	if v := s.reg.Counter("ckpt_fetch_bytes_peer_ram").Value(); v != float64(2<<20) {
+		t.Fatalf("peer_ram fetch counter = %v, want %v", v, float64(2<<20))
+	}
+	mustSelfCheck(t, s)
+}
+
+func TestReleaseUnknownAndDoubleRelease(t *testing.T) {
+	s := testStore(t)
+	s.Release("ghost") // no-op
+	checkpoint(s, "a", refsFor("m", 1, 10))
+	s.Release("a")
+	s.Release("a") // second release must not double-decrement
+	mustSelfCheck(t, s)
+}
+
+func TestMissingHostBytesAndFrac(t *testing.T) {
+	s := testStore(t)
+	shared := refsFor("m", 1, 100)
+	solo := ChunkRef{ID: ChunkKey("a", "d", "0"), Bytes: 300}
+	checkpoint(s, "a", append([]ChunkRef{solo}, shared...))
+	checkpoint(s, "b", shared)
+	if _, _, err := s.Demote(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MissingHostBytes("a"); got != 300 {
+		t.Fatalf("MissingHostBytes = %d, want 300", got)
+	}
+	if got := s.HostChunkFrac("a"); got != 0.25 {
+		t.Fatalf("HostChunkFrac = %v, want 0.25", got)
+	}
+	if got := s.HostChunkFrac("ghost"); got != 0 {
+		t.Fatalf("unknown frac = %v, want 0", got)
+	}
+}
+
+func TestRegistryCountersPublished(t *testing.T) {
+	reg := metrics.NewRegistry()
+	clock := simclock.NewScaled(testEpoch, 20000)
+	tb, _ := perfmodel.TestbedByName("h100")
+	s := New(clock, tb, WithRegistry(reg), WithNodeID("n1"))
+	checkpoint(s, "a", refsFor("m", 2, 100))
+	checkpoint(s, "b", refsFor("m", 2, 100))
+	if got := reg.Counter("ckpt_new_bytes").Value(); got != 200 {
+		t.Fatalf("ckpt_new_bytes = %v", got)
+	}
+	if got := reg.Counter("ckpt_dedup_bytes").Value(); got != 200 {
+		t.Fatalf("ckpt_dedup_bytes = %v", got)
+	}
+	if s.PeerID() != "n1" {
+		t.Fatalf("PeerID = %q", s.PeerID())
+	}
+}

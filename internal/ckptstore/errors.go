@@ -1,0 +1,22 @@
+package ckptstore
+
+import "errors"
+
+// The store's error vocabulary. Every error returned by this package
+// wraps exactly one of these sentinels, so callers branch with
+// errors.Is:
+//
+//   - ErrUnknownManifest: the key names no live manifest (never
+//     checkpointed, or already released). The caller holds a stale
+//     handle.
+//   - ErrNoSource: a chunk is reachable from no restore source — every
+//     candidate (local host, local disk, peer RAM, peer disk) was
+//     missing or exhausted its bounded retries under injected faults.
+//     The restore or promotion aborts; the manifest is untouched.
+//
+// Fetch paths additionally surface chaos.ErrInjected (wrapped) when the
+// final retry of the last-resort source fails.
+var (
+	ErrUnknownManifest = errors.New("ckptstore: unknown manifest")
+	ErrNoSource        = errors.New("ckptstore: no restore source for chunk")
+)

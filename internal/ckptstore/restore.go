@@ -1,0 +1,364 @@
+package ckptstore
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/obs"
+	"swapservellm/internal/perfmodel"
+)
+
+// This file is the restore-source machinery: every chunk of a restoring
+// (or promoting) manifest is planned against the cheapest reachable
+// source under the perfmodel's calibration — local host RAM is free,
+// then typically a replica's host RAM over the fabric, then local disk,
+// then a replica's disk. Fetches consult the ckptstore.fetch /
+// ckptstore.promote chaos sites with bounded retries, then fall back to
+// the next-best source, so a torn disk read or a dropped peer
+// connection degrades a restore instead of failing it.
+
+// fetchRetries bounds per-source retries of a faulted chunk fetch
+// before the planner falls back to the next-best source (mirrors the
+// driver's chunk-transfer retry budget).
+const fetchRetries = 3
+
+// Source identifies where a chunk fetch reads from.
+type Source int
+
+// Restore sources, in the order used to break cost ties.
+const (
+	SrcHostRAM Source = iota
+	SrcPeerRAM
+	SrcLocalDisk
+	SrcPeerDisk
+)
+
+// String returns the snake_case source name used in counters and spans.
+func (s Source) String() string {
+	switch s {
+	case SrcHostRAM:
+		return "host_ram"
+	case SrcPeerRAM:
+		return "peer_ram"
+	case SrcLocalDisk:
+		return "local_disk"
+	default:
+		return "peer_disk"
+	}
+}
+
+// candidate is one reachable source for one chunk, with its modelled
+// read cost.
+type candidate struct {
+	src  Source
+	peer string // peer ID for SrcPeerRAM / SrcPeerDisk
+	cost time.Duration
+}
+
+// sourceCost returns the modelled read time for size bytes from src.
+func (s *Store) sourceCost(src Source, size int64) time.Duration {
+	switch src {
+	case SrcHostRAM:
+		return 0
+	case SrcPeerRAM:
+		return s.tb.PeerRAMReadTime(size)
+	case SrcLocalDisk:
+		return s.tb.StorageReadTime(perfmodel.TierDisk, size)
+	default:
+		return s.tb.PeerDiskReadTime(size)
+	}
+}
+
+// chunkState is a lock-consistent snapshot of one chunk's local tiers.
+type chunkState struct {
+	inHost bool
+	onDisk bool
+}
+
+// planChunk ranks the reachable sources for one chunk, cheapest first.
+// st is the local snapshot; peer lookups run without the store lock.
+func (s *Store) planChunk(r ChunkRef, st chunkState, peers []Peer) []candidate {
+	var cands []candidate
+	if st.inHost {
+		cands = append(cands, candidate{src: SrcHostRAM})
+	}
+	if st.onDisk {
+		cands = append(cands, candidate{src: SrcLocalDisk, cost: s.sourceCost(SrcLocalDisk, r.Bytes)})
+	}
+	for _, p := range peers {
+		inHost, onDisk := p.LookupChunk(r.ID)
+		if inHost {
+			cands = append(cands, candidate{src: SrcPeerRAM, peer: p.PeerID(), cost: s.sourceCost(SrcPeerRAM, r.Bytes)})
+		} else if onDisk {
+			cands = append(cands, candidate{src: SrcPeerDisk, peer: p.PeerID(), cost: s.sourceCost(SrcPeerDisk, r.Bytes)})
+		}
+	}
+	// Stable insertion order makes ties deterministic: equal-cost
+	// sources resolve by the Source ordering, then peer list order.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := cands[j-1], cands[j]
+			if b.cost < a.cost || (b.cost == a.cost && b.src < a.src) {
+				cands[j-1], cands[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	return cands
+}
+
+// injAt consults the fault injector without holding the store lock
+// across the injector's own lock.
+func (s *Store) injAt(site chaos.Site) chaos.Outcome {
+	s.mu.Lock()
+	inj := s.inj
+	s.mu.Unlock()
+	return inj.At(site)
+}
+
+// fetchChunk executes one chunk fetch against its ranked candidates:
+// bounded retries per source (a faulted attempt burns its read time),
+// then fallback to the next-best source. On success the chunk's bytes
+// are cached in local host RAM. Returns the source that served it.
+func (s *Store) fetchChunk(ctx context.Context, site chaos.Site, r ChunkRef, cands []candidate) (Source, error) {
+	var lastErr error
+	for _, cand := range cands {
+		if cand.src == SrcHostRAM || cand.src == SrcLocalDisk {
+			// Local candidates re-validate against the live tier state:
+			// the snapshot may predate a concurrent demotion or trim.
+			s.mu.Lock()
+			c, ok := s.chunks[r.ID]
+			valid := ok && ((cand.src == SrcHostRAM && c.inHost) || (cand.src == SrcLocalDisk && c.onDisk))
+			s.mu.Unlock()
+			if !valid {
+				continue
+			}
+		}
+		if cand.src == SrcHostRAM {
+			s.commitFetch(r, SrcHostRAM)
+			return SrcHostRAM, nil
+		}
+		for attempt := 0; attempt < fetchRetries; attempt++ {
+			out := s.injAt(site)
+			if out.Err != nil {
+				lastErr = out.Err
+				obs.AnnotateFault(ctx, string(site), out.Err)
+				// The read ran and failed; its time is burned.
+				s.clock.Sleep(cand.cost)
+				continue
+			}
+			s.clock.Sleep(cand.cost + out.Delay)
+			s.commitFetch(r, cand.src)
+			return cand.src, nil
+		}
+	}
+	if lastErr != nil {
+		return SrcHostRAM, fmt.Errorf("%w %s (%d bytes): last source failed: %w", ErrNoSource, r.ID, r.Bytes, lastErr)
+	}
+	return SrcHostRAM, fmt.Errorf("%w %s (%d bytes)", ErrNoSource, r.ID, r.Bytes)
+}
+
+// commitFetch lands a fetched chunk in the local host cache and records
+// the per-source byte counter.
+func (s *Store) commitFetch(r ChunkRef, src Source) {
+	s.mu.Lock()
+	c, ok := s.chunks[r.ID]
+	if !ok {
+		// A peer-sourced chunk the local store had never seen.
+		c = &chunk{id: r.ID, bytes: r.Bytes}
+		s.chunks[r.ID] = c
+	}
+	if !c.inHost {
+		c.inHost = true
+		s.hostBytes += c.bytes
+	}
+	c.lastUsed = s.clock.Now()
+	s.seq++
+	c.seq = s.seq
+	s.trimCacheLocked()
+	s.mu.Unlock()
+	s.reg.Counter("ckpt_fetch_bytes_" + src.String()).Add(float64(r.Bytes))
+}
+
+// RestoreSession is one planned restore of a manifest: per-chunk ranked
+// sources captured at open time, fetched incrementally as the driver's
+// H2D pipeline advances through the image. The session owns the
+// ckpt.fetch span; callers must Close it.
+type RestoreSession struct {
+	s        *Store
+	ctx      context.Context
+	key      string
+	refs     []ChunkRef
+	starts   []int64 // image offset of each chunk
+	cands    [][]candidate
+	fetched  []bool
+	span     *obs.Span
+	bySource map[Source]int64
+}
+
+// OpenRestore plans a restore of key's manifest: every chunk gets a
+// ranked source list (local RAM free, then whatever the perfmodel says
+// is fastest among peer RAM, local disk, and peer disk). Fails if any
+// chunk is reachable from no source.
+func (s *Store) OpenRestore(ctx context.Context, key string) (*RestoreSession, error) {
+	s.mu.Lock()
+	m, ok := s.manifests[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownManifest, key)
+	}
+	refs := append([]ChunkRef(nil), m.chunks...)
+	states := make([]chunkState, len(refs))
+	for i, r := range refs {
+		if c, ok := s.chunks[r.ID]; ok {
+			states[i] = chunkState{inHost: c.inHost, onDisk: c.onDisk}
+		}
+	}
+	peers := s.peers
+	s.mu.Unlock()
+
+	ctx, span := obs.Start(ctx, "ckpt.fetch",
+		obs.String("key", key), obs.String("node", s.nodeID))
+	rs := &RestoreSession{
+		s: s, ctx: ctx, key: key, refs: refs,
+		starts:   make([]int64, len(refs)),
+		cands:    make([][]candidate, len(refs)),
+		fetched:  make([]bool, len(refs)),
+		span:     span,
+		bySource: make(map[Source]int64),
+	}
+	var off int64
+	var total int64
+	for i, r := range refs {
+		rs.starts[i] = off
+		off += r.Bytes
+		total += r.Bytes
+		rs.cands[i] = s.planChunk(r, states[i], peers)
+		if len(rs.cands[i]) == 0 {
+			span.EndErr(fmt.Errorf("%w %s", ErrNoSource, r.ID))
+			return nil, fmt.Errorf("%w %s (%d bytes) of manifest %q", ErrNoSource, r.ID, r.Bytes, key)
+		}
+	}
+	span.SetAttr(obs.Int64("bytes", total), obs.Int("chunks", len(refs)))
+	return rs, nil
+}
+
+// FetchRange fetches every not-yet-fetched chunk whose image offset
+// falls in [from, to), sleeping for the source reads. The driver calls
+// this ahead of each H2D chunk so fetch time lands on the restore's
+// critical path exactly where the bytes are needed.
+func (rs *RestoreSession) FetchRange(from, to int64) error {
+	for i, r := range rs.refs {
+		if rs.fetched[i] || rs.starts[i] < from || rs.starts[i] >= to {
+			continue
+		}
+		src, err := rs.s.fetchChunk(rs.ctx, chaos.SiteCkptFetch, r, rs.cands[i])
+		if err != nil {
+			return err
+		}
+		rs.fetched[i] = true
+		rs.bySource[src] += r.Bytes
+	}
+	return nil
+}
+
+// PlanTime returns the modelled total fetch time of the best-ranked
+// sources — the perfmodel estimate a scheduler can use before starting.
+func (rs *RestoreSession) PlanTime() time.Duration {
+	var d time.Duration
+	for i := range rs.refs {
+		if len(rs.cands[i]) > 0 {
+			d += rs.cands[i][0].cost
+		}
+	}
+	return d
+}
+
+// Close ends the session's ckpt.fetch span, recording the per-source
+// byte split. err is the restore's outcome (nil on success).
+func (rs *RestoreSession) Close(err error) {
+	for _, src := range []Source{SrcHostRAM, SrcPeerRAM, SrcLocalDisk, SrcPeerDisk} {
+		if n := rs.bySource[src]; n > 0 {
+			rs.span.SetAttr(obs.Int64("bytes_"+src.String(), n))
+		}
+	}
+	rs.span.EndErr(err)
+}
+
+// Promote moves key's manifest residency from disk back to host RAM,
+// fetching only the chunks not already host-resident — from whichever
+// source (local disk, peer RAM, peer disk) the perfmodel ranks fastest,
+// with bounded-retry fallback under the ckptstore.promote fault site.
+// Chunks another hot manifest already keeps in RAM are deduplicated for
+// free. Returns the bytes actually moved and the bytes deduplicated.
+func (s *Store) Promote(ctx context.Context, key string) (moved, dedup int64, err error) {
+	ctx, span := obs.Start(ctx, "ckpt.promote",
+		obs.String("key", key), obs.String("node", s.nodeID))
+	defer func() { span.EndErr(err) }()
+
+	s.mu.Lock()
+	m, ok := s.manifests[key]
+	if !ok {
+		s.mu.Unlock()
+		return 0, 0, fmt.Errorf("%w: %q", ErrUnknownManifest, key)
+	}
+	if m.resident == TierHost {
+		s.mu.Unlock()
+		return 0, 0, nil
+	}
+	refs := append([]ChunkRef(nil), m.chunks...)
+	states := make([]chunkState, len(refs))
+	for i, r := range refs {
+		if c, ok := s.chunks[r.ID]; ok {
+			states[i] = chunkState{inHost: c.inHost, onDisk: c.onDisk}
+		}
+	}
+	peers := s.peers
+	s.mu.Unlock()
+
+	for i, r := range refs {
+		if states[i].inHost {
+			dedup += r.Bytes
+			continue
+		}
+		cands := s.planChunk(r, states[i], peers)
+		if len(cands) == 0 {
+			return moved, dedup, fmt.Errorf("%w %s (%d bytes) of manifest %q", ErrNoSource, r.ID, r.Bytes, key)
+		}
+		if _, ferr := s.fetchChunk(ctx, chaos.SiteCkptPromote, r, cands); ferr != nil {
+			return moved, dedup, ferr
+		}
+		moved += r.Bytes
+	}
+
+	s.mu.Lock()
+	// Re-validate: the manifest may have been released or re-demoted
+	// while fetching; promotion commits only against the live record.
+	m, ok = s.manifests[key]
+	if !ok {
+		s.mu.Unlock()
+		return moved, dedup, fmt.Errorf("%w: %q released mid-promotion", ErrUnknownManifest, key)
+	}
+	if m.resident == TierDisk {
+		for _, r := range m.chunks {
+			if c, ok := s.chunks[r.ID]; ok {
+				c.hostRefs++
+				if !c.inHost {
+					// A trim raced the fetch; the promoted image must be
+					// whole in RAM, so the chunk is re-pinned hot.
+					c.inHost = true
+					s.hostBytes += c.bytes
+				}
+			}
+		}
+		m.resident = TierHost
+	}
+	s.mu.Unlock()
+	span.SetAttr(obs.Int64("moved_bytes", moved), obs.Int64("dedup_bytes", dedup))
+	s.reg.Counter("ckpt_promote_bytes_moved").Add(float64(moved))
+	s.reg.Counter("ckpt_promote_bytes_dedup").Add(float64(dedup))
+	return moved, dedup, nil
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/ckptstore"
 	"swapservellm/internal/config"
 	"swapservellm/internal/core"
 	"swapservellm/internal/metrics"
@@ -190,6 +191,27 @@ func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 
 	if every := cfg.RebalanceEvery(); every > 0 {
 		c.rebal = newRebalancer(c, every, cfg.Cluster.RebalanceHighWater, capBytes)
+	}
+
+	// Wire peer-to-peer chunk fetch: with ckpt_store enabled, every
+	// node's content-addressed checkpoint store sees the other nodes'
+	// stores as restore sources, so a promotion can pull a chunk from a
+	// peer's host RAM (over the fabric) faster than from its own disk.
+	stores := make([]*ckptstore.Store, len(c.nodes))
+	for i, n := range c.nodes {
+		stores[i] = n.Server().CkptStore()
+	}
+	for i, st := range stores {
+		if st == nil {
+			continue
+		}
+		var peers []ckptstore.Peer
+		for j, p := range stores {
+			if j != i && p != nil {
+				peers = append(peers, p)
+			}
+		}
+		st.SetPeers(peers)
 	}
 	return c, nil
 }

@@ -157,6 +157,17 @@ type Report struct {
 	// SwapIns / SwapOuts total hot-swap operations across backends.
 	SwapIns  int64 `json:"swap_ins"`
 	SwapOuts int64 `json:"swap_outs"`
+	// ChunkStore reports whether the node runs the content-addressed
+	// checkpoint store; the chunk fields below are meaningful only then.
+	ChunkStore bool `json:"chunk_store,omitempty"`
+	// ChunkHostBytes / ChunkDiskBytes are the store's physical
+	// (deduplicated) tier footprints — the chunk inventory the registry
+	// advertises for peer-fetch and placement decisions.
+	ChunkHostBytes int64 `json:"chunk_host_bytes,omitempty"`
+	ChunkDiskBytes int64 `json:"chunk_disk_bytes,omitempty"`
+	// ChunkDedupSavedBytes is logical-minus-unique manifest bytes: what
+	// content addressing is currently saving on this node.
+	ChunkDedupSavedBytes int64 `json:"chunk_dedup_saved_bytes,omitempty"`
 	// Models is the node-local backend/snapshot inventory.
 	Models []core.ModelInventory `json:"models"`
 }
@@ -182,7 +193,29 @@ func (n *Node) Report() Report {
 		rep.SwapIns += in
 		rep.SwapOuts += out
 	}
+	if st := n.srv.CkptStore(); st != nil {
+		stats := st.Stats()
+		rep.ChunkStore = true
+		rep.ChunkHostBytes = stats.HostBytes
+		rep.ChunkDiskBytes = stats.DiskBytes
+		rep.ChunkDedupSavedBytes = stats.LogicalBytes - stats.UniqueBytes
+	}
 	return rep
+}
+
+// chunkFrac returns the fraction of the model's checkpoint bytes already
+// host-resident in the node's content-addressed store (0 with no store
+// or no committed manifest) — the chunk-locality placement signal.
+func (n *Node) chunkFrac(model string) float64 {
+	st := n.srv.CkptStore()
+	if st == nil {
+		return 0
+	}
+	b, ok := n.srv.Backend(model)
+	if !ok || b.Container() == nil {
+		return 0
+	}
+	return st.HostChunkFrac(b.Container().ID())
 }
 
 // presence returns the node's locality class for a model, and whether

@@ -46,6 +46,12 @@ type Candidate struct {
 	Load int
 	// FreeGPUBytes is unallocated device memory across the node's GPUs.
 	FreeGPUBytes int64
+	// HostChunkFrac is the fraction of the model's checkpoint bytes
+	// already host-resident in the node's content-addressed store (0
+	// without one). Within a presence class, more resident chunks mean
+	// a cheaper restore — a disk-class node whose shared chunks are hot
+	// restores mostly at memcpy speed.
+	HostChunkFrac float64
 }
 
 // Policy chooses the node to serve a request. Implementations must be
@@ -68,8 +74,8 @@ type LocalityFirst struct{}
 // Name identifies the policy in configs and metrics.
 func (LocalityFirst) Name() string { return "locality" }
 
-// Select picks the best-presence candidate, tie-breaking by load then
-// free GPU memory then node ID.
+// Select picks the best-presence candidate, tie-breaking by resident
+// chunk fraction, then load, then free GPU memory, then node ID.
 func (LocalityFirst) Select(model string, cands []Candidate) (int, bool) {
 	best := -1
 	for i, c := range cands {
@@ -83,6 +89,11 @@ func (LocalityFirst) Select(model string, cands []Candidate) (int, bool) {
 func betterLocality(a, b Candidate) bool {
 	if a.Presence != b.Presence {
 		return a.Presence > b.Presence
+	}
+	// Same presence class: prefer the node that already holds more of
+	// the model's chunks in host RAM (chunk-level locality).
+	if a.HostChunkFrac != b.HostChunkFrac {
+		return a.HostChunkFrac > b.HostChunkFrac
 	}
 	return lessLoaded(a, b)
 }

@@ -139,9 +139,22 @@ func (rb *rebalancer) migrateFrom(ctx context.Context, hot *Node, snaps []nodeSn
 			rb.c.reg.Counter("rebalance_aborted_stale").Inc()
 			continue
 		}
+		// With a content-addressed store on the destination, the migration
+		// moves chunk references, not the whole image: only the bytes not
+		// already host-resident there (chunks shared with a hot replica of
+		// the same model cost nothing). Record what dedup saves.
+		var dedupSaved int64
+		dstPid := db.Container().ID()
+		if st := dst.Server().CkptStore(); st != nil {
+			if bytes, err := dst.Server().Driver().ImageBytes(dstPid); err == nil {
+				if _, known := st.Resident(dstPid); known {
+					dedupSaved = bytes - st.MissingHostBytes(dstPid)
+				}
+			}
+		}
 		// Promote the replica first: if it fails (raced past the headroom
 		// check), the hot node keeps its RAM copy and nothing is lost.
-		if err := dst.Server().Driver().Promote(ctx, db.Container().ID()); err != nil {
+		if err := dst.Server().Driver().Promote(ctx, dstPid); err != nil {
 			continue
 		}
 		if err := hot.Server().Driver().Demote(ctx, b.Container().ID()); err != nil {
@@ -150,6 +163,9 @@ func (rb *rebalancer) migrateFrom(ctx context.Context, hot *Node, snaps []nodeSn
 		obs.AddEvent(ctx, "migrate",
 			obs.String("model", b.Name()),
 			obs.String("from", hot.ID()), obs.String("to", dst.ID()))
+		if dedupSaved > 0 {
+			rb.c.reg.Counter("rebalance_dedup_saved_bytes").Add(float64(dedupSaved))
+		}
 		rb.c.reg.Counter("rebalance_promotions_" + dst.ID()).Inc()
 		rb.c.reg.Counter("rebalance_demotions_" + hot.ID()).Inc()
 		return true

@@ -244,10 +244,11 @@ func (r *NodeRegistry) Candidates(model string) []Candidate {
 			continue
 		}
 		out = append(out, Candidate{
-			NodeID:       n.ID(),
-			Presence:     pres,
-			Load:         n.load(),
-			FreeGPUBytes: n.srv.GPUFree(),
+			NodeID:        n.ID(),
+			Presence:      pres,
+			Load:          n.load(),
+			FreeGPUBytes:  n.srv.GPUFree(),
+			HostChunkFrac: n.chunkFrac(model),
 		})
 	}
 	return out
@@ -268,6 +269,13 @@ func (r *NodeRegistry) publish() {
 		r.reg.Gauge("node_swap_outs_" + id).Set(float64(rep.SwapOuts))
 		r.reg.Gauge("node_snapshot_ram_bytes_" + id).Set(float64(rep.SnapshotRAMBytes))
 		r.reg.Gauge("node_free_gpu_bytes_" + id).Set(float64(rep.FreeGPUBytes))
+		if rep.ChunkStore {
+			// The chunk inventory the node advertises: deduplicated tier
+			// footprints plus what content addressing is saving.
+			r.reg.Gauge("node_chunk_host_bytes_" + id).Set(float64(rep.ChunkHostBytes))
+			r.reg.Gauge("node_chunk_disk_bytes_" + id).Set(float64(rep.ChunkDiskBytes))
+			r.reg.Gauge("node_chunk_dedup_saved_bytes_" + id).Set(float64(rep.ChunkDedupSavedBytes))
+		}
 	}
 	r.reg.Gauge("cluster_nodes_healthy").Set(float64(healthy))
 }

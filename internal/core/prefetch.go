@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/simclock"
 )
 
@@ -69,6 +70,26 @@ func (p *prefetcher) sweep() {
 					p.s.reg.Counter("prefetch_swap_ins").Inc()
 				}
 			})
+			continue
+		}
+		// Chunk warming: the predicted arrival is beyond the swap-in
+		// window but within twice of it, and the snapshot sits on the
+		// disk tier — promote it into host RAM now so the eventual
+		// swap-in pays only the host→device copy. With the checkpoint
+		// store attached the promotion moves chunks, not the image:
+		// only missing chunks are fetched, each from whichever source
+		// (local disk, peer RAM, peer disk) the perfmodel ranks
+		// fastest, and chunks a hot image already holds in RAM are
+		// deduplicated for free.
+		if predicted.Sub(now) <= 2*est {
+			if loc, err := p.s.driver.ImageLocation(b.ctr.ID()); err == nil && loc == cudackpt.LocDisk {
+				b := b
+				simclock.GateFor(p.s.clock).Go(func() {
+					if err := p.s.driver.Promote(context.Background(), b.ctr.ID()); err == nil {
+						p.s.reg.Counter("prefetch_chunk_promotes").Inc()
+					}
+				})
+			}
 		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/cudackpt"
 	"swapservellm/internal/simclock"
 )
 
@@ -61,12 +62,18 @@ func (r *reaper) run() {
 	gate := simclock.GateFor(r.s.clock)
 	for gate.Wait(r.interval, r.stop) < 0 {
 		r.sweep()
+		r.demoteSweep()
 	}
 }
 
 // sweep swaps out every running backend whose idle time exceeds the
 // keep-alive window and which has no queued or in-flight work.
 func (r *reaper) sweep() {
+	if r.keepAlive <= 0 && r.s.ttl == nil {
+		// The reaper is running for demoteSweep only (snapshot_demote_sec
+		// without keep_alive_sec); a zero window must not evict everything.
+		return
+	}
 	now := r.s.clock.Now()
 	for _, b := range r.s.Backends() {
 		if b.State() != BackendRunning || b.keepWarm {
@@ -107,6 +114,31 @@ func (r *reaper) sweep() {
 			if r.s.ttl != nil {
 				r.s.ttl.NoteEvict(b.name, now)
 			}
+		}
+	}
+}
+
+// demoteSweep is the second rung of the tier ladder: snapshots that the
+// first sweep already evicted to host RAM and that have then sat unused
+// for snapshot_demote_sec are pushed down to the disk tier, freeing host
+// memory for hotter images. With the checkpoint store attached the
+// demotion is chunk-aware — chunks shared with a still-resident image
+// keep their host copy — and the prefetcher promotes chunks back ahead
+// of predicted demand.
+func (r *reaper) demoteSweep() {
+	sec := r.s.cfg.Global.SnapshotDemoteSec
+	if sec <= 0 {
+		return
+	}
+	after := time.Duration(sec * float64(time.Second))
+	now := r.s.clock.Now()
+	for _, snap := range r.s.driver.Snapshots() {
+		if snap.Loc != cudackpt.LocRAM || now.Sub(snap.LastUsed) < after {
+			continue
+		}
+		// Best effort: a demote racing a restore fails its state check.
+		if err := r.s.driver.Demote(context.Background(), snap.PID); err == nil {
+			r.s.reg.Counter("idle_demotions").Inc()
 		}
 	}
 }

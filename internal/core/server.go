@@ -10,6 +10,7 @@ import (
 
 	"swapservellm/internal/cgroup"
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/ckptstore"
 	"swapservellm/internal/config"
 	"swapservellm/internal/container"
 	"swapservellm/internal/cudackpt"
@@ -136,12 +137,24 @@ func New(cfg config.Config, opts Options) (*Server, error) {
 	if cfg.Global.SwapChunkMiB > 0 {
 		driver.SetChunkBytes(int64(cfg.Global.SwapChunkMiB) << 20)
 	}
+	var ckpts *ckptstore.Store
+	if cfg.Global.CkptStore {
+		ckpts = ckptstore.New(clock, tb,
+			ckptstore.WithRegistry(reg),
+			ckptstore.WithNodeID(cfg.Listen),
+			ckptstore.WithHostCap(hostCap),
+		)
+		driver.AttachStore(ckpts)
+	}
 	rt := container.NewRuntime(clock, tb, freezer, driver)
 	store := storage.NewModelStore(clock, tb)
 	if opts.Chaos != nil {
 		driver.SetChaos(opts.Chaos)
 		freezer.SetChaos(opts.Chaos)
 		store.SetChaos(opts.Chaos)
+		if ckpts != nil {
+			ckpts.SetChaos(opts.Chaos)
+		}
 	}
 	if opts.Trace != nil {
 		driver.SetTrace(opts.Trace)
@@ -241,6 +254,11 @@ func (s *Server) Freezer() *cgroup.Freezer { return s.freezer }
 // Store exposes the model store (for tests and tools).
 func (s *Server) Store() *storage.ModelStore { return s.store }
 
+// CkptStore exposes the content-addressed checkpoint store (nil unless
+// the deployment enables ckpt_store). The cluster layer uses it to wire
+// peer-to-peer chunk fetch across nodes.
+func (s *Server) CkptStore() *ckptstore.Store { return s.driver.Store() }
+
 // Backend returns the backend serving the named model.
 func (s *Server) Backend(model string) (*Backend, bool) {
 	s.mu.Lock()
@@ -303,9 +321,10 @@ func (s *Server) Start(ctx context.Context) error {
 	// accounts for them; on Real/Scaled clocks the gate is a plain `go`.
 	gate := simclock.GateFor(s.clock)
 
-	// Start the idle reaper when keep-alive is configured or a TTL
-	// policy is installed (the policy then owns the eviction choice).
-	if ka := s.cfg.KeepAlive(); ka > 0 || s.ttl != nil {
+	// Start the idle reaper when keep-alive is configured, a TTL policy
+	// is installed (the policy then owns the eviction choice), or
+	// second-level snapshot demotion is enabled.
+	if ka := s.cfg.KeepAlive(); ka > 0 || s.ttl != nil || s.cfg.Global.SnapshotDemoteSec > 0 {
 		interval := ka / 4
 		if interval < time.Second {
 			interval = time.Second
@@ -374,6 +393,10 @@ func (s *Server) initBackend(ctx context.Context, mc *config.Model) error {
 	if err != nil {
 		return err
 	}
+	// Name the process's weight content after the model, so replicas of
+	// one model — on this node or a peer — deduplicate weight chunks in
+	// the checkpoint store. Harmless without a store attached.
+	_ = s.driver.SetContentKey(ctr.ID(), mc.Name)
 
 	b := &Backend{
 		name:         mc.Name,

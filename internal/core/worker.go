@@ -105,6 +105,10 @@ func (w *worker) forward(item *queuedRequest) {
 		w.relay(item)
 		w.b.decActive()
 		w.b.lastFinished.Store(w.clock.Now().UnixNano())
+		// The served request mutated the engine's dynamic GPU state (KV
+		// cache), so the next checkpoint must re-key those chunks instead
+		// of reusing the stale deduplicated content.
+		w.sched.ctrl.rt.Driver().MarkDirty(w.b.ctr.ID())
 		return
 	}
 	item.result <- forwardResult{err: fmt.Errorf("core: backend %s kept being preempted", w.b.name)}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"swapservellm/internal/chaos"
+	"swapservellm/internal/ckptstore"
 	"swapservellm/internal/gpu"
 	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
@@ -68,8 +69,10 @@ type proc struct {
 	shardBytes   []int64 // per-device bytes captured at checkpoint time
 	loc          ImageLocation
 	lastUsed     time.Time
-	transferring bool  // a chunked checkpoint/restore is in flight
-	transferGoal int64 // total bytes the in-flight transfer moves
+	transferring bool   // a chunked checkpoint/restore is in flight
+	transferGoal int64  // total bytes the in-flight transfer moves
+	ckey         string // content key for weight-chunk dedup (store.go)
+	dirtyGen     int64  // dynamic-region generation, bumped by MarkDirty
 }
 
 // Driver simulates the per-node checkpoint driver. All methods are safe
@@ -92,6 +95,7 @@ type Driver struct {
 	chunkHooks  []func(ChunkEvent)
 	chaosInj    *chaos.Injector
 	trace       *chaos.Trace
+	store       *ckptstore.Store // content-addressed substrate (nil = legacy)
 }
 
 // NewDriver creates a driver that times transfers against tb on clock.
@@ -154,6 +158,11 @@ func (d *Driver) Unregister(pid string) error {
 		d.hostUsed -= p.hostImage
 	}
 	delete(d.procs, pid)
+	if d.store != nil {
+		// Drop the manifest reference; the chunks stay cached for any
+		// replica sharing the content key.
+		d.store.Release(pid)
+	}
 	return nil
 }
 
@@ -290,7 +299,7 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 			return 0, fmt.Errorf("%w: need %d, used %d of %d", ErrHostMemory, bytes, d.hostUsed, d.hostCap)
 		}
 		var ok bool
-		spillSleep, ok = d.spillUntilLocked(bytes, pid)
+		spillSleep, ok = d.spillUntilLocked(ctx, bytes, pid)
 		if !ok {
 			d.mu.Unlock()
 			return 0, fmt.Errorf("%w: need %d, used %d of %d and nothing left to spill",
@@ -306,6 +315,16 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 	total := d.testbed.CheckpointSave(maxShard(shard)) - d.testbed.CkptLock
 	chunk := d.chunkBytes
 	links := d.linksLocked(p)
+	// With a store attached, plan the image's content-addressed chunks:
+	// chunks whose content is already host-resident (unchanged weights,
+	// pristine or unchanged KV regions) skip their D2H copy entirely —
+	// the delta checkpoint. The plan pins those chunks until commit.
+	var plan []ckptstore.ChunkRef
+	var clean []bool
+	if d.store != nil {
+		plan = d.chunkPlanLocked(p, bytes)
+		clean = d.store.PlanCheckpoint(pid, plan)
+	}
 	d.mu.Unlock()
 	d.clock.Sleep(spillSleep)
 
@@ -313,26 +332,35 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 	// checkpoint concurrently; shards transfer in parallel over their own
 	// PCIe links, so the slowest (largest) shard dominates the calibrated
 	// full-transfer duration, which chunkShare splits across chunks by
-	// byte share. Injected PCIe congestion charges on the first chunk.
+	// byte share. Injected PCIe congestion charges on the first chunk
+	// that actually crosses the link.
 	rem := append([]int64(nil), shard...)
 	var done int64
+	ci := 0
+	pcieCharged := false
 	rollForward := false
 	for done < bytes {
 		c := min(chunk, bytes-done)
 		share := chunkShare(total, done, done+c, bytes)
+		skip := ci < len(clean) && clean[ci]
 		var extra time.Duration
-		if done == 0 {
+		if !pcieCharged && !skip {
 			extra = pcie
+			pcieCharged = true
 		}
 		if !rollForward {
 			// A cancelled ctx aborts exactly like a chunk fault: before
-			// this chunk commits any accounting.
+			// this chunk commits any accounting. A delta-skipped chunk
+			// crosses no link, so it consults no transfer fault site.
 			ferr := ctx.Err()
-			if ferr == nil {
+			if ferr == nil && !skip {
 				ferr = d.chunkFault(ctx, links, perfmodel.DirD2H, share)
 			}
 			if ferr != nil {
 				if d.rollbackCheckpoint(p, shard, rem, done, bytes) {
+					if d.store != nil {
+						d.store.AbortCheckpoint(pid)
+					}
 					return 0, fmt.Errorf("cudackpt: checkpoint of %q aborted at %d/%d bytes: %w",
 						pid, done, bytes, ferr)
 				}
@@ -344,7 +372,9 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 				continue
 			}
 		}
-		d.sleepContended(links, perfmodel.DirD2H, share+extra)
+		if !skip {
+			d.sleepContended(links, perfmodel.DirD2H, share+extra)
+		}
 		d.mu.Lock()
 		d.hostPledged -= c
 		d.hostUsed += c
@@ -352,6 +382,7 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 		drainDevices(p, rem, c)
 		d.mu.Unlock()
 		done += c
+		ci++
 		d.emitChunk(ChunkEvent{PID: pid, Dir: perfmodel.DirD2H, Done: done, Total: bytes})
 		span.Event("chunk",
 			obs.String("dir", perfmodel.DirD2H.String()),
@@ -362,7 +393,6 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	for _, dev := range p.devices {
 		// Clear any zero-byte owner entry left behind by the engine.
 		dev.Resize(p.pid, 0)
@@ -372,6 +402,13 @@ func (d *Driver) Checkpoint(ctx context.Context, pid string) (bytes int64, err e
 	p.transferring = false
 	p.transferGoal = 0
 	p.lastUsed = d.clock.Now()
+	st := d.store
+	d.mu.Unlock()
+	if st != nil {
+		dedup := st.CommitCheckpoint(ctx, pid)
+		span.SetAttr(obs.Int64("dedup_bytes", dedup.DedupBytes),
+			obs.Int64("new_bytes", dedup.NewBytes))
+	}
 	return bytes, nil
 }
 
@@ -440,12 +477,35 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) (err error)
 	perShardWeights := p.weightBytes / int64(len(p.devices))
 	total := d.testbed.CheckpointRestore(maxShard(shard), perShardWeights, p.engine) -
 		d.testbed.CkptLock - perfmodel.EngineResumeOverhead(p.engine)
-	if fromDisk {
-		total += d.testbed.StorageReadTime(perfmodel.TierDisk, bytes)
-	}
 	chunk := d.chunkBytes
 	links := d.linksLocked(p)
+	st := d.store
 	d.mu.Unlock()
+
+	// With a store manifest the restore is planned per chunk against the
+	// cheapest source — a chunk in local host RAM is free, one in a peer
+	// replica's RAM beats the local disk read — and each chunk's fetch
+	// is charged on the pipeline's critical path as it is needed. A
+	// legacy image (no manifest) pays the monolithic disk read spread
+	// across the chunk pipeline, as before.
+	var sess *ckptstore.RestoreSession
+	if st != nil {
+		s, serr := st.OpenRestore(ctx, pid)
+		switch {
+		case serr == nil:
+			sess = s
+			defer func() { sess.Close(err) }()
+		case !errors.Is(serr, ckptstore.ErrUnknownManifest):
+			d.mu.Lock()
+			p.transferring = false
+			p.transferGoal = 0
+			d.mu.Unlock()
+			return fmt.Errorf("cudackpt: restore of %q unplannable: %w", pid, serr)
+		}
+	}
+	if sess == nil && fromDisk {
+		total += d.testbed.StorageReadTime(perfmodel.TierDisk, bytes)
+	}
 
 	var freed chan struct{}
 	if wait {
@@ -471,6 +531,12 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) (err error)
 		ferr := ctx.Err()
 		if ferr == nil {
 			ferr = d.chunkFault(ctx, links, perfmodel.DirH2D, share)
+		}
+		if ferr == nil && sess != nil {
+			// Pull this chunk's bytes to local host RAM from the planned
+			// source (free when already local; peer RAM / disk otherwise,
+			// with bounded-retry fallback under ckptstore.fetch faults).
+			ferr = sess.FetchRange(done, done+c)
 		}
 		if ferr != nil {
 			d.rollbackRestore(p, done, fromDisk)
@@ -527,13 +593,19 @@ func (d *Driver) restore(ctx context.Context, pid string, wait bool) (err error)
 	}
 
 	d.mu.Lock()
-	defer d.mu.Unlock()
 	p.hostImage = 0
 	p.loc = LocRAM
 	p.lastUsed = d.clock.Now()
 	d.transitionLocked(p, StateCheckpointed, StateLocked)
 	p.transferring = false
 	p.transferGoal = 0
+	d.mu.Unlock()
+	if sess != nil {
+		// The image left the store: drop the manifest. Its chunks stay
+		// cached in their tiers — the next checkpoint of this process
+		// delta-skips every chunk whose content they still match.
+		st.Release(pid)
+	}
 	return nil
 }
 

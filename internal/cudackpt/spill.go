@@ -2,10 +2,12 @@ package cudackpt
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"swapservellm/internal/ckptstore"
 	"swapservellm/internal/obs"
 	"swapservellm/internal/perfmodel"
 )
@@ -94,8 +96,21 @@ func (d *Driver) Demote(ctx context.Context, pid string) (err error) {
 	d.diskUsed += bytes
 	p.loc = LocDisk
 	d.spills++
+	var sleep time.Duration
+	demoted := false
+	if d.store != nil {
+		// Chunk-aware demotion: only chunks no other RAM-resident image
+		// references are written out; shared chunks keep their host copy.
+		if _, wsleep, derr := d.store.Demote(ctx, pid); derr == nil {
+			sleep = wsleep
+			demoted = true
+		}
+	}
 	d.mu.Unlock()
-	d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
+	if !demoted {
+		sleep = d.testbed.StorageReadTime(perfmodel.TierDisk, bytes)
+	}
+	d.clock.Sleep(sleep)
 	return nil
 }
 
@@ -128,7 +143,30 @@ func (d *Driver) Promote(ctx context.Context, pid string) (err error) {
 	d.diskUsed -= bytes
 	d.hostUsed += bytes
 	p.loc = LocRAM
+	st := d.store
 	d.mu.Unlock()
+	if st != nil {
+		// Chunk-aware promotion: only the missing chunks move, fetched
+		// from whichever source (local disk, peer RAM, peer disk) the
+		// perfmodel ranks fastest; chunks another hot image already
+		// keeps in RAM are deduplicated for free. The store sleeps for
+		// the fetches itself.
+		_, _, perr := st.Promote(ctx, pid)
+		switch {
+		case perr == nil:
+			return nil
+		case errors.Is(perr, ckptstore.ErrUnknownManifest):
+			// A pre-store image with no manifest: whole-image read below.
+		default:
+			// The fetch failed on every source; the image stays on disk.
+			d.mu.Lock()
+			d.diskUsed += bytes
+			d.hostUsed -= bytes
+			p.loc = LocDisk
+			d.mu.Unlock()
+			return fmt.Errorf("cudackpt: promote of %q: %w", pid, perr)
+		}
+	}
 	d.clock.Sleep(d.testbed.StorageReadTime(perfmodel.TierDisk, bytes))
 	return nil
 }
@@ -160,15 +198,34 @@ func (d *Driver) Snapshots() []SnapshotInfo {
 // bytes fit under the host cap, excluding exceptPid. Returns the total
 // simulated write time the caller must sleep (outside the lock), and
 // whether enough space was freed. Caller holds d.mu.
-func (d *Driver) spillUntilLocked(need int64, exceptPid string) (time.Duration, bool) {
+//
+// With a store attached the spill is chunk-aware: demoting the victim's
+// manifest writes only the chunks no other RAM-resident image (and no
+// in-flight checkpoint) references — a deduped chunk shared with a
+// resident model keeps its host copy, so that model's restore never
+// pays a disk read for bytes the spill supposedly evicted. The driver's
+// logical ledger still moves the whole image, preserving the host-cap
+// and invariant-checker arithmetic.
+func (d *Driver) spillUntilLocked(ctx context.Context, need int64, exceptPid string) (time.Duration, bool) {
 	var sleep time.Duration
 	for d.hostCap > 0 && d.hostUsed+d.hostPledged+need > d.hostCap {
 		victim := d.lruResidentLocked(exceptPid)
 		if victim == nil {
 			return sleep, false
 		}
-		// Writing the image out at the disk tier's effective bandwidth.
-		sleep += d.testbed.StorageReadTime("disk", victim.hostImage)
+		demoted := false
+		if d.store != nil {
+			if _, wsleep, err := d.store.Demote(ctx, victim.pid); err == nil {
+				sleep += wsleep
+				demoted = true
+			}
+		}
+		if !demoted {
+			// Writing the whole image out at the disk tier's effective
+			// bandwidth (legacy path, or a pre-store image with no
+			// manifest).
+			sleep += d.testbed.StorageReadTime("disk", victim.hostImage)
+		}
 		d.hostUsed -= victim.hostImage
 		d.diskUsed += victim.hostImage
 		victim.loc = LocDisk

@@ -1,0 +1,203 @@
+package cudackpt
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"swapservellm/internal/ckptstore"
+	"swapservellm/internal/gpu"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/perfmodel"
+	"swapservellm/internal/simclock"
+)
+
+// newStoreDriver builds a spill-enabled driver with the content-addressed
+// checkpoint store attached.
+func newStoreDriver(t *testing.T, hostCap int64) (*Driver, *ckptstore.Store, *gpu.Device, *metrics.Registry, *simclock.Scaled) {
+	t.Helper()
+	clock := simclock.NewScaled(time.Date(2025, 11, 16, 0, 0, 0, 0, time.UTC), 5000)
+	dev := gpu.NewDevice(0, perfmodel.GPUH100, 80*gib)
+	reg := metrics.NewRegistry()
+	d := NewDriver(clock, perfmodel.H100(), hostCap)
+	d.EnableSpill()
+	st := ckptstore.New(clock, perfmodel.H100(), ckptstore.WithRegistry(reg))
+	d.AttachStore(st)
+	return d, st, dev, reg, clock
+}
+
+// TestSpillKeepsSharedChunksResident is the regression test for the
+// chunk-aware spill LRU: when the spiller demotes a victim whose weight
+// chunks are deduplicated with a still-RAM-resident replica, those
+// shared chunks must keep their host copies — only the victim's
+// exclusive bytes go to disk, and the victim's later restore pays the
+// disk read for the exclusive bytes alone.
+func TestSpillKeepsSharedChunksResident(t *testing.T) {
+	const weight = 28 * gib
+	d, st, dev, reg, _ := newStoreDriver(t, 70*gib)
+
+	// Two replicas of one model (shared 28 GiB weight region + 2 GiB of
+	// pristine dynamic state — all content-shared), plus an unrelated
+	// model that will trigger the spill.
+	dev.Alloc("a", 30*gib)
+	dev.Alloc("b", 30*gib)
+	dev.Alloc("c", 20*gib)
+	for _, pid := range []string{"a", "b"} {
+		if err := d.Register(pid, dev, perfmodel.EngineVLLM, weight); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.SetContentKey(pid, "modelA"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Register("c", dev, perfmodel.EngineVLLM, 18*gib); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetContentKey("c", "modelC"); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Suspend(context.Background(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	// b's image deduplicated fully against a's.
+	if got := reg.Counter("ckpt_dedup_bytes").Value(); got != float64(30*gib) {
+		t.Fatalf("replica dedup bytes = %v, want %v", got, float64(30*gib))
+	}
+
+	// c's 20 GiB checkpoint exceeds the 70 GiB logical cap (30+30+20):
+	// the spiller demotes the LRU image (a). The chunk-aware demotion
+	// must keep the 30 GiB shared with RAM-resident b in host RAM and
+	// write nothing to disk — a has no exclusive bytes at all.
+	if _, err := d.Suspend(context.Background(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if loc, _ := d.ImageLocation("a"); loc != LocDisk {
+		t.Fatalf("a location = %v, want disk (logical ledger)", loc)
+	}
+	if got := st.MissingHostBytes("a"); got != 0 {
+		t.Fatalf("a is missing %d host bytes after spill; shared chunks were evicted", got)
+	}
+	if got := reg.Counter("ckpt_demote_bytes").Value(); got != 0 {
+		t.Fatalf("spill wrote %v bytes to disk for fully shared image", got)
+	}
+
+	// a's restore must fetch every byte from host RAM — no disk reads —
+	// even though the logical ledger says the image lives on disk.
+	if err := d.Resume(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ckpt_fetch_bytes_local_disk").Value(); got != 0 {
+		t.Fatalf("restore of spilled-but-shared image read %v bytes from disk", got)
+	}
+	if got := reg.Counter("ckpt_fetch_bytes_host_ram").Value(); got != float64(30*gib) {
+		t.Fatalf("host RAM served %v bytes, want the whole image", got)
+	}
+	if err := st.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpillWritesOnlyExclusiveBytes checks the complementary half: a
+// victim with exclusive (dirty) chunks pays the disk write for those
+// bytes only, and its restore reads back exactly them.
+func TestSpillWritesOnlyExclusiveBytes(t *testing.T) {
+	const weight = 28 * gib
+	d, st, dev, reg, _ := newStoreDriver(t, 70*gib)
+	dev.Alloc("a", 30*gib)
+	dev.Alloc("b", 30*gib)
+	dev.Alloc("c", 20*gib)
+	for _, pid := range []string{"a", "b"} {
+		d.Register(pid, dev, perfmodel.EngineVLLM, weight)
+		d.SetContentKey(pid, "modelA")
+	}
+	d.Register("c", dev, perfmodel.EngineVLLM, 18*gib)
+	d.SetContentKey("c", "modelC")
+
+	// a has served traffic: its 2 GiB dynamic region is dirty and
+	// cannot dedup against b's pristine copy.
+	d.MarkDirty("a")
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Suspend(context.Background(), "b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Suspend(context.Background(), "c"); err != nil {
+		t.Fatal(err)
+	}
+	if loc, _ := d.ImageLocation("a"); loc != LocDisk {
+		t.Fatalf("a location = %v, want disk", loc)
+	}
+	// Only the 2 GiB dirty region was a's alone.
+	if got := reg.Counter("ckpt_demote_bytes").Value(); got != float64(2*gib) {
+		t.Fatalf("demote wrote %v, want %v (exclusive bytes only)", got, float64(2*gib))
+	}
+	if got := st.MissingHostBytes("a"); got != 2*gib {
+		t.Fatalf("a missing %d host bytes, want %d", got, 2*gib)
+	}
+
+	if err := d.Resume(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ckpt_fetch_bytes_local_disk").Value(); got != float64(2*gib) {
+		t.Fatalf("restore read %v from disk, want %v", got, float64(2*gib))
+	}
+	if err := st.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeltaRecheckpointSkipsCleanChunks pins the delta-checkpoint fast
+// path end to end at the driver level: re-checkpointing an idle model
+// whose chunks are still cached is dramatically faster than the first
+// checkpoint, and a dirtied model re-pays only its dynamic region.
+func TestDeltaRecheckpointSkipsCleanChunks(t *testing.T) {
+	d, st, dev, reg, clock := newStoreDriver(t, 0)
+	dev.Alloc("a", 30*gib)
+	if err := d.Register("a", dev, perfmodel.EngineVLLM, 28*gib); err != nil {
+		t.Fatal(err)
+	}
+	d.SetContentKey("a", "modelA")
+
+	t0 := clock.Now()
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	full := clock.Since(t0)
+	if err := d.Resume(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Idle re-checkpoint: nothing changed, every chunk still cached.
+	t1 := clock.Now()
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	delta := clock.Since(t1)
+	if delta*2 >= full {
+		t.Fatalf("idle re-checkpoint %v not ≥2× faster than full %v", delta, full)
+	}
+	if got := reg.Counter("ckpt_new_bytes").Value(); got != float64(30*gib) {
+		t.Fatalf("re-checkpoint stored new bytes: total %v, want %v", got, float64(30*gib))
+	}
+	if err := d.Resume(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dirty re-checkpoint: the 2 GiB dynamic region re-keys and must be
+	// transferred; the 28 GiB weight region stays clean.
+	d.MarkDirty("a")
+	if _, err := d.Suspend(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("ckpt_new_bytes").Value(); got != float64(32*gib) {
+		t.Fatalf("dirty re-checkpoint new bytes total %v, want %v", got, float64(32*gib))
+	}
+	if err := st.SelfCheck(); err != nil {
+		t.Fatal(err)
+	}
+}

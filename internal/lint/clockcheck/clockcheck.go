@@ -50,6 +50,7 @@ var deterministicPkgs = []string{
 	"internal/container",
 	"internal/storage",
 	"internal/invariant",
+	"internal/ckptstore",
 	"internal/obs",
 }
 

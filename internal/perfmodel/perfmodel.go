@@ -116,6 +116,16 @@ type Testbed struct {
 	// Storage read curves per tier (includes format parsing costs).
 	DiskRead  bwCurve
 	TmpfsRead bwCurve
+	// Peer fetch curves for the checkpoint store's P2P restore path:
+	// reading a chunk out of a replica node's host RAM (PeerRAMRead) or
+	// off its disk (PeerDiskRead), both through the datacenter fabric.
+	// Calibrated against 2×100GbE RoCE: peer RAM sustains near-line-rate
+	// and beats the local NVMe curve at every chunk size, which is what
+	// makes locality-aware restore-source selection profitable
+	// (ServerlessLLM §5); peer disk stacks the remote disk read under the
+	// same fabric and lands slightly below local disk.
+	PeerRAMRead  bwCurve
+	PeerDiskRead bwCurve
 	// H2D is the host-to-device copy bandwidth in bytes/s.
 	H2D float64
 
@@ -153,6 +163,8 @@ func H100() Testbed {
 		TensorFLOPS:   989e12,
 		DiskRead:      bwCurve{BW0: 2.59 * GiB, Exp: 0.31, Cap: 9 * GiB},
 		TmpfsRead:     bwCurve{BW0: 9 * GiB, Exp: 0.20, Cap: 24 * GiB},
+		PeerRAMRead:   bwCurve{BW0: 11 * GiB, Exp: 0.08, Cap: 16 * GiB},
+		PeerDiskRead:  bwCurve{BW0: 2.1 * GiB, Exp: 0.28, Cap: 7 * GiB},
 		H2D:           55 * GiB,
 		RestoreBW:     bwCurve{BW0: 13.3 * GiB, Exp: 0, Cap: 13.3 * GiB},
 		SaveBW:        bwCurve{BW0: 20 * GiB, Exp: 0, Cap: 20 * GiB},
@@ -180,6 +192,8 @@ func A100() Testbed {
 		TensorFLOPS:   312e12,
 		DiskRead:      bwCurve{BW0: 0.30 * GiB, Exp: 0.28, Cap: 1.0 * GiB},
 		TmpfsRead:     bwCurve{BW0: 6.5 * GiB, Exp: 0.25, Cap: 20 * GiB},
+		PeerRAMRead:   bwCurve{BW0: 5.5 * GiB, Exp: 0.10, Cap: 10 * GiB},
+		PeerDiskRead:  bwCurve{BW0: 0.25 * GiB, Exp: 0.26, Cap: 0.9 * GiB},
 		H2D:           22 * GiB,
 		RestoreBW:     bwCurve{BW0: 3.3 * GiB, Exp: 0.30, Cap: 11 * GiB},
 		SaveBW:        bwCurve{BW0: 10 * GiB, Exp: 0, Cap: 10 * GiB},
@@ -219,6 +233,18 @@ func (t Testbed) readCurve(tier StorageTier) bwCurve {
 // format parsing.
 func (t Testbed) StorageReadTime(tier StorageTier, size int64) time.Duration {
 	return t.readCurve(tier).duration(size)
+}
+
+// PeerRAMReadTime returns the time to fetch size bytes out of a peer
+// node's host RAM over the datacenter fabric.
+func (t Testbed) PeerRAMReadTime(size int64) time.Duration {
+	return t.PeerRAMRead.duration(size)
+}
+
+// PeerDiskReadTime returns the time to fetch size bytes off a peer
+// node's disk over the datacenter fabric.
+func (t Testbed) PeerDiskReadTime(size int64) time.Duration {
+	return t.PeerDiskRead.duration(size)
 }
 
 // H2DTime returns the time to copy size bytes host-to-device.
