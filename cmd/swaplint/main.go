@@ -1,13 +1,19 @@
 // Command swaplint runs the repository's custom static-analysis suite
 // (internal/lint): clockcheck, ctxcheck, lockcheck, sitecheck,
-// statecheck, and errwrap.
+// statecheck, errwrap, and the interprocedural trio gatecheck,
+// blockcheck, and lockorder.
 //
 // Standalone:
 //
 //	go run ./cmd/swaplint ./...
+//	go run ./cmd/swaplint -json ./...            # machine-readable findings
+//	go run ./cmd/swaplint -only gatecheck ./...  # restrict the analyzer set
 //
 // exits 0 when clean, 1 when findings are reported, 2 on usage or load
-// errors. As a vet tool:
+// errors. The interprocedural analyzers see the whole module in
+// standalone mode; under vet's one-unit-at-a-time protocol they only
+// see one package's bodies and are correspondingly weaker. As a vet
+// tool:
 //
 //	go vet -vettool=$(which swaplint) ./...
 //
@@ -31,15 +37,18 @@ import (
 	"strings"
 
 	"swapservellm/internal/lint"
+	"swapservellm/internal/lint/blockcheck"
 	"swapservellm/internal/lint/clockcheck"
 	"swapservellm/internal/lint/ctxcheck"
 	"swapservellm/internal/lint/errwrap"
+	"swapservellm/internal/lint/gatecheck"
 	"swapservellm/internal/lint/lockcheck"
+	"swapservellm/internal/lint/lockorder"
 	"swapservellm/internal/lint/sitecheck"
 	"swapservellm/internal/lint/statecheck"
 )
 
-const version = "v2"
+const version = "v3"
 
 func analyzers() []*lint.Analyzer {
 	return []*lint.Analyzer{
@@ -49,7 +58,48 @@ func analyzers() []*lint.Analyzer {
 		sitecheck.New(),
 		statecheck.New(),
 		errwrap.New(),
+		gatecheck.New(),
+		blockcheck.New(),
+		lockorder.New(),
 	}
+}
+
+// selectAnalyzers filters the suite to the comma-separated names in
+// only ("" keeps everything).
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-only selected no analyzers")
+	}
+	return out, nil
+}
+
+// jsonDiagnostic is the -json output record, one per finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func main() {
@@ -71,39 +121,88 @@ func main() {
 		}
 	}
 
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	for _, a := range args {
-		if strings.HasPrefix(a, "-") {
-			fmt.Fprintf(os.Stderr, "usage: swaplint [packages]\n")
+	jsonOut := false
+	only := ""
+	var patterns []string
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		switch {
+		case a == "-json" || a == "--json":
+			jsonOut = true
+		case a == "-only" || a == "--only":
+			if i+1 >= len(args) {
+				fmt.Fprintf(os.Stderr, "swaplint: -only requires a comma-separated analyzer list\n")
+				os.Exit(2)
+			}
+			i++
+			only = args[i]
+		case strings.HasPrefix(a, "-only="):
+			only = strings.TrimPrefix(a, "-only=")
+		case strings.HasPrefix(a, "-"):
+			fmt.Fprintf(os.Stderr, "usage: swaplint [-json] [-only analyzer,...] [packages]\n")
 			os.Exit(2)
+		default:
+			patterns = append(patterns, a)
 		}
 	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
 
-	fset, pkgs, err := lint.Load(".", args)
+	selected, err := selectAnalyzers(only)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
 		os.Exit(2)
 	}
-	diags := lint.NewRunner(analyzers()...).Run(fset, pkgs)
-	for _, d := range diags {
-		fmt.Println(relativize(d))
+
+	fset, pkgs, err := lint.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
+		os.Exit(2)
+	}
+	diags := lint.NewRunner(selected...).Run(fset, pkgs)
+	if jsonOut {
+		records := make([]jsonDiagnostic, 0, len(diags))
+		for _, d := range diags {
+			d = rel(d)
+			records = append(records, jsonDiagnostic{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Column:   d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(records); err != nil {
+			fmt.Fprintf(os.Stderr, "swaplint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(relativize(d))
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(1)
 	}
 }
 
+// rel is relativize without the rendering.
+func rel(d lint.Diagnostic) lint.Diagnostic {
+	if wd, err := os.Getwd(); err == nil && d.Pos.Filename != "" {
+		if r, rerr := filepath.Rel(wd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(r, "..") {
+			d.Pos.Filename = r
+		}
+	}
+	return d
+}
+
 // relativize shortens absolute filenames to the working directory for
 // readable output.
 func relativize(d lint.Diagnostic) string {
-	if wd, err := os.Getwd(); err == nil && d.Pos.Filename != "" {
-		if rel, rerr := filepath.Rel(wd, d.Pos.Filename); rerr == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
-		}
-	}
-	return d.String()
+	return rel(d).String()
 }
 
 // vetConfig is the JSON the go command hands a vet tool for one

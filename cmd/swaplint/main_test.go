@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -10,7 +11,7 @@ import (
 
 // TestSmoke builds the swaplint binary and runs it against the seeded
 // fixture module in testdata/badmod, which contains exactly one
-// violation per analyzer. The binary must exit 1 and report all five.
+// violation per analyzer. The binary must exit 1 and report them all.
 func TestSmoke(t *testing.T) {
 	if _, err := exec.LookPath("go"); err != nil {
 		t.Skip("go tool not on PATH")
@@ -39,9 +40,36 @@ func TestSmoke(t *testing.T) {
 	if code := exit.ExitCode(); code != 1 {
 		t.Fatalf("want exit code 1, got %d\n%s", code, out)
 	}
-	for _, analyzer := range []string{"clockcheck", "errwrap", "lockcheck", "statecheck", "sitecheck"} {
+	for _, analyzer := range []string{"clockcheck", "errwrap", "lockcheck", "statecheck", "sitecheck", "gatecheck", "blockcheck", "lockorder"} {
 		if !strings.Contains(string(out), "["+analyzer+"]") {
 			t.Errorf("output missing a %s finding:\n%s", analyzer, out)
+		}
+	}
+
+	// -json emits the same findings as a machine-readable array (the CI
+	// problem matcher consumes this shape).
+	jsonCmd := exec.Command(bin, "-json", "./...")
+	jsonCmd.Dir = fixture
+	jsonOut, err := jsonCmd.CombinedOutput()
+	if exit, ok := err.(*exec.ExitError); !ok || exit.ExitCode() != 1 {
+		t.Fatalf("want exit code 1 from -json run, got err=%v\n%s", err, jsonOut)
+	}
+	var diags []struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Column   int    `json:"column"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	if err := json.Unmarshal(jsonOut, &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, jsonOut)
+	}
+	if len(diags) == 0 {
+		t.Fatal("-json output is empty despite findings")
+	}
+	for _, d := range diags {
+		if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
 		}
 	}
 }

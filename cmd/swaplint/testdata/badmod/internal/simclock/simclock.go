@@ -1,0 +1,26 @@
+// Package simclock is a stub of the repository's clock abstraction for
+// the smoke fixture: swaplint matches it by import-path suffix.
+package simclock
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+	After(d time.Duration) <-chan time.Time
+	Since(t time.Time) time.Duration
+}
+
+type Gate struct{}
+
+func GateFor(clock Clock) *Gate { return &Gate{} }
+
+func (g *Gate) Enter()          {}
+func (g *Gate) Exit()           {}
+func (g *Gate) Run(fn func())   { fn() }
+func (g *Gate) Go(fn func())    { go fn() }
+func (g *Gate) Block(fn func()) { fn() }
+func (g *Gate) BlockIO(fn func()) {
+	fn()
+}
+func (g *Gate) Wait(d time.Duration, done ...<-chan struct{}) int { return -1 }

@@ -221,13 +221,15 @@ func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 // gateway listener.
 func (c *Cluster) Start(ctx context.Context) error {
 	ctx = c.traceCtx(ctx)
-	c.mu.Lock()
+	gate := simclock.GateFor(c.clock)
+	// c.mu is held across clock waits (node boots, subsystem drains), so
+	// every acquisition must shed the run token.
+	gate.Block(c.mu.Lock)
 	defer c.mu.Unlock()
 	if c.started {
 		return fmt.Errorf("cluster: already started")
 	}
 
-	gate := simclock.GateFor(c.clock)
 	var wg sync.WaitGroup
 	errs := make([]error, len(c.nodes))
 	for i, n := range c.nodes {
@@ -254,7 +256,9 @@ func (c *Cluster) Start(ctx context.Context) error {
 		c.sched.pw.Run(c.clock)
 	}
 
-	ln, err := net.Listen("tcp", c.cfg.Listen)
+	var ln net.Listener
+	var err error
+	gate.BlockIO(func() { ln, err = net.Listen("tcp", c.cfg.Listen) })
 	if err != nil {
 		if c.sched != nil && c.sched.pw != nil {
 			c.sched.pw.Halt()
@@ -267,6 +271,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 		return fmt.Errorf("cluster: gateway listen: %w", err)
 	}
 	c.listener = ln
+	//swaplint:block reason=handler() only wires the mux; its route closures run on gateway serve goroutines, never under c.mu
 	c.httpServer = &http.Server{Handler: (&gateway{c: c}).handler()}
 	go c.httpServer.Serve(ln)
 	c.started = true
@@ -275,7 +280,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 
 // Shutdown stops the gateway, background loops, and every node.
 func (c *Cluster) Shutdown() {
-	c.mu.Lock()
+	simclock.GateFor(c.clock).Block(c.mu.Lock)
 	defer c.mu.Unlock()
 	if !c.started {
 		return

@@ -66,7 +66,7 @@ func (rb *rebalancer) run() {
 
 func (rb *rebalancer) halt() {
 	close(rb.stop)
-	<-rb.done
+	simclock.GateFor(rb.c.clock).Block(func() { <-rb.done })
 }
 
 // Sweep performs one rebalancing pass, returning how many migrations

@@ -116,10 +116,11 @@ func (r *NodeRegistry) Start() {
 	simclock.GateFor(r.clock).Go(r.run)
 }
 
-// Stop halts the heartbeat loop and waits for it to exit.
+// Stop halts the heartbeat loop and waits for it to exit, shedding the
+// run token while the loop goroutine drains.
 func (r *NodeRegistry) Stop() {
 	r.stopOnce.Do(func() { close(r.stop) })
-	<-r.done
+	simclock.GateFor(r.clock).Block(func() { <-r.done })
 }
 
 func (r *NodeRegistry) run() {
@@ -179,7 +180,9 @@ func (r *NodeRegistry) healthy(n *Node) bool {
 	if url == "http://" || url == "" {
 		return false
 	}
-	resp, err := r.probe.Get(url + "/health")
+	var resp *http.Response
+	var err error
+	simclock.GateFor(r.clock).BlockIO(func() { resp, err = r.probe.Get(url + "/health") })
 	if err != nil {
 		return false
 	}

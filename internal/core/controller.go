@@ -147,6 +147,8 @@ func (ct *Controller) Pipelined() bool {
 
 // evictLock returns the per-device eviction mutex, creating it on first
 // use.
+//
+//swaplint:lockclass core.Controller.evictSerial
 func (ct *Controller) evictLock(gpuID int) *sync.Mutex {
 	ct.evictSerialMu.Lock()
 	defer ct.evictSerialMu.Unlock()

@@ -48,8 +48,9 @@ func (m *gpuMonitorLoop) run() {
 	}
 }
 
-// halt stops the monitor and waits for the loop to exit.
+// halt stops the monitor and waits for the loop to exit, shedding the
+// run token while the loop goroutine drains.
 func (m *gpuMonitorLoop) halt() {
 	m.stopOnce.Do(func() { close(m.stop) })
-	<-m.done
+	simclock.GateFor(m.s.clock).Block(func() { <-m.done })
 }

@@ -1,0 +1,21 @@
+// Package-wide lock ordering — the single source of truth consumed by
+// the swaplint lockorder analyzer. Every chain below declares "left
+// before right": a goroutine may acquire a lock on the right while
+// holding one on its left, never the reverse. The analyzer computes the
+// transitive closure of these chains, compares it against the
+// module-wide lock-order graph built from the call-graph acquisition
+// summaries, and reports any observed inversion or cycle.
+//
+// The spine mirrors the swap path of §4.2: a preemption serializes per
+// device (evictSerial), write-locks the victim backend (evictMu), then
+// descends through the snapshot driver into the content-addressed
+// checkpoint store, which publishes into the metrics registry. The
+// cluster layer sits strictly above the per-node servers it shuts down
+// and probes.
+//
+//swaplint:lockorder core.Backend.swapMu < core.Controller.evictSerial < core.Backend.evictMu < core.Backend.idleMu
+//swaplint:lockorder core.Backend.evictMu < cudackpt.Driver.mu < ckptstore.Store.mu < metrics.Registry.mu
+//swaplint:lockorder cluster.Cluster.mu < cluster.NodeRegistry.mu < core.Server.mu
+//swaplint:lockorder container.Runtime.mu < cgroup.Freezer.mu
+
+package core

@@ -94,8 +94,9 @@ func (p *prefetcher) sweep() {
 	}
 }
 
-// halt stops the prefetcher and waits for the loop to exit.
+// halt stops the prefetcher and waits for the loop to exit, shedding
+// the run token while the loop goroutine drains.
 func (p *prefetcher) halt() {
 	p.stopOnce.Do(func() { close(p.stop) })
-	<-p.done
+	simclock.GateFor(p.s.clock).Block(func() { <-p.done })
 }

@@ -143,8 +143,10 @@ func (r *reaper) demoteSweep() {
 	}
 }
 
-// halt stops the reaper and waits for the loop to exit.
+// halt stops the reaper and waits for the loop to exit. The receive
+// sheds the run token: the loop goroutine is a gate participant and
+// must be allowed to advance the clock to reach its exit.
 func (r *reaper) halt() {
 	r.stopOnce.Do(func() { close(r.stop) })
-	<-r.done
+	simclock.GateFor(r.s.clock).Block(func() { <-r.done })
 }

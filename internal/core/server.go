@@ -491,11 +491,14 @@ func (s *Server) Shutdown() {
 	// Wait for the dispatch loops to exit so no registered goroutine of
 	// this server outlives Shutdown — experiments that run several
 	// servers against one shared Virtual clock depend on a clean slate
-	// between trials. The wait needs no clock advance: a closed stop
-	// channel makes every loop immediately runnable.
-	for _, w := range workers {
-		<-w.done
-	}
+	// between trials. The wait needs no clock advance (a closed stop
+	// channel makes every loop immediately runnable), but the receive
+	// still parks this goroutine, so shed the run token while draining.
+	simclock.GateFor(s.clock).Block(func() {
+		for _, w := range workers {
+			<-w.done
+		}
+	})
 	s.rt.Shutdown()
 }
 

@@ -54,7 +54,7 @@ func newRig(tb perfmodel.Testbed, scale float64) *rig {
 	_ = scale
 	clock := simclock.NewVirtual(epoch)
 	gate := simclock.GateFor(clock)
-	gate.Enter()
+	gate.Enter() //swaplint:ignore gatecheck registration spans functions: every caller pairs newRig with rig.done (Exit)
 	return &rig{
 		clock:   clock,
 		gate:    gate,
@@ -75,7 +75,7 @@ func (r *rig) done() { r.gate.Exit() }
 func virtualClock() (*simclock.Virtual, *simclock.Gate) {
 	clock := simclock.NewVirtual(epoch)
 	gate := simclock.GateFor(clock)
-	gate.Enter()
+	gate.Enter() //swaplint:ignore gatecheck registration spans functions: callers defer gate.Exit per the doc comment
 	return clock, gate
 }
 

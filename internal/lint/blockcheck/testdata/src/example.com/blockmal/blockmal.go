@@ -1,0 +1,18 @@
+// Package blockmal seeds one malformed //swaplint:block annotation —
+// checked programmatically because the diagnostic lands on the
+// directive comment's own line, which cannot also carry a want
+// comment.
+package blockmal
+
+import "sync"
+
+type bin struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+func (b *bin) send() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 //swaplint:block because it cannot stall
+}

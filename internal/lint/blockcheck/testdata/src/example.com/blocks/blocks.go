@@ -1,0 +1,91 @@
+// Package blocks is blockcheck testdata: no channel, WaitGroup, or
+// select blocking inside a critical section unless it runs under the
+// gate or carries a //swaplint:block annotation.
+package blocks
+
+import (
+	"sync"
+
+	"swapservellm/internal/simclock"
+)
+
+type box struct {
+	mu    sync.Mutex
+	ch    chan int
+	clock simclock.Clock
+}
+
+func (b *box) sendHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 // want `channel send while holding blocks\.box\.mu`
+}
+
+func (b *box) recvHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	<-b.ch // want `channel receive while holding blocks\.box\.mu`
+}
+
+func (b *box) wgHeld(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	wg.Wait() // want `WaitGroup\.Wait while holding blocks\.box\.mu`
+}
+
+func (b *box) selectHeld(done chan struct{}) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select { // want `select while holding blocks\.box\.mu`
+	case <-b.ch:
+	case <-done:
+	}
+}
+
+// Blocking outside any critical section is fine.
+func (b *box) recvFree() {
+	<-b.ch
+}
+
+// Gated blocking sheds the run token — sanctioned (the gate discipline
+// of the acquisition itself is gatecheck's concern, not blockcheck's).
+func (b *box) recvGated() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	simclock.GateFor(b.clock).Block(func() { <-b.ch })
+}
+
+// Annotated: the author certifies the send cannot stall the gate.
+func (b *box) sendAnnotated() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.ch <- 1 //swaplint:block reason=buffered handoff channel with capacity checked above
+}
+
+// drain blocks; its summary carries the channel receive.
+func (b *box) drain() {
+	<-b.ch
+}
+
+// Calling a blocking function while holding the lock is reported at
+// the call site, naming the path down to the blocking operation.
+func (b *box) drainHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drain() // want `call may block \(.*drain.*channel receive.*\) while holding blocks\.box\.mu`
+}
+
+// The annotation also covers interprocedural blocking.
+func (b *box) drainAnnotated() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.drain() //swaplint:block reason=ch is closed before drainAnnotated can run
+}
+
+// A goroutine spawned under the lock does not inherit the critical
+// section.
+func (b *box) spawnHeld() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go b.drain()
+}

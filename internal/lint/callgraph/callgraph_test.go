@@ -1,0 +1,70 @@
+package callgraph
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestDisplayName(t *testing.T) {
+	cases := map[string]string{
+		"(swapservellm/internal/core.*Controller).SwapOut": "(*core.Controller).SwapOut",
+		"(example.com/iface.blocky).M":                     "(iface.blocky).M",
+		"swapservellm/internal/core.retryTransient":        "core.retryTransient",
+		"main.run":   "main.run",
+		"standalone": "standalone",
+	}
+	for in, want := range cases {
+		if got := DisplayName(in); got != want {
+			t.Errorf("DisplayName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// SCCs must come out callee-first (a component before any component
+// that calls into it) with mutually recursive functions grouped.
+func TestSCCsCalleeFirst(t *testing.T) {
+	g := NewGraph()
+	for _, n := range []string{"a", "b", "c", "d"} {
+		g.AddNode(n)
+	}
+	// a <-> b (one SCC), b -> c, d -> a, c standalone leaf.
+	g.AddEdge("a", Edge{To: "b"})
+	g.AddEdge("b", Edge{To: "a"})
+	g.AddEdge("b", Edge{To: "c"})
+	g.AddEdge("d", Edge{To: "a"})
+
+	comps := g.SCCs()
+	index := make(map[string]int)
+	for i, comp := range comps {
+		for _, n := range comp {
+			index[n] = i
+		}
+	}
+	if index["a"] != index["b"] {
+		t.Errorf("a and b are mutually recursive and must share a component: %v", comps)
+	}
+	if !(index["c"] < index["b"]) {
+		t.Errorf("callee c must be emitted before its caller's component: %v", comps)
+	}
+	if !(index["a"] < index["d"]) {
+		t.Errorf("component {a,b} must be emitted before caller d: %v", comps)
+	}
+	var all []string
+	for _, comp := range comps {
+		all = append(all, comp...)
+	}
+	if len(all) != 4 {
+		t.Fatalf("every node appears exactly once, got %v", comps)
+	}
+}
+
+// A self-loop is its own component.
+func TestSCCSelfLoop(t *testing.T) {
+	g := NewGraph()
+	g.AddNode("x")
+	g.AddEdge("x", Edge{To: "x"})
+	comps := g.SCCs()
+	if !reflect.DeepEqual(comps, [][]string{{"x"}}) {
+		t.Errorf("SCCs = %v, want [[x]]", comps)
+	}
+}

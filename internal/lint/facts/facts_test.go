@@ -1,0 +1,60 @@
+package facts_test
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint"
+	"swapservellm/internal/lint/facts"
+	"swapservellm/internal/lint/linttest"
+)
+
+func load(t *testing.T, pkgs ...string) *facts.Facts {
+	t.Helper()
+	fset, loaded := linttest.Load(t, "testdata", pkgs...)
+	return facts.Of(&lint.Program{Fset: fset, Packages: loaded})
+}
+
+// Mutual recursion forms one SCC: propagation must converge with both
+// members carrying the blocking summary (and sharing it), and the
+// summary must flow to callers outside the component.
+func TestSCCConvergence(t *testing.T) {
+	f := load(t, "example.com/rec")
+	a := f.Summaries["example.com/rec.a"]
+	b := f.Summaries["example.com/rec.b"]
+	if a == nil || b == nil {
+		t.Fatalf("missing summaries: a=%v b=%v", a, b)
+	}
+	if a.Block == nil {
+		t.Errorf("a blocks directly; summary lost it")
+	}
+	if b.Block == nil {
+		t.Errorf("b reaches a's block through the cycle; summary did not converge")
+	}
+	if a != b {
+		t.Errorf("SCC members must share one summary: a=%p b=%p", a, b)
+	}
+	if c := f.Summaries["example.com/rec.c"]; c == nil || c.Block == nil {
+		t.Errorf("c reaches the blocking SCC; summary = %+v", c)
+	}
+	if p := f.Summaries["example.com/rec.pure"]; p != nil && (p.Block != nil || p.Wait != nil) {
+		t.Errorf("pure must not block or wait: %+v", p)
+	}
+}
+
+// A call through an interface must be widened to every implementation:
+// one blocking implementation taints the interface call, while a
+// direct call to the calm implementation stays clean.
+func TestInterfaceWidening(t *testing.T) {
+	f := load(t, "example.com/iface")
+	if m := f.Summaries["(example.com/iface.blocky).M"]; m == nil || m.Block == nil {
+		t.Fatalf("blocky.M blocks; summary = %+v", m)
+	}
+	use := f.Summaries["example.com/iface.use"]
+	if use == nil || use.Block == nil {
+		t.Errorf("use calls through the interface and must inherit blocky.M's block; summary = %+v", use)
+	}
+	direct := f.Summaries["example.com/iface.direct"]
+	if direct != nil && direct.Block != nil {
+		t.Errorf("direct calls only the calm implementation: %+v", direct)
+	}
+}

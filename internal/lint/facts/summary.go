@@ -1,0 +1,133 @@
+package facts
+
+import (
+	"sort"
+
+	"swapservellm/internal/lint/callgraph"
+)
+
+// Graph builds the program call graph from the collected operation
+// streams (memoization lives in compute; analyzers that want the raw
+// graph can rebuild it cheaply from Funcs).
+func (f *Facts) Graph() *callgraph.Graph {
+	g := callgraph.NewGraph()
+	for _, ff := range f.Funcs {
+		g.AddNode(ff.Key)
+		for _, op := range ff.Ops {
+			if op.Kind == OpCall {
+				g.AddEdge(ff.Key, callgraph.Edge{To: op.Callee, Concurrent: op.Concurrent, Gated: op.Gated})
+			}
+		}
+	}
+	return g
+}
+
+// propagate computes Summaries bottom-up over the call graph's
+// strongly connected components. Components arrive callee-first, so a
+// summary consults only already-final callee summaries (or members of
+// its own component, which share the combined summary — that sharing
+// is what makes mutual recursion converge in one pass).
+func (f *Facts) propagate() {
+	byKey := make(map[string]*FuncFacts, len(f.Funcs))
+	for _, ff := range f.Funcs {
+		if _, ok := byKey[ff.Key]; !ok {
+			byKey[ff.Key] = ff
+		}
+	}
+	g := f.Graph()
+	for _, comp := range g.SCCs() {
+		inComp := make(map[string]bool, len(comp))
+		for _, k := range comp {
+			inComp[k] = true
+		}
+		sorted := make([]string, len(comp))
+		copy(sorted, comp)
+		sort.Strings(sorted)
+
+		sum := &Summary{Acquires: make(map[string]*Acquire)}
+		for _, key := range sorted {
+			ff := byKey[key]
+			if ff == nil {
+				continue
+			}
+			for i := range ff.Ops {
+				op := &ff.Ops[i]
+				if op.Concurrent {
+					continue
+				}
+				switch op.Kind {
+				case OpWait:
+					if sum.Wait == nil {
+						sum.Wait = &Trace{Detail: op.Detail, Pos: op.Pos}
+					}
+				case OpBlock:
+					if op.Gated {
+						if sum.Wait == nil {
+							sum.Wait = &Trace{Detail: op.Detail, Pos: op.Pos}
+						}
+					} else if sum.Block == nil && !f.BlockAnnotated(f.fset, op.Pos) {
+						// //swaplint:block-annotated sites are sanctioned
+						// and do not cascade a Block summary to callers.
+						sum.Block = &Trace{Detail: op.Detail, Pos: op.Pos}
+					}
+				case OpAcquire:
+					if op.Class.Known() {
+						if _, ok := sum.Acquires[op.Class.Name]; !ok {
+							sum.Acquires[op.Class.Name] = &Acquire{
+								Trace: Trace{Detail: "acquire " + op.Class.Name, Pos: op.Pos},
+								Read:  op.Read,
+							}
+						}
+					}
+				case OpCall:
+					if inComp[op.Callee] {
+						continue // shares this summary
+					}
+					callee := f.Summaries[op.Callee]
+					if callee == nil {
+						continue // external or unresolved: optimistic
+					}
+					step := Step{Func: callgraph.DisplayName(op.Callee), Pos: op.Pos}
+					if callee.Wait != nil && sum.Wait == nil {
+						sum.Wait = callee.Wait.Prepend(step)
+					}
+					if callee.Block != nil {
+						if op.Gated {
+							// Blocking reached through Gate.Block is
+							// sanctioned: the run token is shed, so the
+							// callee's stall becomes a clock wait.
+							if sum.Wait == nil {
+								sum.Wait = callee.Block.Prepend(step)
+							}
+						} else if sum.Block == nil {
+							sum.Block = callee.Block.Prepend(step)
+						}
+					}
+					for _, name := range sortedAcquireNames(callee.Acquires) {
+						if _, ok := sum.Acquires[name]; !ok {
+							acq := callee.Acquires[name]
+							sum.Acquires[name] = &Acquire{
+								Trace: *acq.Trace.Prepend(step),
+								Read:  acq.Read,
+							}
+						}
+					}
+				}
+			}
+		}
+		for _, key := range comp {
+			f.Summaries[key] = sum
+		}
+	}
+}
+
+// sortedAcquireNames returns the map's keys in sorted order for
+// deterministic trace selection.
+func sortedAcquireNames(m map[string]*Acquire) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

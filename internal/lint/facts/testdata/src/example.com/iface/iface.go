@@ -1,0 +1,24 @@
+// Package iface is facts testdata: calls through an interface must be
+// widened to every concrete implementation (CHA), so a blocking
+// implementation taints the interface call site.
+package iface
+
+type I interface{ M() }
+
+type blocky struct{ ch chan int }
+
+func (b blocky) M() { <-b.ch }
+
+type calm struct{}
+
+func (calm) M() {}
+
+// use calls through the interface: conservatively may block.
+func use(i I) {
+	i.M()
+}
+
+// direct calls the non-blocking implementation only.
+func direct(c calm) {
+	c.M()
+}

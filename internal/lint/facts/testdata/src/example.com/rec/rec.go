@@ -1,0 +1,25 @@
+// Package rec is facts testdata: summary propagation must converge on
+// mutually recursive functions (one SCC sharing one summary).
+package rec
+
+func a(n int) {
+	if n > 0 {
+		b(n - 1)
+	}
+	ch := make(chan int)
+	<-ch
+}
+
+func b(n int) {
+	a(n)
+}
+
+// c is outside the SCC but reaches it.
+func c() {
+	b(3)
+}
+
+// pure never blocks.
+func pure(n int) int {
+	return n * 2
+}

@@ -1,0 +1,11 @@
+package gatecheck
+
+import (
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestGatecheck(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "example.com/gates")
+}

@@ -1,0 +1,115 @@
+// Package gates is gatecheck testdata: any mutex that can be held
+// across a simulated-clock wait must be acquired through
+// simclock.Gate.Block at every site module-wide, and Gate.Enter must
+// pair with Gate.Exit.
+package gates
+
+import (
+	"sync"
+	"time"
+
+	"swapservellm/internal/simclock"
+)
+
+type backend struct {
+	swapMu sync.Mutex
+	clock  simclock.Clock
+}
+
+// runGated holds swapMu across a simulated sleep the sanctioned way:
+// the acquisition goes through the gate, so contending goroutines shed
+// their run token.
+func (b *backend) runGated() {
+	simclock.GateFor(b.clock).Block(b.swapMu.Lock)
+	defer b.swapMu.Unlock()
+	b.clock.Sleep(time.Millisecond)
+}
+
+// The pre-refactor regression pattern: the same class acquired with a
+// plain Lock and held across the sleep. One ungated site is enough to
+// park a waiter without shedding its token and stall the advancer.
+func (b *backend) runUngated() {
+	b.swapMu.Lock() // want `mutex gates\.backend\.swapMu can be held across a simulated-clock wait .*clock\.Sleep.* but is acquired here without gate\.Block`
+	defer b.swapMu.Unlock()
+	b.clock.Sleep(time.Millisecond)
+}
+
+type poller struct {
+	mu    sync.Mutex
+	clock simclock.Clock
+}
+
+// pause sleeps; its summary carries the wait.
+func (p *poller) pause() {
+	p.clock.Sleep(time.Millisecond)
+}
+
+// tick never sleeps directly — the wait is reached through pause's
+// summary, so the ungated acquisition is still reported, with the call
+// path in the message.
+func (p *poller) tick() {
+	p.mu.Lock() // want `mutex gates\.poller\.mu can be held across a simulated-clock wait \(.*pause.*clock\.Sleep.*\) but is acquired here without gate\.Block`
+	defer p.mu.Unlock()
+	p.pause()
+}
+
+type looper struct {
+	mu    sync.Mutex
+	clock simclock.Clock
+	stop  chan struct{}
+}
+
+// loopGated establishes Gate.Wait evidence for looper.mu (gated here).
+func (l *looper) loopGated() {
+	gate := simclock.GateFor(l.clock)
+	gate.Block(l.mu.Lock)
+	defer l.mu.Unlock()
+	gate.Wait(time.Millisecond, l.stop)
+}
+
+// The check is class-level: this body never waits, but the class has
+// wait evidence elsewhere, so the plain Lock is still a hazard — the
+// holder in loopGated may be asleep on the clock while this waiter
+// parks with its token.
+func (l *looper) loopUngated() {
+	l.mu.Lock() // want `mutex gates\.looper\.mu can be held across a simulated-clock wait`
+	defer l.mu.Unlock()
+}
+
+// A class with no wait evidence anywhere needs no gating.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// --- Enter/Exit pairing ---
+
+func (l *looper) enterBalanced() {
+	g := simclock.GateFor(l.clock)
+	g.Enter()
+	defer g.Exit()
+}
+
+func (l *looper) enterExplicit() {
+	g := simclock.GateFor(l.clock)
+	g.Enter()
+	g.Exit()
+}
+
+func (l *looper) enterLeaky() {
+	g := simclock.GateFor(l.clock)
+	g.Enter() // want `Gate\.Enter without a matching Gate\.Exit`
+}
+
+// Cross-function registration is legitimate when documented.
+func (l *looper) enterHandoff() {
+	g := simclock.GateFor(l.clock)
+	//swaplint:ignore gatecheck the paired Exit runs in the done callback
+	g.Enter()
+}

@@ -33,6 +33,7 @@ import (
 	"go/types"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Analyzer is one named check. Run is invoked once per loaded package;
@@ -69,14 +70,55 @@ type Package struct {
 	TypeErrors []error
 }
 
+// Program is the whole set of packages one Runner.Run call analyzes,
+// shared by every pass. Interprocedural facilities (the call graph,
+// per-function blocking summaries) hang off it through Cached, so they
+// are built once per run no matter how many analyzers consult them.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	mu    sync.Mutex
+	cache map[string]interface{}
+}
+
+// Cached returns the value memoized under key, invoking build on the
+// first request. Analyzers use it to share one derived structure (e.g.
+// the interprocedural call graph) across packages and analyzer
+// instances without recomputation.
+func (p *Program) Cached(key string, build func() interface{}) interface{} {
+	p.mu.Lock()
+	if p.cache == nil {
+		p.cache = make(map[string]interface{})
+	}
+	if v, ok := p.cache[key]; ok {
+		p.mu.Unlock()
+		return v
+	}
+	p.mu.Unlock()
+	// Build without the lock held: builders may themselves call Cached
+	// (an analyzer's derived structure consulting the shared facts). Two
+	// concurrent first requests may both build; the first store wins.
+	v := build()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if prev, ok := p.cache[key]; ok {
+		return prev
+	}
+	p.cache[key] = v
+	return v
+}
+
 // Pass carries one analyzer's view of one package. During Finish the
-// package-specific fields (Files, Pkg, Info) are nil.
+// package-specific fields (Files, Pkg, Info) are nil. Program is always
+// set and spans every package of the run.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Program  *Program
 
 	runner *Runner
 }
@@ -134,9 +176,10 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 			r.indexIgnores(f)
 		}
 	}
+	prog := &Program{Fset: fset, Packages: pkgs}
 	for _, pkg := range pkgs {
 		for _, a := range r.Analyzers {
-			pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, runner: r}
+			pass := &Pass{Analyzer: a, Fset: fset, Files: pkg.Files, Pkg: pkg.Types, Info: pkg.Info, Program: prog, runner: r}
 			if err := a.Run(pass); err != nil {
 				r.diags = append(r.diags, Diagnostic{
 					Pos:      token.Position{Filename: pkg.ImportPath},
@@ -150,7 +193,7 @@ func (r *Runner) Run(fset *token.FileSet, pkgs []*Package) []Diagnostic {
 		if a.Finish == nil {
 			continue
 		}
-		pass := &Pass{Analyzer: a, Fset: fset, runner: r}
+		pass := &Pass{Analyzer: a, Fset: fset, Program: prog, runner: r}
 		if err := a.Finish(pass); err != nil {
 			r.diags = append(r.diags, Diagnostic{Analyzer: a.Name, Message: fmt.Sprintf("internal error: %v", err)})
 		}

@@ -37,6 +37,27 @@ import (
 // packages' files.
 func Run(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPaths ...string) {
 	t.Helper()
+	fset, pkgs := Load(t, testdataDir, pkgPaths...)
+	diags := lint.NewRunner(a).Run(fset, pkgs)
+	checkWants(t, fset, pkgs, diags)
+}
+
+// Diagnostics analyzes the listed fake packages and returns the raw
+// diagnostics without want-comment matching — for cases where the
+// finding lands on a directive comment's own line, which cannot also
+// carry a want comment.
+func Diagnostics(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPaths ...string) []lint.Diagnostic {
+	t.Helper()
+	fset, pkgs := Load(t, testdataDir, pkgPaths...)
+	return lint.NewRunner(a).Run(fset, pkgs)
+}
+
+// Load parses and type-checks the listed testdata packages against the
+// shared stub tree, returning them with their FileSet — for tests that
+// consult lint.Program facilities (call graph, facts) directly rather
+// than running an analyzer.
+func Load(t *testing.T, testdataDir string, pkgPaths ...string) (*token.FileSet, []*lint.Package) {
+	t.Helper()
 	fset := token.NewFileSet()
 	imp := newSrcImporter(fset, []string{
 		filepath.Join(testdataDir, "src"),
@@ -63,9 +84,7 @@ func Run(t *testing.T, testdataDir string, a *lint.Analyzer, pkgPaths ...string)
 		}
 		pkgs = append(pkgs, &lint.Package{ImportPath: path, Dir: dir, Files: files, Types: tpkg, Info: info})
 	}
-
-	diags := lint.NewRunner(a).Run(fset, pkgs)
-	checkWants(t, fset, pkgs, diags)
+	return fset, pkgs
 }
 
 // checkWants matches diagnostics against want comments.

@@ -29,3 +29,20 @@ func (*Virtual) After(time.Duration) <-chan time.Time { return nil }
 func (*Virtual) Since(time.Time) time.Duration        { return 0 }
 
 func NewVirtual(origin time.Time) *Virtual { return &Virtual{} }
+
+func (*Virtual) Gate() *Gate { return &Gate{} }
+
+// Gate is the run-token gate of the virtual clock: goroutines Enter it
+// to count as runnable and Block/BlockIO/Wait through it so the clock
+// only advances when every registered goroutine is quiescent.
+type Gate struct{}
+
+func GateFor(clock Clock) *Gate { return &Gate{} }
+
+func (g *Gate) Enter()                                    {}
+func (g *Gate) Exit()                                     {}
+func (g *Gate) Run(fn func())                             { fn() }
+func (g *Gate) Go(fn func())                              { go fn() }
+func (g *Gate) Block(fn func())                           { fn() }
+func (g *Gate) BlockIO(fn func())                         { fn() }
+func (g *Gate) Wait(d time.Duration, done ...<-chan struct{}) int { return -1 }

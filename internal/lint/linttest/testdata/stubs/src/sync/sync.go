@@ -23,6 +23,19 @@ func (wg *WaitGroup) Add(delta int) {}
 func (wg *WaitGroup) Done()         {}
 func (wg *WaitGroup) Wait()         {}
 
+type Locker interface {
+	Lock()
+	Unlock()
+}
+
+type Cond struct{ L Locker }
+
+func NewCond(l Locker) *Cond { return &Cond{L: l} }
+
+func (c *Cond) Wait()      {}
+func (c *Cond) Signal()    {}
+func (c *Cond) Broadcast() {}
+
 type Once struct{ done uint32 }
 
 func (o *Once) Do(f func()) {}

@@ -141,12 +141,26 @@ func isGlobalMutex(pass *lint.Pass, key string) bool {
 
 // lockCall classifies call as a mutex operation, returning the rendered
 // mutex expression ("d.mu"; the container for promoted embedded calls)
-// and the operation.
+// and the operation. Both direct calls (mu.Lock()) and the gated
+// idiom (gate.Block(mu.Lock), which acquires while shedding the run
+// token) are recognized.
 func lockCall(pass *lint.Pass, call *ast.CallExpr) (string, mutexOp) {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok {
-		return "", opNone
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if key, op := mutexMethodSel(pass, sel); op != opNone {
+			return key, op
+		}
+		if isGateBlock(pass, sel) && len(call.Args) == 1 {
+			if argSel, ok := call.Args[0].(*ast.SelectorExpr); ok {
+				return mutexMethodSel(pass, argSel)
+			}
+		}
 	}
+	return "", opNone
+}
+
+// mutexMethodSel classifies a selector denoting (a value of) a mutex
+// method — the Fun of a direct call or a method-value argument.
+func mutexMethodSel(pass *lint.Pass, sel *ast.SelectorExpr) (string, mutexOp) {
 	op, ok := opByName[sel.Sel.Name]
 	if !ok {
 		return "", opNone
@@ -171,6 +185,32 @@ func lockCall(pass *lint.Pass, call *ast.CallExpr) (string, mutexOp) {
 		return "", opNone
 	}
 	return lint.ExprString(sel.X), op
+}
+
+// isGateBlock reports whether sel selects simclock.Gate's Block or
+// BlockIO method.
+func isGateBlock(pass *lint.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Block" && sel.Sel.Name != "BlockIO" {
+		return false
+	}
+	var fn *types.Func
+	if selInfo, ok := pass.Info.Selections[sel]; ok {
+		fn, _ = selInfo.Obj().(*types.Func)
+	} else if f, ok := pass.Info.Uses[sel.Sel].(*types.Func); ok {
+		fn = f
+	}
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return lint.NamedTypeIn(t, "internal/simclock", "Gate")
 }
 
 // inspectSkippingFuncLits visits every node under root except the
@@ -222,19 +262,22 @@ func (s *scanner) scanFunc(fd *ast.FuncDecl) {
 
 // scanFuncLit analyzes a nested function literal as an independent
 // function (it may run on any goroutine at any time): no inherited lock
-// state, its own pairing scope.
+// state, its own pairing scope. Pairing that the literal cannot settle
+// on its own is handed to the enclosing function: its unlocks may
+// satisfy an enclosing lock (`defer func() { ...; mu.Unlock() }()`),
+// and a lock it leaves held may be released by the enclosing function
+// when the closure is assigned and invoked synchronously there.
 func (s *scanner) scanFuncLit(lit *ast.FuncLit) {
 	saved := *s
 	s.lockedFn = false
 	s.locks, s.unlocks, s.deferred = nil, nil, nil
 	s.scanStmts(lit.Body.List, make(map[string]bool))
-	s.checkPairing()
+	litLocks := s.unpairedLocks()
 	litUnlocks := append(s.unlocks, s.deferred...)
 	s.lockedFn, s.recv = saved.lockedFn, saved.recv
 	s.locks, s.unlocks, s.deferred = saved.locks, saved.unlocks, saved.deferred
-	// Unlocks inside the literal may satisfy the enclosing function's
-	// pairing (the `defer func() { ...; mu.Unlock() }()` shape).
 	s.deferred = append(s.deferred, litUnlocks...)
+	s.locks = append(s.locks, litLocks...)
 }
 
 // receiverName returns the receiver identifier of a method ("" for
@@ -530,9 +573,10 @@ func (s *scanner) checkDoubleLock(call *ast.CallExpr, held map[string]bool) {
 	}
 }
 
-// checkPairing requires every recorded Lock/RLock to have a matching
-// deferred or later explicit unlock in the same function.
-func (s *scanner) checkPairing() {
+// unpairedLocks returns the recorded Lock/RLock events with no
+// matching deferred or later explicit unlock in the current scope.
+func (s *scanner) unpairedLocks() []lockEvent {
+	var out []lockEvent
 	for _, l := range s.locks {
 		ok := false
 		for _, d := range s.deferred {
@@ -550,14 +594,23 @@ func (s *scanner) checkPairing() {
 			}
 		}
 		if !ok {
-			verb := "Lock"
-			unlock := "Unlock"
-			if l.read {
-				verb, unlock = "RLock", "RUnlock"
-			}
-			s.pass.Reportf(l.pos,
-				"%s.%s() has no matching defer %s.%s() or later %s() in this function: a return path leaks the lock",
-				l.key, verb, l.key, unlock, unlock)
+			out = append(out, l)
 		}
+	}
+	return out
+}
+
+// checkPairing requires every recorded Lock/RLock to have a matching
+// deferred or later explicit unlock in the same function.
+func (s *scanner) checkPairing() {
+	for _, l := range s.unpairedLocks() {
+		verb := "Lock"
+		unlock := "Unlock"
+		if l.read {
+			verb, unlock = "RLock", "RUnlock"
+		}
+		s.pass.Reportf(l.pos,
+			"%s.%s() has no matching defer %s.%s() or later %s() in this function: a return path leaks the lock",
+			l.key, verb, l.key, unlock, unlock)
 	}
 }

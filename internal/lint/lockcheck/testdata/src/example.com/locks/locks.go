@@ -2,7 +2,11 @@
 // double-lock detection, and Lock/Unlock pairing.
 package locks
 
-import "sync"
+import (
+	"sync"
+
+	"swapservellm/internal/simclock"
+)
 
 type dealer struct {
 	mu    sync.Mutex
@@ -155,6 +159,49 @@ func (s *shared) ReadOK() int {
 func (d *dealer) handoff() {
 	//swaplint:ignore lockcheck ownership transfers to the receiver goroutine
 	d.mu.Lock()
+}
+
+// --- closures invoked synchronously in the same function ---
+
+// A Lock inside a closure that is assigned and invoked in the same
+// function pairs with the enclosing function's deferred Unlock — no
+// leak (this was a recorded false positive).
+func (d *dealer) LockViaClosure() {
+	lock := func() { d.mu.Lock() }
+	lock()
+	defer d.mu.Unlock()
+	d.count++
+}
+
+// An unlock inside such a closure still pairs the enclosing Lock.
+func (d *dealer) UnlockViaClosure() {
+	d.mu.Lock()
+	defer func() { d.mu.Unlock() }()
+	d.count++
+}
+
+// --- gate-mediated acquisition ---
+
+type gated struct {
+	mu    sync.Mutex
+	clock simclock.Clock
+	n     int
+}
+
+func (g *gated) bumpLocked() { g.n++ }
+
+// gate.Block(mu.Lock) is an acquisition: the *Locked convention and
+// the pairing rule both see it.
+func (g *gated) Bump() {
+	simclock.GateFor(g.clock).Block(g.mu.Lock)
+	defer g.mu.Unlock()
+	g.bumpLocked()
+}
+
+// ... including when it leaks.
+func (g *gated) Leaky() {
+	simclock.GateFor(g.clock).Block(g.mu.Lock) // want `g.mu.Lock\(\) has no matching defer g.mu.Unlock\(\) or later Unlock\(\) in this function`
+	g.n++
 }
 
 // Embedded mutex: the receiver itself is the lock.

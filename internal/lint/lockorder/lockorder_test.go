@@ -1,0 +1,44 @@
+package lockorder
+
+import (
+	"strings"
+	"testing"
+
+	"swapservellm/internal/lint/linttest"
+)
+
+func TestLockorder(t *testing.T) {
+	linttest.Run(t, "testdata", New(), "example.com/order")
+}
+
+// Declarations spread over two files: the one outside the (sorted-
+// first) source-of-truth file is reported.
+func TestMultiFileDeclaration(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata", New(), "example.com/orderdup")
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "single source-of-truth file") {
+			found = true
+			if !strings.HasSuffix(d.Pos.Filename, "two.go") {
+				t.Errorf("finding should land on the stray file, got %s", d.Pos)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no single-file violation in %v", diags)
+	}
+}
+
+// A declaration with fewer than two classes is malformed.
+func TestMalformedDeclaration(t *testing.T) {
+	diags := linttest.Diagnostics(t, "testdata", New(), "example.com/ordermal")
+	found := false
+	for _, d := range diags {
+		if strings.Contains(d.Message, "malformed directive") && strings.Contains(d.Message, "swaplint:lockorder") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no malformed-declaration finding in %v", diags)
+	}
+}

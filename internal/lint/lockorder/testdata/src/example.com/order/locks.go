@@ -1,0 +1,9 @@
+// Package order is lockorder testdata: declared-order inversions and
+// observed acquisition cycles. This file is the single source of truth
+// for the sanctioned order.
+//
+//swaplint:lockorder order.pair.a < order.pair.b
+//swaplint:lockorder order.duo.c < order.duo.d
+//swaplint:lockorder order.trio.e < order.trio.f
+
+package order

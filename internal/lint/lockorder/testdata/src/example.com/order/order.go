@@ -1,0 +1,70 @@
+package order
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// Acquiring a while b is held inverts the declared a < b order.
+func (p *pair) inverted() {
+	p.b.Lock()
+	defer p.b.Unlock()
+	p.a.Lock() // want `lock-order inversion: order\.pair\.a acquired while order\.pair\.b is held, but the declared order is order\.pair\.a < order\.pair\.b`
+	defer p.a.Unlock()
+}
+
+type duo struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// lockC's summary acquires c.
+func (q *duo) lockC() {
+	q.c.Lock()
+	defer q.c.Unlock()
+}
+
+// The inversion is reached through a call: reported at the call site
+// with the path to the inner acquisition.
+func (q *duo) viaCall() {
+	q.d.Lock()
+	defer q.d.Unlock()
+	q.lockC() // want `lock-order inversion: order\.duo\.c acquired while order\.duo\.d is held via .*lockC.*, but the declared order is order\.duo\.c < order\.duo\.d`
+}
+
+type ring struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+// xy and yx together form an undeclared two-lock cycle: each class is
+// acquired while the other is held, on different call paths — a
+// potential deadlock, reported once at the representative edge.
+func (r *ring) xy() {
+	r.x.Lock()
+	defer r.x.Unlock()
+	r.y.Lock() // want `potential deadlock: lock-order cycle order\.ring\.x → order\.ring\.y → order\.ring\.x`
+	defer r.y.Unlock()
+}
+
+func (r *ring) yx() {
+	r.y.Lock()
+	defer r.y.Unlock()
+	r.x.Lock()
+	defer r.x.Unlock()
+}
+
+type trio struct {
+	e sync.Mutex
+	f sync.Mutex
+}
+
+// Nested acquisition in the declared direction is fine.
+func (tr *trio) forwardOnly() {
+	tr.e.Lock()
+	defer tr.e.Unlock()
+	tr.f.Lock()
+	defer tr.f.Unlock()
+}

@@ -1,0 +1,14 @@
+// Package orderdup declares the lock order in two files — checked
+// programmatically because the diagnostic lands on the directive
+// comment's own line.
+//
+//swaplint:lockorder orderdup.pair.a < orderdup.pair.b
+
+package orderdup
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}

@@ -1,0 +1,6 @@
+// A stray second declaration file: the sanctioned order must live in
+// one place.
+//
+//swaplint:lockorder orderdup.pair.b < orderdup.pair.c
+
+package orderdup

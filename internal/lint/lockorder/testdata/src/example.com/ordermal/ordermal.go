@@ -1,0 +1,6 @@
+// Package ordermal seeds one malformed //swaplint:lockorder directive
+// (fewer than two classes).
+//
+//swaplint:lockorder ordermal.only
+
+package ordermal

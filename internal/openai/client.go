@@ -156,19 +156,21 @@ func (c *Client) ListModels(ctx context.Context) (*ModelList, error) {
 // WaitHealthy polls GET /health until the server responds 200, the context
 // is cancelled, or the deadline elapses.
 func (c *Client) WaitHealthy(ctx context.Context, interval time.Duration) error {
+	gate := simclock.GateFor(c.clock())
 	for {
 		req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/health", nil)
 		if err != nil {
 			return err
 		}
-		resp, err := c.httpClient().Do(req)
+		var resp *http.Response
+		gate.BlockIO(func() { resp, err = c.httpClient().Do(req) })
 		if err == nil {
 			resp.Body.Close()
 			if resp.StatusCode == http.StatusOK {
 				return nil
 			}
 		}
-		if simclock.GateFor(c.clock()).Wait(interval, ctx.Done()) == 0 {
+		if gate.Wait(interval, ctx.Done()) == 0 {
 			return ctx.Err()
 		}
 	}

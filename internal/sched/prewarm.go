@@ -93,13 +93,14 @@ func (p *Prewarmer) Run(clock simclock.Clock) {
 	})
 }
 
-// Halt stops the sweep loop and waits for it to exit.
+// Halt stops the sweep loop and waits for it to exit, shedding the run
+// token while the loop goroutine drains.
 func (p *Prewarmer) Halt() {
 	if p.halt == nil {
 		return
 	}
 	close(p.halt)
-	<-p.done
+	simclock.GateFor(p.clock).Block(func() { <-p.done })
 	p.halt = nil
 }
 
