@@ -18,7 +18,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|slo|ckptstore|chaos|all")
+		exp      = flag.String("exp", "all", "experiment: fig1|fig2|fig3|table1|fig5|fig6a|fig6b|headline|ablation-policy|ablation-sleep|ablation-consolidation|ablation-elasticity|ablation-tiering|ablation-compile-cache|pipeline|cluster|slo|ckptstore|protomix|chaos|all")
 		scale    = flag.Float64("scale", 0, "simulation clock scale override (0 = per-experiment default)")
 		seed     = flag.Int64("seed", 42, "workload seed for fig1/fig3/ablations; start seed for -exp chaos")
 		seeds    = flag.Int("seeds", 10, "number of seeds the chaos soak sweeps")
@@ -220,6 +220,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "swapbench: wrote BENCH_ckptstore.json")
 		fmt.Fprintln(out)
 	}
+	if run("protomix") {
+		any = true
+		res, err := experiments.AblationProtocolMix(*seed)
+		fail(err)
+		experiments.PrintProtomix(out, res)
+		h, csv := experiments.ProtomixCSV(res)
+		writeCSV("protomix", h, csv)
+		if err := os.WriteFile("BENCH_protomix.json", []byte(experiments.ProtomixBenchJSON(res)), 0o644); err != nil {
+			fail(err)
+		}
+		fmt.Fprintln(os.Stderr, "swapbench: wrote BENCH_protomix.json")
+		fmt.Fprintln(out)
+	}
 	if run("chaos") {
 		any = true
 		rows, err := experiments.ChaosSweep(*seed, *seeds, pick(4000))
@@ -241,7 +254,7 @@ func main() {
 	if !any {
 		fmt.Fprintf(os.Stderr, "swapbench: unknown experiment %q\n", *exp)
 		fmt.Fprintf(os.Stderr, "known: fig1 fig2 fig3 table1 fig5 fig6a fig6b headline %s all\n",
-			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "slo", "ckptstore", "chaos"}, " "))
+			strings.Join([]string{"ablation-policy", "ablation-sleep", "ablation-consolidation", "ablation-elasticity", "ablation-tiering", "ablation-compile-cache", "pipeline", "cluster", "slo", "ckptstore", "protomix", "chaos"}, " "))
 		os.Exit(2)
 	}
 }

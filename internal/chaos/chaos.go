@@ -79,6 +79,15 @@ const (
 	// (disk→RAM or peer→RAM), with the same bounded-retry fallback to
 	// the next-best source.
 	SiteCkptPromote Site = "ckptstore.promote"
+	// SiteProxyTranslate fails the front door's protocol translation
+	// (client wire → IR) for one request, modelling a codec bug or a
+	// payload the translator cannot round-trip; the gateway answers with
+	// a well-formed protocol error instead of forwarding garbage.
+	SiteProxyTranslate Site = "proxy.translate"
+	// SiteProxyCache degrades one response-cache lookup: the request
+	// bypasses the cache (counted as a bypass, never a wrong answer) as
+	// if the cache shard were briefly unavailable.
+	SiteProxyCache Site = "proxy.cache"
 )
 
 // Sites lists every built-in site in sorted order.
@@ -90,6 +99,7 @@ func Sites() []Site {
 		SiteHeartbeat, SiteProxy, SiteSSE,
 		SiteSchedAdmit, SiteSchedPrefetch, SiteSchedEvict,
 		SiteCkptFetch, SiteCkptPromote,
+		SiteProxyTranslate, SiteProxyCache,
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

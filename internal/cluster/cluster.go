@@ -15,6 +15,7 @@ import (
 	"swapservellm/internal/metrics"
 	"swapservellm/internal/models"
 	"swapservellm/internal/obs"
+	"swapservellm/internal/proxy"
 	"swapservellm/internal/simclock"
 )
 
@@ -87,6 +88,7 @@ type Cluster struct {
 	client   *http.Client
 	chaosInj *chaos.Injector
 	tracer   *obs.Tracer
+	front    *proxy.Front
 
 	registry   *NodeRegistry
 	nodes      []*Node
@@ -157,6 +159,16 @@ func NewWithOptions(cfg config.Cluster, opts Options) (*Cluster, error) {
 	}
 	c.registry.SetChaos(opts.Chaos)
 	c.registry.SetTrace(opts.Trace)
+
+	// The multi-protocol front door: one endpoint table and response
+	// cache shared by every gateway handler. The chaos injector covers
+	// the proxy.translate and proxy.cache sites.
+	c.front = proxy.New(
+		proxy.WithCacheEntries(cfg.ProxyCacheEntries()),
+		proxy.WithChaos(opts.Chaos),
+		proxy.WithRegistry(reg),
+		proxy.WithClock(clock),
+	)
 
 	// Predictive scheduling (nil when no classes are declared). Built
 	// before the nodes so the TTL policy reaches each node's reaper.
@@ -272,7 +284,7 @@ func (c *Cluster) Start(ctx context.Context) error {
 	}
 	c.listener = ln
 	//swaplint:block reason=handler() only wires the mux; its route closures run on gateway serve goroutines, never under c.mu
-	c.httpServer = &http.Server{Handler: (&gateway{c: c}).handler()}
+	c.httpServer = &http.Server{Handler: (&gateway{c: c, front: c.front}).handler()}
 	go c.httpServer.Serve(ln)
 	c.started = true
 	return nil
@@ -333,6 +345,10 @@ func (c *Cluster) traceCtx(ctx context.Context) context.Context {
 	}
 	return obs.WithTracer(ctx, c.tracer)
 }
+
+// Front returns the multi-protocol front door (endpoint table and
+// response cache), for experiments and operator tooling.
+func (c *Cluster) Front() *proxy.Front { return c.front }
 
 // NodeRegistry returns the membership registry.
 func (c *Cluster) NodeRegistry() *NodeRegistry { return c.registry }

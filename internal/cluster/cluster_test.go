@@ -76,7 +76,7 @@ func TestClusterServesAndReportsStatus(t *testing.T) {
 	}
 
 	// Status reports both nodes healthy with the model deployed.
-	hr, err := http.Get(c.URL() + "/cluster/status")
+	hr, err := http.Get(c.URL() + "/admin/v1/cluster/status")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +109,11 @@ func TestLocalityRoutingSticksToWarmNode(t *testing.T) {
 	// backends swapped out), so the placement is a miss that lands on
 	// node-a by deterministic tie-break and swaps it in.
 	gatewayChat(t, c.URL(), model, 2)
-	// Subsequent requests must stick to the now-warm node-a.
+	// Subsequent requests must stick to the now-warm node-a. Each asks
+	// for a distinct token budget so the response cache (keyed on the
+	// canonical body) misses and placement actually runs.
 	for i := 0; i < 3; i++ {
-		gatewayChat(t, c.URL(), model, 2)
+		gatewayChat(t, c.URL(), model, 3+i)
 	}
 
 	reg := c.Registry()
@@ -134,7 +136,7 @@ func TestDrainExcludesNode(t *testing.T) {
 	c := startCluster(t, twoNodeConfig(model), 5000)
 
 	// Drain node-a (the deterministic first choice) via the admin API.
-	resp, err := http.Post(c.URL()+"/cluster/drain?node=node-a", "", nil)
+	resp, err := http.Post(c.URL()+"/admin/v1/cluster/drain?node=node-a", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,14 +146,14 @@ func TestDrainExcludesNode(t *testing.T) {
 	}
 
 	for i := 0; i < 3; i++ {
-		gatewayChat(t, c.URL(), model, 2)
+		gatewayChat(t, c.URL(), model, 2+i) // distinct bodies: no cache hits
 	}
 	if got := c.Registry().Counter("placement_node_node-b").Value(); got != 3 {
 		t.Fatalf("node-b placements = %v, want all 3 while node-a drains", got)
 	}
 
 	// Undrain restores eligibility.
-	resp, err = http.Post(c.URL()+"/cluster/undrain?node=node-a", "", nil)
+	resp, err = http.Post(c.URL()+"/admin/v1/cluster/undrain?node=node-a", "", nil)
 	if err != nil {
 		t.Fatal(err)
 	}

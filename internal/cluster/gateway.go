@@ -4,7 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"context"
-	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,19 +15,32 @@ import (
 	"swapservellm/internal/chaos"
 	"swapservellm/internal/obs"
 	"swapservellm/internal/openai"
+	"swapservellm/internal/proxy"
+	"swapservellm/internal/proxy/ir"
 )
 
-// gateway is the cluster's OpenAI-compatible front door. It terminates
-// client requests, asks the placement policy which node should serve
-// each one, and proxies to that node's router — relaying SSE streams
-// chunk by chunk. When a node dies mid-request or reports overload the
-// gateway fails the request over to another replica: buffered JSON
-// responses retry invisibly, and interrupted streams resume on the new
-// node by skipping the events the client has already received (node
-// generation is deterministic for identical requests, so the resumed
-// stream continues exactly where the dead node stopped).
+// gateway is the cluster's multi-protocol front door. Every inference
+// route is one row of the proxy endpoint table: the row names the
+// codec that decodes the client wire format (OpenAI /v1/* or Ollama
+// /api/*) into the IR, the canonical upstream path the request
+// forwards to, the stream framing back toward the client (SSE or
+// NDJSON), the default priority class, and cacheability. The gateway
+// consults the IR-keyed response cache before placement, then asks the
+// placement policy which node should serve the request and proxies to
+// that node's router — translating buffered responses and stream
+// events back into the client's protocol on the way out.
+//
+// When a node dies mid-request or reports overload the gateway fails
+// the request over to another replica: buffered JSON responses retry
+// invisibly, and interrupted streams resume on the new node by
+// skipping the canonical upstream events the client has already
+// received. Because every protocol forwards the same canonical
+// encoding and stream events map 1:1 onto client frames, the
+// delivered-event count is framing-agnostic — resume is exact under
+// SSE and NDJSON alike.
 type gateway struct {
-	c *Cluster
+	c     *Cluster
+	front *proxy.Front
 }
 
 // maxBodyBytes bounds client payloads (mirrors the node router).
@@ -47,20 +60,41 @@ const (
 	outcomeFatal
 )
 
-// handler builds the gateway's http.Handler.
+// handler builds the gateway's http.Handler: one loop over the
+// endpoint table for the inference routes, plus the versioned admin
+// mux and the observability endpoints.
 func (g *gateway) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/chat/completions", g.auth(g.proxy("/v1/chat/completions", validateChat)))
-	mux.HandleFunc("/v1/completions", g.auth(g.proxy("/v1/completions", validateCompletion)))
-	mux.HandleFunc("/v1/models", g.auth(g.listModels))
+	for _, ep := range g.front.Table() {
+		ep := ep
+		switch {
+		case ep.Upstream != "":
+			mux.HandleFunc(ep.Path, g.auth(func(w http.ResponseWriter, r *http.Request) {
+				g.serveEndpoint(w, r, ep)
+			}))
+		case ep.Path == "/v1/models":
+			mux.HandleFunc(ep.Path, g.auth(g.listModels))
+		case ep.Path == "/api/tags":
+			mux.HandleFunc(ep.Path, g.auth(g.listTags))
+		}
+	}
 	mux.HandleFunc("/health", g.health)
-	mux.HandleFunc("/cluster/status", g.auth(g.status))
-	mux.HandleFunc("/cluster/drain", g.auth(g.drain(true)))
-	mux.HandleFunc("/cluster/undrain", g.auth(g.drain(false)))
+	mux.Handle("/admin/", g.adminMux())
 	mux.HandleFunc("/metrics", g.auth(g.metricsProm))
 	mux.HandleFunc("/metrics.csv", g.auth(g.metricsCSV))
 	mux.Handle("/debug/trace", g.c.tracer.Handler())
 	return mux
+}
+
+// adminMux is the versioned operator surface, kept separate from the
+// inference routes so protocol translation never sees admin traffic.
+func (g *gateway) adminMux() *http.ServeMux {
+	admin := http.NewServeMux()
+	admin.HandleFunc("/admin/v1/cluster/status", g.auth(g.status))
+	admin.HandleFunc("/admin/v1/cluster/drain", g.auth(g.drain(true)))
+	admin.HandleFunc("/admin/v1/cluster/undrain", g.auth(g.drain(false)))
+	admin.HandleFunc("/admin/v1/models/revision", g.auth(g.bumpRevision))
+	return admin
 }
 
 // auth enforces the optional bearer token at the gateway edge.
@@ -79,41 +113,12 @@ func (g *gateway) auth(next http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// validateChat checks a chat-completions payload and extracts the model.
-func validateChat(body []byte) (string, error) {
-	var req openai.ChatCompletionRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %w", err)
-	}
-	if err := req.Validate(); err != nil {
-		return "", err
-	}
-	return req.Model, nil
-}
-
-// validateCompletion checks a legacy completions payload.
-func validateCompletion(body []byte) (string, error) {
-	var req openai.CompletionRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %w", err)
-	}
-	if err := req.Validate(); err != nil {
-		return "", err
-	}
-	return req.Model, nil
-}
-
-func (g *gateway) proxy(path string, validate func([]byte) (string, error)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		g.serveProxy(w, r, path, validate)
-	}
-}
-
-// serveProxy runs the place → forward → maybe-fail-over loop for one
-// client request.
-func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string, validate func([]byte) (string, error)) {
-	if r.Method != http.MethodPost {
-		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+// serveEndpoint runs one endpoint-table row: decode the client wire
+// format into the IR, consult the response cache, then place → forward
+// → maybe-fail-over.
+func (g *gateway) serveEndpoint(w http.ResponseWriter, r *http.Request, ep proxy.Endpoint) {
+	if r.Method != ep.Method {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use "+ep.Method)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -121,25 +126,52 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "reading body: "+err.Error())
 		return
 	}
-	model, err := validate(body)
+	req, err := g.front.Decode(ep, body)
+	if err != nil {
+		g.writeDecodeError(w, err)
+		return
+	}
+	class, err := g.c.classFor(req.Model, r.Header.Get("X-Priority-Class"), ep.Class)
 	if err != nil {
 		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
 		return
 	}
-	class, err := g.c.classFor(model, r.Header.Get("X-Priority-Class"))
+	canonical, err := g.front.EncodeUpstream(req)
 	if err != nil {
-		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
+		openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
 		return
 	}
 
 	g.c.reg.Counter("gateway_requests_total").Inc()
+	g.c.reg.Counter("gateway_requests_" + ep.MetricName()).Inc()
 
 	ctx := g.c.traceCtx(r.Context())
 	var span *obs.Span
 	ctx, span = obs.Start(ctx, "gateway.request",
-		obs.String("model", model), obs.String("path", path),
-		obs.String("class", class))
+		obs.String("model", req.Model), obs.String("path", ep.Path),
+		obs.String("protocol", string(ep.Protocol)), obs.String("class", class))
 	defer span.End()
+
+	// The response cache sits in front of placement and admission: a
+	// hit never consumes node capacity, so it is served even when the
+	// class would otherwise be shed. The key is the canonical upstream
+	// encoding, so protocol siblings (/api/chat and /v1/chat/completions)
+	// share entries.
+	noStore := strings.Contains(r.Header.Get("Cache-Control"), "no-store")
+	if !req.Stream {
+		if cached, ok := g.front.CacheLookup(ep, req.Model, canonical, noStore); ok {
+			out, terr := g.front.TranslateResponse(ep, cached)
+			if terr == nil {
+				span.Event("cache.hit", obs.String("endpoint", ep.Path))
+				w.Header().Set("Content-Type", "application/json")
+				w.Header().Set("X-Cache", "hit")
+				w.WriteHeader(http.StatusOK)
+				w.Write(out)
+				return
+			}
+			span.Event("cache.translate_error", obs.String("error", terr.Error()))
+		}
+	}
 
 	// Predictive scheduling: feed the demand predictor with every
 	// offered arrival, then run admission control. A shed is a 429 with
@@ -147,7 +179,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	// guaranteed share refills.
 	if sc := g.c.sched; sc != nil {
 		now := g.c.clock.Now()
-		sc.pred.Observe(model, now)
+		sc.pred.Observe(req.Model, now)
 		if sc.adm != nil {
 			wait := sc.adm.PredictedWait(class)
 			dec := sc.adm.Decide(class, wait, now)
@@ -168,14 +200,15 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		}
 	}
 
-	// stream tracks SSE delivery across attempts so a failover resumes
-	// where the dead node stopped.
-	stream := &sseRelay{w: w, inj: g.c.chaosInj}
+	// stream tracks delivery across attempts so a failover resumes
+	// where the dead node stopped, translating each canonical upstream
+	// event into the endpoint's framing.
+	stream := &streamRelay{w: w, inj: g.c.chaosInj, tr: g.front.Translator(ep)}
 	tried := make(map[string]bool)
 	var lastErr string
 
 	for attempt := 0; attempt < g.c.retryLimit; attempt++ {
-		id, warm, ok := g.place(model, tried)
+		id, warm, ok := g.place(req.Model, tried)
 		if !ok {
 			break
 		}
@@ -185,7 +218,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		if attempt == 0 {
 			g.recordPlacement(id, warm)
 			if sc := g.c.sched; sc != nil && sc.pw != nil {
-				sc.pw.NotePlacement(model, warm, g.c.clock.Now())
+				sc.pw.NotePlacement(req.Model, warm, g.c.clock.Now())
 			}
 		} else {
 			g.c.reg.Counter("cross_node_retries").Inc()
@@ -194,7 +227,7 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		if !ok {
 			continue
 		}
-		outcome, errMsg := g.forward(ctx, node, path, body, r.Header.Get("Authorization"), class, stream)
+		outcome, errMsg := g.forward(ctx, node, ep, req.Model, canonical, r.Header.Get("Authorization"), class, stream)
 		switch outcome {
 		case outcomeDone:
 			if attempt > 0 {
@@ -214,19 +247,32 @@ func (g *gateway) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	span.Fail(fmt.Errorf("unrouteable after %d attempts", len(tried)))
 	if stream.started {
 		// Mid-stream with no replica left: all we can do is end the
-		// stream; the missing [DONE] tells the client it was truncated.
+		// stream; the missing terminal frame ([DONE] or the done:true
+		// line) tells the client it was truncated.
 		return
 	}
 	if len(tried) == 0 {
 		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
-			fmt.Sprintf("model %q is not available on any healthy node", model))
+			fmt.Sprintf("model %q is not available on any healthy node", req.Model))
 		return
 	}
-	msg := fmt.Sprintf("all %d eligible nodes failed for %q", len(tried), model)
+	msg := fmt.Sprintf("all %d eligible nodes failed for %q", len(tried), req.Model)
 	if lastErr != "" {
 		msg += ": " + lastErr
 	}
 	openai.WriteError(w, http.StatusServiceUnavailable, "no_available_node", msg)
+}
+
+// writeDecodeError maps a front-door decode failure onto the wire: an
+// injected translation fault is a well-formed 503 (the pipeline is
+// degraded, not the request), anything else is the client's 400.
+func (g *gateway) writeDecodeError(w http.ResponseWriter, err error) {
+	if errors.Is(err, proxy.ErrTranslate) {
+		g.c.reg.Counter("gateway_translate_failures").Inc()
+		openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
+		return
+	}
+	openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
 }
 
 // place asks the policy for the next node, excluding already-tried
@@ -270,10 +316,11 @@ func (g *gateway) recordPlacement(nodeID string, warm bool) {
 	}
 }
 
-// forward sends the request to one node and relays its response. The
-// error string is only meaningful for outcomeRetry.
-func (g *gateway) forward(ctx context.Context, node *Node, path string, body []byte, authHeader, class string, stream *sseRelay) (proxyOutcome, string) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL()+path, bytes.NewReader(body))
+// forward sends the canonical request to one node's upstream path and
+// relays its response. The error string is only meaningful for
+// outcomeRetry.
+func (g *gateway) forward(ctx context.Context, node *Node, ep proxy.Endpoint, model string, canonical []byte, authHeader, class string, stream *streamRelay) (proxyOutcome, string) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, node.URL()+ep.Upstream, bytes.NewReader(canonical))
 	if err != nil {
 		return outcomeRetry, err.Error()
 	}
@@ -327,9 +374,29 @@ func (g *gateway) forward(ctx context.Context, node *Node, path string, body []b
 		g.c.registry.ReportFailure(node.ID())
 		return outcomeRetry, fmt.Sprintf("node %s: reading response: %v", node.ID(), err)
 	}
-	copyHeaders(stream.w.Header(), resp.Header)
-	stream.w.WriteHeader(resp.StatusCode)
-	stream.w.Write(full)
+	return g.deliverBuffered(ep, model, canonical, stream.w, resp, full)
+}
+
+// deliverBuffered writes a fully-read node response to the client: a
+// canonical 200 is translated into the endpoint's protocol and stored
+// in the response cache; error envelopes pass through untouched.
+func (g *gateway) deliverBuffered(ep proxy.Endpoint, model string, canonical []byte, w http.ResponseWriter, resp *http.Response, full []byte) (proxyOutcome, string) {
+	if resp.StatusCode == http.StatusOK {
+		out, err := g.front.TranslateResponse(ep, full)
+		if err != nil {
+			g.c.reg.Counter("gateway_translate_failures").Inc()
+			openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
+			return outcomeDone, ""
+		}
+		g.front.CacheStore(ep, model, canonical, full)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(out)
+		return outcomeDone, ""
+	}
+	copyHeaders(w.Header(), resp.Header)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(full)
 	return outcomeDone, ""
 }
 
@@ -353,22 +420,27 @@ func copyHeaders(dst, src http.Header) {
 	}
 }
 
-// sseRelay streams SSE events to the client while counting delivered
-// events, so a retry on another node can skip what the client already
-// has and continue the stream seamlessly.
-type sseRelay struct {
+// streamRelay translates the node's canonical SSE stream into the
+// endpoint's client framing while counting delivered canonical events,
+// so a retry on another node can skip what the client already has and
+// continue the stream seamlessly. The count is over upstream events —
+// which map 1:1 onto client frames in every registered codec — so the
+// same resume arithmetic is exact under SSE and NDJSON alike.
+type streamRelay struct {
 	w         http.ResponseWriter
 	inj       *chaos.Injector
+	tr        *proxy.StreamTranslator
 	started   bool
 	delivered int
 }
 
-// relay pipes one node's SSE response to the client. On a clean [DONE]
-// it reports outcomeDone; on a mid-stream read failure it reports
-// outcomeRetry so the caller can resume on another node.
-func (s *sseRelay) relay(ctx context.Context, node *Node, resp *http.Response) (proxyOutcome, string) {
+// relay pipes one node's canonical SSE response to the client. On a
+// clean terminal event it reports outcomeDone; on a mid-stream read
+// failure it reports outcomeRetry so the caller can resume on another
+// node.
+func (s *streamRelay) relay(ctx context.Context, node *Node, resp *http.Response) (proxyOutcome, string) {
 	if !s.started {
-		copyHeaders(s.w.Header(), resp.Header)
+		s.w.Header().Set("Content-Type", s.tr.ContentType())
 		s.w.WriteHeader(resp.StatusCode)
 		s.started = true
 	}
@@ -376,7 +448,7 @@ func (s *sseRelay) relay(ctx context.Context, node *Node, resp *http.Response) (
 	br := bufio.NewReader(resp.Body)
 	skip := s.delivered
 	for {
-		event, err := readSSEEvent(br)
+		event, err := ir.ReadSSEEvent(br)
 		if err != nil {
 			// A partial event cut off mid-write is discarded: the replica
 			// will re-send it whole at the same position.
@@ -389,16 +461,24 @@ func (s *sseRelay) relay(ctx context.Context, node *Node, resp *http.Response) (
 			obs.AnnotateFault(ctx, string(chaos.SiteSSE), ferr)
 			return outcomeRetry, fmt.Sprintf("node %s: stream cut after %d events: %v", node.ID(), s.delivered, ferr)
 		}
-		done := strings.TrimSpace(strings.TrimPrefix(event, "data:")) == openai.DoneSentinel
+		done := strings.TrimSpace(strings.TrimPrefix(event, "data:")) == ir.DoneSentinel
 		if !done && skip > 0 {
 			skip--
 			continue
 		}
-		if _, werr := io.WriteString(s.w, event+"\n\n"); werr != nil {
-			return outcomeFatal, "client gone"
+		frames, _, terr := s.tr.Frames(event)
+		if terr != nil {
+			// The upstream stream is our own deterministic engine output; a
+			// replica would produce the same bytes, so retrying cannot help.
+			return outcomeFatal, fmt.Sprintf("node %s: %v", node.ID(), terr)
 		}
-		if flusher != nil {
-			flusher.Flush()
+		if len(frames) > 0 {
+			if _, werr := s.w.Write(frames); werr != nil {
+				return outcomeFatal, "client gone"
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
 		}
 		if done {
 			return outcomeDone, ""
@@ -407,28 +487,8 @@ func (s *sseRelay) relay(ctx context.Context, node *Node, resp *http.Response) (
 	}
 }
 
-// readSSEEvent reads one blank-line-delimited SSE event (without the
-// trailing blank line). A non-nil error may accompany a final partial
-// event.
-func readSSEEvent(br *bufio.Reader) (string, error) {
-	var lines []string
-	for {
-		line, err := br.ReadString('\n')
-		line = strings.TrimRight(line, "\r\n")
-		if err != nil {
-			return strings.Join(lines, "\n"), err
-		}
-		if line == "" {
-			if len(lines) == 0 {
-				continue // leading keep-alive blank line
-			}
-			return strings.Join(lines, "\n"), nil
-		}
-		lines = append(lines, line)
-	}
-}
-
-// listModels reports the union of models deployed on healthy nodes.
+// listModels reports the union of models deployed on healthy nodes,
+// with each model's protocol capabilities.
 func (g *gateway) listModels(w http.ResponseWriter, r *http.Request) {
 	list := openai.ModelList{Object: "list"}
 	seen := make(map[string]bool)
@@ -442,14 +502,35 @@ func (g *gateway) listModels(w http.ResponseWriter, r *http.Request) {
 			}
 			seen[b.Name()] = true
 			list.Data = append(list.Data, openai.ModelInfo{
-				ID:      b.Name(),
-				Object:  "model",
-				Created: g.c.clock.Now().Unix(),
-				OwnedBy: string(b.EngineKind()),
+				ID:           b.Name(),
+				Object:       "model",
+				Created:      g.c.clock.Now().Unix(),
+				OwnedBy:      string(b.EngineKind()),
+				Capabilities: b.Model().Capabilities(),
 			})
 		}
 	}
 	openai.WriteJSON(w, http.StatusOK, list)
+}
+
+// listTags is the Ollama protocol's model listing (GET /api/tags): the
+// same healthy-node union rendered in the Ollama wire shape.
+func (g *gateway) listTags(w http.ResponseWriter, r *http.Request) {
+	var tags ir.OllamaTagsResponse
+	seen := make(map[string]bool)
+	for _, n := range g.c.registry.Nodes() {
+		if n.State() != NodeHealthy {
+			continue
+		}
+		for _, b := range n.Server().Backends() {
+			if seen[b.Name()] {
+				continue
+			}
+			seen[b.Name()] = true
+			tags.Models = append(tags.Models, proxy.TagFor(b.Name(), b.Model()))
+		}
+	}
+	openai.WriteJSON(w, http.StatusOK, tags)
 }
 
 // health reports gateway liveness: OK once at least one node is
@@ -503,6 +584,23 @@ func (g *gateway) drain(enter bool) http.HandlerFunc {
 		n, _ := g.c.registry.Node(id)
 		openai.WriteJSON(w, http.StatusOK, map[string]string{"node": id, "state": n.State().String()})
 	}
+}
+
+// bumpRevision advances a model's response-cache revision, invalidating
+// its cached entries — the operator hook for weight updates (a new
+// fine-tune under the same name must never serve predecessor answers).
+func (g *gateway) bumpRevision(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+		return
+	}
+	model := r.URL.Query().Get("model")
+	if model == "" {
+		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "model query parameter required")
+		return
+	}
+	rev := g.front.BumpRevision(model)
+	openai.WriteJSON(w, http.StatusOK, map[string]interface{}{"model": model, "revision": rev})
 }
 
 func (g *gateway) metricsProm(w http.ResponseWriter, r *http.Request) {

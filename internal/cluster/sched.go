@@ -113,8 +113,10 @@ func buildSched(cfg config.Cluster, catalog *models.Catalog, c *Cluster) (*sched
 // classFor resolves a request's priority class: an explicit
 // X-Priority-Class header wins (per-tenant override, validated against
 // the declared classes), then the model's configured class, then the
-// default. Returns "" when scheduling is disabled.
-func (c *Cluster) classFor(model, override string) (string, error) {
+// endpoint table's class tag (honored only when the deployment declares
+// that class), then the default. Returns "" when scheduling is
+// disabled.
+func (c *Cluster) classFor(model, override, endpointClass string) (string, error) {
 	if c.sched == nil {
 		return "", nil
 	}
@@ -126,6 +128,11 @@ func (c *Cluster) classFor(model, override string) (string, error) {
 	}
 	if cl, ok := c.sched.classOf[model]; ok {
 		return cl, nil
+	}
+	if endpointClass != "" {
+		if _, ok := c.sched.cfg.Class(endpointClass); ok {
+			return endpointClass, nil
+		}
 	}
 	return c.sched.cfg.DefaultClass, nil
 }

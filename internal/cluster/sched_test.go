@@ -41,6 +41,9 @@ func postChat(t *testing.T, url, model, classHeader string) *http.Response {
 		t.Fatal(err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Admission semantics are under test: bypass the response cache so
+	// repeated identical requests actually reach the admission gate.
+	req.Header.Set("Cache-Control", "no-store")
 	if classHeader != "" {
 		req.Header.Set("X-Priority-Class", classHeader)
 	}

@@ -51,6 +51,16 @@ type ClusterGlobal struct {
 	RetryLimit int `json:"retry_limit,omitempty"`
 }
 
+// ProxyCfg configures the gateway's multi-protocol front door: the
+// IR-keyed response cache sitting in front of placement.
+type ProxyCfg struct {
+	// CacheEntries bounds the response cache (default 256 entries).
+	CacheEntries int `json:"cache_entries,omitempty"`
+	// CacheDisabled turns the response cache off entirely (the
+	// cache_entries default makes a plain 0 mean "use the default").
+	CacheDisabled bool `json:"cache_disabled,omitempty"`
+}
+
 // Cluster is the multi-node deployment configuration consumed by the
 // swapgateway binary: one gateway address, shared global backend
 // parameters, and the node list.
@@ -67,6 +77,8 @@ type Cluster struct {
 	// Scheduling configures predictive SLO-aware scheduling and
 	// admission control (empty = reactive fleet, as before).
 	Scheduling SchedCfg `json:"scheduling,omitempty"`
+	// Proxy configures the multi-protocol front door.
+	Proxy ProxyCfg `json:"proxy,omitempty"`
 	// Nodes lists the cluster members.
 	Nodes []Node `json:"nodes"`
 }
@@ -157,6 +169,12 @@ func (c *Cluster) Validate(catalog *models.Catalog) error {
 	if err := c.Scheduling.validate(c.Global.KeepAliveSec); err != nil {
 		return err
 	}
+	if c.Proxy.CacheEntries < 0 {
+		return errors.New("config: proxy cache_entries must be non-negative")
+	}
+	if c.Proxy.CacheEntries == 0 {
+		c.Proxy.CacheEntries = 256
+	}
 	if len(c.Nodes) == 0 {
 		return errors.New("config: at least one node required")
 	}
@@ -209,6 +227,15 @@ func (c *Cluster) NodeConfig(i int) Config {
 		Global:  c.Global,
 		Models:  append([]Model(nil), n.Models...),
 	}
+}
+
+// ProxyCacheEntries returns the response-cache bound the front door
+// should use (0 when the cache is disabled).
+func (c *Cluster) ProxyCacheEntries() int {
+	if c.Proxy.CacheDisabled {
+		return 0
+	}
+	return c.Proxy.CacheEntries
 }
 
 // Heartbeat returns the heartbeat probe interval as a Duration.

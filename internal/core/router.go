@@ -1,7 +1,8 @@
 package core
 
 import (
-	"encoding/json"
+	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,22 +10,48 @@ import (
 
 	"swapservellm/internal/obs"
 	"swapservellm/internal/openai"
+	"swapservellm/internal/proxy"
+	"swapservellm/internal/proxy/ir"
 )
 
-// router is the OpenAI API router of §3.1 ①: a proxy multiplexing
-// inference requests across models and engines. It validates payloads,
-// resolves the backend, and enqueues requests for the model workers,
-// relaying responses (including SSE streams) back to clients.
+// router is the OpenAI API router of §3.1 ①, grown into the same
+// multi-protocol front door the cluster gateway runs: every inference
+// route is one row of the shared proxy endpoint table, decoded through
+// the IR into the canonical OpenAI encoding the engines speak, queued
+// for the model workers, and translated back into the client's wire
+// format (including NDJSON stream framing for Ollama clients) on the
+// way out. A standalone swapserved node therefore speaks both
+// protocols identically to a full cluster deployment.
 type router struct {
-	s *Server
+	s     *Server
+	front *proxy.Front
 }
 
-// handler builds the router's http.Handler.
+// newRouter wires the front door: the node keeps no response cache
+// (caching is the gateway's job — a node must stay deterministic for
+// cross-node stream resume) and no chaos sites (proxy.translate and
+// proxy.cache are gateway-level).
+func newRouter(s *Server) *router {
+	return &router{s: s, front: proxy.New(proxy.WithClock(s.clock))}
+}
+
+// handler builds the router's http.Handler: one loop over the endpoint
+// table plus the node admin and observability routes.
 func (rt *router) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/chat/completions", rt.auth(rt.proxy("/v1/chat/completions", validateChat)))
-	mux.HandleFunc("/v1/completions", rt.auth(rt.proxy("/v1/completions", validateCompletion)))
-	mux.HandleFunc("/v1/models", rt.auth(rt.listModels))
+	for _, ep := range rt.front.Table() {
+		ep := ep
+		switch {
+		case ep.Upstream != "":
+			mux.HandleFunc(ep.Path, rt.auth(func(w http.ResponseWriter, r *http.Request) {
+				rt.serveEndpoint(w, r, ep)
+			}))
+		case ep.Path == "/v1/models":
+			mux.HandleFunc(ep.Path, rt.auth(rt.listModels))
+		case ep.Path == "/api/tags":
+			mux.HandleFunc(ep.Path, rt.auth(rt.listTags))
+		}
+	}
 	mux.HandleFunc("/health", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		fmt.Fprintln(w, "ok")
@@ -58,42 +85,12 @@ func (rt *router) auth(next http.HandlerFunc) http.HandlerFunc {
 // maxBodyBytes bounds request payloads (1 MiB covers any chat request).
 const maxBodyBytes = 1 << 20
 
-// validateChat checks a chat-completions payload and extracts the model.
-func validateChat(body []byte) (string, error) {
-	var req openai.ChatCompletionRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %w", err)
-	}
-	if err := req.Validate(); err != nil {
-		return "", err
-	}
-	return req.Model, nil
-}
-
-// validateCompletion checks a legacy completions payload and extracts the
-// model.
-func validateCompletion(body []byte) (string, error) {
-	var req openai.CompletionRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		return "", fmt.Errorf("malformed JSON: %w", err)
-	}
-	if err := req.Validate(); err != nil {
-		return "", err
-	}
-	return req.Model, nil
-}
-
-// proxy accepts an inference request on path, queues it for the model's
-// worker, and relays the backend's response.
-func (rt *router) proxy(path string, validate func([]byte) (string, error)) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		rt.serveProxy(w, r, path, validate)
-	}
-}
-
-func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string, validate func([]byte) (string, error)) {
-	if r.Method != http.MethodPost {
-		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use POST")
+// serveEndpoint runs one endpoint-table row: decode the client wire
+// format into the IR, queue the canonical request for the model's
+// worker, and translate the backend's response back out.
+func (rt *router) serveEndpoint(w http.ResponseWriter, r *http.Request, ep proxy.Endpoint) {
+	if r.Method != ep.Method {
+		openai.WriteError(w, http.StatusMethodNotAllowed, "invalid_request_error", "use "+ep.Method)
 		return
 	}
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
@@ -101,21 +98,30 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", "reading body: "+err.Error())
 		return
 	}
-	model, err := validate(body)
+	req, err := rt.front.Decode(ep, body)
 	if err != nil {
+		if errors.Is(err, proxy.ErrTranslate) {
+			openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
+			return
+		}
 		openai.WriteError(w, http.StatusBadRequest, "invalid_request_error", err.Error())
 		return
 	}
+	canonical, err := rt.front.EncodeUpstream(req)
+	if err != nil {
+		openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
+		return
+	}
 
-	b, ok := rt.s.Backend(model)
+	b, ok := rt.s.Backend(req.Model)
 	if !ok {
 		openai.WriteError(w, http.StatusNotFound, "invalid_request_error",
-			fmt.Sprintf("model %q is not configured", model))
+			fmt.Sprintf("model %q is not configured", req.Model))
 		return
 	}
 	if b.State() == BackendFailed {
 		openai.WriteError(w, http.StatusServiceUnavailable, "backend_failed",
-			fmt.Sprintf("backend for %q failed to initialize", model))
+			fmt.Sprintf("backend for %q failed to initialize", req.Model))
 		return
 	}
 
@@ -127,7 +133,8 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 	ctx := rt.s.traceCtx(r.Context())
 	var span *obs.Span
 	ctx, span = obs.Start(ctx, "request",
-		obs.String("model", model), obs.String("path", path))
+		obs.String("model", req.Model), obs.String("path", ep.Path),
+		obs.String("protocol", string(ep.Protocol)))
 	defer span.End()
 	if timeout := rt.s.cfg.ResponseTimeout(); timeout > 0 {
 		// The response timeout is expressed in simulated seconds; convert
@@ -138,7 +145,7 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		defer cancel()
 	}
 
-	item := newQueuedRequest(ctx, path, body, now)
+	item := newQueuedRequest(ctx, ep.Upstream, canonical, now)
 	defer close(item.done)
 
 	// Queue-capacity check (§3.3 ②).
@@ -148,7 +155,7 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 		rt.s.reg.Counter("rejected_queue_full").Inc()
 		span.Fail(fmt.Errorf("queue full"))
 		openai.WriteError(w, http.StatusTooManyRequests, "queue_full",
-			fmt.Sprintf("request queue for %q is full", model))
+			fmt.Sprintf("request queue for %q is full", req.Model))
 		return
 	}
 
@@ -165,19 +172,85 @@ func (rt *router) serveProxy(w http.ResponseWriter, r *http.Request, path string
 			return
 		}
 		defer res.resp.Body.Close()
-		relayResponse(w, res.resp)
+		rt.relayResponse(w, res.resp, ep)
 		rt.s.reg.Histogram("request_latency").Observe(rt.s.clock.Since(now))
 	}
 }
 
-// relayResponse streams the backend response (headers, status, body) to
-// the client, flushing as data arrives so SSE streams stay real-time.
-func relayResponse(w http.ResponseWriter, resp *http.Response) {
-	for k, vs := range resp.Header {
-		for _, v := range vs {
-			w.Header().Add(k, v)
+// relayResponse delivers the backend response to the client in the
+// endpoint's wire format. OpenAI endpoints pass bytes through
+// untouched; Ollama endpoints translate the canonical JSON body or
+// re-frame the canonical SSE stream as NDJSON, flushing per frame so
+// streams stay real-time.
+func (rt *router) relayResponse(w http.ResponseWriter, resp *http.Response, ep proxy.Endpoint) {
+	tr := rt.front.Translator(ep)
+	streaming := strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream")
+	if tr.Passthrough() {
+		relayRaw(w, resp)
+		return
+	}
+	if streaming {
+		rt.relayTranslatedStream(w, resp, tr)
+		return
+	}
+	full, err := io.ReadAll(resp.Body)
+	if err != nil {
+		openai.WriteError(w, http.StatusBadGateway, "backend_error", "reading backend response: "+err.Error())
+		return
+	}
+	if resp.StatusCode != http.StatusOK {
+		// Error envelopes pass through untranslated: every protocol's
+		// tooling understands a JSON error object.
+		copyResponseHeaders(w, resp)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(full)
+		return
+	}
+	out, err := rt.front.TranslateResponse(ep, full)
+	if err != nil {
+		openai.WriteError(w, http.StatusServiceUnavailable, "translate_failed", err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+// relayTranslatedStream re-frames the backend's canonical SSE stream
+// into the endpoint's client framing, one event at a time.
+func (rt *router) relayTranslatedStream(w http.ResponseWriter, resp *http.Response, tr *proxy.StreamTranslator) {
+	w.Header().Set("Content-Type", tr.ContentType())
+	w.WriteHeader(resp.StatusCode)
+	flusher, _ := w.(http.Flusher)
+	br := bufio.NewReader(resp.Body)
+	for {
+		event, err := ir.ReadSSEEvent(br)
+		if err != nil {
+			return // truncated upstream: the missing done line tells the client
+		}
+		frames, done, terr := tr.Frames(event)
+		if terr != nil {
+			return
+		}
+		if len(frames) > 0 {
+			if _, werr := w.Write(frames); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if done {
+			return
 		}
 	}
+}
+
+// relayRaw streams the backend response (headers, status, body) to the
+// client unchanged, flushing as data arrives so SSE streams stay
+// real-time.
+func relayRaw(w http.ResponseWriter, resp *http.Response) {
+	copyResponseHeaders(w, resp)
 	w.WriteHeader(resp.StatusCode)
 	flusher, _ := w.(http.Flusher)
 	buf := make([]byte, 4096)
@@ -197,18 +270,37 @@ func relayResponse(w http.ResponseWriter, resp *http.Response) {
 	}
 }
 
-// listModels reports every configured model.
+func copyResponseHeaders(w http.ResponseWriter, resp *http.Response) {
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+}
+
+// listModels reports every configured model with its protocol
+// capabilities.
 func (rt *router) listModels(w http.ResponseWriter, r *http.Request) {
 	list := openai.ModelList{Object: "list"}
 	for _, b := range rt.s.Backends() {
 		list.Data = append(list.Data, openai.ModelInfo{
-			ID:      b.name,
-			Object:  "model",
-			Created: rt.s.clock.Now().Unix(),
-			OwnedBy: string(b.engine),
+			ID:           b.name,
+			Object:       "model",
+			Created:      rt.s.clock.Now().Unix(),
+			OwnedBy:      string(b.engine),
+			Capabilities: b.model.Capabilities(),
 		})
 	}
 	openai.WriteJSON(w, http.StatusOK, list)
+}
+
+// listTags is the Ollama protocol's model listing (GET /api/tags).
+func (rt *router) listTags(w http.ResponseWriter, r *http.Request) {
+	var tags ir.OllamaTagsResponse
+	for _, b := range rt.s.Backends() {
+		tags.Models = append(tags.Models, proxy.TagFor(b.name, b.model))
+	}
+	openai.WriteJSON(w, http.StatusOK, tags)
 }
 
 // adminStatus reports backend and GPU state.

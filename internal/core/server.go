@@ -351,7 +351,7 @@ func (s *Server) Start(ctx context.Context) error {
 		return fmt.Errorf("core: listening on %s: %w", s.cfg.Listen, err)
 	}
 	s.listener = ln
-	s.httpServer = &http.Server{Handler: (&router{s: s}).handler()}
+	s.httpServer = &http.Server{Handler: newRouter(s).handler()}
 	go s.httpServer.Serve(ln)
 	return nil
 }
@@ -464,7 +464,7 @@ func (s *Server) Addr() string {
 func (s *Server) URL() string { return "http://" + s.Addr() }
 
 // Handler returns the router handler (usable without a listener).
-func (s *Server) Handler() http.Handler { return (&router{s: s}).handler() }
+func (s *Server) Handler() http.Handler { return newRouter(s).handler() }
 
 // Shutdown stops the router, the reaper, the workers, and every
 // container.

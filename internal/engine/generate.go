@@ -71,6 +71,31 @@ func (Generator) Token(prompt string, seed int64, i int) string {
 	return " " + w
 }
 
+// EmbeddingDim is the simulated embedding width. Real embedding models
+// emit 768–4096 dims; 8 keeps response bodies small while preserving
+// the property the experiments need — a deterministic vector per input.
+const EmbeddingDim = 8
+
+// Embedding returns the deterministic embedding vector for text: dim
+// components in [-1, 1] with six decimal places, a pure function of the
+// input so cached and replayed responses are byte-identical.
+func (Generator) Embedding(text string, dim int) []float64 {
+	state := hashSeed(text, 0)
+	out := make([]float64, dim)
+	for d := range out {
+		state = step(state)
+		out[d] = float64(state%2000001)/1e6 - 1
+	}
+	return out
+}
+
+// RerankScore returns the deterministic relevance score in [0, 1] (six
+// decimal places) for a query-document pair.
+func (Generator) RerankScore(query, doc string) float64 {
+	state := step(hashSeed(query+"<|doc|>"+doc, 0))
+	return float64(state%1000001) / 1e6
+}
+
 // PromptText flattens a chat into the prompt string fed to the stream
 // state, mirroring a chat template.
 func PromptText(msgs []openai.Message) string {

@@ -24,6 +24,8 @@ func (b *base) handlerWith(extra func(mux *http.ServeMux)) http.Handler {
 	mux.HandleFunc("/v1/models", h.listModels)
 	mux.HandleFunc("/v1/chat/completions", h.chatCompletions)
 	mux.HandleFunc("/v1/completions", h.completions)
+	mux.HandleFunc("/v1/embeddings", h.embeddings)
+	mux.HandleFunc("/v1/rerank", h.rerank)
 	if extra != nil {
 		extra(mux)
 	}
@@ -115,6 +117,15 @@ func (h *handler) chatCompletions(w http.ResponseWriter, r *http.Request) {
 	)
 	prompt := PromptText(req.Messages)
 	promptTokens := tok.CountMessages(req.Messages)
+	// Multimodal attachments charge the prompt budget in projector-token
+	// equivalents on top of the encoder passes slept below.
+	var images int
+	var audioSec float64
+	for _, msg := range req.Messages {
+		images += msg.Images()
+		audioSec += msg.AudioSeconds()
+	}
+	promptTokens += images*perfmodel.VisionTokensPerImage + int(audioSec*perfmodel.AudioTokensPerSec)
 	var seed int64
 	if req.Seed != nil {
 		seed = *req.Seed
@@ -131,8 +142,11 @@ func (h *handler) chatCompletions(w http.ResponseWriter, r *http.Request) {
 		finish = "length"
 	}
 
-	// Prefill: compute-bound prompt processing.
+	// Vision/audio encoders run first, then compute-bound prefill.
 	tb0 := h.b.cfg.Clock
+	if enc := tb.VisionEncodeTime(images) + tb.AudioEncodeTime(audioSec); enc > 0 {
+		tb0.Sleep(enc)
+	}
 	tb0.Sleep(tb.PrefillTime(kind, m, promptTokens))
 
 	id := fmt.Sprintf("chatcmpl-%s-%d", h.b.cfg.Owner, h.b.reqSeq.Add(1))
@@ -305,6 +319,3 @@ func (h *handler) updateBusy() {
 		d.SetBusy(h.b.cfg.Owner, share)
 	}
 }
-
-// ensure perfmodel is referenced even if future refactors drop direct use.
-var _ = perfmodel.EngineVLLM

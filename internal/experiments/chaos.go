@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"bufio"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -17,6 +19,7 @@ import (
 	"swapservellm/internal/engine"
 	"swapservellm/internal/invariant"
 	"swapservellm/internal/openai"
+	"swapservellm/internal/proxy/ir"
 	"swapservellm/internal/simclock"
 
 	"swapservellm/internal/cluster"
@@ -56,11 +59,15 @@ const NodeChaosRules = "cudackpt.lock: p=0.08" +
 	"; storage.read: p=0.15 delay=40ms"
 
 // ClusterChaosRules is the default cluster soak schedule: heartbeat
-// loss (node crash/restart), proxy-level connection failures, and
-// mid-stream SSE cuts.
+// loss (node crash/restart), proxy-level connection failures,
+// mid-stream cuts (the cluster.sse site severs the relayed canonical
+// stream whatever the client framing), front-door translation faults,
+// and degraded response-cache lookups.
 const ClusterChaosRules = "cluster.heartbeat: p=0.15" +
 	"; cluster.proxy: p=0.1" +
-	"; cluster.sse: p=0.04"
+	"; cluster.sse: p=0.04" +
+	"; proxy.translate: p=0.05" +
+	"; proxy.cache: p=0.25"
 
 // SchedChaosRules is the predictive-scheduling soak schedule: forced
 // admission mispredictions (sched.admit inverts each decision),
@@ -159,12 +166,15 @@ func ChaosSoak(seed int64, scale float64) (ChaosRow, error) {
 	return row, nil
 }
 
-// ChaosClusterSoak runs one seeded cluster trial: streaming requests
-// through the two-node gateway while heartbeat, proxy, and SSE faults
-// fire; every successful stream's transcript is compared byte-for-byte
-// against the deterministic expectation (a failover that duplicates or
-// drops an event is an invariant violation, not just a failure), and at
-// quiescence the node transition trace and both servers are audited.
+// ChaosClusterSoak runs one seeded cluster trial: a protocol-mixed
+// workload through the two-node gateway — SSE and NDJSON streams
+// alternating, with a periodic non-stream request exercising the
+// response cache — while heartbeat, proxy, stream-cut, translation,
+// and cache faults fire; every successful stream's transcript is
+// compared byte-for-byte against the deterministic expectation (a
+// failover that duplicates or drops an event is an invariant
+// violation, not just a failure), and at quiescence the node
+// transition trace and both servers are audited.
 func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 	const model = "llama3.2:1b-fp16"
 	cfg := config.DefaultCluster()
@@ -179,8 +189,9 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 	defer gate.Exit()
 	tr := chaos.NewTrace()
 	inj := chaos.NewInjector(chaos.MustParsePlan(ClusterChaosRules).WithSeed(seed))
-	// The plan has only cluster.* rules, so arming at construction is
-	// safe: node startup consults none of them.
+	// The plan has only cluster.* and proxy.* rules, so arming at
+	// construction is safe: node startup consults none of them (the
+	// front-door sites fire per request, never during startup).
 	c, err := cluster.New(cfg, cluster.WithClock(clock), cluster.WithChaos(inj), cluster.WithTrace(tr))
 	if err != nil {
 		return ChaosRow{}, err
@@ -200,20 +211,38 @@ func ChaosClusterSoak(seed int64, scale float64) (ChaosRow, error) {
 		id := fmt.Sprintf("stream-%d", i)
 		led.Accept(id)
 		row.Requests++
+		// The workload mixes protocols: SSE, NDJSON, SSE, then one
+		// non-stream request per cycle. The non-stream requests are
+		// byte-identical, so after the first every repeat is a cache hit
+		// unless a proxy.cache fault degrades the lookup to a bypass —
+		// either way the answer must be correct, which is exactly the
+		// property the cache faults probe.
+		kind := i % 4
 		attempt := func() error {
-			got, finished, err := streamOnce(c.URL(), model, reqSeed, clock)
+			if kind == 3 {
+				status, _, err := chatOnceHTTP(c.URL(), model, reqSeed, clock)
+				if err != nil {
+					return err
+				}
+				if status != http.StatusOK {
+					return fmt.Errorf("non-stream request: HTTP %d", status)
+				}
+				return nil
+			}
+			ndjson := kind == 1
+			got, finished, err := streamOnceFramed(c.URL(), model, reqSeed, clock, ndjson)
 			if err != nil {
 				return err
 			}
 			if !finished {
-				// Truncated without a finish chunk: every replica was cut
+				// Truncated without a finish marker: every replica was cut
 				// mid-stream. The client can see this and retry, so it is a
 				// failure, not a correctness violation.
 				return fmt.Errorf("stream truncated after %d bytes", len(got))
 			}
 			// A stream that did finish must be byte-exact: a failover that
 			// duplicated or dropped an event is an invariant violation.
-			if want := expectedStream(model, reqSeed); got != want {
+			if want := expectedStreamFramed(reqSeed, ndjson); got != want {
 				rep.Addf("stream.integrity", id,
 					"failover transcript diverged: got %d bytes, want %d", len(got), len(want))
 			}
@@ -467,6 +496,63 @@ const (
 	chaosStreamMax = 16
 )
 
+// streamOnceFramed issues one streaming request under either client
+// framing: the OpenAI SSE wire or the Ollama NDJSON wire. Both
+// canonicalize to the same upstream stream, so the concatenated
+// transcript must agree modulo the length clamp (the Ollama wire has
+// no min_tokens knob, so its expectation is the natural length capped
+// at num_predict).
+func streamOnceFramed(url, model string, seed int64, clock simclock.Clock, ndjson bool) (string, bool, error) {
+	if ndjson {
+		return streamOnceNDJSON(url, model, seed, clock)
+	}
+	return streamOnce(url, model, seed, clock)
+}
+
+// streamOnceNDJSON issues one /api/chat streaming request and consumes
+// the NDJSON line stream, returning the concatenated completion text
+// and whether the done:true line arrived.
+func streamOnceNDJSON(url, model string, seed int64, clock simclock.Clock) (string, bool, error) {
+	var got strings.Builder
+	finished := false
+	var err error
+	simclock.GateFor(clock).BlockIO(func() {
+		body := fmt.Sprintf(
+			`{"model":%q,"messages":[{"role":"user","content":"soak stream"}],"options":{"seed":%d,"num_predict":%d}}`,
+			model, seed, chaosStreamMax)
+		var resp *http.Response
+		resp, err = http.Post(url+"/api/chat", "application/json", strings.NewReader(body))
+		if err != nil {
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			err = fmt.Errorf("stream request: HTTP %d", resp.StatusCode)
+			return
+		}
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, rerr := ir.ReadNDJSONLine(br)
+			if line != "" {
+				var chunk ir.OllamaChatChunk
+				if jerr := json.Unmarshal([]byte(line), &chunk); jerr != nil {
+					err = fmt.Errorf("bad NDJSON line: %w", jerr)
+					return
+				}
+				got.WriteString(chunk.Message.Content)
+				if chunk.Done {
+					finished = true
+				}
+			}
+			if rerr != nil {
+				return // EOF (clean or cut); finished tells which
+			}
+		}
+	})
+	return got.String(), finished, err
+}
+
 // streamOnce issues one streaming request, returning the concatenated
 // completion text and whether the stream delivered its finish chunk —
 // the relayed stream ends silently at EOF when every replica was cut,
@@ -497,14 +583,16 @@ func streamOnce(url, model string, seed int64, clock simclock.Clock) (string, bo
 	return got.String(), finished, err
 }
 
-// expectedStream computes the deterministic transcript streamOnce must
-// observe — identical on every replica, which is what makes skip-ahead
-// failover exact. It mirrors the engine handler's token-count clamp.
-func expectedStream(model string, seed int64) string {
+// expectedStreamFramed computes the deterministic transcript a soak
+// stream must observe — identical on every replica, which is what
+// makes skip-ahead failover exact. It mirrors the engine handler's
+// token-count clamp; the NDJSON request carries no min_tokens (the
+// Ollama wire has no such knob), so its floor is zero.
+func expectedStreamFramed(seed int64, ndjson bool) string {
 	var gen engine.Generator
 	full := engine.PromptText([]openai.Message{{Role: "user", Content: "soak stream"}})
 	n := gen.CompletionLength(full, seed, chaosStreamMax)
-	if n < chaosStreamMin {
+	if !ndjson && n < chaosStreamMin {
 		n = chaosStreamMin
 	}
 	var want strings.Builder

@@ -52,6 +52,8 @@ var deterministicPkgs = []string{
 	"internal/invariant",
 	"internal/ckptstore",
 	"internal/obs",
+	"internal/proxy",
+	"internal/proxy/ir",
 }
 
 // virtualOnlyPkgs lists import-path suffixes where constructing a

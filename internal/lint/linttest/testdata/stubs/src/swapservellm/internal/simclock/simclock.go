@@ -39,10 +39,10 @@ type Gate struct{}
 
 func GateFor(clock Clock) *Gate { return &Gate{} }
 
-func (g *Gate) Enter()                                    {}
-func (g *Gate) Exit()                                     {}
-func (g *Gate) Run(fn func())                             { fn() }
-func (g *Gate) Go(fn func())                              { go fn() }
-func (g *Gate) Block(fn func())                           { fn() }
-func (g *Gate) BlockIO(fn func())                         { fn() }
+func (g *Gate) Enter()                                            {}
+func (g *Gate) Exit()                                             {}
+func (g *Gate) Run(fn func())                                     { fn() }
+func (g *Gate) Go(fn func())                                      { go fn() }
+func (g *Gate) Block(fn func())                                   { fn() }
+func (g *Gate) BlockIO(fn func())                                 { fn() }
 func (g *Gate) Wait(d time.Duration, done ...<-chan struct{}) int { return -1 }

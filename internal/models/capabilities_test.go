@@ -1,0 +1,41 @@
+package models
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCapabilities(t *testing.T) {
+	has := func(caps []string, want string) bool {
+		for _, c := range caps {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+	gemma3 := Model{Name: "gemma3:4b", Family: FamilyGemma3}
+	llama := Model{Name: "llama3.2:1b", Family: FamilyLLaMA}
+	coder := Model{Name: "deepseek-coder:6.7b", Family: FamilyDeepSeekCoder}
+
+	for _, m := range []Model{gemma3, llama, coder} {
+		caps := m.Capabilities()
+		for _, base := range []string{"chat", "completion", "embeddings", "rerank"} {
+			if !has(caps, base) {
+				t.Fatalf("%s missing base capability %q: %v", m.Name, base, caps)
+			}
+		}
+	}
+	if !has(gemma3.Capabilities(), "vision") || !has(gemma3.Capabilities(), "audio") {
+		t.Fatalf("gemma3 = %v", gemma3.Capabilities())
+	}
+	if !has(llama.Capabilities(), "vision") || has(llama.Capabilities(), "audio") {
+		t.Fatalf("llama = %v", llama.Capabilities())
+	}
+	if has(coder.Capabilities(), "vision") {
+		t.Fatalf("deepseek-coder = %v", coder.Capabilities())
+	}
+	if joined := strings.Join(coder.Capabilities(), ","); joined != "chat,completion,embeddings,rerank" {
+		t.Fatalf("capability order must be stable, got %s", joined)
+	}
+}

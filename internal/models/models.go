@@ -116,6 +116,22 @@ func (m Model) KVCacheBytes(tokens int) int64 {
 	return m.KVBytesPerToken() * int64(tokens)
 }
 
+// Capabilities returns the protocol families the model serves, in the
+// order reported by GET /v1/models. Every catalog model is
+// multi-headed in the simulation (chat, legacy completions, embeddings,
+// rerank); the multimodal families additionally take vision and — for
+// Gemma 3 — audio attachments.
+func (m Model) Capabilities() []string {
+	caps := []string{"chat", "completion", "embeddings", "rerank"}
+	switch m.Family {
+	case FamilyGemma3:
+		caps = append(caps, "vision", "audio")
+	case FamilyLLaMA:
+		caps = append(caps, "vision")
+	}
+	return caps
+}
+
 // WithQuant returns a copy of the model at a different quantization level,
 // with the name rewritten accordingly.
 func (m Model) WithQuant(q Quantization) Model {

@@ -6,84 +6,6 @@ import (
 	"fmt"
 )
 
-// PromptField accepts the completions API's prompt as either a single
-// string or an array of strings (the specification allows both).
-type PromptField []string
-
-// UnmarshalJSON implements json.Unmarshaler.
-func (p *PromptField) UnmarshalJSON(b []byte) error {
-	if string(b) == "null" {
-		*p = nil
-		return nil
-	}
-	var s string
-	if err := json.Unmarshal(b, &s); err == nil {
-		*p = PromptField{s}
-		return nil
-	}
-	var ss []string
-	if err := json.Unmarshal(b, &ss); err == nil {
-		*p = PromptField(ss)
-		return nil
-	}
-	return fmt.Errorf("openai: prompt must be a string or array of strings")
-}
-
-// MarshalJSON implements json.Marshaler: a single prompt round-trips as a
-// plain string.
-func (p PromptField) MarshalJSON() ([]byte, error) {
-	if len(p) == 1 {
-		return json.Marshal(p[0])
-	}
-	return json.Marshal([]string(p))
-}
-
-// CompletionRequest is the legacy POST /v1/completions payload.
-type CompletionRequest struct {
-	Model       string      `json:"model"`
-	Prompt      PromptField `json:"prompt"`
-	MaxTokens   int         `json:"max_tokens,omitempty"`
-	Temperature *float64    `json:"temperature,omitempty"`
-	Seed        *int64      `json:"seed,omitempty"`
-	Stream      bool        `json:"stream,omitempty"`
-	User        string      `json:"user,omitempty"`
-}
-
-// Validate checks the request's structural requirements.
-func (r *CompletionRequest) Validate() error {
-	if r.Model == "" {
-		return fmt.Errorf("openai: missing required field: model")
-	}
-	if len(r.Prompt) == 0 {
-		return fmt.Errorf("openai: prompt must be non-empty")
-	}
-	if r.MaxTokens < 0 {
-		return fmt.Errorf("openai: max_tokens must be non-negative")
-	}
-	if r.Temperature != nil && (*r.Temperature < 0 || *r.Temperature > 2) {
-		return fmt.Errorf("openai: temperature must be in [0, 2]")
-	}
-	return nil
-}
-
-// CompletionChoice is one completion alternative.
-type CompletionChoice struct {
-	Text         string  `json:"text"`
-	Index        int     `json:"index"`
-	FinishReason *string `json:"finish_reason"`
-}
-
-// CompletionResponse is the /v1/completions response body — the same
-// shape is used for SSE stream chunks.
-type CompletionResponse struct {
-	ID      string             `json:"id"`
-	Object  string             `json:"object"`
-	Created int64              `json:"created"`
-	Model   string             `json:"model"`
-	Choices []CompletionChoice `json:"choices"`
-	Usage   *Usage             `json:"usage,omitempty"`
-}
-
 // Completion issues a blocking legacy completion.
 func (c *Client) Completion(ctx context.Context, req *CompletionRequest) (*CompletionResponse, error) {
 	req.Stream = false

@@ -7,10 +7,12 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"swapservellm/internal/proxy/ir"
 )
 
 // DoneSentinel is the terminal SSE data payload.
-const DoneSentinel = "[DONE]"
+const DoneSentinel = ir.DoneSentinel
 
 // SSEWriter streams chat-completion chunks as server-sent events.
 type SSEWriter struct {

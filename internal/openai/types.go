@@ -1,143 +1,82 @@
 // Package openai implements the subset of the OpenAI API specification
 // that SwapServeLLM proxies: chat completions (blocking and SSE
-// streaming), model listing, and the standard error envelope. The router
-// in internal/core exposes these types; the simulated engines serve them.
+// streaming), model listing, and the standard error envelope. The wire
+// types themselves now live in internal/proxy/ir — the protocol-neutral
+// intermediate representation the multi-protocol front door translates
+// through — and are re-exported here as type aliases so pre-IR callers
+// (the engines, the node router, the client) keep compiling unchanged.
 package openai
 
 import (
 	"encoding/json"
 	"fmt"
+
+	"swapservellm/internal/proxy/ir"
 )
 
-// Message is one chat turn.
-type Message struct {
-	Role    string `json:"role"`
-	Content string `json:"content"`
-}
-
-// ChatCompletionRequest is the POST /v1/chat/completions payload.
-type ChatCompletionRequest struct {
-	Model     string    `json:"model"`
-	Messages  []Message `json:"messages"`
-	Stream    bool      `json:"stream,omitempty"`
-	MaxTokens int       `json:"max_tokens,omitempty"`
-	// MinTokens is the vLLM extension forcing at least this many output
-	// tokens before EOS is considered.
-	MinTokens   int      `json:"min_tokens,omitempty"`
-	Temperature *float64 `json:"temperature,omitempty"`
-	Seed        *int64   `json:"seed,omitempty"`
-	User        string   `json:"user,omitempty"`
-}
-
-// Validate checks the request's structural requirements.
-func (r *ChatCompletionRequest) Validate() error {
-	if r.Model == "" {
-		return fmt.Errorf("openai: missing required field: model")
-	}
-	if len(r.Messages) == 0 {
-		return fmt.Errorf("openai: messages must be non-empty")
-	}
-	for i, m := range r.Messages {
-		switch m.Role {
-		case "system", "user", "assistant", "tool":
-		default:
-			return fmt.Errorf("openai: messages[%d] has invalid role %q", i, m.Role)
-		}
-	}
-	if r.MaxTokens < 0 {
-		return fmt.Errorf("openai: max_tokens must be non-negative")
-	}
-	if r.MinTokens < 0 {
-		return fmt.Errorf("openai: min_tokens must be non-negative")
-	}
-	if r.Temperature != nil && (*r.Temperature < 0 || *r.Temperature > 2) {
-		return fmt.Errorf("openai: temperature must be in [0, 2]")
-	}
-	return nil
-}
-
-// Usage reports token accounting for a completion.
-type Usage struct {
-	PromptTokens     int `json:"prompt_tokens"`
-	CompletionTokens int `json:"completion_tokens"`
-	TotalTokens      int `json:"total_tokens"`
-}
-
-// Choice is one completion alternative in a blocking response.
-type Choice struct {
-	Index        int     `json:"index"`
-	Message      Message `json:"message"`
-	FinishReason string  `json:"finish_reason"`
-}
-
-// ChatCompletionResponse is the blocking response body.
-type ChatCompletionResponse struct {
-	ID      string   `json:"id"`
-	Object  string   `json:"object"`
-	Created int64    `json:"created"`
-	Model   string   `json:"model"`
-	Choices []Choice `json:"choices"`
-	Usage   Usage    `json:"usage"`
-}
-
-// DeltaChoice is one streamed increment.
-type DeltaChoice struct {
-	Index        int     `json:"index"`
-	Delta        Message `json:"delta"`
-	FinishReason *string `json:"finish_reason"`
-}
-
-// ChatCompletionChunk is one SSE event in a streaming response.
-type ChatCompletionChunk struct {
-	ID      string        `json:"id"`
-	Object  string        `json:"object"`
-	Created int64         `json:"created"`
-	Model   string        `json:"model"`
-	Choices []DeltaChoice `json:"choices"`
-	Usage   *Usage        `json:"usage,omitempty"`
-}
-
-// ModelInfo describes one served model in GET /v1/models.
-type ModelInfo struct {
-	ID      string `json:"id"`
-	Object  string `json:"object"`
-	Created int64  `json:"created"`
-	OwnedBy string `json:"owned_by"`
-}
-
-// ModelList is the GET /v1/models response body.
-type ModelList struct {
-	Object string      `json:"object"`
-	Data   []ModelInfo `json:"data"`
-}
-
-// APIError is the OpenAI error detail object.
-type APIError struct {
-	Message string `json:"message"`
-	Type    string `json:"type"`
-	Code    string `json:"code,omitempty"`
-	Param   string `json:"param,omitempty"`
-}
-
-// Error implements the error interface.
-func (e *APIError) Error() string {
-	return fmt.Sprintf("openai: %s (%s)", e.Message, e.Type)
-}
-
-// ErrorEnvelope is the wire format for API errors.
-type ErrorEnvelope struct {
-	Error APIError `json:"error"`
-}
+// Wire-type aliases into the IR package (the canonical definitions).
+type (
+	// Message is one chat turn.
+	Message = ir.Message
+	// ContentPart is one element of a multimodal content array.
+	ContentPart = ir.ContentPart
+	// ImageURL carries one image reference.
+	ImageURL = ir.ImageURL
+	// InputAudio carries one audio clip.
+	InputAudio = ir.InputAudio
+	// ChatCompletionRequest is the POST /v1/chat/completions payload.
+	ChatCompletionRequest = ir.ChatCompletionRequest
+	// Usage reports token accounting for a completion.
+	Usage = ir.Usage
+	// Choice is one completion alternative in a blocking response.
+	Choice = ir.Choice
+	// ChatCompletionResponse is the blocking response body.
+	ChatCompletionResponse = ir.ChatCompletionResponse
+	// DeltaChoice is one streamed increment.
+	DeltaChoice = ir.DeltaChoice
+	// ChatCompletionChunk is one SSE event in a streaming response.
+	ChatCompletionChunk = ir.ChatCompletionChunk
+	// PromptField accepts the completions prompt as string or array.
+	PromptField = ir.PromptField
+	// CompletionRequest is the legacy POST /v1/completions payload.
+	CompletionRequest = ir.CompletionRequest
+	// CompletionChoice is one completion alternative.
+	CompletionChoice = ir.CompletionChoice
+	// CompletionResponse is the /v1/completions response body.
+	CompletionResponse = ir.CompletionResponse
+	// InputField accepts the embeddings input as string or array.
+	InputField = ir.InputField
+	// EmbeddingsRequest is the POST /v1/embeddings payload.
+	EmbeddingsRequest = ir.EmbeddingsRequest
+	// Embedding is one output vector.
+	Embedding = ir.Embedding
+	// EmbeddingsResponse is the /v1/embeddings response body.
+	EmbeddingsResponse = ir.EmbeddingsResponse
+	// RerankRequest is the POST /v1/rerank payload.
+	RerankRequest = ir.RerankRequest
+	// RerankResult is one scored document.
+	RerankResult = ir.RerankResult
+	// RerankResponse is the /v1/rerank response body.
+	RerankResponse = ir.RerankResponse
+	// ModelInfo describes one served model in GET /v1/models.
+	ModelInfo = ir.ModelInfo
+	// ModelList is the GET /v1/models response body.
+	ModelList = ir.ModelList
+	// APIError is the OpenAI error detail object.
+	APIError = ir.APIError
+	// ErrorEnvelope is the wire format for API errors.
+	ErrorEnvelope = ir.ErrorEnvelope
+)
 
 // NewErrorEnvelope builds an error envelope with the given type and
 // message.
 func NewErrorEnvelope(typ, msg string) ErrorEnvelope {
-	return ErrorEnvelope{Error: APIError{Message: msg, Type: typ}}
+	return ir.NewErrorEnvelope(typ, msg)
 }
 
 // MarshalJSONString renders v as a compact JSON string, panicking on
-// marshal failure (only used with types defined in this package, which
-// cannot fail).
+// marshal failure (only used with types defined in the IR package,
+// which cannot fail).
 func MarshalJSONString(v interface{}) string {
 	b, err := json.Marshal(v)
 	if err != nil {

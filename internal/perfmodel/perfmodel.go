@@ -148,6 +148,13 @@ type Testbed struct {
 	// InitScale multiplies engine initialization compute phases
 	// (compilation, CUDA-graph capture) relative to the H100 anchors.
 	InitScale float64
+
+	// VisionEncodePerImage is the vision-tower cost per attached image in
+	// multimodal chat (ViT forward pass, independent of the LLM size).
+	VisionEncodePerImage time.Duration
+	// AudioEncodePerSec is the audio-encoder cost per second of attached
+	// audio input.
+	AudioEncodePerSec time.Duration
 }
 
 // H100 returns the H100 testbed profile from §5.1 (26-core Xeon Platinum
@@ -177,6 +184,9 @@ func H100() Testbed {
 		FreezeLatency:   30 * time.Millisecond,
 		ThawLatency:     30 * time.Millisecond,
 		InitScale:       1.0,
+
+		VisionEncodePerImage: 45 * time.Millisecond,
+		AudioEncodePerSec:    20 * time.Millisecond,
 	}
 }
 
@@ -206,6 +216,9 @@ func A100() Testbed {
 		FreezeLatency:   40 * time.Millisecond,
 		ThawLatency:     40 * time.Millisecond,
 		InitScale:       1.3,
+
+		VisionEncodePerImage: 80 * time.Millisecond,
+		AudioEncodePerSec:    35 * time.Millisecond,
 	}
 }
 

@@ -1,0 +1,80 @@
+package perfmodel
+
+import (
+	"math"
+	"time"
+
+	"swapservellm/internal/models"
+)
+
+// Multimodal prompt costing: attached media charge the prompt budget in
+// token equivalents (the projector output consumed by the LLM), on top
+// of the encoder time the testbed charges per image / per second.
+const (
+	// VisionTokensPerImage is the prompt-token equivalent of one image
+	// (a 24×24 patch grid, the LLaVA/CLIP ViT-L convention).
+	VisionTokensPerImage = 576
+	// AudioTokensPerSec is the prompt-token equivalent of one second of
+	// audio (the Whisper-style 50 Hz frame rate after the encoder).
+	AudioTokensPerSec = 50
+)
+
+// batchEfficiency is the throughput multiplier an encoder-only forward
+// pass gains from batching n inputs together: saturating from 1× at
+// batch 1 toward 4× as the batch fills the GPU (1 + 3·(1 − e^(−n/16))).
+// Embedding and rerank servers batch aggressively, which is why their
+// compute curves are much cheaper per input than chat prefill.
+func batchEfficiency(n int) float64 {
+	if n < 1 {
+		n = 1
+	}
+	return 1 + 3*(1-math.Exp(-float64(n)/16))
+}
+
+// encodePassTime is one batched encoder-only forward pass over
+// totalTokens of input split across batch inputs, at the prefill
+// compute rate scaled by the batch-shape efficiency.
+func (t Testbed) encodePassTime(e EngineKind, m models.Model, batch, totalTokens int) time.Duration {
+	if totalTokens <= 0 {
+		return 0
+	}
+	rate := t.PrefillTokensPerSec(e, m) * batchEfficiency(batch)
+	return time.Duration(float64(totalTokens) / rate * float64(time.Second))
+}
+
+// EmbedTime returns the simulated duration to embed a batch of inputs
+// totalling totalTokens: one encoder pass plus a per-batch pooling
+// overhead.
+func (t Testbed) EmbedTime(e EngineKind, m models.Model, batch, totalTokens int) time.Duration {
+	if batch <= 0 {
+		return 0
+	}
+	return 2*time.Millisecond + t.encodePassTime(e, m, batch, totalTokens)
+}
+
+// RerankTime returns the simulated duration to score docs query-document
+// pairs totalling totalTokens. Cross-encoder scoring re-reads the query
+// with every document, so totalTokens should already count the query
+// once per pair; the batch shape is the document count.
+func (t Testbed) RerankTime(e EngineKind, m models.Model, docs, totalTokens int) time.Duration {
+	if docs <= 0 {
+		return 0
+	}
+	return 2*time.Millisecond + t.encodePassTime(e, m, docs, totalTokens)
+}
+
+// VisionEncodeTime returns the encoder time for images attached images.
+func (t Testbed) VisionEncodeTime(images int) time.Duration {
+	if images <= 0 {
+		return 0
+	}
+	return time.Duration(images) * t.VisionEncodePerImage
+}
+
+// AudioEncodeTime returns the encoder time for seconds of attached audio.
+func (t Testbed) AudioEncodeTime(seconds float64) time.Duration {
+	if seconds <= 0 {
+		return 0
+	}
+	return time.Duration(seconds * float64(t.AudioEncodePerSec))
+}

@@ -1,0 +1,78 @@
+package perfmodel
+
+import (
+	"testing"
+	"time"
+
+	"swapservellm/internal/models"
+)
+
+func phasesModel() models.Model {
+	return models.Model{
+		Name: "m", Family: models.FamilyLLaMA,
+		Params: 1_000_000_000, Quant: models.QuantFP16,
+	}
+}
+
+func TestBatchEfficiencyShape(t *testing.T) {
+	if got := batchEfficiency(1); got < 1 || got > 1.3 {
+		t.Fatalf("batchEfficiency(1) = %v, want ~1", got)
+	}
+	if batchEfficiency(8) <= batchEfficiency(1) || batchEfficiency(64) <= batchEfficiency(8) {
+		t.Fatal("batch efficiency must grow with batch size")
+	}
+	if got := batchEfficiency(1 << 20); got > 4 {
+		t.Fatalf("batch efficiency must saturate under 4x, got %v", got)
+	}
+}
+
+func TestEmbedTimeBatchShape(t *testing.T) {
+	tb := H100()
+	m := phasesModel()
+	// Embedding 32 chunks in one call must beat 32 singleton calls: the
+	// batched pass amortizes and gains encoder efficiency.
+	batched := tb.EmbedTime(EngineVLLM, m, 32, 32*300)
+	var serial time.Duration
+	for i := 0; i < 32; i++ {
+		serial += tb.EmbedTime(EngineVLLM, m, 1, 300)
+	}
+	if batched >= serial {
+		t.Fatalf("batched embed (%v) must be cheaper than serial (%v)", batched, serial)
+	}
+	if tb.EmbedTime(EngineVLLM, m, 0, 300) != 0 {
+		t.Fatal("empty batch must cost nothing")
+	}
+	if tb.EmbedTime(EngineVLLM, m, 4, 600) <= tb.EmbedTime(EngineVLLM, m, 4, 300) {
+		t.Fatal("more tokens must cost more at a fixed batch shape")
+	}
+}
+
+func TestRerankTimeScalesWithDocs(t *testing.T) {
+	tb := A100()
+	m := phasesModel()
+	few := tb.RerankTime(EngineVLLM, m, 2, 2*400)
+	many := tb.RerankTime(EngineVLLM, m, 10, 10*400)
+	if many <= few {
+		t.Fatalf("10 docs (%v) must cost more than 2 (%v)", many, few)
+	}
+	if tb.RerankTime(EngineVLLM, m, 0, 0) != 0 {
+		t.Fatal("empty rerank must cost nothing")
+	}
+}
+
+func TestMultimodalEncodeTimes(t *testing.T) {
+	tb := H100()
+	if tb.VisionEncodeTime(0) != 0 || tb.AudioEncodeTime(0) != 0 {
+		t.Fatal("no attachments, no encoder cost")
+	}
+	if got := tb.VisionEncodeTime(3); got != 3*tb.VisionEncodePerImage {
+		t.Fatalf("VisionEncodeTime(3) = %v", got)
+	}
+	if got := tb.AudioEncodeTime(2.5); got != time.Duration(2.5*float64(tb.AudioEncodePerSec)) {
+		t.Fatalf("AudioEncodeTime(2.5) = %v", got)
+	}
+	// Both testbeds must carry the encoder constants.
+	if A100().VisionEncodePerImage <= 0 || A100().AudioEncodePerSec <= 0 {
+		t.Fatal("A100 profile missing multimodal encoder constants")
+	}
+}

@@ -1,0 +1,17 @@
+package proxy
+
+import "errors"
+
+// Package error vocabulary. Call sites wrap these with %w and callers
+// classify with errors.Is, per the repo's error conventions.
+var (
+	// ErrUnknownProtocol marks a protocol name with no registered codec.
+	ErrUnknownProtocol = errors.New("proxy: unknown protocol")
+	// ErrUnknownEndpoint marks a path absent from the endpoint table.
+	ErrUnknownEndpoint = errors.New("proxy: unknown endpoint")
+	// ErrTranslate marks a protocol-translation failure at the front
+	// door (including chaos-injected ones at the proxy.translate site);
+	// the gateway answers it with a well-formed 503 rather than a 400,
+	// because the client's payload may have been valid.
+	ErrTranslate = errors.New("proxy: translating request")
+)

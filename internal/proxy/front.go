@@ -1,0 +1,282 @@
+// Package proxy is the multi-protocol front door: a declarative
+// endpoint table routing OpenAI (/v1/*, SSE) and Ollama (/api/*,
+// NDJSON) traffic through the protocol-neutral IR in
+// internal/proxy/ir, plus an IR-keyed response cache in front of
+// placement. Both the cluster gateway and the node router consume the
+// same table, so adding an endpoint is one table row, and every
+// protocol reaches the same canonical upstream encoding — which is
+// what makes deterministic cross-node stream resume work identically
+// under SSE and NDJSON framing.
+package proxy
+
+import (
+	"fmt"
+
+	"swapservellm/internal/chaos"
+	"swapservellm/internal/metrics"
+	"swapservellm/internal/proxy/ir"
+	"swapservellm/internal/simclock"
+)
+
+// Options tunes Front construction.
+type Options struct {
+	// Table overrides the endpoint table (default: DefaultTable).
+	Table []Endpoint
+	// CacheEntries bounds the response cache (0 disables it).
+	CacheEntries int
+	// Chaos, when set, is consulted at the proxy.translate and
+	// proxy.cache fault sites.
+	Chaos *chaos.Injector
+	// Registry, when set, receives per-endpoint cache hit/miss/bypass
+	// counters and hit-ratio gauges.
+	Registry *metrics.Registry
+	// Clock, when set, charges chaos delay outcomes as simulated
+	// latency (without it delays are ignored).
+	Clock simclock.Clock
+}
+
+// Option mutates Options during New (the functional mirror of
+// cluster.Option).
+type Option func(*Options)
+
+// WithTable overrides the endpoint table.
+func WithTable(table []Endpoint) Option { return func(o *Options) { o.Table = table } }
+
+// WithCacheEntries bounds the response cache (0 disables it).
+func WithCacheEntries(n int) Option { return func(o *Options) { o.CacheEntries = n } }
+
+// WithChaos installs the shared fault injector.
+func WithChaos(inj *chaos.Injector) Option { return func(o *Options) { o.Chaos = inj } }
+
+// WithRegistry installs the metrics registry for cache accounting.
+func WithRegistry(reg *metrics.Registry) Option { return func(o *Options) { o.Registry = reg } }
+
+// WithClock installs the simulation clock for chaos delay outcomes.
+func WithClock(clock simclock.Clock) Option { return func(o *Options) { o.Clock = clock } }
+
+// Front is the assembled front door: the endpoint table, the codec
+// registry, and the response cache. Safe for concurrent use.
+type Front struct {
+	table  []Endpoint
+	byPath map[string]Endpoint
+	codecs map[Protocol]ir.Codec
+	cache  *cache
+	inj    *chaos.Injector
+	reg    *metrics.Registry
+	clock  simclock.Clock
+}
+
+// New builds a front door, applying functional options.
+func New(opts ...Option) *Front {
+	var o Options
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	table := o.Table
+	if table == nil {
+		table = DefaultTable()
+	}
+	f := &Front{
+		table:  table,
+		byPath: make(map[string]Endpoint, len(table)),
+		codecs: map[Protocol]ir.Codec{
+			ProtocolOpenAI: ir.OpenAICodec{},
+			ProtocolOllama: ir.OllamaCodec{},
+		},
+		cache: newCache(o.CacheEntries),
+		inj:   o.Chaos,
+		reg:   o.Registry,
+		clock: o.Clock,
+	}
+	for _, ep := range table {
+		f.byPath[ep.Path] = ep
+	}
+	return f
+}
+
+// Table returns the endpoint table.
+func (f *Front) Table() []Endpoint { return f.table }
+
+// Endpoint looks a route up by client-facing path.
+func (f *Front) Endpoint(path string) (Endpoint, bool) {
+	ep, ok := f.byPath[path]
+	return ep, ok
+}
+
+// Codec returns the codec for a protocol.
+func (f *Front) Codec(p Protocol) (ir.Codec, error) {
+	c, ok := f.codecs[p]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrUnknownProtocol, p)
+	}
+	return c, nil
+}
+
+// sleep charges a chaos delay when a clock is configured.
+func (f *Front) sleep(out chaos.Outcome) {
+	if out.Delay > 0 && f.clock != nil {
+		f.clock.Sleep(out.Delay)
+	}
+}
+
+// Decode translates one client request body into the IR via the
+// endpoint's codec. The proxy.translate chaos site fires here: an
+// injected fault surfaces as ErrTranslate, which the caller answers
+// with a well-formed protocol error instead of forwarding garbage.
+func (f *Front) Decode(ep Endpoint, body []byte) (*ir.Request, error) {
+	if out := f.inj.At(chaos.SiteProxyTranslate); out.Err != nil || out.Delay > 0 {
+		f.sleep(out)
+		if out.Err != nil {
+			return nil, fmt.Errorf("%w: %s: %w", ErrTranslate, ep.Path, out.Err)
+		}
+	}
+	codec, err := f.Codec(ep.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	req, err := codec.DecodeRequest(ep.Family, body)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", ep.Path, err)
+	}
+	return req, nil
+}
+
+// EncodeUpstream renders the canonical upstream body every protocol
+// forwards as (the OpenAI encoding the simulated engines speak).
+func (f *Front) EncodeUpstream(req *ir.Request) ([]byte, error) {
+	return ir.OpenAICodec{}.EncodeRequest(req)
+}
+
+// TranslateResponse re-encodes a canonical (upstream) buffered response
+// for the endpoint's clients. OpenAI endpoints pass bytes through
+// untouched.
+func (f *Front) TranslateResponse(ep Endpoint, canonical []byte) ([]byte, error) {
+	if ep.Protocol == ProtocolOpenAI {
+		return canonical, nil
+	}
+	codec, err := f.Codec(ep.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := (ir.OpenAICodec{}).DecodeResponse(ep.Family, canonical)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrTranslate, ep.Path, err)
+	}
+	out, err := codec.EncodeResponse(resp)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %w", ErrTranslate, ep.Path, err)
+	}
+	return out, nil
+}
+
+// Translator builds the stream translator for an endpoint.
+func (f *Front) Translator(ep Endpoint) *StreamTranslator {
+	codec, err := f.Codec(ep.Protocol)
+	if err != nil {
+		codec = ir.OpenAICodec{}
+	}
+	return &StreamTranslator{
+		family:      ep.Family,
+		out:         codec,
+		passthrough: ep.Protocol == ProtocolOpenAI,
+	}
+}
+
+// CacheEnabled reports whether the response cache is configured.
+func (f *Front) CacheEnabled() bool { return f.cache != nil }
+
+// CacheLen returns the live cache entry count (0 when disabled).
+func (f *Front) CacheLen() int {
+	if f.cache == nil {
+		return 0
+	}
+	return f.cache.len()
+}
+
+// CacheLookup consults the response cache for a non-streaming request:
+// the key is the endpoint's canonical upstream path + model revision +
+// canonical body hash, so protocol siblings share entries and a
+// revision bump invalidates them. noStore (the client sent
+// Cache-Control: no-store) and the proxy.cache chaos site both bypass
+// the cache — counted as bypasses, never served stale. Returns the
+// canonical response body on a hit.
+func (f *Front) CacheLookup(ep Endpoint, model string, canonical []byte, noStore bool) ([]byte, bool) {
+	if f.cache == nil || !ep.Cacheable {
+		return nil, false
+	}
+	if noStore {
+		f.countCache(ep, "bypass")
+		return nil, false
+	}
+	if out := f.inj.At(chaos.SiteProxyCache); out.Err != nil || out.Delay > 0 {
+		f.sleep(out)
+		if out.Err != nil {
+			f.countCache(ep, "bypass")
+			return nil, false
+		}
+	}
+	body, ok := f.cache.get(f.cache.key(ep.Upstream, model, canonical))
+	if ok {
+		f.countCache(ep, "hits")
+	} else {
+		f.countCache(ep, "misses")
+	}
+	return body, ok
+}
+
+// CacheStore records a canonical response for a request previously
+// looked up with CacheLookup.
+func (f *Front) CacheStore(ep Endpoint, model string, canonical, resp []byte) {
+	if f.cache == nil || !ep.Cacheable {
+		return
+	}
+	body := make([]byte, len(resp))
+	copy(body, resp)
+	f.cache.put(f.cache.key(ep.Upstream, model, canonical), body)
+	if f.reg != nil {
+		f.reg.Gauge("proxy_cache_entries").Set(float64(f.cache.len()))
+	}
+}
+
+// BumpRevision advances a model's cache revision (invalidating its
+// cached responses) and returns the new revision. Safe to call with
+// the cache disabled (returns 0).
+func (f *Front) BumpRevision(model string) uint64 {
+	if f.cache == nil {
+		return 0
+	}
+	return f.cache.bumpRevision(model)
+}
+
+// Revision returns a model's current cache revision.
+func (f *Front) Revision(model string) uint64 {
+	if f.cache == nil {
+		return 0
+	}
+	return f.cache.revision(model)
+}
+
+// countCache bumps one per-endpoint cache counter and refreshes the
+// hit-ratio gauges (hits over decided lookups; bypasses excluded).
+// Gauges registered here surface in both the Prometheus /metrics
+// exposition and the deterministic CSV export automatically.
+func (f *Front) countCache(ep Endpoint, outcome string) {
+	if f.reg == nil {
+		return
+	}
+	name := ep.MetricName()
+	f.reg.Counter("proxy_cache_" + outcome).Inc()
+	f.reg.Counter("proxy_cache_" + outcome + "_" + name).Inc()
+	hits := f.reg.Counter("proxy_cache_hits").Value()
+	misses := f.reg.Counter("proxy_cache_misses").Value()
+	if total := hits + misses; total > 0 {
+		f.reg.Gauge("proxy_cache_hit_ratio").Set(hits / total)
+	}
+	epHits := f.reg.Counter("proxy_cache_hits_" + name).Value()
+	epMisses := f.reg.Counter("proxy_cache_misses_" + name).Value()
+	if total := epHits + epMisses; total > 0 {
+		f.reg.Gauge("proxy_cache_hit_ratio_" + name).Set(epHits / total)
+	}
+}

@@ -1,0 +1,103 @@
+package ir
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzFamiliesOpenAI are the families the OpenAI codec decodes.
+var fuzzFamiliesOpenAI = []Family{FamilyChat, FamilyCompletion, FamilyEmbeddings, FamilyRerank}
+
+// FuzzIRDecodeOpenAI checks the OpenAI codec never panics and that any
+// body it accepts re-encodes to a stable canonical fixed point:
+// decode(encode(decode(x))) must succeed and encode identically (the
+// property the response-cache key relies on).
+func FuzzIRDecodeOpenAI(f *testing.F) {
+	f.Add([]byte(goldenOpenAIChat))
+	f.Add([]byte(`{"model":"m","messages":[{"role":"user","content":"hi"}]}`))
+	f.Add([]byte(`{"model":"m","messages":[{"role":"user","content":[{"type":"text","text":"a"},{"type":"image_url","image_url":{"url":"u"}}]}]}`))
+	f.Add([]byte(`{"model":"m","prompt":"complete me","max_tokens":4}`))
+	f.Add([]byte(`{"model":"m","prompt":["a","b"]}`))
+	f.Add([]byte(`{"model":"m","input":"embed me"}`))
+	f.Add([]byte(`{"model":"m","input":["a","b","c"]}`))
+	f.Add([]byte(`{"model":"m","query":"q","documents":["d1","d2"],"top_n":1}`))
+	f.Add([]byte(`data: {"object":"chat.completion.chunk","choices":[{"index":0,"delta":{"role":"assistant","content":"x"},"finish_reason":null}]}`))
+	f.Add([]byte(`data: [DONE]`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		c := OpenAICodec{}
+		for _, fam := range fuzzFamiliesOpenAI {
+			req, err := c.DecodeRequest(fam, body)
+			if err != nil {
+				continue
+			}
+			enc, err := c.EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("%s: accepted body failed to encode: %v", fam, err)
+			}
+			req2, err := c.DecodeRequest(fam, enc)
+			if err != nil {
+				t.Fatalf("%s: canonical encoding failed to re-decode: %v\nencoding: %s", fam, err, enc)
+			}
+			enc2, err := c.EncodeRequest(req2)
+			if err != nil {
+				t.Fatalf("%s: re-encode: %v", fam, err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("%s: canonical encoding is not a fixed point:\n first  %s\n second %s", fam, enc, enc2)
+			}
+		}
+		if ev, err := c.DecodeStreamEvent(FamilyChat, body); err == nil {
+			if _, err := c.EncodeStreamEvent(FamilyChat, ev); err != nil {
+				t.Fatalf("accepted stream event failed to encode: %v", err)
+			}
+		}
+	})
+}
+
+// fuzzFamiliesOllama are the families the Ollama codec decodes.
+var fuzzFamiliesOllama = []Family{FamilyChat, FamilyGenerate}
+
+// FuzzIRDecodeOllama checks the Ollama codec never panics and that the
+// canonical upstream encoding of any accepted body is decodable by the
+// OpenAI codec (every Ollama request must be forwardable).
+func FuzzIRDecodeOllama(f *testing.F) {
+	f.Add([]byte(goldenOllamaChat))
+	f.Add([]byte(goldenOllamaGenerate))
+	f.Add([]byte(`{"model":"m","messages":[{"role":"user","content":"hi"}]}`))
+	f.Add([]byte(`{"model":"m","prompt":"hi","images":["aGk="]}`))
+	f.Add([]byte(`{"model":"m","messages":[{"role":"user","content":"hi","images":["aGk="]}],"stream":false}`))
+	f.Add([]byte(`{"model":"m","created_at":"1970-01-01T00:00:01Z","message":{"role":"assistant","content":"x"},"done":false}`))
+	f.Add([]byte(`{"model":"m","created_at":"1970-01-01T00:00:01Z","response":"x","done":true,"done_reason":"stop"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		c := OllamaCodec{}
+		for _, fam := range fuzzFamiliesOllama {
+			req, err := c.DecodeRequest(fam, body)
+			if err != nil {
+				continue
+			}
+			enc, err := c.EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("%s: accepted body failed to re-encode: %v", fam, err)
+			}
+			if _, err := c.DecodeRequest(fam, enc); err != nil {
+				t.Fatalf("%s: re-encoding failed to decode: %v\nencoding: %s", fam, err, enc)
+			}
+			canonical, err := (OpenAICodec{}).EncodeRequest(req)
+			if err != nil {
+				t.Fatalf("%s: canonical upstream encoding: %v", fam, err)
+			}
+			if _, err := (OpenAICodec{}).DecodeRequest(FamilyChat, canonical); err != nil {
+				t.Fatalf("%s: upstream cannot decode forwarded body: %v\nbody: %s", fam, err, canonical)
+			}
+			if ev, err := c.DecodeStreamEvent(fam, body); err == nil {
+				if _, err := c.EncodeStreamEvent(fam, ev); err != nil {
+					t.Fatalf("%s: accepted stream line failed to encode: %v", fam, err)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,178 @@
+package ir
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// OpenAICodec translates the OpenAI wire protocol (/v1/*, SSE
+// streaming). Since the IR's canonical payloads are the OpenAI shapes,
+// this codec is mostly marshal/unmarshal plus validation — it also
+// defines the canonical upstream encoding every other protocol
+// translates through.
+type OpenAICodec struct{}
+
+// Protocol implements Codec.
+func (OpenAICodec) Protocol() string { return "openai" }
+
+// Framing implements Codec.
+func (OpenAICodec) Framing() Framing { return FramingSSE }
+
+// DecodeRequest implements Codec.
+func (OpenAICodec) DecodeRequest(f Family, body []byte) (*Request, error) {
+	req := &Request{Family: f}
+	switch f {
+	case FamilyChat:
+		var p ChatCompletionRequest
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, fmt.Errorf("%w: malformed JSON: %w", ErrDecode, err)
+		}
+		req.Chat, req.Model, req.Stream = &p, p.Model, p.Stream
+	case FamilyCompletion:
+		var p CompletionRequest
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, fmt.Errorf("%w: malformed JSON: %w", ErrDecode, err)
+		}
+		req.Completion, req.Model, req.Stream = &p, p.Model, p.Stream
+	case FamilyEmbeddings:
+		var p EmbeddingsRequest
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, fmt.Errorf("%w: malformed JSON: %w", ErrDecode, err)
+		}
+		req.Embeddings, req.Model = &p, p.Model
+	case FamilyRerank:
+		var p RerankRequest
+		if err := json.Unmarshal(body, &p); err != nil {
+			return nil, fmt.Errorf("%w: malformed JSON: %w", ErrDecode, err)
+		}
+		req.Rerank, req.Model = &p, p.Model
+	default:
+		return nil, fmt.Errorf("%w: openai codec cannot decode %q", ErrUnsupported, f)
+	}
+	if err := req.Validate(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeRequest implements Codec: the canonical upstream encoding. A
+// FamilyGenerate request encodes as its canonical chat payload, so the
+// upstream node and engine see one protocol.
+func (OpenAICodec) EncodeRequest(req *Request) ([]byte, error) {
+	var v interface{}
+	switch req.Family {
+	case FamilyChat, FamilyGenerate:
+		v = req.Chat
+	case FamilyCompletion:
+		v = req.Completion
+	case FamilyEmbeddings:
+		v = req.Embeddings
+	case FamilyRerank:
+		v = req.Rerank
+	default:
+		return nil, fmt.Errorf("%w: openai codec cannot encode %q", ErrUnsupported, req.Family)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("ir: encoding %s request: %w", req.Family, err)
+	}
+	return b, nil
+}
+
+// DecodeResponse implements Codec.
+func (OpenAICodec) DecodeResponse(f Family, body []byte) (*Response, error) {
+	resp := &Response{Family: f}
+	var err error
+	switch f {
+	case FamilyChat, FamilyGenerate:
+		var p ChatCompletionResponse
+		err = json.Unmarshal(body, &p)
+		resp.Chat = &p
+	case FamilyCompletion:
+		var p CompletionResponse
+		err = json.Unmarshal(body, &p)
+		resp.Completion = &p
+	case FamilyEmbeddings:
+		var p EmbeddingsResponse
+		err = json.Unmarshal(body, &p)
+		resp.Embeddings = &p
+	case FamilyRerank:
+		var p RerankResponse
+		err = json.Unmarshal(body, &p)
+		resp.Rerank = &p
+	default:
+		return nil, fmt.Errorf("%w: openai codec cannot decode %q response", ErrUnsupported, f)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: malformed %s response: %w", ErrDecode, f, err)
+	}
+	return resp, nil
+}
+
+// EncodeResponse implements Codec.
+func (OpenAICodec) EncodeResponse(resp *Response) ([]byte, error) {
+	var v interface{}
+	switch resp.Family {
+	case FamilyChat, FamilyGenerate:
+		v = resp.Chat
+	case FamilyCompletion:
+		v = resp.Completion
+	case FamilyEmbeddings:
+		v = resp.Embeddings
+	case FamilyRerank:
+		v = resp.Rerank
+	default:
+		return nil, fmt.Errorf("%w: openai codec cannot encode %q response", ErrUnsupported, resp.Family)
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("ir: encoding %s response: %w", resp.Family, err)
+	}
+	return b, nil
+}
+
+// DecodeStreamEvent implements Codec: frame is one SSE data payload
+// (the text after "data:", trimmed of framing).
+func (OpenAICodec) DecodeStreamEvent(f Family, frame []byte) (*StreamEvent, error) {
+	payload := trimDataPrefix(string(frame))
+	if payload == DoneSentinel {
+		return &StreamEvent{Done: true}, nil
+	}
+	var chunk ChatCompletionChunk
+	if err := json.Unmarshal([]byte(payload), &chunk); err != nil {
+		return nil, fmt.Errorf("%w: malformed stream chunk: %w", ErrDecode, err)
+	}
+	return &StreamEvent{Chunk: &chunk}, nil
+}
+
+// EncodeStreamEvent implements Codec: each event renders as one
+// "data: ...\n\n" frame. An event that is both Done and carries a
+// chunk (the NDJSON folded finish line) renders as two frames — the
+// finish chunk followed by the [DONE] sentinel.
+func (OpenAICodec) EncodeStreamEvent(f Family, ev *StreamEvent) ([]byte, error) {
+	var out []byte
+	if ev.Chunk != nil {
+		b, err := json.Marshal(ev.Chunk)
+		if err != nil {
+			return nil, fmt.Errorf("ir: encoding stream chunk: %w", err)
+		}
+		out = append(out, []byte("data: ")...)
+		out = append(out, b...)
+		out = append(out, []byte("\n\n")...)
+	}
+	if ev.Done {
+		out = append(out, []byte("data: "+DoneSentinel+"\n\n")...)
+	}
+	return out, nil
+}
+
+// trimDataPrefix strips an optional SSE "data:" prefix and surrounding
+// whitespace from an event payload.
+func trimDataPrefix(s string) string {
+	s = strings.TrimSpace(s)
+	if rest, ok := strings.CutPrefix(s, "data:"); ok {
+		s = strings.TrimSpace(rest)
+	}
+	return s
+}

@@ -1,0 +1,306 @@
+package ir
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Golden request bodies written in each codec's canonical field order,
+// so decode → re-encode must reproduce them byte-identically.
+const (
+	goldenOpenAIChat = `{"model":"llama-3-8b","messages":[{"role":"system","content":"be brief"},{"role":"user","content":"hello"}],"stream":true,"max_tokens":32,"temperature":0.7,"seed":42}`
+
+	goldenOllamaChat = `{"model":"llama-3-8b","messages":[{"role":"user","content":"what is in this picture","images":["aGVsbG8="]}],"stream":true,"options":{"num_predict":32,"temperature":0.7,"seed":42}}`
+
+	goldenOllamaGenerate = `{"model":"llama-3-8b","prompt":"translate to French: cheese","system":"you are a translator","stream":false,"options":{"num_predict":16}}`
+)
+
+func TestOpenAIChatRequestRoundTrip(t *testing.T) {
+	c := OpenAICodec{}
+	req, err := c.DecodeRequest(FamilyChat, []byte(goldenOpenAIChat))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if req.Model != "llama-3-8b" || !req.Stream || req.Chat == nil {
+		t.Fatalf("decoded request = %+v", req)
+	}
+	out, err := c.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	if string(out) != goldenOpenAIChat {
+		t.Fatalf("re-encode mismatch:\n got  %s\n want %s", out, goldenOpenAIChat)
+	}
+}
+
+func TestOllamaChatRequestRoundTrip(t *testing.T) {
+	c := OllamaCodec{}
+	req, err := c.DecodeRequest(FamilyChat, []byte(goldenOllamaChat))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	msg := req.Chat.Messages[0]
+	if msg.Images() != 1 {
+		t.Fatalf("Images() = %d, want 1 (canonical image_url part)", msg.Images())
+	}
+	if msg.Content != "what is in this picture" {
+		t.Fatalf("Content = %q (text must mirror into Content for prompt hashing)", msg.Content)
+	}
+	if got := msg.Parts[1].ImageURL.URL; !strings.HasPrefix(got, dataURIPrefix) {
+		t.Fatalf("image part URL = %q, want data URI", got)
+	}
+	out, err := c.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	if string(out) != goldenOllamaChat {
+		t.Fatalf("re-encode mismatch:\n got  %s\n want %s", out, goldenOllamaChat)
+	}
+}
+
+func TestOllamaGenerateRequestRoundTrip(t *testing.T) {
+	c := OllamaCodec{}
+	req, err := c.DecodeRequest(FamilyGenerate, []byte(goldenOllamaGenerate))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if len(req.Chat.Messages) != 2 || req.Chat.Messages[0].Role != "system" {
+		t.Fatalf("generate must canonicalize to system+user chat, got %+v", req.Chat.Messages)
+	}
+	if req.Stream {
+		t.Fatal("stream=false must be honored")
+	}
+	out, err := c.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	if string(out) != goldenOllamaGenerate {
+		t.Fatalf("re-encode mismatch:\n got  %s\n want %s", out, goldenOllamaGenerate)
+	}
+}
+
+func TestOllamaStreamDefaultsOn(t *testing.T) {
+	req, err := OllamaCodec{}.DecodeRequest(FamilyChat,
+		[]byte(`{"model":"m","messages":[{"role":"user","content":"hi"}]}`))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	if !req.Stream {
+		t.Fatal("Ollama requests must default to streaming")
+	}
+	// The re-encode pins the resolved default explicitly so the
+	// canonical form is unambiguous.
+	out, err := OllamaCodec{}.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	if !strings.Contains(string(out), `"stream":true`) {
+		t.Fatalf("re-encode must pin stream explicitly, got %s", out)
+	}
+}
+
+func TestCrossProtocolCanonicalEquivalence(t *testing.T) {
+	// The same question through either protocol must produce the same
+	// canonical upstream body — the property the response cache keys on.
+	openai := `{"model":"m","messages":[{"role":"user","content":"hi"}],"stream":true}`
+	ollama := `{"model":"m","messages":[{"role":"user","content":"hi"}],"stream":true}`
+	reqA, err := OpenAICodec{}.DecodeRequest(FamilyChat, []byte(openai))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqB, err := OllamaCodec{}.DecodeRequest(FamilyChat, []byte(ollama))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := OpenAICodec{}.EncodeRequest(reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := OpenAICodec{}.EncodeRequest(reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("canonical encodings differ:\n openai %s\n ollama %s", a, b)
+	}
+}
+
+// Golden stream frames in each codec's canonical encoding.
+var (
+	goldenSSEEvents = []string{
+		`data: {"id":"chatcmpl-1","object":"chat.completion.chunk","created":100,"model":"m","choices":[{"index":0,"delta":{"role":"assistant","content":""},"finish_reason":null}]}`,
+		`data: {"id":"chatcmpl-1","object":"chat.completion.chunk","created":100,"model":"m","choices":[{"index":0,"delta":{"role":"","content":"hello "},"finish_reason":null}]}`,
+		`data: {"id":"chatcmpl-1","object":"chat.completion.chunk","created":100,"model":"m","choices":[{"index":0,"delta":{"role":"","content":"world"},"finish_reason":"stop"}],"usage":{"prompt_tokens":9,"completion_tokens":2,"total_tokens":11}}`,
+		`data: [DONE]`,
+	}
+	goldenNDJSONChatLines = []string{
+		`{"model":"m","created_at":"1970-01-01T00:01:40Z","message":{"role":"assistant","content":"hello "},"done":false}`,
+		`{"model":"m","created_at":"1970-01-01T00:01:40Z","message":{"role":"assistant","content":"world"},"done":true,"done_reason":"stop","prompt_eval_count":9,"eval_count":2}`,
+	}
+)
+
+func TestSSEStreamEventRoundTrip(t *testing.T) {
+	c := OpenAICodec{}
+	for i, event := range goldenSSEEvents {
+		ev, err := c.DecodeStreamEvent(FamilyChat, []byte(event))
+		if err != nil {
+			t.Fatalf("event %d: DecodeStreamEvent: %v", i, err)
+		}
+		out, err := c.EncodeStreamEvent(FamilyChat, ev)
+		if err != nil {
+			t.Fatalf("event %d: EncodeStreamEvent: %v", i, err)
+		}
+		if want := event + "\n\n"; string(out) != want {
+			t.Fatalf("event %d re-encode mismatch:\n got  %q\n want %q", i, out, want)
+		}
+	}
+}
+
+func TestNDJSONStreamLineRoundTrip(t *testing.T) {
+	c := OllamaCodec{}
+	for i, line := range goldenNDJSONChatLines {
+		ev, err := c.DecodeStreamEvent(FamilyChat, []byte(line))
+		if err != nil {
+			t.Fatalf("line %d: DecodeStreamEvent: %v", i, err)
+		}
+		out, err := c.EncodeStreamEvent(FamilyChat, ev)
+		if err != nil {
+			t.Fatalf("line %d: EncodeStreamEvent: %v", i, err)
+		}
+		if want := line + "\n"; string(out) != want {
+			t.Fatalf("line %d re-encode mismatch:\n got  %q\n want %q", i, out, want)
+		}
+	}
+}
+
+func TestSSEToNDJSONTranslation(t *testing.T) {
+	// A canonical upstream SSE stream translated through the IR must
+	// render the Ollama NDJSON golden: the empty role preamble becomes an
+	// empty content line, the finish chunk folds into done:true, and the
+	// [DONE] sentinel disappears (the done line already closed the
+	// stream). 1:1 event mapping is what keeps the resume counter valid
+	// across framings.
+	var got bytes.Buffer
+	for _, event := range goldenSSEEvents {
+		ev, err := OpenAICodec{}.DecodeStreamEvent(FamilyChat, []byte(event))
+		if err != nil {
+			t.Fatalf("decode %q: %v", event, err)
+		}
+		frame, err := OllamaCodec{}.EncodeStreamEvent(FamilyChat, ev)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got.Write(frame)
+	}
+	want := `{"model":"m","created_at":"1970-01-01T00:01:40Z","message":{"role":"assistant","content":""},"done":false}` + "\n" +
+		goldenNDJSONChatLines[0] + "\n" +
+		goldenNDJSONChatLines[1] + "\n"
+	if got.String() != want {
+		t.Fatalf("translated stream mismatch:\n got  %q\n want %q", got.String(), want)
+	}
+}
+
+func TestNDJSONToSSETranslation(t *testing.T) {
+	// The reverse direction: an NDJSON done line expands to the finish
+	// chunk frame followed by the [DONE] sentinel.
+	ev, err := OllamaCodec{}.DecodeStreamEvent(FamilyChat, []byte(goldenNDJSONChatLines[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ev.Done || ev.Chunk == nil || ev.Chunk.Choices[0].FinishReason == nil {
+		t.Fatalf("done line must decode to a Done event with folded finish chunk, got %+v", ev)
+	}
+	out, err := OpenAICodec{}.EncodeStreamEvent(FamilyChat, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.Contains(s, `"finish_reason":"stop"`) || !strings.HasSuffix(s, "data: [DONE]\n\n") {
+		t.Fatalf("done event must render finish frame + [DONE], got %q", s)
+	}
+	if strings.Count(s, "data: ") != 2 {
+		t.Fatalf("want exactly two frames, got %q", s)
+	}
+}
+
+func TestGenerateStreamUsesResponseField(t *testing.T) {
+	ev := &StreamEvent{Chunk: &ChatCompletionChunk{
+		Object: "chat.completion.chunk", Model: "m",
+		Choices: []DeltaChoice{{Delta: Message{Content: "bonjour"}}},
+	}}
+	out, err := OllamaCodec{}.EncodeStreamEvent(FamilyGenerate, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"response":"bonjour"`) {
+		t.Fatalf("generate stream must use the response field, got %s", out)
+	}
+}
+
+func TestEmbeddingsAndRerankDecode(t *testing.T) {
+	c := OpenAICodec{}
+	req, err := c.DecodeRequest(FamilyEmbeddings, []byte(`{"model":"m","input":["a","b"]}`))
+	if err != nil {
+		t.Fatalf("embeddings decode: %v", err)
+	}
+	if len(req.Embeddings.Input) != 2 {
+		t.Fatalf("input = %v", req.Embeddings.Input)
+	}
+	single, err := c.DecodeRequest(FamilyEmbeddings, []byte(`{"model":"m","input":"just one"}`))
+	if err != nil {
+		t.Fatalf("single-string input: %v", err)
+	}
+	if len(single.Embeddings.Input) != 1 || single.Embeddings.Input[0] != "just one" {
+		t.Fatalf("input = %v", single.Embeddings.Input)
+	}
+	if _, err := c.DecodeRequest(FamilyRerank, []byte(`{"model":"m","query":"q","documents":["d1","d2"],"top_n":1}`)); err != nil {
+		t.Fatalf("rerank decode: %v", err)
+	}
+	if _, err := c.DecodeRequest(FamilyRerank, []byte(`{"model":"m","documents":["d"]}`)); err == nil {
+		t.Fatal("rerank without query must fail validation")
+	}
+}
+
+func TestMultimodalMessageRoundTrip(t *testing.T) {
+	body := `{"model":"m","messages":[{"role":"user","content":[{"type":"text","text":"describe"},{"type":"image_url","image_url":{"url":"data:image/png;base64,xyz"}},{"type":"input_audio","input_audio":{"seconds":3.5}}]}]}`
+	req, err := OpenAICodec{}.DecodeRequest(FamilyChat, []byte(body))
+	if err != nil {
+		t.Fatalf("DecodeRequest: %v", err)
+	}
+	m := req.Chat.Messages[0]
+	if m.Content != "describe" || m.Images() != 1 || m.AudioSeconds() != 3.5 {
+		t.Fatalf("decoded message = %+v", m)
+	}
+	out, err := OpenAICodec{}.EncodeRequest(req)
+	if err != nil {
+		t.Fatalf("EncodeRequest: %v", err)
+	}
+	if string(out) != body {
+		t.Fatalf("re-encode mismatch:\n got  %s\n want %s", out, body)
+	}
+}
+
+func TestOllamaResponseTranslation(t *testing.T) {
+	canonical := `{"id":"chatcmpl-1","object":"chat.completion","created":100,"model":"m","choices":[{"index":0,"message":{"role":"assistant","content":"hi there"},"finish_reason":"stop"}],"usage":{"prompt_tokens":9,"completion_tokens":2,"total_tokens":11}}`
+	resp, err := OpenAICodec{}.DecodeResponse(FamilyChat, []byte(canonical))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := OllamaCodec{}.EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"model":"m","created_at":"1970-01-01T00:01:40Z","message":{"role":"assistant","content":"hi there"},"done":true,"done_reason":"stop","prompt_eval_count":9,"eval_count":2}`
+	if string(out) != want {
+		t.Fatalf("ollama response mismatch:\n got  %s\n want %s", out, want)
+	}
+	resp.Family = FamilyGenerate
+	out, err = OllamaCodec{}.EncodeResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), `"response":"hi there"`) {
+		t.Fatalf("generate response must use the response field, got %s", out)
+	}
+}

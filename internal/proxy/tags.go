@@ -1,0 +1,24 @@
+package proxy
+
+import (
+	"fmt"
+
+	"swapservellm/internal/models"
+	"swapservellm/internal/proxy/ir"
+)
+
+// TagFor renders one catalog model as an Ollama GET /api/tags entry —
+// shared by the gateway and the node router so both protocol listings
+// describe the same deployment.
+func TagFor(name string, m models.Model) ir.OllamaTag {
+	return ir.OllamaTag{
+		Name:  name,
+		Model: name,
+		Size:  m.WeightBytes(),
+		Details: ir.OllamaTagDetails{
+			Family:            string(m.Family),
+			ParameterSize:     fmt.Sprintf("%.1fB", m.ParamsB()),
+			QuantizationLevel: string(m.Quant),
+		},
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewClassProfiles(t *testing.T) {
+	for _, c := range []Class{ClassEmbedding, ClassRerank, ClassVision} {
+		p := Profile(c)
+		if p.MeanInput <= 0 || p.MeanOutput <= 0 {
+			t.Fatalf("%s profile = %+v", c, p)
+		}
+	}
+	if Profile(ClassEmbedding).MeanOutput > 2 || Profile(ClassRerank).MeanOutput > 2 {
+		t.Fatal("encoder classes must not generate meaningful output tokens")
+	}
+	if Profile(ClassVision).MeanOutput < 50 {
+		t.Fatal("vision chat must generate conversational-length answers")
+	}
+}
+
+func TestNewClassDiurnalRates(t *testing.T) {
+	// A Monday in the experiment epoch's week.
+	monday := time.Date(2025, 11, 17, 0, 0, 0, 0, time.UTC)
+	at := func(h int) time.Time { return monday.Add(time.Duration(h) * time.Hour) }
+
+	for _, c := range []Class{ClassEmbedding, ClassRerank, ClassVision} {
+		for h := 0; h < 24; h++ {
+			v := DiurnalRate(c, at(h))
+			if v <= 0 || v > 1 {
+				t.Fatalf("%s rate at %02d:00 = %v, want (0,1]", c, h, v)
+			}
+		}
+	}
+	// Embedding's overnight re-index window: 3 AM beats 3 AM coding load.
+	if DiurnalRate(ClassEmbedding, at(3)) <= DiurnalRate(ClassCoding, at(3)) {
+		t.Fatal("embedding must carry an overnight batch window coding lacks")
+	}
+	// Rerank follows search: noon ≫ midnight.
+	if DiurnalRate(ClassRerank, at(12)) < 4*DiurnalRate(ClassRerank, at(0)) {
+		t.Fatal("rerank must be business-hours shaped")
+	}
+	// Vision has an evening shoulder: 21:00 beats 09:00 by less than
+	// conversational-style margins but must clearly beat the overnight floor.
+	if DiurnalRate(ClassVision, at(21)) < 3*DiurnalRate(ClassVision, at(3)) {
+		t.Fatal("vision must carry an evening shoulder")
+	}
+	// Weekend behavior: embedding barely dips, coding collapses.
+	saturday := time.Date(2025, 11, 22, 12, 0, 0, 0, time.UTC)
+	embedDip := DiurnalRate(ClassEmbedding, saturday) / DiurnalRate(ClassEmbedding, at(12))
+	codingDip := DiurnalRate(ClassCoding, saturday) / DiurnalRate(ClassCoding, at(12))
+	if embedDip <= codingDip {
+		t.Fatal("pipeline traffic must be less weekend-sensitive than coding")
+	}
+}
+
+func TestNewClassArrivalsGenerate(t *testing.T) {
+	g := NewGenerator(7)
+	start := time.Date(2025, 11, 17, 0, 0, 0, 0, time.UTC)
+	reqs := g.Arrivals(ClassEmbedding, "embed-model", start, start.Add(24*time.Hour), 120, 1.2)
+	if len(reqs) == 0 {
+		t.Fatal("no embedding arrivals generated")
+	}
+	for _, r := range reqs {
+		if r.Class != ClassEmbedding || r.Model != "embed-model" || r.InputTokens <= 0 {
+			t.Fatalf("request = %+v", r)
+		}
+	}
+}

@@ -17,10 +17,15 @@ import (
 // reverse are memory-bound).
 type Class string
 
-// The two Azure trace classes of Figure 1.
+// The two Azure trace classes of Figure 1, plus the non-generative
+// classes the multi-protocol front door serves (embedding and rerank
+// calls from RAG pipelines, and vision-tagged chat).
 const (
 	ClassCoding         Class = "coding"
 	ClassConversational Class = "conversational"
+	ClassEmbedding      Class = "embedding"
+	ClassRerank         Class = "rerank"
+	ClassVision         Class = "vision"
 )
 
 // TokenProfile describes a class's token-length distribution.
@@ -38,6 +43,18 @@ func Profile(c Class) TokenProfile {
 	switch c {
 	case ClassCoding:
 		return TokenProfile{MeanInput: 2000, SigmaInput: 0.9, MeanOutput: 40, SigmaOutput: 0.7}
+	case ClassEmbedding:
+		// RAG-chunk embedding: modest inputs, no generated output (the
+		// response is the vector; output tokens are zero on the wire but
+		// kept at 1 so downstream accounting never divides by zero).
+		return TokenProfile{MeanInput: 300, SigmaInput: 0.6, MeanOutput: 1, SigmaOutput: 0.01}
+	case ClassRerank:
+		// Query plus a page of candidate documents per call.
+		return TokenProfile{MeanInput: 1500, SigmaInput: 0.5, MeanOutput: 1, SigmaOutput: 0.01}
+	case ClassVision:
+		// Vision chat: the image's 576-token projector output dominates
+		// the text prompt; answers are conversational-length.
+		return TokenProfile{MeanInput: 900, SigmaInput: 0.5, MeanOutput: 180, SigmaOutput: 0.7}
 	default: // conversational
 		return TokenProfile{MeanInput: 700, SigmaInput: 0.8, MeanOutput: 250, SigmaOutput: 0.8}
 	}
@@ -68,12 +85,42 @@ func DiurnalRate(c Class, t time.Time) float64 {
 	// Overnight floor.
 	const floor = 0.06
 
+	// Overnight batch window for pipeline-driven traffic (1:00–5:00).
+	overnight := math.Exp(-math.Pow(hour-3, 2) / (2 * 1.5 * 1.5))
+
 	var v float64
 	switch c {
 	case ClassCoding:
 		v = floor + 0.94*business
 		if weekend {
 			v *= 0.25
+		}
+	case ClassEmbedding:
+		// Ingestion pipelines: flatter daytime load plus a nightly
+		// re-index batch window, barely affected by weekends.
+		v = floor + 0.45*business + 0.50*overnight
+		if v > 1 {
+			v = 1
+		}
+		if weekend {
+			v *= 0.85
+		}
+	case ClassRerank:
+		// Rerank rides search traffic: business-hours shaped, no evening
+		// shoulder, moderate weekend dip.
+		v = floor + 0.80*business
+		if weekend {
+			v *= 0.45
+		}
+	case ClassVision:
+		// Vision chat follows conversational usage with a stronger
+		// evening shoulder (consumer photo queries).
+		v = floor + 0.55*business + 0.45*evening
+		if v > 1 {
+			v = 1
+		}
+		if weekend {
+			v *= 0.70
 		}
 	default:
 		v = floor + 0.70*business + 0.35*evening
